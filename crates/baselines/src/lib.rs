@@ -1,0 +1,35 @@
+//! # lucky-baselines
+//!
+//! Comparison registers for the benchmark tables.
+//!
+//! The paper motivates the lucky fast paths against prior robust storage
+//! algorithms (§1, §6). Two baselines matter for the complexity story:
+//!
+//! * [`abd`] — the crash-only SWMR atomic register of Attiya, Bar-Noy and
+//!   Dolev (\[2\] in the paper): `S = 2t + 1` servers, one-round WRITEs,
+//!   **two-round READs** (query + write-back, always). This is the
+//!   "reads always pay two round-trips" benchmark the introduction cites.
+//! * *slow-only lucky* — the paper's own algorithm with the fast paths
+//!   disabled, available directly as
+//!   [`ProtocolConfig::slow_only`](lucky_core-link) in `lucky-core`; it
+//!   needs no code here.
+//!
+//! The ABD implementation reuses the same sans-io + simulator pattern as
+//! the main protocols, so tables compare like with like.
+//!
+//! ```
+//! use lucky_baselines::abd::{AbdCluster, AbdConfig};
+//! use lucky_types::{ReaderId, Value};
+//!
+//! let mut cluster = AbdCluster::new(AbdConfig::synchronous(1), 1);
+//! let w = cluster.write(Value::from_u64(9));
+//! assert_eq!(w.rounds, 1); // ABD writes are always one round
+//! let r = cluster.read(ReaderId(0));
+//! assert_eq!(r.rounds, 2); // ABD reads are always two rounds
+//! assert_eq!(r.value.as_u64(), Some(9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod abd;

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks: wall-clock cost of driving one simulated
+//! operation to completion, per protocol variant and baseline.
+//!
+//! These measure the *implementation* (simulator + protocol state
+//! machines), complementing the virtual-time tables: they answer "how
+//! expensive is it to simulate/execute an operation", which bounds the
+//! experiment throughput of the whole harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lucky_baselines::abd::{AbdCluster, AbdConfig};
+use lucky_core::{ClusterConfig, ProtocolConfig, SimCluster};
+use lucky_types::{Params, ReaderId, TwoRoundParams, Value};
+
+fn bench_lucky_ops(c: &mut Criterion) {
+    let params = Params::new(2, 1, 1, 0).unwrap();
+    let mut group = c.benchmark_group("lucky_atomic");
+
+    group.bench_function("fast_write", |bencher| {
+        bencher.iter_batched_ref(
+            || SimCluster::new(ClusterConfig::synchronous(params), 1),
+            |cluster| cluster.write(Value::from_u64(1)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("fast_read", |bencher| {
+        bencher.iter_batched_ref(
+            || {
+                let mut cluster = SimCluster::new(ClusterConfig::synchronous(params), 1);
+                cluster.write(Value::from_u64(1));
+                cluster
+            },
+            |cluster| cluster.read(ReaderId(0)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("slow_write", |bencher| {
+        bencher.iter_batched_ref(
+            || {
+                let mut cluster = SimCluster::new(
+                    ClusterConfig::synchronous(params)
+                        .with_protocol(ProtocolConfig::slow_only(100)),
+                    1,
+                );
+                cluster.write(Value::from_u64(1));
+                cluster
+            },
+            |cluster| cluster.write(Value::from_u64(2)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("slow_read_with_writeback", |bencher| {
+        bencher.iter_batched_ref(
+            || {
+                let mut cluster = SimCluster::new(
+                    ClusterConfig::synchronous(params)
+                        .with_protocol(ProtocolConfig::slow_only(100)),
+                    1,
+                );
+                cluster.write(Value::from_u64(1));
+                cluster
+            },
+            |cluster| cluster.read(ReaderId(0)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variants_write_read_pair");
+
+    let params = Params::new(2, 1, 1, 0).unwrap();
+    group.bench_function("atomic", |bencher| {
+        bencher.iter_batched_ref(
+            || SimCluster::new(ClusterConfig::synchronous(params), 1),
+            |cluster| {
+                cluster.write(Value::from_u64(1));
+                cluster.read(ReaderId(0))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let trp = TwoRoundParams::new(2, 1, 1).unwrap();
+    group.bench_function("two_round", |bencher| {
+        bencher.iter_batched_ref(
+            || SimCluster::new(ClusterConfig::synchronous_two_round(trp), 1),
+            |cluster| {
+                cluster.write(Value::from_u64(1));
+                cluster.read(ReaderId(0))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let reg = Params::trading_reads(2, 1).unwrap();
+    group.bench_function("regular", |bencher| {
+        bencher.iter_batched_ref(
+            || SimCluster::new(ClusterConfig::synchronous_regular(reg), 1),
+            |cluster| {
+                cluster.write(Value::from_u64(1));
+                cluster.read(ReaderId(0))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("abd", |bencher| {
+        bencher.iter_batched_ref(
+            || AbdCluster::new(AbdConfig::synchronous(2), 1),
+            |cluster| {
+                cluster.write(Value::from_u64(1));
+                cluster.read(ReaderId(0))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lucky_ops, bench_variants);
+criterion_main!(benches);

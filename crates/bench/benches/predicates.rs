@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the reader's decision predicates —
+//! the per-round local computation the paper's round-trip complexity
+//! measure treats as negligible (§1). These benches verify that premise:
+//! candidate evaluation is sub-microsecond even at large S.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lucky_core::predicates::{self, Thresholds};
+use lucky_core::{ServerView, ViewTable};
+use lucky_types::{FrozenSlot, Params, ReadSeq, Seq, ServerId, TsVal, Value};
+
+/// A worst-case-ish view table: responders spread across `spread`
+/// distinct timestamps (maximizing candidate-set size).
+fn views(servers: usize, spread: u64) -> ViewTable {
+    (0..servers)
+        .map(|i| {
+            let ts = 100 + (i as u64 % spread);
+            (
+                ServerId(i as u16),
+                ServerView {
+                    rnd: 1,
+                    pw: TsVal::new(Seq(ts), Value::from_u64(ts)),
+                    w: TsVal::new(Seq(ts.saturating_sub(1)), Value::from_u64(ts - 1)),
+                    vw: Some(TsVal::new(Seq(ts.saturating_sub(2)), Value::from_u64(ts - 2))),
+                    frozen: FrozenSlot::initial(),
+                },
+            )
+        })
+        .collect()
+}
+
+fn params_for(servers: usize) -> Params {
+    // S = 2t + b + 1; pick b = t/2-ish configurations that hit each size.
+    match servers {
+        4 => Params::new(1, 1, 0, 0).unwrap(),
+        7 => Params::new(2, 2, 0, 0).unwrap(),
+        16 => Params::new(6, 3, 2, 1).unwrap(),
+        31 => Params::new(12, 6, 3, 3).unwrap(),
+        64 => Params::new(25, 13, 6, 6).unwrap(),
+        _ => panic!("no params for S={servers}"),
+    }
+}
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicates/select");
+    for servers in [4usize, 7, 16, 31, 64] {
+        let params = params_for(servers);
+        assert_eq!(params.server_count(), servers);
+        let thr = Thresholds::from(params);
+        let table = views(servers, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, _| {
+            b.iter(|| predicates::select(&table, ReadSeq(1), &thr));
+        });
+    }
+    group.finish();
+}
+
+fn bench_individual_predicates(c: &mut Criterion) {
+    let params = Params::new(6, 3, 2, 1).unwrap(); // S = 16
+    let thr = Thresholds::from(params);
+    let table = views(16, 4);
+    let candidate = TsVal::new(Seq(103), Value::from_u64(103));
+
+    let mut group = c.benchmark_group("predicates/individual");
+    group.bench_function("safe", |b| {
+        b.iter(|| predicates::safe(&table, &candidate, &thr));
+    });
+    group.bench_function("fast", |b| {
+        b.iter(|| predicates::fast(&table, &candidate, &thr));
+    });
+    group.bench_function("invalidw", |b| {
+        b.iter(|| predicates::invalidw(&table, &candidate, &thr));
+    });
+    group.bench_function("high_cand", |b| {
+        b.iter(|| predicates::high_cand(&table, &candidate, &thr));
+    });
+    group.bench_function("live_pairs", |b| {
+        b.iter(|| predicates::live_pairs(&table));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_selection, bench_individual_predicates);
+criterion_main!(benches);

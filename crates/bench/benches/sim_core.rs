@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the simulator substrate and wire
+//! accounting: event throughput and message size computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lucky_sim::{Automaton, Effects, NetworkModel, World};
+use lucky_types::{
+    FrozenSlot, Message, Op, ProcessId, PwMsg, ReadAckMsg, ReadSeq, Seq, ServerId, TsVal, Value,
+};
+
+/// Ping-pong pair used to measure raw event-loop throughput: Pong echoes
+/// every message, Ping decrements until zero.
+struct Pong;
+impl Automaton<u64> for Pong {
+    fn on_message(&mut self, from: ProcessId, msg: u64, eff: &mut Effects<u64>) {
+        eff.send(from, msg);
+    }
+}
+
+struct Ping {
+    peer: ProcessId,
+}
+impl Automaton<u64> for Ping {
+    fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u64>) {
+        eff.send(self.peer, 10_000);
+    }
+    fn on_message(&mut self, from: ProcessId, msg: u64, eff: &mut Effects<u64>) {
+        if msg > 0 {
+            eff.send(from, msg - 1);
+        } else {
+            eff.complete(None, 1, true);
+        }
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    c.bench_function("sim/ping_pong_10k_events", |b| {
+        b.iter(|| {
+            let mut w: World<u64> = World::new(NetworkModel::constant(10), 1);
+            let server = ProcessId::Server(ServerId(0));
+            w.add_process(server, Box::new(Pong));
+            w.add_process(ProcessId::Writer, Box::new(Ping { peer: server }));
+            let op = w.invoke(ProcessId::Writer, Op::Read);
+            w.run_until_complete(op).expect("ping-pong completes");
+            w.steps()
+        });
+    });
+}
+
+fn bench_wire_size(c: &mut Criterion) {
+    let pw = Message::Pw(PwMsg {
+        ts: Seq(42),
+        pw: TsVal::new(Seq(42), Value::from_u64(42)),
+        w: TsVal::new(Seq(41), Value::from_u64(41)),
+        frozen: vec![],
+    });
+    let ack = Message::ReadAck(ReadAckMsg {
+        tsr: ReadSeq(7),
+        rnd: 2,
+        pw: TsVal::new(Seq(42), Value::from_u64(42)),
+        w: TsVal::new(Seq(41), Value::from_u64(41)),
+        vw: Some(TsVal::new(Seq(40), Value::from_u64(40))),
+        frozen: FrozenSlot::initial(),
+    });
+    c.bench_function("wire/pw_size", |b| b.iter(|| pw.wire_size()));
+    c.bench_function("wire/read_ack_size", |b| b.iter(|| ack.wire_size()));
+}
+
+criterion_group!(benches, bench_event_loop, bench_wire_size);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! **T10** — small-scope model checking: exhaustive schedule exploration
+//! of tiny scenarios (every delivery order, timer firing and message loss
+//! the §2.1 model permits), plus randomized schedule walks on both sides
+//! of the `fw + fr ≤ t − b` bound.
+//!
+//! Complements T2: there the violating schedule is hand-scripted from the
+//! proof; here the machine *finds* it (beyond the bound) and certifies
+//! its absence across every schedule of the in-bound scenarios.
+
+use lucky_bench::print_table;
+use lucky_core::ProtocolConfig;
+use lucky_explore::{explore, random_walks, ByzKind, ExploreConfig, Scenario};
+use lucky_types::{Params, ProcessId, ReaderId, Seq, TsVal, Value};
+
+fn main() {
+    println!("# T10 — exhaustive schedule exploration (small-scope model checking)");
+
+    let mut rows = Vec::new();
+    let cfg = ExploreConfig { max_states: 600_000, max_depth: 120 };
+
+    let scenarios: Vec<(&str, Scenario)> = vec![
+        (
+            "S=3 crash-only: 1 write",
+            Scenario::new(Params::new(1, 0, 1, 0).unwrap()).write(Value::from_u64(1)),
+        ),
+        (
+            "S=3 crash-only: write ∥ read",
+            Scenario::new(Params::new(1, 0, 1, 0).unwrap())
+                .write(Value::from_u64(1))
+                .reads(0, 1),
+        ),
+        (
+            "S=3 crash-only: write ∥ read, 1 crashed",
+            Scenario::new(Params::new(1, 0, 1, 0).unwrap())
+                .write(Value::from_u64(1))
+                .reads(0, 1)
+                .crashed(0),
+        ),
+        (
+            "S=3 crash-only: write ∥ 2 seq. reads, 1 crashed",
+            Scenario::new(Params::new(1, 0, 1, 0).unwrap())
+                .write(Value::from_u64(1))
+                .reads(0, 2)
+                .crashed(2),
+        ),
+        (
+            "S=4 b=1: write ∥ read, forging server",
+            Scenario::new(Params::new(1, 1, 0, 0).unwrap())
+                .write(Value::from_u64(1))
+                .reads(0, 1)
+                .byzantine(0, ByzKind::ForgeValue(TsVal::new(Seq(9), Value::from_u64(99)))),
+        ),
+        (
+            "S=4 b=1: write ∥ read, stale-echo server",
+            Scenario::new(Params::new(1, 1, 0, 0).unwrap())
+                .write(Value::from_u64(1))
+                .reads(0, 1)
+                .byzantine(2, ByzKind::StaleEcho),
+        ),
+        (
+            "S=4 b=1: read only, forged-state server (σ1)",
+            Scenario::new(Params::new(1, 1, 0, 0).unwrap())
+                .reads(0, 1)
+                .reads(1, 1)
+                .byzantine(3, ByzKind::ForgeState(TsVal::new(Seq(1), Value::from_u64(1)))),
+        ),
+    ];
+    for (label, scenario) in &scenarios {
+        let report = explore(scenario, &cfg);
+        rows.push(vec![
+            label.to_string(),
+            report.states.to_string(),
+            report.transitions.to_string(),
+            if report.truncated { "bounded".into() } else { "exhaustive".into() },
+            if report.violations.is_empty() { "atomic ✓".into() } else { "VIOLATION".into() },
+        ]);
+    }
+    print_table(
+        "exhaustive exploration, paper thresholds (no violation exists)",
+        &["scenario", "states", "transitions", "coverage", "verdict"],
+        &rows,
+    );
+
+    // Randomized walks across the bound.
+    let mut rows = Vec::new();
+    for (label, fw, naive) in [
+        ("paper thresholds (fw=0, within bound)", 0usize, false),
+        ("naive thresholds (fw=1 > t−b, beyond bound)", 1usize, true),
+    ] {
+        let params = Params::new_unchecked(1, 1, fw, 0);
+        let protocol = ProtocolConfig {
+            fastpw_override: naive.then(|| params.naive_fastpw_threshold()),
+            ..ProtocolConfig::default()
+        };
+        let scenario = Scenario::new(params)
+            .with_protocol(protocol)
+            .write(Value::from_u64(1))
+            .reads(0, 1)
+            .reads(1, 1)
+            .byzantine(
+                1,
+                ByzKind::SplitBrain(vec![ProcessId::Writer, ProcessId::Reader(ReaderId(0))]),
+            );
+        let report = random_walks(&scenario, 50_000, 200, 7);
+        rows.push(vec![
+            label.to_string(),
+            report.states.to_string(),
+            if report.violations.is_empty() {
+                "none".into()
+            } else {
+                format!("found ({:?})", report.violations[0].violations[0])
+            },
+        ]);
+    }
+    print_table(
+        "random schedule walks, S=4 (t=1, b=1), split-brain server, write ∥ 2 reads",
+        &["configuration", "walks", "violation"],
+        &rows,
+    );
+    println!(
+        "\nReading guide: with the paper's thresholds no schedule in any scenario \
+         violates atomicity — exhaustively for the small scopes, across 50k random \
+         schedules for the larger one. With the naive beyond-bound thresholds the \
+         walker finds a Fig. 4-style counterexample on its own, typically within a \
+         few hundred schedules."
+    );
+}

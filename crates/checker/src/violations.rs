@@ -1,0 +1,149 @@
+//! Violation descriptions.
+
+use lucky_types::{OpId, Value};
+use std::fmt;
+
+/// One way a history can violate atomicity, regularity or safeness.
+///
+/// Each variant names the paper condition it corresponds to (§2.2 for
+/// atomicity; Appendix D for regularity; Appendix B for safeness).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// Condition (1), *no creation*: a READ returned a value that was
+    /// never written and is not `⊥`.
+    PhantomValue {
+        /// The offending READ.
+        read: OpId,
+        /// The value it returned.
+        value: Value,
+    },
+    /// Condition (2): a READ succeeding `wr_k` returned `val_l` with
+    /// `l < k`.
+    StaleRead {
+        /// The offending READ.
+        read: OpId,
+        /// Index of the value it returned (0 = `⊥`).
+        returned_index: u64,
+        /// The lowest index atomicity allows it to return.
+        min_index: u64,
+    },
+    /// Condition (3): a READ returned the value of a WRITE it precedes.
+    FutureRead {
+        /// The offending READ.
+        read: OpId,
+        /// The WRITE whose value it returned.
+        write: OpId,
+    },
+    /// Condition (4): a READ succeeding another READ returned an older
+    /// value (new/old inversion).
+    NewOldInversion {
+        /// The earlier READ.
+        first: OpId,
+        /// Index it returned.
+        first_index: u64,
+        /// The later READ.
+        second: OpId,
+        /// Index it returned (`< first_index`).
+        second_index: u64,
+    },
+    /// A complete READ carries no result — a harness/protocol bug, flagged
+    /// so it cannot masquerade as a passing run.
+    ReadWithoutValue {
+        /// The offending READ.
+        read: OpId,
+    },
+    /// Two WRITEs wrote the same value: the value→index mapping the
+    /// checker relies on is ambiguous. Use distinct values per write.
+    DuplicateWrite {
+        /// The second WRITE of the duplicated value.
+        write: OpId,
+        /// The duplicated value.
+        value: Value,
+    },
+    /// A WRITE wrote `⊥`, which §2.2 excludes as an input.
+    BotWritten {
+        /// The offending WRITE.
+        write: OpId,
+    },
+}
+
+impl Violation {
+    /// The operation this violation blames (the read for read-side
+    /// violations, the write otherwise).
+    pub fn op(&self) -> Option<OpId> {
+        match self {
+            Violation::PhantomValue { read, .. }
+            | Violation::StaleRead { read, .. }
+            | Violation::FutureRead { read, .. }
+            | Violation::ReadWithoutValue { read } => Some(*read),
+            Violation::NewOldInversion { second, .. } => Some(*second),
+            Violation::DuplicateWrite { write, .. } | Violation::BotWritten { write } => {
+                Some(*write)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::PhantomValue { read, value } => {
+                write!(f, "{read} returned {value}, which was never written (condition 1)")
+            }
+            Violation::StaleRead { read, returned_index, min_index } => write!(
+                f,
+                "{read} returned the value of write #{returned_index} but a write \
+                 #{min_index} already completed before it (condition 2)"
+            ),
+            Violation::FutureRead { read, write } => {
+                write!(f, "{read} returned the value of {write}, which it precedes (condition 3)")
+            }
+            Violation::NewOldInversion { first, first_index, second, second_index } => write!(
+                f,
+                "{second} returned write #{second_index} although the earlier {first} \
+                 already returned write #{first_index} (condition 4)"
+            ),
+            Violation::ReadWithoutValue { read } => {
+                write!(f, "{read} completed without a result value")
+            }
+            Violation::DuplicateWrite { write, value } => {
+                write!(f, "{write} re-wrote value {value}; the checker needs distinct values")
+            }
+            Violation::BotWritten { write } => {
+                write!(f, "{write} wrote ⊥, which is not a valid input (§2.2)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blamed_ops() {
+        assert_eq!(
+            Violation::PhantomValue { read: OpId(3), value: Value::from_u64(1) }.op(),
+            Some(OpId(3))
+        );
+        assert_eq!(
+            Violation::NewOldInversion {
+                first: OpId(1),
+                first_index: 2,
+                second: OpId(2),
+                second_index: 1
+            }
+            .op(),
+            Some(OpId(2))
+        );
+        assert_eq!(Violation::BotWritten { write: OpId(0) }.op(), Some(OpId(0)));
+    }
+
+    #[test]
+    fn display_names_the_condition() {
+        let v = Violation::StaleRead { read: OpId(2), returned_index: 1, min_index: 2 };
+        assert!(v.to_string().contains("condition 2"));
+        let v = Violation::FutureRead { read: OpId(2), write: OpId(1) };
+        assert!(v.to_string().contains("condition 3"));
+    }
+}

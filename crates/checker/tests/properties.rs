@@ -1,0 +1,147 @@
+//! Property-based tests for the checkers: histories generated from a
+//! sequential register specification always pass; random corruptions of
+//! such histories are caught in the ways the conditions prescribe.
+
+use lucky_checker::{check_atomicity, check_regularity, check_safeness, Violation};
+use lucky_types::{History, Op, OpId, OpRecord, ProcessId, ReaderId, Time, Value};
+use proptest::prelude::*;
+
+/// Build a well-formed history by simulating a sequential register with
+/// (possibly overlapping) reads that return the freshest value allowed.
+///
+/// `script` entries: (is_write, overlap) — `overlap` shifts the
+/// invocation back into the previous operation's window, creating
+/// concurrency without ever violating atomicity.
+fn legal_history(script: &[(bool, bool)]) -> History {
+    let mut ops: Vec<OpRecord> = Vec::new();
+    let mut now = 0u64;
+    let mut current = Value::Bot; // last completed write's value
+    let mut write_no = 0u64;
+    let mut reader_toggle = 0u16;
+    for &(is_write, overlap) in script {
+        let invoked_at = if overlap && now >= 5 { now - 5 } else { now };
+        now += 10;
+        let completed_at = now;
+        if is_write {
+            write_no += 1;
+            let v = Value::from_u64(write_no);
+            ops.push(OpRecord {
+                id: OpId(ops.len() as u64),
+                client: ProcessId::Writer,
+                op: Op::Write(v.clone()),
+                invoked_at: Time(invoked_at),
+                completed_at: Some(Time(completed_at)),
+                result: None,
+                rounds: 1,
+                fast: true,
+                msgs: 0,
+                bytes: 0,
+            });
+            current = v;
+        } else {
+            reader_toggle = (reader_toggle + 1) % 2;
+            ops.push(OpRecord {
+                id: OpId(ops.len() as u64),
+                client: ProcessId::Reader(ReaderId(reader_toggle)),
+                op: Op::Read,
+                invoked_at: Time(invoked_at),
+                completed_at: Some(Time(completed_at)),
+                result: Some(current.clone()),
+                rounds: 1,
+                fast: true,
+                msgs: 0,
+                bytes: 0,
+            });
+        }
+        now += 2;
+    }
+    History { ops }
+}
+
+proptest! {
+    /// Sequential-register histories satisfy all three semantics.
+    #[test]
+    fn legal_histories_always_pass(
+        script in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..30)
+    ) {
+        let h = legal_history(&script);
+        prop_assert!(check_atomicity(&h).is_ok(), "{:?}", check_atomicity(&h));
+        prop_assert!(check_regularity(&h).is_ok());
+        prop_assert!(check_safeness(&h).is_ok());
+    }
+
+    /// Replacing any read's result with a never-written value is always
+    /// caught as a phantom (condition 1) by all three checkers.
+    #[test]
+    fn phantom_corruption_is_always_caught(
+        script in proptest::collection::vec((any::<bool>(), any::<bool>()), 2..20),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut h = legal_history(&script);
+        let reads: Vec<usize> = h
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.op.is_write())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!reads.is_empty());
+        let idx = reads[pick.index(reads.len())];
+        h.ops[idx].result = Some(Value::from_u64(999_999));
+        for result in [check_atomicity(&h), check_regularity(&h), check_safeness(&h)] {
+            let v = result.expect_err("phantom must be caught");
+            let found = v.iter().any(|x| matches!(x, Violation::PhantomValue { .. }));
+            prop_assert!(found, "expected a phantom among {v:?}");
+        }
+    }
+
+    /// Regressing a read that follows a later write is caught as a stale
+    /// read (condition 2).
+    #[test]
+    fn stale_corruption_is_caught(
+        script in proptest::collection::vec((any::<bool>(), Just(false)), 3..20),
+    ) {
+        let h = legal_history(&script);
+        // Find a read that strictly follows at least two writes.
+        let mut seen_writes = Vec::new();
+        let mut target: Option<(usize, Value)> = None;
+        for (i, op) in h.ops.iter().enumerate() {
+            match &op.op {
+                Op::Write(v) => seen_writes.push(v.clone()),
+                Op::Read if seen_writes.len() >= 2 => {
+                    target = Some((i, seen_writes[0].clone()));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        prop_assume!(target.is_some());
+        let (idx, old_value) = target.expect("checked above");
+        let mut h = h;
+        h.ops[idx].result = Some(old_value);
+        let v = check_atomicity(&h).expect_err("stale read must be caught");
+        let found = v.iter().any(|x| matches!(
+            x,
+            Violation::StaleRead { .. } | Violation::NewOldInversion { .. }
+        ));
+        prop_assert!(found, "expected a stale read among {v:?}");
+    }
+
+    /// Checkers are pure functions of the history: idempotent, and
+    /// insensitive to where *reads* sit in the ops vector (only the
+    /// writes' relative storage order carries meaning — it defines the
+    /// write indices).
+    #[test]
+    fn checkers_are_deterministic_and_read_position_insensitive(
+        script in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..15),
+    ) {
+        let h = legal_history(&script);
+        prop_assert_eq!(check_atomicity(&h).is_ok(), check_atomicity(&h).is_ok());
+        // Move all reads to the front of the vector, keeping write order.
+        let mut rebuilt: Vec<OpRecord> =
+            h.ops.iter().filter(|o| !o.op.is_write()).cloned().collect();
+        rebuilt.extend(h.ops.iter().filter(|o| o.op.is_write()).cloned());
+        let h2 = History { ops: rebuilt };
+        prop_assert_eq!(check_atomicity(&h).is_ok(), check_atomicity(&h2).is_ok());
+    }
+}

@@ -1,0 +1,28 @@
+//! The main algorithm (§3 of the paper, Figs 1–3).
+//!
+//! An optimally-resilient (`S = 2t + b + 1`) wait-free SWMR **atomic**
+//! storage in which, for any split `fw + fr = t − b`:
+//!
+//! * every *lucky* WRITE (synchronous; in the SWMR setting every
+//!   synchronous WRITE is contention-free) completes in **one** round-trip
+//!   whenever at most `fw` servers have failed (Theorem 3);
+//! * every *lucky* READ (synchronous and contention-free) completes in
+//!   **one** round-trip whenever at most `fr` servers have failed
+//!   (Theorem 4).
+//!
+//! Under contention, asynchrony or excess failures the operations fall
+//! back to slow paths that preserve atomicity (Theorem 1) and
+//! wait-freedom (Theorem 2): a slow WRITE adds a two-round W phase; a slow
+//! READ iterates rounds until its candidate set is non-empty, then writes
+//! the chosen value back in three rounds. The *freezing* hand-shake between
+//! readers (round ≥ 2 READ messages), servers (`newread` piggybacking) and
+//! the writer (`freezevalues()`) guarantees that a READ concurrent with an
+//! unbounded stream of WRITEs still terminates.
+
+mod reader;
+mod server;
+mod writer;
+
+pub use reader::AtomicReader;
+pub use server::AtomicServer;
+pub use writer::AtomicWriter;

@@ -1,0 +1,482 @@
+//! The reader automaton (Fig. 2).
+
+use crate::config::ProtocolConfig;
+use crate::predicates::{self, Thresholds};
+use crate::view::{update_view, ViewTable};
+use lucky_sim::{Effects, TimerId};
+use lucky_types::{
+    Message, Params, ProcessId, ReadMsg, ReadSeq, ReaderId, ServerId, Tag, TsVal, WriteMsg,
+};
+use std::collections::BTreeSet;
+
+/// Progress of the READ in flight.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum ReaderState {
+    /// No operation in progress.
+    Idle,
+    /// Iterating READ rounds (Fig. 2 lines 14–19).
+    Reading {
+        rnd: u32,
+        round_acks: BTreeSet<ServerId>,
+        views: ViewTable,
+        timer_expired: bool,
+    },
+    /// Writing the selected value back (lines 26–28). `read_rounds`
+    /// remembers how many READ rounds preceded the write-back.
+    WritingBack { round: u8, c: TsVal, acks: BTreeSet<ServerId>, read_rounds: u32 },
+    /// The configured round cap was hit: the READ is parked and will never
+    /// complete (used to keep starvation experiments finite).
+    Capped,
+}
+
+/// A reader `r_j` of the atomic algorithm.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AtomicReader {
+    id: ReaderId,
+    params: Params,
+    cfg: ProtocolConfig,
+    thresholds: Thresholds,
+    tsr: ReadSeq,
+    state: ReaderState,
+}
+
+impl AtomicReader {
+    /// A fresh reader with identity `id`.
+    pub fn new(id: ReaderId, params: Params, cfg: ProtocolConfig) -> AtomicReader {
+        let mut thresholds = Thresholds::from(params);
+        if let Some(fastpw) = cfg.fastpw_override {
+            thresholds.fastpw = fastpw;
+        }
+        AtomicReader {
+            id,
+            params,
+            cfg,
+            thresholds,
+            tsr: ReadSeq::INITIAL,
+            state: ReaderState::Idle,
+        }
+    }
+
+    /// This reader's identity.
+    pub fn id(&self) -> ReaderId {
+        self.id
+    }
+
+    /// The timestamp of the last invoked READ.
+    pub fn tsr(&self) -> ReadSeq {
+        self.tsr
+    }
+
+    /// `true` iff no READ is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.state == ReaderState::Idle
+    }
+
+    /// `true` iff the READ hit the configured round cap and was parked.
+    pub fn is_capped(&self) -> bool {
+        self.state == ReaderState::Capped
+    }
+
+    /// The current round number, if a READ is iterating rounds.
+    pub fn current_round(&self) -> Option<u32> {
+        match &self.state {
+            ReaderState::Reading { rnd, .. } => Some(*rnd),
+            _ => None,
+        }
+    }
+
+    /// Invoke `READ()` (Fig. 2 lines 12–16): bump `tsr`, reset the view
+    /// table, start the round-1 timer and send `READ⟨tsr, 1⟩` to all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a READ is already in progress.
+    pub fn invoke_read(&mut self, eff: &mut Effects<Message>) {
+        assert!(self.is_idle(), "READ invoked while another READ is in progress");
+        self.tsr = self.tsr.next();
+        self.state = ReaderState::Reading {
+            rnd: 1,
+            round_acks: BTreeSet::new(),
+            views: ViewTable::new(),
+            timer_expired: false,
+        };
+        eff.set_timer(TimerId(self.tsr.0), self.cfg.timer_micros);
+        eff.broadcast(self.servers(), Message::Read(ReadMsg { tsr: self.tsr, rnd: 1 }));
+    }
+
+    /// Deliver a server message.
+    pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let Some(server) = from.as_server() else {
+            return;
+        };
+        match msg {
+            Message::ReadAck(ack) if ack.tsr == self.tsr => {
+                if let ReaderState::Reading { rnd, round_acks, views, .. } = &mut self.state {
+                    // Lines 23–25: keep the latest view per server.
+                    update_view(views, server, &ack);
+                    // Line 17 counts acks of the *current* round.
+                    if ack.rnd == *rnd {
+                        round_acks.insert(server);
+                    }
+                } else {
+                    return;
+                }
+                self.try_finish_round(eff);
+            }
+            Message::WriteAck(ack) if ack.tag == Tag::WriteBack(self.tsr) => {
+                let quorum = self.params.quorum();
+                let finished_round = match &mut self.state {
+                    ReaderState::WritingBack { round, acks, .. } if ack.round == *round => {
+                        acks.insert(server);
+                        (acks.len() >= quorum).then_some(*round)
+                    }
+                    _ => None,
+                };
+                match finished_round {
+                    Some(r) if r < 3 => self.start_writeback_round(r + 1, eff),
+                    Some(_) => {
+                        let ReaderState::WritingBack { c, read_rounds, .. } =
+                            std::mem::replace(&mut self.state, ReaderState::Idle)
+                        else {
+                            unreachable!("matched WritingBack above");
+                        };
+                        // Line 22: return csel.val (slow READ: rounds of
+                        // reading plus three write-back rounds).
+                        eff.complete(Some(c.val), read_rounds + 3, false);
+                    }
+                    None => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The round-1 timer fired.
+    pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+        if id != TimerId(self.tsr.0) {
+            return; // stale timer from a previous READ
+        }
+        if let ReaderState::Reading { timer_expired, .. } = &mut self.state {
+            *timer_expired = true;
+            self.try_finish_round(eff);
+        }
+    }
+
+    /// Fig. 2 lines 17–22: once `S − t` acks of the current round arrived
+    /// (and, in round 1, the timer expired), evaluate the candidate set.
+    fn try_finish_round(&mut self, eff: &mut Effects<Message>) {
+        let ReaderState::Reading { rnd, round_acks, views, timer_expired } = &self.state
+        else {
+            return;
+        };
+        if round_acks.len() < self.params.quorum() || (*rnd == 1 && !*timer_expired) {
+            return;
+        }
+        let rnd = *rnd;
+        match predicates::select(views, self.tsr, &self.thresholds) {
+            Some(c) => {
+                // Line 21: skip the write-back iff the READ is in round 1
+                // and fast(c) holds.
+                let is_fast =
+                    rnd == 1 && self.cfg.fast_reads && predicates::fast(views, &c, &self.thresholds);
+                if is_fast {
+                    self.state = ReaderState::Idle;
+                    eff.complete(Some(c.val), 1, true);
+                } else {
+                    self.state = ReaderState::WritingBack {
+                        round: 0, // set by start_writeback_round
+                        c,
+                        acks: BTreeSet::new(),
+                        read_rounds: rnd,
+                    };
+                    self.start_writeback_round(1, eff);
+                }
+            }
+            None => {
+                // No candidate yet: next round.
+                if let Some(cap) = self.cfg.max_read_rounds {
+                    if rnd + 1 > cap {
+                        self.state = ReaderState::Capped;
+                        return;
+                    }
+                }
+                let next = rnd + 1;
+                if let ReaderState::Reading { rnd, round_acks, .. } = &mut self.state {
+                    *rnd = next;
+                    round_acks.clear();
+                }
+                eff.broadcast(
+                    self.servers(),
+                    Message::Read(ReadMsg { tsr: self.tsr, rnd: next }),
+                );
+            }
+        }
+    }
+
+    fn start_writeback_round(&mut self, round: u8, eff: &mut Effects<Message>) {
+        let ReaderState::WritingBack { round: r, c, acks, .. } = &mut self.state else {
+            unreachable!("write-back round outside WritingBack state");
+        };
+        *r = round;
+        acks.clear();
+        let msg = Message::Write(WriteMsg {
+            round,
+            tag: Tag::WriteBack(self.tsr),
+            c: c.clone(),
+            frozen: vec![],
+        });
+        eff.broadcast(self.servers(), msg);
+    }
+
+    fn servers(&self) -> impl Iterator<Item = ProcessId> {
+        ServerId::all(self.params.server_count()).map(ProcessId::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{FrozenSlot, ReadAckMsg, Seq, Value, WriteAckMsg};
+
+    /// t = 2, b = 1, fw = 1, fr = 0 → S = 6, quorum 4, fastpw 5, safe 2.
+    fn reader() -> AtomicReader {
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        AtomicReader::new(ReaderId(0), params, ProtocolConfig::for_sync_bound(100))
+    }
+
+    fn pair(ts: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(ts))
+    }
+
+    fn server(i: u16) -> ProcessId {
+        ProcessId::Server(ServerId(i))
+    }
+
+    fn read_ack(tsr: u64, rnd: u32, pw: TsVal, w: TsVal, vw: TsVal) -> Message {
+        Message::ReadAck(ReadAckMsg {
+            tsr: ReadSeq(tsr),
+            rnd,
+            pw,
+            w,
+            vw: Some(vw),
+            frozen: FrozenSlot::initial(),
+        })
+    }
+
+    fn wb_ack(round: u8, tsr: u64) -> Message {
+        Message::WriteAck(WriteAckMsg { round, tag: Tag::WriteBack(ReadSeq(tsr)) })
+    }
+
+    fn invoke(r: &mut AtomicReader) -> Effects<Message> {
+        let mut eff = Effects::new();
+        r.invoke_read(&mut eff);
+        eff
+    }
+
+    #[test]
+    fn invoke_broadcasts_round_one_and_sets_timer() {
+        let mut r = reader();
+        let (sends, timers, _) = invoke(&mut r).into_parts();
+        assert_eq!(sends.len(), 6);
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 1 && rm.tsr == ReadSeq(1))));
+        assert_eq!(timers, vec![(TimerId(1), 201)]);
+        assert_eq!(r.current_round(), Some(1));
+    }
+
+    #[test]
+    fn fast_read_completes_in_one_round_when_fastpw_holds() {
+        let mut r = reader();
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        // 5 servers (= fastpw threshold) report ⟨1, v1⟩ in pw.
+        for i in 0..5 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1), TsVal::initial()), &mut eff);
+        }
+        // Quorum reached but the round-1 timer is pending: no decision.
+        assert!(eff.is_empty());
+        let mut eff = Effects::new();
+        r.on_timer(TimerId(1), &mut eff);
+        let (sends, _, completion) = eff.into_parts();
+        assert!(sends.is_empty(), "fast read leaves nothing behind");
+        let c = completion.expect("fast completion");
+        assert_eq!((c.rounds, c.fast), (1, true));
+        assert_eq!(c.value.unwrap().as_u64(), Some(1));
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn fast_read_via_fastvw_after_slow_write() {
+        let mut r = reader();
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        r.on_timer(TimerId(1), &mut eff);
+        // b + 1 = 2 servers saw the third W round (vw = ⟨1⟩); the other two
+        // quorum members lag with older registers but still vouch via pw/w.
+        r.on_message(server(0), read_ack(1, 1, pair(1), pair(1), pair(1)), &mut eff);
+        r.on_message(server(1), read_ack(1, 1, pair(1), pair(1), pair(1)), &mut eff);
+        r.on_message(server(2), read_ack(1, 1, pair(1), pair(1), TsVal::initial()), &mut eff);
+        let mut eff = Effects::new();
+        r.on_message(server(3), read_ack(1, 1, pair(1), pair(1), TsVal::initial()), &mut eff);
+        let (_, _, completion) = eff.into_parts();
+        let c = completion.expect("fastvw completion");
+        assert_eq!((c.rounds, c.fast), (1, true));
+        assert_eq!(c.value.unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn slow_read_writes_back_in_three_rounds() {
+        let mut r = reader();
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        r.on_timer(TimerId(1), &mut eff);
+        // Quorum agrees on ⟨1⟩ but only 4 < 5 pw copies and no vw: not fast.
+        for i in 0..4 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1), TsVal::initial()), &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        // Write-back round 1 broadcast.
+        assert_eq!(sends.len(), 6);
+        assert!(sends.iter().all(
+            |(_, m)| matches!(m, Message::Write(wm) if wm.round == 1 && wm.c == pair(1))
+        ));
+        // Three write-back rounds, then completion with rounds = 1 + 3.
+        for round in 1..=3u8 {
+            let mut eff = Effects::new();
+            for i in 0..4 {
+                r.on_message(server(i), wb_ack(round, 1), &mut eff);
+            }
+            let (sends, _, completion) = eff.into_parts();
+            if round < 3 {
+                assert!(completion.is_none());
+                assert_eq!(sends.len(), 6, "next write-back round broadcast");
+            } else {
+                let c = completion.expect("slow completion");
+                assert_eq!((c.rounds, c.fast), (4, false));
+                assert_eq!(c.value.unwrap().as_u64(), Some(1));
+            }
+        }
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn contention_forces_second_round() {
+        let mut r = reader();
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        r.on_timer(TimerId(1), &mut eff);
+        // A write of ⟨2⟩ is in flight: one server already holds it in both
+        // pw and w (so it reports nothing older), three lag at ⟨1⟩. Then:
+        // safe(⟨2⟩) fails (1 < b+1 vouchers), and highCand(⟨1⟩) fails too,
+        // because invalidw(⟨2⟩) counts only the 3 laggards (< S−t = 4).
+        // C is empty and the reader must start round 2.
+        for i in 0..3 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1), TsVal::initial()), &mut eff);
+        }
+        r.on_message(server(3), read_ack(1, 1, pair(2), pair(2), TsVal::initial()), &mut eff);
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        // Round 2 broadcast.
+        assert_eq!(sends.len(), 6);
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
+        assert_eq!(r.current_round(), Some(2));
+        // Round 2: the write completed meanwhile; all six servers now
+        // vouch for ⟨2⟩ — but round 2 is never fast, so a write-back runs.
+        let mut eff = Effects::new();
+        for i in 0..4 {
+            r.on_message(server(i), read_ack(1, 2, pair(2), pair(2), pair(2)), &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
+        for round in 1..=3u8 {
+            let mut eff = Effects::new();
+            for i in 0..4 {
+                r.on_message(server(i), wb_ack(round, 1), &mut eff);
+            }
+            if round == 3 {
+                let (_, _, completion) = eff.into_parts();
+                let c = completion.expect("completion after round-2 read");
+                assert_eq!((c.rounds, c.fast), (5, false));
+                assert_eq!(c.value.unwrap().as_u64(), Some(2));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_acks_from_previous_read_are_ignored() {
+        let mut r = reader();
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        // Acks arrive before the timer (the synchronous pattern): the
+        // evaluation at timer expiry sees all five pw copies → fast.
+        for i in 0..5 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1), TsVal::initial()), &mut eff);
+        }
+        r.on_timer(TimerId(1), &mut eff);
+        assert!(r.is_idle());
+        // Second READ: acks carrying the old tsr = 1 must not count.
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        for i in 0..5 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1), TsVal::initial()), &mut eff);
+        }
+        r.on_timer(TimerId(2), &mut eff);
+        assert!(!r.is_idle(), "old-tsr acks must not complete the new READ");
+        assert_eq!(r.current_round(), Some(1));
+    }
+
+    #[test]
+    fn round_cap_parks_the_read() {
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let mut cfg = ProtocolConfig::for_sync_bound(100);
+        cfg.max_read_rounds = Some(1);
+        let mut r = AtomicReader::new(ReaderId(0), params, cfg);
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        r.on_timer(TimerId(1), &mut eff);
+        // Divided views: each server reports a distinct pre-written pair,
+        // so no pair is safe and ⟨1⟩'s highCand is blocked by ⟨4⟩/⟨5⟩
+        // (fewer than S−b−t = 3 older pw responses) → C empty → cap hit.
+        for (i, ts) in [(0u16, 2u64), (1, 3), (2, 4), (3, 5)] {
+            r.on_message(
+                server(i),
+                read_ack(1, 1, pair(ts), pair(1), TsVal::initial()),
+                &mut eff,
+            );
+        }
+        assert!(r.is_capped());
+    }
+
+    #[test]
+    fn fast_reads_disabled_forces_writeback() {
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let mut r =
+            AtomicReader::new(ReaderId(0), params, ProtocolConfig::slow_only(100));
+        invoke(&mut r);
+        let mut eff = Effects::new();
+        r.on_timer(TimerId(1), &mut eff);
+        for i in 0..6 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1), pair(1)), &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none(), "fast path disabled: must write back");
+        assert!(sends
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in progress")]
+    fn concurrent_reads_rejected() {
+        let mut r = reader();
+        invoke(&mut r);
+        invoke(&mut r);
+    }
+}

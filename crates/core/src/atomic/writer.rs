@@ -1,0 +1,440 @@
+//! The writer automaton (Fig. 1).
+
+use crate::config::ProtocolConfig;
+use lucky_sim::{Effects, TimerId};
+use lucky_types::{
+    FrozenUpdate, Message, NewRead, Params, ProcessId, PwMsg, ReadSeq, ReaderId, Seq, ServerId,
+    Tag, TsVal, Value, WriteMsg,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Progress of the WRITE in flight.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum WriterState {
+    /// No operation in progress.
+    Idle,
+    /// Pre-write phase: waiting for `S − t` acks **and** the timer
+    /// (Fig. 1 line 5).
+    Pw { acks: BTreeMap<ServerId, Vec<NewRead>>, timer_expired: bool },
+    /// W phase, `round ∈ {2, 3}`: waiting for `S − t` acks (line 11).
+    W { round: u8, acks: BTreeSet<ServerId> },
+}
+
+/// The single writer `w` of the atomic algorithm.
+///
+/// Persistent state (Fig. 1 lines 1–2): the timestamp counter `ts`, the
+/// last pre-written and written pairs `pw`/`w`, the per-reader freeze
+/// watermark `read_ts[*]`, and the `frozen` set computed by the last
+/// `freezevalues()` — shipped to the servers inside the *next* WRITE's PW
+/// message.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AtomicWriter {
+    params: Params,
+    cfg: ProtocolConfig,
+    ts: Seq,
+    pw: TsVal,
+    w: TsVal,
+    read_ts: BTreeMap<ReaderId, ReadSeq>,
+    frozen: Vec<FrozenUpdate>,
+    state: WriterState,
+}
+
+impl AtomicWriter {
+    /// A fresh writer for a cluster with the given parameters.
+    pub fn new(params: Params, cfg: ProtocolConfig) -> AtomicWriter {
+        AtomicWriter {
+            params,
+            cfg,
+            ts: Seq::INITIAL,
+            pw: TsVal::initial(),
+            w: TsVal::initial(),
+            read_ts: BTreeMap::new(),
+            frozen: Vec::new(),
+            state: WriterState::Idle,
+        }
+    }
+
+    /// The timestamp of the last invoked WRITE.
+    pub fn ts(&self) -> Seq {
+        self.ts
+    }
+
+    /// `true` iff no WRITE is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.state == WriterState::Idle
+    }
+
+    /// The freeze watermark for `reader` (`read_ts[r_j]`).
+    pub fn read_ts_for(&self, reader: ReaderId) -> ReadSeq {
+        self.read_ts.get(&reader).copied().unwrap_or(ReadSeq::INITIAL)
+    }
+
+    /// Invoke `WRITE(v)` (Fig. 1 lines 3–4): bump the timestamp, start the
+    /// PW-phase timer, and send `PW⟨ts, pw, w, frozen⟩` to all servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a WRITE is already in progress (clients invoke one
+    /// operation at a time, §2.2) or if `v` is `⊥` (not a valid input).
+    pub fn invoke_write(&mut self, v: Value, eff: &mut Effects<Message>) {
+        assert!(self.is_idle(), "WRITE invoked while another WRITE is in progress");
+        assert!(!v.is_bot(), "⊥ is not a valid WRITE input (§2.2)");
+        self.ts = self.ts.next();
+        self.pw = TsVal::new(self.ts, v);
+        eff.set_timer(TimerId(self.ts.0), self.cfg.timer_micros);
+        let msg = Message::Pw(PwMsg {
+            ts: self.ts,
+            pw: self.pw.clone(),
+            w: self.w.clone(),
+            frozen: self.frozen.clone(),
+        });
+        eff.broadcast(self.servers(), msg);
+        self.state = WriterState::Pw { acks: BTreeMap::new(), timer_expired: false };
+    }
+
+    /// Deliver a server message.
+    pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let Some(server) = from.as_server() else {
+            return;
+        };
+        match msg {
+            // Valid PW ack: same timestamp (§3.4 "valid response").
+            Message::PwAck(ack) if ack.ts == self.ts => {
+                if let WriterState::Pw { acks, .. } = &mut self.state {
+                    acks.insert(server, ack.newread);
+                } else {
+                    return;
+                }
+                self.try_finish_pw(eff);
+            }
+            // Valid W ack: same round and tag.
+            Message::WriteAck(ack) if ack.tag == Tag::Write(self.ts) => {
+                let quorum = self.params.quorum();
+                let finished_round = match &mut self.state {
+                    WriterState::W { round, acks } if ack.round == *round => {
+                        acks.insert(server);
+                        (acks.len() >= quorum).then_some(*round)
+                    }
+                    _ => None,
+                };
+                match finished_round {
+                    Some(2) => self.start_w_round(3, eff),
+                    Some(_) => {
+                        // Line 12: the slow WRITE completes after round 3.
+                        self.state = WriterState::Idle;
+                        eff.complete(None, 3, false);
+                    }
+                    None => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The PW-phase timer fired.
+    pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+        if id != TimerId(self.ts.0) {
+            return; // stale timer from a previous WRITE
+        }
+        if let WriterState::Pw { timer_expired, .. } = &mut self.state {
+            *timer_expired = true;
+            self.try_finish_pw(eff);
+        }
+    }
+
+    /// Fig. 1 lines 5–9: once `S − t` acks have arrived **and** the timer
+    /// expired, run `freezevalues()`, adopt `w := ⟨ts, v⟩`, and either
+    /// complete fast (`≥ S − fw` acks) or start the W phase.
+    fn try_finish_pw(&mut self, eff: &mut Effects<Message>) {
+        let WriterState::Pw { acks, timer_expired } = &self.state else {
+            return;
+        };
+        if acks.len() < self.params.quorum() || !*timer_expired {
+            return;
+        }
+        let acks = acks.clone();
+        // Line 6: frozen := ∅; w := ⟨ts, v⟩ — then line 7 recomputes.
+        self.w = self.pw.clone();
+        self.frozen = self.freeze_values(&acks);
+        if self.cfg.fast_writes && acks.len() >= self.params.fast_write_acks() {
+            // Line 8: fast WRITE — one communication round-trip.
+            self.state = WriterState::Idle;
+            eff.complete(None, 1, true);
+        } else {
+            self.start_w_round(2, eff);
+        }
+    }
+
+    fn start_w_round(&mut self, round: u8, eff: &mut Effects<Message>) {
+        let msg = Message::Write(WriteMsg {
+            round,
+            tag: Tag::Write(self.ts),
+            c: self.pw.clone(),
+            frozen: vec![],
+        });
+        eff.broadcast(self.servers(), msg);
+        self.state = WriterState::W { round, acks: BTreeSet::new() };
+    }
+
+    /// `freezevalues()` (Fig. 1 lines 13–15); see [`crate::freeze`].
+    fn freeze_values(&mut self, acks: &BTreeMap<ServerId, Vec<NewRead>>) -> Vec<FrozenUpdate> {
+        if !self.cfg.freezing {
+            return Vec::new();
+        }
+        crate::freeze::freeze_values(self.params.b(), &self.pw, &mut self.read_ts, acks)
+    }
+
+    fn servers(&self) -> impl Iterator<Item = ProcessId> {
+        ServerId::all(self.params.server_count()).map(ProcessId::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{PwAckMsg, WriteAckMsg};
+
+    /// t = 2, b = 1, fw = 1, fr = 0 → S = 6, quorum 4, fast acks 5.
+    fn writer() -> AtomicWriter {
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        AtomicWriter::new(params, ProtocolConfig::for_sync_bound(100))
+    }
+
+    fn pw_ack(ts: u64, newread: Vec<NewRead>) -> Message {
+        Message::PwAck(PwAckMsg { ts: Seq(ts), newread })
+    }
+
+    fn w_ack(round: u8, ts: u64) -> Message {
+        Message::WriteAck(WriteAckMsg { round, tag: Tag::Write(Seq(ts)) })
+    }
+
+    fn server(i: u16) -> ProcessId {
+        ProcessId::Server(ServerId(i))
+    }
+
+    /// Drive `w` through invocation, returning the PW broadcast.
+    fn invoke(w: &mut AtomicWriter, v: u64) -> Effects<Message> {
+        let mut eff = Effects::new();
+        w.invoke_write(Value::from_u64(v), &mut eff);
+        eff
+    }
+
+    #[test]
+    fn invoke_broadcasts_pw_to_all_servers_and_sets_timer() {
+        let mut w = writer();
+        let eff = invoke(&mut w, 7);
+        let (sends, timers, completion) = eff.into_parts();
+        assert_eq!(sends.len(), 6);
+        assert!(sends.iter().all(|(to, m)| to.is_server() && matches!(m, Message::Pw(_))));
+        assert_eq!(timers, vec![(TimerId(1), 201)]);
+        assert!(completion.is_none());
+        assert_eq!(w.ts(), Seq(1));
+    }
+
+    #[test]
+    fn fast_write_completes_after_timer_with_s_minus_fw_acks() {
+        let mut w = writer();
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        // 5 acks = S - fw, but the timer has not expired yet.
+        for i in 0..5 {
+            w.on_message(server(i), pw_ack(1, vec![]), &mut eff);
+        }
+        assert!(eff.into_parts().2.is_none());
+        // Timer expiry completes the WRITE in one round.
+        let mut eff = Effects::new();
+        w.on_timer(TimerId(1), &mut eff);
+        let (sends, _, completion) = eff.into_parts();
+        assert!(sends.is_empty());
+        let c = completion.expect("fast completion");
+        assert_eq!((c.rounds, c.fast), (1, true));
+        assert!(w.is_idle());
+    }
+
+    #[test]
+    fn slow_write_runs_two_more_rounds() {
+        let mut w = writer();
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        w.on_timer(TimerId(1), &mut eff);
+        // Only quorum acks (4 < S - fw = 5): W phase begins.
+        for i in 0..3 {
+            w.on_message(server(i), pw_ack(1, vec![]), &mut eff);
+        }
+        assert!(eff.is_empty());
+        let mut eff = Effects::new();
+        w.on_message(server(3), pw_ack(1, vec![]), &mut eff);
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert_eq!(sends.len(), 6);
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+
+        // Round 2 quorum -> round 3 broadcast.
+        let mut eff = Effects::new();
+        for i in 0..4 {
+            w.on_message(server(i), w_ack(2, 1), &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert_eq!(sends.len(), 6);
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 3)));
+
+        // Round 3 quorum -> slow completion (3 rounds total).
+        let mut eff = Effects::new();
+        for i in 0..4 {
+            w.on_message(server(i), w_ack(3, 1), &mut eff);
+        }
+        let (_, _, completion) = eff.into_parts();
+        let c = completion.expect("slow completion");
+        assert_eq!((c.rounds, c.fast), (3, false));
+    }
+
+    #[test]
+    fn fast_path_disabled_always_runs_w_phase() {
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let mut w = AtomicWriter::new(params, ProtocolConfig::slow_only(100));
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        w.on_timer(TimerId(1), &mut eff);
+        for i in 0..6 {
+            w.on_message(server(i), pw_ack(1, vec![]), &mut eff);
+        }
+        // All 6 acks received, yet the W phase starts anyway.
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert!(sends
+            .iter()
+            .any(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+    }
+
+    #[test]
+    fn duplicate_and_stale_acks_are_ignored() {
+        let mut w = writer();
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        w.on_timer(TimerId(1), &mut eff);
+        // Duplicate acks from one server count once.
+        for _ in 0..5 {
+            w.on_message(server(0), pw_ack(1, vec![]), &mut eff);
+        }
+        assert!(eff.is_empty());
+        // Acks with the wrong timestamp are invalid (§3.4).
+        let mut eff = Effects::new();
+        for i in 1..4 {
+            w.on_message(server(i), pw_ack(9, vec![]), &mut eff);
+        }
+        assert!(eff.is_empty());
+        assert!(!w.is_idle());
+    }
+
+    #[test]
+    fn freezevalues_advances_watermark_to_b_plus_1st_highest() {
+        let mut w = writer();
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        let nr = |tsr: u64| vec![NewRead { reader: ReaderId(0), tsr: ReadSeq(tsr) }];
+        // b + 1 = 2 reports needed; reported values 9 and 5 → watermark 5.
+        // Acks arrive before the timer (the synchronous pattern), so the
+        // evaluation sees all five and the WRITE completes fast.
+        w.on_message(server(0), pw_ack(1, nr(9)), &mut eff);
+        w.on_message(server(1), pw_ack(1, nr(5)), &mut eff);
+        w.on_message(server(2), pw_ack(1, vec![]), &mut eff);
+        w.on_message(server(3), pw_ack(1, vec![]), &mut eff);
+        w.on_message(server(4), pw_ack(1, vec![]), &mut eff);
+        w.on_timer(TimerId(1), &mut eff);
+        assert_eq!(w.read_ts_for(ReaderId(0)), ReadSeq(5));
+        assert!(w.is_idle());
+        // The frozen entry rides the next WRITE's PW message.
+        let eff = invoke(&mut w, 8);
+        let (sends, _, _) = eff.into_parts();
+        match &sends[0].1 {
+            Message::Pw(m) => {
+                assert_eq!(m.frozen.len(), 1);
+                assert_eq!(m.frozen[0].reader, ReaderId(0));
+                assert_eq!(m.frozen[0].tsr, ReadSeq(5));
+                // The frozen pair is the *previous* WRITE's pair.
+                assert_eq!(m.frozen[0].pw, TsVal::new(Seq(1), Value::from_u64(7)));
+            }
+            other => panic!("expected Pw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_report_is_not_enough_to_freeze() {
+        let mut w = writer();
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        w.on_timer(TimerId(1), &mut eff);
+        let nr = vec![NewRead { reader: ReaderId(0), tsr: ReadSeq(9) }];
+        w.on_message(server(0), pw_ack(1, nr), &mut eff);
+        for i in 1..5 {
+            w.on_message(server(i), pw_ack(1, vec![]), &mut eff);
+        }
+        // Only one server (possibly malicious) reported: no freeze.
+        assert_eq!(w.read_ts_for(ReaderId(0)), ReadSeq::INITIAL);
+    }
+
+    #[test]
+    fn freeze_is_at_most_once_per_read() {
+        let mut w = writer();
+        // First write freezes tsr = 5 for r0.
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        let nr = |tsr: u64| vec![NewRead { reader: ReaderId(0), tsr: ReadSeq(tsr) }];
+        for i in 0..5 {
+            w.on_message(server(i), pw_ack(1, nr(5)), &mut eff);
+        }
+        w.on_timer(TimerId(1), &mut eff);
+        assert_eq!(w.read_ts_for(ReaderId(0)), ReadSeq(5));
+        // Second write sees the same reports again: watermark not above 5,
+        // so nothing new is frozen.
+        invoke(&mut w, 8);
+        let mut eff = Effects::new();
+        for i in 0..5 {
+            w.on_message(server(i), pw_ack(2, nr(5)), &mut eff);
+        }
+        w.on_timer(TimerId(2), &mut eff);
+        let eff2 = invoke(&mut w, 9);
+        let (sends, _, _) = eff2.into_parts();
+        match &sends[0].1 {
+            Message::Pw(m) => assert!(m.frozen.is_empty(), "no second freeze for tsr 5"),
+            other => panic!("expected Pw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn freezing_disabled_never_freezes() {
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let mut cfg = ProtocolConfig::for_sync_bound(100);
+        cfg.freezing = false;
+        let mut w = AtomicWriter::new(params, cfg);
+        invoke(&mut w, 7);
+        let mut eff = Effects::new();
+        w.on_timer(TimerId(1), &mut eff);
+        let nr = |tsr: u64| vec![NewRead { reader: ReaderId(0), tsr: ReadSeq(tsr) }];
+        for i in 0..5 {
+            w.on_message(server(i), pw_ack(1, nr(5)), &mut eff);
+        }
+        assert_eq!(w.read_ts_for(ReaderId(0)), ReadSeq::INITIAL);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid WRITE input")]
+    fn bot_cannot_be_written() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::Bot, &mut eff);
+    }
+
+    #[test]
+    #[should_panic(expected = "in progress")]
+    fn concurrent_invocations_rejected() {
+        let mut w = writer();
+        invoke(&mut w, 1);
+        invoke(&mut w, 2);
+    }
+}

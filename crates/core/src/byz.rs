@@ -1,0 +1,395 @@
+//! Byzantine server behaviours.
+//!
+//! A malicious server in the paper's model (§2.1) "can change its state in
+//! an arbitrary manner" and send whatever it likes to whoever contacts it
+//! — but it cannot tamper with channels between non-malicious processes.
+//! That is exactly what these automata do: each is an alternative
+//! implementation of [`ServerCore`] installed at a server's address.
+//!
+//! The catalogue covers the behaviours the paper's proofs construct plus
+//! the generic attacks the fault-injection tests sweep:
+//!
+//! * [`ForgeState`] — an honest automaton started from a forged snapshot
+//!   (the σ1 forgery of run r5, Fig. 4);
+//! * [`SplitBrain`] — protocol-compliant towards a chosen set of
+//!   processes, amnesiac towards everyone else (the B2 equivocation of
+//!   run r4);
+//! * [`ForgeValue`] — answers every READ with a fixed fabricated pair;
+//! * [`InflateTs`] — answers with an ever-growing timestamp to bait
+//!   readers into returning garbage;
+//! * [`StaleEcho`] — permanently answers with the initial state, denying
+//!   every write;
+//! * [`Mute`] — receives everything, answers nothing (distinct from a
+//!   crash only in that it burns a *malicious* fault slot);
+//! * [`RandomNoise`] — seeded random mixture of honest and forged
+//!   replies, for property tests.
+
+use crate::atomic::AtomicServer;
+use crate::runtime::ServerCore;
+use lucky_sim::Effects;
+use lucky_types::{
+    FrozenSlot, Message, ProcessId, PwAckMsg, ReadAckMsg, Seq, TsVal, Value, WriteAckMsg,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// An honest server automaton whose registers were forged to an arbitrary
+/// snapshot before the run — the "forges its state to σ1" step of run r5
+/// in the Proposition 2 proof (§4).
+#[derive(Clone, Debug)]
+pub struct ForgeState {
+    inner: AtomicServer,
+}
+
+impl ForgeState {
+    /// Forge the state as if the pair `c` had been pre-written here.
+    pub fn prewritten(c: TsVal) -> ForgeState {
+        ForgeState { inner: AtomicServer::with_state(c, TsVal::initial(), TsVal::initial()) }
+    }
+
+    /// Forge an arbitrary register snapshot.
+    pub fn with_registers(pw: TsVal, w: TsVal, vw: TsVal) -> ForgeState {
+        ForgeState { inner: AtomicServer::with_state(pw, w, vw) }
+    }
+}
+
+impl ServerCore for ForgeState {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        self.inner.handle(from, msg, eff);
+    }
+}
+
+/// Equivocation: towards the processes in `honest_to` this server runs the
+/// protocol faithfully; towards everyone else it pretends it never
+/// received anything from the processes in `honest_to` — the behaviour of
+/// the malicious B2 in run r4 of the Proposition 2 proof, which answers
+/// the writer and `reader1` correctly but shows `reader2` a blank past.
+#[derive(Clone, Debug)]
+pub struct SplitBrain {
+    honest_to: BTreeSet<ProcessId>,
+    faithful: AtomicServer,
+    amnesiac: AtomicServer,
+}
+
+impl SplitBrain {
+    /// Behave honestly towards `honest_to`, amnesiac to everyone else.
+    pub fn new(honest_to: impl IntoIterator<Item = ProcessId>) -> SplitBrain {
+        SplitBrain {
+            honest_to: honest_to.into_iter().collect(),
+            faithful: AtomicServer::new(),
+            amnesiac: AtomicServer::new(),
+        }
+    }
+}
+
+impl ServerCore for SplitBrain {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        if self.honest_to.contains(&from) {
+            self.faithful.handle(from, msg, eff);
+        } else {
+            self.amnesiac.handle(from, msg, eff);
+        }
+    }
+}
+
+/// Answers every READ with a fixed fabricated pair in all registers, and
+/// acks every write without applying it.
+#[derive(Clone, Debug)]
+pub struct ForgeValue {
+    fake: TsVal,
+}
+
+impl ForgeValue {
+    /// Fabricate `pair` everywhere.
+    pub fn new(pair: TsVal) -> ForgeValue {
+        ForgeValue { fake: pair }
+    }
+}
+
+impl ServerCore for ForgeValue {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        match msg {
+            Message::Pw(m) => {
+                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+            }
+            Message::Write(m) => {
+                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+            }
+            Message::Read(m) => {
+                eff.send(
+                    from,
+                    Message::ReadAck(ReadAckMsg {
+                        tsr: m.tsr,
+                        rnd: m.rnd,
+                        pw: self.fake.clone(),
+                        w: self.fake.clone(),
+                        vw: Some(self.fake.clone()),
+                        frozen: FrozenSlot { pw: self.fake.clone(), tsr: m.tsr },
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Answers every READ with a fresh, ever-higher timestamp and a garbage
+/// value — the classic bait for a reader that trusts single reporters.
+#[derive(Clone, Debug)]
+pub struct InflateTs {
+    next: u64,
+}
+
+impl InflateTs {
+    /// Start inflating from timestamp `start`.
+    pub fn new(start: u64) -> InflateTs {
+        InflateTs { next: start }
+    }
+}
+
+impl ServerCore for InflateTs {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        match msg {
+            Message::Pw(m) => {
+                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+            }
+            Message::Write(m) => {
+                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+            }
+            Message::Read(m) => {
+                self.next += 1;
+                let fake = TsVal::new(Seq(self.next), Value::from_u64(u64::MAX - self.next));
+                eff.send(
+                    from,
+                    Message::ReadAck(ReadAckMsg {
+                        tsr: m.tsr,
+                        rnd: m.rnd,
+                        pw: fake.clone(),
+                        w: fake.clone(),
+                        vw: Some(fake.clone()),
+                        frozen: FrozenSlot { pw: fake, tsr: m.tsr },
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Permanently answers with the initial state: acknowledges writes but
+/// never stores them, showing every reader an empty register.
+#[derive(Clone, Debug, Default)]
+pub struct StaleEcho;
+
+impl StaleEcho {
+    /// A new stale echo server.
+    pub fn new() -> StaleEcho {
+        StaleEcho
+    }
+}
+
+impl ServerCore for StaleEcho {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        match msg {
+            Message::Pw(m) => {
+                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+            }
+            Message::Write(m) => {
+                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+            }
+            Message::Read(m) => {
+                eff.send(
+                    from,
+                    Message::ReadAck(ReadAckMsg {
+                        tsr: m.tsr,
+                        rnd: m.rnd,
+                        pw: TsVal::initial(),
+                        w: TsVal::initial(),
+                        vw: Some(TsVal::initial()),
+                        frozen: FrozenSlot::initial(),
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Receives everything and answers nothing.
+#[derive(Clone, Debug, Default)]
+pub struct Mute;
+
+impl Mute {
+    /// A new mute server.
+    pub fn new() -> Mute {
+        Mute
+    }
+}
+
+impl ServerCore for Mute {
+    fn deliver(&mut self, _from: ProcessId, _msg: Message, _eff: &mut Effects<Message>) {}
+}
+
+/// A seeded mixture: with probability `p_forge` (out of 256) a reply is
+/// forged with a random timestamp; otherwise the honest protocol answers.
+/// Deterministic per seed, so property tests stay reproducible.
+#[derive(Clone, Debug)]
+pub struct RandomNoise {
+    inner: AtomicServer,
+    rng: SmallRng,
+    p_forge: u8,
+}
+
+impl RandomNoise {
+    /// A noisy server with the given seed and forge probability
+    /// (`p_forge`/256 per message).
+    pub fn new(seed: u64, p_forge: u8) -> RandomNoise {
+        RandomNoise { inner: AtomicServer::new(), rng: SmallRng::seed_from_u64(seed), p_forge }
+    }
+}
+
+impl ServerCore for RandomNoise {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let forge = self.rng.gen::<u8>() < self.p_forge;
+        if !forge {
+            self.inner.handle(from, msg, eff);
+            return;
+        }
+        let fake_ts: u64 = self.rng.gen_range(0..100);
+        let fake = TsVal::new(Seq(fake_ts), Value::from_u64(self.rng.gen()));
+        match msg {
+            Message::Pw(m) => {
+                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+            }
+            Message::Write(m) => {
+                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+            }
+            Message::Read(m) => {
+                eff.send(
+                    from,
+                    Message::ReadAck(ReadAckMsg {
+                        tsr: m.tsr,
+                        rnd: m.rnd,
+                        pw: fake.clone(),
+                        w: fake.clone(),
+                        vw: Some(fake),
+                        frozen: FrozenSlot::initial(),
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{ReadMsg, ReadSeq, ReaderId};
+
+    fn read_from(core: &mut dyn ServerCore, reader: u16) -> ReadAckMsg {
+        let mut eff = Effects::new();
+        core.deliver(
+            ProcessId::Reader(ReaderId(reader)),
+            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            &mut eff,
+        );
+        let (sends, _, _) = eff.into_parts();
+        match sends.into_iter().next() {
+            Some((_, Message::ReadAck(a))) => a,
+            other => panic!("expected a ReadAck, got {other:?}"),
+        }
+    }
+
+    fn pair(ts: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(ts))
+    }
+
+    #[test]
+    fn forge_state_claims_the_forged_pair() {
+        let mut s = ForgeState::prewritten(pair(1));
+        let ack = read_from(&mut s, 0);
+        assert_eq!(ack.pw, pair(1));
+        assert_eq!(ack.w, TsVal::initial());
+    }
+
+    #[test]
+    fn split_brain_answers_differently_by_sender() {
+        use lucky_types::PwMsg;
+        let r1 = ProcessId::Reader(ReaderId(1));
+        let mut s = SplitBrain::new([ProcessId::Writer, r1]);
+        // The writer's PW is applied on the faithful side only.
+        let mut eff = Effects::new();
+        s.deliver(
+            ProcessId::Writer,
+            Message::Pw(PwMsg { ts: Seq(1), pw: pair(1), w: TsVal::initial(), frozen: vec![] }),
+            &mut eff,
+        );
+        let honest_view = read_from(&mut s, 1);
+        assert_eq!(honest_view.pw, pair(1));
+        let blank_view = read_from(&mut s, 2);
+        assert_eq!(blank_view.pw, TsVal::initial());
+    }
+
+    #[test]
+    fn forge_value_fabricates_everywhere() {
+        let mut s = ForgeValue::new(pair(9));
+        let ack = read_from(&mut s, 0);
+        assert_eq!(ack.pw, pair(9));
+        assert_eq!(ack.w, pair(9));
+        assert_eq!(ack.vw, Some(pair(9)));
+        assert_eq!(ack.frozen.pw, pair(9));
+    }
+
+    #[test]
+    fn inflate_ts_grows_monotonically() {
+        let mut s = InflateTs::new(100);
+        let a = read_from(&mut s, 0);
+        let b = read_from(&mut s, 0);
+        assert!(b.pw.ts > a.pw.ts);
+        assert!(a.pw.ts > Seq(100));
+    }
+
+    #[test]
+    fn stale_echo_acks_writes_but_stays_initial() {
+        use lucky_types::{Tag, WriteMsg};
+        let mut s = StaleEcho::new();
+        let mut eff = Effects::new();
+        s.deliver(
+            ProcessId::Writer,
+            Message::Write(WriteMsg {
+                round: 2,
+                tag: Tag::Write(Seq(1)),
+                c: pair(1),
+                frozen: vec![],
+            }),
+            &mut eff,
+        );
+        assert_eq!(eff.send_count(), 1);
+        let ack = read_from(&mut s, 0);
+        assert_eq!(ack.pw, TsVal::initial());
+    }
+
+    #[test]
+    fn mute_never_replies() {
+        let mut s = Mute::new();
+        let mut eff = Effects::new();
+        s.deliver(
+            ProcessId::Reader(ReaderId(0)),
+            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            &mut eff,
+        );
+        assert!(eff.is_empty());
+    }
+
+    #[test]
+    fn random_noise_is_deterministic_per_seed() {
+        let acks = |seed| {
+            let mut s = RandomNoise::new(seed, 128);
+            (0..20).map(|_| read_from(&mut s, 0).pw.ts.0).collect::<Vec<_>>()
+        };
+        assert_eq!(acks(7), acks(7));
+        assert_ne!(acks(7), acks(8));
+    }
+}

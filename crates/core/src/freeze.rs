@@ -1,0 +1,108 @@
+//! `freezevalues()` — shared by every writer variant (Fig. 1 lines 13–15,
+//! Fig. 6 lines 13–15).
+
+use lucky_types::{FrozenUpdate, NewRead, ReadSeq, ReaderId, ServerId, TsVal};
+use std::collections::BTreeMap;
+
+/// For every reader reported (in the `newread` fields of the PW acks) by
+/// at least `b + 1` distinct servers with a READ timestamp above the
+/// current watermark `read_ts[r_j]`, advance the watermark to the
+/// `(b+1)`-st highest reported value — a value at least one non-malicious
+/// server really stores — and freeze the current pair `pw` for that READ.
+///
+/// Mutates `read_ts` in place and returns the frozen updates to ship.
+pub(crate) fn freeze_values(
+    b: usize,
+    pw: &TsVal,
+    read_ts: &mut BTreeMap<ReaderId, ReadSeq>,
+    acks: &BTreeMap<ServerId, Vec<NewRead>>,
+) -> Vec<FrozenUpdate> {
+    let mut reported: BTreeMap<ReaderId, Vec<ReadSeq>> = BTreeMap::new();
+    for newreads in acks.values() {
+        for nr in newreads {
+            let watermark = read_ts.get(&nr.reader).copied().unwrap_or(ReadSeq::INITIAL);
+            if nr.tsr > watermark {
+                reported.entry(nr.reader).or_default().push(nr.tsr);
+            }
+        }
+    }
+    let mut frozen = Vec::new();
+    for (reader, mut tsrs) in reported {
+        if tsrs.len() > b {
+            tsrs.sort_unstable_by(|x, y| y.cmp(x));
+            let watermark = tsrs[b];
+            read_ts.insert(reader, watermark);
+            frozen.push(FrozenUpdate { reader, pw: pw.clone(), tsr: watermark });
+        }
+    }
+    frozen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{Seq, Value};
+
+    fn pw() -> TsVal {
+        TsVal::new(Seq(1), Value::from_u64(1))
+    }
+
+    fn report(entries: &[(u16, u64)]) -> BTreeMap<ServerId, Vec<NewRead>> {
+        entries
+            .iter()
+            .map(|&(s, tsr)| {
+                (ServerId(s), vec![NewRead { reader: ReaderId(0), tsr: ReadSeq(tsr) }])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn needs_b_plus_one_reporters() {
+        let mut read_ts = BTreeMap::new();
+        // b = 1: one reporter is not enough.
+        let frozen = freeze_values(1, &pw(), &mut read_ts, &report(&[(0, 5)]));
+        assert!(frozen.is_empty());
+        assert!(read_ts.is_empty());
+        // Two reporters suffice.
+        let frozen = freeze_values(1, &pw(), &mut read_ts, &report(&[(0, 5), (1, 5)]));
+        assert_eq!(frozen.len(), 1);
+        assert_eq!(read_ts[&ReaderId(0)], ReadSeq(5));
+    }
+
+    #[test]
+    fn watermark_is_b_plus_first_highest() {
+        let mut read_ts = BTreeMap::new();
+        // b = 2: reports 9, 7, 5 → watermark is the 3rd highest = 5.
+        let frozen =
+            freeze_values(2, &pw(), &mut read_ts, &report(&[(0, 9), (1, 7), (2, 5)]));
+        assert_eq!(frozen[0].tsr, ReadSeq(5));
+        assert_eq!(read_ts[&ReaderId(0)], ReadSeq(5));
+    }
+
+    #[test]
+    fn reports_at_or_below_watermark_are_ignored() {
+        let mut read_ts = BTreeMap::from([(ReaderId(0), ReadSeq(5))]);
+        let frozen = freeze_values(1, &pw(), &mut read_ts, &report(&[(0, 5), (1, 5)]));
+        assert!(frozen.is_empty(), "at most one freeze per READ");
+        assert_eq!(read_ts[&ReaderId(0)], ReadSeq(5));
+    }
+
+    #[test]
+    fn multiple_readers_freeze_independently() {
+        let mut read_ts = BTreeMap::new();
+        let mut acks: BTreeMap<ServerId, Vec<NewRead>> = BTreeMap::new();
+        for s in 0..2u16 {
+            acks.insert(
+                ServerId(s),
+                vec![
+                    NewRead { reader: ReaderId(0), tsr: ReadSeq(3) },
+                    NewRead { reader: ReaderId(1), tsr: ReadSeq(8) },
+                ],
+            );
+        }
+        let frozen = freeze_values(1, &pw(), &mut read_ts, &acks);
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(read_ts[&ReaderId(0)], ReadSeq(3));
+        assert_eq!(read_ts[&ReaderId(1)], ReadSeq(8));
+    }
+}

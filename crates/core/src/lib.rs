@@ -1,0 +1,67 @@
+//! # lucky-core
+//!
+//! The storage protocols of *Lucky Read/Write Access to Robust Atomic
+//! Storage* (Guerraoui, Levy, Vukolić; DSN 2006), implemented as *sans-io*
+//! state machines plus the glue to run them on the `lucky-sim` simulator
+//! and the `lucky-net` threaded runtime.
+//!
+//! Three protocol variants, one module per pseudocode figure set:
+//!
+//! * [`atomic`] — the main algorithm (§3, Figs 1–3): optimally-resilient
+//!   SWMR **atomic** wait-free storage over `S = 2t + b + 1` servers where
+//!   every lucky WRITE is fast despite `fw` failures and every lucky READ
+//!   is fast despite `fr` failures, for any `fw + fr = t − b`
+//!   (Proposition 1);
+//! * [`tworound`] — the Appendix C algorithm (Figs 6–8): WRITEs always
+//!   complete in two rounds and lucky READs are fast despite `fr` failures,
+//!   over `S = 2t + b + min(b, fr) + 1` servers (Proposition 6);
+//! * [`regular`] — the Appendix D variant: **regular** semantics, no
+//!   write-back, tolerates malicious readers, `fw = t − b`, `fr = t`
+//!   (Proposition 7).
+//!
+//! Supporting modules:
+//!
+//! * [`predicates`] — the reader's decision predicates (`safe`,
+//!   `safeFrozen`, `fastpw`, `fastvw`, `invalidw`, `invalidpw`,
+//!   `highCand`), shared by all variants and tested in isolation;
+//! * [`byz`] — Byzantine server behaviours (state forging, split-brain
+//!   equivocation, value forging, …) used by the bound-violation
+//!   experiments and the fault-injection tests;
+//! * [`runtime`] — `lucky-sim` adapters and [`SimCluster`], the high-level
+//!   API used by examples, tests and benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use lucky_core::{ClusterConfig, SimCluster};
+//! use lucky_types::{Params, ReaderId, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = Params::new(2, 1, 1, 0)?; // t=2, b=1, fw=1, fr=0
+//! let mut cluster = SimCluster::new(ClusterConfig::synchronous(params), 1);
+//! assert!(cluster.write(Value::from_u64(7)).fast);
+//! let read = cluster.read(ReaderId(0));
+//! assert_eq!(read.value.as_u64(), Some(7));
+//! cluster.check_atomicity()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod atomic;
+pub mod byz;
+pub mod config;
+mod freeze;
+pub mod predicates;
+pub mod regular;
+pub mod runtime;
+pub mod tworound;
+pub mod view;
+
+pub use config::{ProtocolConfig, Variant};
+pub use runtime::{
+    ClusterConfig, OpOutcome, Setup, SimCluster, SYNC_BOUND_MICROS,
+};
+pub use view::{ServerView, ViewTable};

@@ -1,0 +1,447 @@
+//! The reader's decision predicates (Fig. 2 lines 1–10, Fig. 7 lines 1–8).
+//!
+//! These small counting functions are the entire safety logic of the READ:
+//! a value may be returned only when enough servers vouch for it (`safe`,
+//! `safeFrozen`) and every competing newer pair has been refuted by enough
+//! servers (`invalidw ∧ invalidpw`, combined in `highCand`).
+//!
+//! All functions count over a [`ViewTable`] — the latest copies of the
+//! variables of servers that responded during the current READ — and take
+//! their thresholds from [`Thresholds`], so the same code serves the
+//! atomic (§3), two-round (App. C) and regular (App. D) variants, as well
+//! as the deliberately misconfigured instances used by the bound-violation
+//! experiments.
+
+use crate::view::ViewTable;
+use lucky_types::{Params, ReadSeq, TsVal, TwoRoundParams};
+use std::collections::BTreeSet;
+
+/// The numeric thresholds the predicates compare against.
+///
+/// For a correctly configured atomic instance (`fw + fr = t − b`) these are
+/// exactly the paper's constants: `safe = b+1`, `fastpw = 2b+t+1`,
+/// `fastvw = b+1`, `invalidw = S−t`, `invalidpw = S−b−t`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Thresholds {
+    /// Matching servers for `safe` / `safeFrozen` (`b + 1`).
+    pub safe: usize,
+    /// Matching `pw` copies for `fastpw` (`S − fw − fr`).
+    pub fastpw: usize,
+    /// Matching `vw` copies for `fastvw` (`b + 1`).
+    pub fastvw: usize,
+    /// Matching `w` copies for the two-round variant's `fast`
+    /// (`S − t − fr`, Fig. 7 line 5).
+    pub fast_w: usize,
+    /// Servers with only-older `pw`/`w` pairs for `invalidw` (`S − t`).
+    pub invalidw: usize,
+    /// Servers with only-older `pw` pairs for `invalidpw` (`S − b − t`).
+    pub invalidpw: usize,
+}
+
+impl From<Params> for Thresholds {
+    fn from(p: Params) -> Thresholds {
+        Thresholds {
+            safe: p.safe_threshold(),
+            fastpw: p.fastpw_threshold(),
+            fastvw: p.safe_threshold(),
+            // Unused by the atomic variant; keep it unreachable-high.
+            fast_w: p.server_count() + 1,
+            invalidw: p.invalidw_threshold(),
+            invalidpw: p.invalidpw_threshold(),
+        }
+    }
+}
+
+impl From<TwoRoundParams> for Thresholds {
+    fn from(p: TwoRoundParams) -> Thresholds {
+        Thresholds {
+            safe: p.safe_threshold(),
+            // The two-round variant has no fastpw/fastvw path.
+            fastpw: p.server_count() + 1,
+            fastvw: p.server_count() + 1,
+            fast_w: p.fast_threshold(),
+            invalidw: p.invalidw_threshold(),
+            invalidpw: p.invalidpw_threshold(),
+        }
+    }
+}
+
+/// `|{i : readLive(c, i)}|` — servers whose latest `pw` or `w` is `c`.
+pub fn count_read_live(views: &ViewTable, c: &TsVal) -> usize {
+    views.values().filter(|v| v.read_live(c)).count()
+}
+
+/// `|{i : pw_i = c}|`.
+pub fn count_pw(views: &ViewTable, c: &TsVal) -> usize {
+    views.values().filter(|v| v.pw == *c).count()
+}
+
+/// `|{i : w_i = c}|`.
+pub fn count_w(views: &ViewTable, c: &TsVal) -> usize {
+    views.values().filter(|v| v.w == *c).count()
+}
+
+/// `|{i : vw_i = c}|`.
+pub fn count_vw(views: &ViewTable, c: &TsVal) -> usize {
+    views.values().filter(|v| v.vw.as_ref() == Some(c)).count()
+}
+
+/// `safe(c)` (Fig. 2 line 3): at least `b + 1` servers vouch for `c` in
+/// `pw` or `w` — at least one of them is non-malicious.
+pub fn safe(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
+    count_read_live(views, c) >= thr.safe
+}
+
+/// `safeFrozen(c)` (Fig. 2 line 4): at least `b + 1` servers report `c`
+/// frozen for **this** READ (their slot's `tsr` equals the READ timestamp).
+pub fn safe_frozen(views: &ViewTable, c: &TsVal, tsr: ReadSeq, thr: &Thresholds) -> bool {
+    views
+        .values()
+        .filter(|v| v.frozen.pw == *c && v.frozen.tsr == tsr)
+        .count()
+        >= thr.safe
+}
+
+/// `fastpw(c)` (Fig. 2 line 5): enough `pw` copies that every future
+/// quorum intersects them in at least `b + 1` servers.
+pub fn fastpw(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
+    count_pw(views, c) >= thr.fastpw
+}
+
+/// `fastvw(c)` (Fig. 2 line 6): at least `b + 1` servers saw the third
+/// write round of `c`.
+pub fn fastvw(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
+    count_vw(views, c) >= thr.fastvw
+}
+
+/// `fast(c)` (Fig. 2 line 7): the READ may skip the write-back.
+pub fn fast(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
+    fastpw(views, c, thr) || fastvw(views, c, thr)
+}
+
+/// `invalidw(c)` (Fig. 2 line 8): at least `S − t` servers responded with
+/// a `pw` **or** `w` pair older than `c` (or same timestamp, different
+/// value) — `c` cannot have completed its second write round.
+pub fn invalidw(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
+    views
+        .values()
+        .filter(|v| v.pw.invalidates(c) || v.w.invalidates(c))
+        .count()
+        >= thr.invalidw
+}
+
+/// `invalidpw(c)` (Fig. 2 line 9): at least `S − b − t` servers responded
+/// with a `pw` pair older than `c` — `c` cannot have completed its
+/// pre-write round at `b + 1` correct servers.
+pub fn invalidpw(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
+    views.values().filter(|v| v.pw.invalidates(c)).count() >= thr.invalidpw
+}
+
+/// All distinct pairs occurring in any responded server's `pw`/`w` —
+/// the domain over which `highCand` quantifies.
+pub fn live_pairs(views: &ViewTable) -> BTreeSet<TsVal> {
+    let mut out = BTreeSet::new();
+    for v in views.values() {
+        out.insert(v.pw.clone());
+        out.insert(v.w.clone());
+    }
+    out
+}
+
+/// `highCand(c)` (Fig. 2 line 10): every live pair `c' ≠ c` with
+/// `c'.ts ≥ c.ts` is refuted by both `invalidw` and `invalidpw`.
+pub fn high_cand(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
+    live_pairs(views)
+        .iter()
+        .filter(|c2| **c2 != *c && c2.ts >= c.ts)
+        .all(|c2| invalidw(views, c2, thr) && invalidpw(views, c2, thr))
+}
+
+/// The candidate set `C = {c : (safe(c) ∧ highCand(c)) ∨ safeFrozen(c)}`
+/// (Fig. 2 line 18).
+pub fn candidates(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> BTreeSet<TsVal> {
+    let mut c_set = BTreeSet::new();
+    for c in live_pairs(views) {
+        if safe(views, &c, thr) && high_cand(views, &c, thr) {
+            c_set.insert(c);
+        }
+    }
+    for v in views.values() {
+        let c = &v.frozen.pw;
+        if safe_frozen(views, c, tsr, thr) {
+            c_set.insert(c.clone());
+        }
+    }
+    c_set
+}
+
+/// `csel` (Fig. 2 line 20): the candidate with the highest timestamp
+/// (value order breaks exact-tie equivocations deterministically).
+pub fn select(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> Option<TsVal> {
+    candidates(views, tsr, thr).into_iter().next_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ServerView;
+    use lucky_types::{FrozenSlot, Seq, ServerId, Value};
+
+    fn pair(ts: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(ts))
+    }
+
+    fn forged(ts: u64, v: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(v))
+    }
+
+    fn view(pw: TsVal, w: TsVal, vw: Option<TsVal>) -> ServerView {
+        ServerView { rnd: 1, pw, w, vw, frozen: FrozenSlot::initial() }
+    }
+
+    /// Thresholds for t=2, b=1, fw=1, fr=0: S=6, safe=2, fastpw=5,
+    /// invalidw=4, invalidpw=3.
+    fn thr() -> Thresholds {
+        Thresholds::from(Params::new(2, 1, 1, 0).unwrap())
+    }
+
+    fn table(entries: Vec<ServerView>) -> ViewTable {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (ServerId(i as u16), v))
+            .collect()
+    }
+
+    #[test]
+    fn counts_over_responders_only() {
+        // Two responders out of six servers: absent servers count nowhere.
+        let views = table(vec![
+            view(pair(3), pair(3), Some(pair(3))),
+            view(pair(3), pair(2), None),
+        ]);
+        assert_eq!(count_pw(&views, &pair(3)), 2);
+        assert_eq!(count_w(&views, &pair(3)), 1);
+        assert_eq!(count_vw(&views, &pair(3)), 1);
+        assert_eq!(count_read_live(&views, &pair(2)), 1);
+    }
+
+    #[test]
+    fn safe_needs_b_plus_one() {
+        let one = table(vec![view(pair(3), TsVal::initial(), None)]);
+        assert!(!safe(&one, &pair(3), &thr()));
+        let two = table(vec![
+            view(pair(3), TsVal::initial(), None),
+            view(TsVal::initial(), pair(3), None), // vouches via w
+        ]);
+        assert!(safe(&two, &pair(3), &thr()));
+    }
+
+    #[test]
+    fn safe_frozen_requires_matching_tsr() {
+        let mut views = table(vec![
+            view(pair(1), pair(1), None),
+            view(pair(1), pair(1), None),
+        ]);
+        for v in views.values_mut() {
+            v.frozen = FrozenSlot { pw: pair(4), tsr: ReadSeq(7) };
+        }
+        assert!(safe_frozen(&views, &pair(4), ReadSeq(7), &thr()));
+        // Frozen for an older READ of the same reader: no.
+        assert!(!safe_frozen(&views, &pair(4), ReadSeq(8), &thr()));
+        // Different pair: no.
+        assert!(!safe_frozen(&views, &pair(5), ReadSeq(7), &thr()));
+    }
+
+    #[test]
+    fn fastpw_needs_two_b_plus_t_plus_one() {
+        // 5 matching pw copies needed for t=2,b=1,fw=1,fr=0.
+        let views = table(vec![view(pair(2), pair(2), None); 4]);
+        assert!(!fastpw(&views, &pair(2), &thr()));
+        let views = table(vec![view(pair(2), pair(2), None); 5]);
+        assert!(fastpw(&views, &pair(2), &thr()));
+        assert!(fast(&views, &pair(2), &thr()));
+    }
+
+    #[test]
+    fn fastvw_needs_b_plus_one() {
+        let views = table(vec![
+            view(pair(2), pair(2), Some(pair(2))),
+            view(pair(2), pair(2), Some(pair(2))),
+            view(pair(2), pair(2), None),
+        ]);
+        assert!(fastvw(&views, &pair(2), &thr()));
+        assert!(fast(&views, &pair(2), &thr()));
+        let views = table(vec![view(pair(2), pair(2), Some(pair(2)))]);
+        assert!(!fastvw(&views, &pair(2), &thr()));
+    }
+
+    #[test]
+    fn invalidw_counts_either_register() {
+        // Candidate ts=5; four servers whose pw OR w is older.
+        let views = table(vec![
+            view(pair(4), pair(4), None),
+            view(pair(4), pair(3), None),
+            view(pair(5), pair(4), None), // pw is c itself, but w older
+            view(pair(4), pair(4), None),
+        ]);
+        assert!(invalidw(&views, &pair(5), &thr()));
+        // Only three such servers: below S - t = 4.
+        let views = table(vec![
+            view(pair(4), pair(4), None),
+            view(pair(4), pair(3), None),
+            view(pair(5), pair(5), None),
+            view(pair(4), pair(4), None),
+        ]);
+        assert!(!invalidw(&views, &pair(5), &thr()));
+    }
+
+    #[test]
+    fn invalidpw_counts_pw_only() {
+        // invalidpw threshold is S - b - t = 3.
+        let views = table(vec![
+            view(pair(4), pair(5), None),
+            view(pair(4), pair(5), None),
+            view(pair(4), pair(5), None),
+        ]);
+        assert!(invalidpw(&views, &pair(5), &thr()));
+        let views = table(vec![
+            view(pair(4), pair(5), None),
+            view(pair(4), pair(5), None),
+            view(pair(5), pair(5), None),
+        ]);
+        assert!(!invalidpw(&views, &pair(5), &thr()));
+    }
+
+    #[test]
+    fn same_timestamp_different_value_invalidates() {
+        // An equivocated pair ⟨5, forged⟩ is refuted by honest ⟨5, v5⟩ copies.
+        let honest = pair(5);
+        let fake = forged(5, 99);
+        let views = table(vec![
+            view(honest.clone(), honest.clone(), None),
+            view(honest.clone(), honest.clone(), None),
+            view(honest.clone(), honest.clone(), None),
+            view(honest.clone(), honest.clone(), None),
+        ]);
+        assert!(invalidw(&views, &fake, &thr()));
+        assert!(invalidpw(&views, &fake, &thr()));
+    }
+
+    #[test]
+    fn high_cand_refutes_byzantine_inflation() {
+        // Five servers hold ⟨2, v2⟩; one malicious server claims ⟨9, junk⟩.
+        let mut entries = vec![view(pair(2), pair(2), None); 5];
+        entries.push(view(forged(9, 123), forged(9, 123), None));
+        let views = table(entries);
+        // The forged pair is readLive at one server but invalidated by five.
+        assert!(high_cand(&views, &pair(2), &thr()));
+        // The forged pair itself is not safe (only one voucher).
+        assert!(!safe(&views, &forged(9, 123), &thr()));
+        let c_set = candidates(&views, ReadSeq(1), &thr());
+        assert_eq!(c_set.into_iter().collect::<Vec<_>>(), vec![pair(2)]);
+    }
+
+    #[test]
+    fn half_prewritten_pair_is_selected_when_all_respond() {
+        // Three servers already pre-wrote ⟨3, v3⟩, three still at ⟨2, v2⟩,
+        // and all six responded. Both pairs are safe; ⟨3⟩ is invalidated
+        // (6 ≥ S−t responses carry an older pair somewhere, 3 ≥ S−b−t older
+        // pw copies), so highCand(⟨2⟩) holds too — and the reader picks the
+        // highest candidate, ⟨3⟩.
+        let views = table(vec![
+            view(pair(3), pair(2), None),
+            view(pair(3), pair(2), None),
+            view(pair(3), pair(2), None),
+            view(pair(2), pair(2), None),
+            view(pair(2), pair(2), None),
+            view(pair(2), pair(2), None),
+        ]);
+        assert!(high_cand(&views, &pair(2), &thr()));
+        assert!(safe(&views, &pair(3), &thr()));
+        assert!(high_cand(&views, &pair(3), &thr()));
+        let c_set = candidates(&views, ReadSeq(1), &thr());
+        assert!(c_set.contains(&pair(2)) && c_set.contains(&pair(3)));
+        assert_eq!(select(&views, ReadSeq(1), &thr()), Some(pair(3)));
+    }
+
+    #[test]
+    fn high_cand_fails_while_new_write_in_progress() {
+        // Quorum of four: one server holds ⟨2⟩ in pw *and* w (reporting
+        // nothing older), three lag at ⟨1⟩. invalidw(⟨2⟩) counts only the
+        // three laggards (< S−t = 4), so highCand(⟨1⟩) fails; and ⟨2⟩ has
+        // a single voucher (< b+1), so nothing is selectable.
+        let views = table(vec![
+            view(pair(1), pair(1), None),
+            view(pair(1), pair(1), None),
+            view(pair(1), pair(1), None),
+            view(pair(2), pair(2), None),
+        ]);
+        assert!(!high_cand(&views, &pair(1), &thr()));
+        assert!(!safe(&views, &pair(2), &thr()));
+        assert_eq!(select(&views, ReadSeq(1), &thr()), None);
+    }
+
+    #[test]
+    fn select_prefers_highest_timestamp() {
+        // Both ⟨1⟩ and ⟨2⟩ are safe; all servers agree ⟨2⟩ is newest and
+        // every response refutes nothing about ⟨2⟩ — C = {⟨2⟩}
+        // (⟨1⟩ fails highCand because ⟨2⟩ is not invalidated).
+        let views = table(vec![
+            view(pair(2), pair(1), None),
+            view(pair(2), pair(1), None),
+            view(pair(2), pair(2), None),
+            view(pair(2), pair(2), None),
+        ]);
+        assert_eq!(select(&views, ReadSeq(1), &thr()), Some(pair(2)));
+    }
+
+    #[test]
+    fn empty_views_yield_no_candidate() {
+        let views = ViewTable::new();
+        assert_eq!(select(&views, ReadSeq(1), &thr()), None);
+    }
+
+    #[test]
+    fn initial_value_is_returned_when_nothing_written() {
+        // All six servers respond with the initial state: ⊥ is safe and
+        // highCand (no other pair exists).
+        let views = table(vec![
+            view(TsVal::initial(), TsVal::initial(), Some(TsVal::initial()));
+            6
+        ]);
+        assert_eq!(select(&views, ReadSeq(1), &thr()), Some(TsVal::initial()));
+        // ... and fast: 6 matching pw ≥ 5 and 6 matching vw ≥ 2.
+        assert!(fast(&views, &TsVal::initial(), &thr()));
+    }
+
+    #[test]
+    fn frozen_candidate_enters_set_via_safe_frozen() {
+        let mut views = table(vec![
+            view(pair(1), pair(1), None),
+            view(pair(1), pair(1), None),
+            view(pair(1), pair(1), None),
+            view(pair(1), pair(1), None),
+        ]);
+        // Two servers froze ⟨7, v7⟩ for this READ (tsr = 3).
+        for (_, v) in views.iter_mut().take(2) {
+            v.frozen = FrozenSlot { pw: pair(7), tsr: ReadSeq(3) };
+        }
+        let c_set = candidates(&views, ReadSeq(3), &thr());
+        assert!(c_set.contains(&pair(7)));
+        // The frozen pair has the highest timestamp, so it is selected.
+        assert_eq!(select(&views, ReadSeq(3), &thr()), Some(pair(7)));
+    }
+
+    #[test]
+    fn two_round_thresholds_disable_lucky_fast_paths() {
+        let thr = Thresholds::from(TwoRoundParams::new(2, 1, 1).unwrap());
+        // S = 7; fastpw/fastvw can never be met (threshold S + 1).
+        let views = table(vec![view(pair(1), pair(1), Some(pair(1))); 7]);
+        assert!(!fastpw(&views, &pair(1), &thr));
+        assert!(!fastvw(&views, &pair(1), &thr));
+        // The w-based fast threshold is S - t - fr = 4.
+        assert_eq!(count_w(&views, &pair(1)), 7);
+        assert!(count_w(&views, &pair(1)) >= thr.fast_w);
+    }
+}

@@ -1,0 +1,31 @@
+//! The regular, malicious-reader-tolerant variant (Appendix D).
+//!
+//! Obtained from the atomic algorithm by three modifications (App. D.2):
+//!
+//! 1. the W phase of a slow WRITE takes **one** round instead of two
+//!    (so `vw` is never written);
+//! 2. the READ never writes back (Fig. 2 lines 21 and 26–28 removed) —
+//!    a READ returns as soon as its candidate set is non-empty;
+//! 3. servers **ignore** every WB message sent by a reader.
+//!
+//! What this buys (Proposition 7):
+//!
+//! * every lucky WRITE is fast despite up to `fw = t − b` failures
+//!   (the fast-ack threshold becomes `S − (t−b) = t + 2b + 1`);
+//! * every lucky READ is fast despite up to `fr = t` failures;
+//! * **malicious readers cannot corrupt the storage**: since servers never
+//!   apply reader write-backs, a Byzantine reader cannot plant forged
+//!   values for honest readers to return — the attack that breaks the
+//!   atomic variant (experiment T7).
+//!
+//! The price is semantics: without write-backs two sequential READs may
+//! see a new value then an old one (new/old inversion), so the storage is
+//! **regular**, not atomic.
+
+mod reader;
+mod server;
+mod writer;
+
+pub use reader::RegularReader;
+pub use server::RegularServer;
+pub use writer::RegularWriter;

@@ -1,0 +1,112 @@
+//! The regular variant's server: the atomic server minus reader
+//! write-backs.
+
+use crate::atomic::AtomicServer;
+use lucky_sim::Effects;
+use lucky_types::{FrozenSlot, Message, ProcessId, ReadSeq, ReaderId, TsVal};
+
+/// A correct server of the regular variant.
+///
+/// Delegates everything to the atomic server (Fig. 3) except that
+/// `W`/`WB` messages from **readers** are dropped (App. D.2 modification
+/// 3) — which is exactly what makes arbitrarily malicious readers
+/// harmless to other readers.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RegularServer {
+    inner: AtomicServer,
+}
+
+impl RegularServer {
+    /// A server in its initial state.
+    pub fn new() -> RegularServer {
+        RegularServer { inner: AtomicServer::new() }
+    }
+
+    /// Current `pw` register.
+    pub fn pw(&self) -> &TsVal {
+        self.inner.pw()
+    }
+
+    /// Current `w` register.
+    pub fn w(&self) -> &TsVal {
+        self.inner.w()
+    }
+
+    /// The frozen slot for `reader`.
+    pub fn frozen_for(&self, reader: ReaderId) -> FrozenSlot {
+        self.inner.frozen_for(reader)
+    }
+
+    /// The stored READ timestamp for `reader`.
+    pub fn reader_ts_for(&self, reader: ReaderId) -> ReadSeq {
+        self.inner.reader_ts_for(reader)
+    }
+
+    /// Handle one client message.
+    pub fn handle(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        // Modification 3: reader write-backs are ignored entirely — no
+        // state change, no ack.
+        if matches!(msg, Message::Write(_)) && from != ProcessId::Writer {
+            return;
+        }
+        self.inner.handle(from, msg, eff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{ReadMsg, Seq, Tag, Value, WriteMsg};
+
+    fn pair(ts: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(ts))
+    }
+
+    #[test]
+    fn reader_writebacks_are_dropped_silently() {
+        let mut s = RegularServer::new();
+        let mut eff = Effects::new();
+        s.handle(
+            ProcessId::Reader(ReaderId(0)),
+            Message::Write(WriteMsg {
+                round: 3,
+                tag: Tag::WriteBack(ReadSeq(1)),
+                c: pair(9), // a forged value a malicious reader writes back
+                frozen: vec![],
+            }),
+            &mut eff,
+        );
+        assert_eq!(s.pw(), &TsVal::initial());
+        assert!(eff.is_empty(), "no state change and no ack");
+    }
+
+    #[test]
+    fn writer_w_rounds_still_apply() {
+        let mut s = RegularServer::new();
+        let mut eff = Effects::new();
+        s.handle(
+            ProcessId::Writer,
+            Message::Write(WriteMsg {
+                round: 2,
+                tag: Tag::Write(Seq(1)),
+                c: pair(1),
+                frozen: vec![],
+            }),
+            &mut eff,
+        );
+        assert_eq!(s.w(), &pair(1));
+        assert_eq!(eff.send_count(), 1);
+    }
+
+    #[test]
+    fn reads_still_answered() {
+        let mut s = RegularServer::new();
+        let mut eff = Effects::new();
+        s.handle(
+            ProcessId::Reader(ReaderId(0)),
+            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            &mut eff,
+        );
+        assert_eq!(eff.send_count(), 1);
+    }
+}

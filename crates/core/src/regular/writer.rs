@@ -1,0 +1,227 @@
+//! The regular variant's writer: Fig. 1 with a one-round W phase.
+
+use crate::config::ProtocolConfig;
+use lucky_sim::{Effects, TimerId};
+use lucky_types::{
+    FrozenUpdate, Message, NewRead, Params, ProcessId, PwMsg, ReadSeq, ReaderId, Seq, ServerId,
+    Tag, TsVal, Value, WriteMsg,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum WriterState {
+    Idle,
+    Pw { acks: BTreeMap<ServerId, Vec<NewRead>>, timer_expired: bool },
+    /// Single W round (App. D.2 modification 1).
+    W { acks: BTreeSet<ServerId> },
+}
+
+/// The writer of the regular variant.
+///
+/// Identical to the atomic writer except the W phase is a single round
+/// (so a slow WRITE takes two round-trips and `vw` is never written).
+/// Intended to run with the Appendix D thresholds `fw = t − b` — i.e.
+/// [`Params::trading_reads`] — where the fast path needs
+/// `S − fw = t + 2b + 1` PW acks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegularWriter {
+    params: Params,
+    cfg: ProtocolConfig,
+    ts: Seq,
+    pw: TsVal,
+    w: TsVal,
+    read_ts: BTreeMap<ReaderId, ReadSeq>,
+    frozen: Vec<FrozenUpdate>,
+    state: WriterState,
+}
+
+impl RegularWriter {
+    /// A fresh writer. Use [`Params::trading_reads`] for the Appendix D
+    /// thresholds.
+    pub fn new(params: Params, cfg: ProtocolConfig) -> RegularWriter {
+        RegularWriter {
+            params,
+            cfg,
+            ts: Seq::INITIAL,
+            pw: TsVal::initial(),
+            w: TsVal::initial(),
+            read_ts: BTreeMap::new(),
+            frozen: Vec::new(),
+            state: WriterState::Idle,
+        }
+    }
+
+    /// The timestamp of the last invoked WRITE.
+    pub fn ts(&self) -> Seq {
+        self.ts
+    }
+
+    /// `true` iff no WRITE is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.state == WriterState::Idle
+    }
+
+    /// Invoke `WRITE(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a WRITE is in progress or `v` is `⊥`.
+    pub fn invoke_write(&mut self, v: Value, eff: &mut Effects<Message>) {
+        assert!(self.is_idle(), "WRITE invoked while another WRITE is in progress");
+        assert!(!v.is_bot(), "⊥ is not a valid WRITE input (§2.2)");
+        self.ts = self.ts.next();
+        self.pw = TsVal::new(self.ts, v);
+        eff.set_timer(TimerId(self.ts.0), self.cfg.timer_micros);
+        let msg = Message::Pw(PwMsg {
+            ts: self.ts,
+            pw: self.pw.clone(),
+            w: self.w.clone(),
+            frozen: self.frozen.clone(),
+        });
+        eff.broadcast(self.servers(), msg);
+        self.state = WriterState::Pw { acks: BTreeMap::new(), timer_expired: false };
+    }
+
+    /// Deliver a server message.
+    pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let Some(server) = from.as_server() else {
+            return;
+        };
+        match msg {
+            Message::PwAck(ack) if ack.ts == self.ts => {
+                if let WriterState::Pw { acks, .. } = &mut self.state {
+                    acks.insert(server, ack.newread);
+                } else {
+                    return;
+                }
+                self.try_finish_pw(eff);
+            }
+            Message::WriteAck(ack) if ack.tag == Tag::Write(self.ts) && ack.round == 2 => {
+                let quorum = self.params.quorum();
+                let done = match &mut self.state {
+                    WriterState::W { acks } => {
+                        acks.insert(server);
+                        acks.len() >= quorum
+                    }
+                    _ => false,
+                };
+                if done {
+                    self.state = WriterState::Idle;
+                    eff.complete(None, 2, false);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The PW-phase timer fired.
+    pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+        if id != TimerId(self.ts.0) {
+            return;
+        }
+        if let WriterState::Pw { timer_expired, .. } = &mut self.state {
+            *timer_expired = true;
+            self.try_finish_pw(eff);
+        }
+    }
+
+    fn try_finish_pw(&mut self, eff: &mut Effects<Message>) {
+        let WriterState::Pw { acks, timer_expired } = &self.state else {
+            return;
+        };
+        if acks.len() < self.params.quorum() || !*timer_expired {
+            return;
+        }
+        let acks = acks.clone();
+        self.w = self.pw.clone();
+        self.frozen = if self.cfg.freezing {
+            crate::freeze::freeze_values(self.params.b(), &self.pw, &mut self.read_ts, &acks)
+        } else {
+            Vec::new()
+        };
+        if self.cfg.fast_writes && acks.len() >= self.params.fast_write_acks() {
+            self.state = WriterState::Idle;
+            eff.complete(None, 1, true);
+        } else {
+            // App. D.2: one W round only.
+            let msg = Message::Write(WriteMsg {
+                round: 2,
+                tag: Tag::Write(self.ts),
+                c: self.pw.clone(),
+                frozen: vec![],
+            });
+            eff.broadcast(self.servers(), msg);
+            self.state = WriterState::W { acks: BTreeSet::new() };
+        }
+    }
+
+    fn servers(&self) -> impl Iterator<Item = ProcessId> {
+        ServerId::all(self.params.server_count()).map(ProcessId::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{PwAckMsg, WriteAckMsg};
+
+    /// t = 2, b = 1, trading-reads: fw = 1, fr = 2 → S = 6, fast acks 5.
+    fn writer() -> RegularWriter {
+        let params = Params::trading_reads(2, 1).unwrap();
+        RegularWriter::new(params, ProtocolConfig::for_sync_bound(100))
+    }
+
+    fn server(i: u16) -> ProcessId {
+        ProcessId::Server(ServerId(i))
+    }
+
+    fn pw_ack(ts: u64) -> Message {
+        Message::PwAck(PwAckMsg { ts: Seq(ts), newread: vec![] })
+    }
+
+    #[test]
+    fn fast_write_with_t_minus_b_failures() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::from_u64(1), &mut eff);
+        let mut eff = Effects::new();
+        // S - fw = 5 acks (one server crashed).
+        for i in 0..5 {
+            w.on_message(server(i), pw_ack(1), &mut eff);
+        }
+        w.on_timer(TimerId(1), &mut eff);
+        let (_, _, completion) = eff.into_parts();
+        let c = completion.expect("fast completion");
+        assert_eq!((c.rounds, c.fast), (1, true));
+    }
+
+    #[test]
+    fn slow_write_takes_two_rounds_total() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::from_u64(1), &mut eff);
+        let mut eff = Effects::new();
+        w.on_timer(TimerId(1), &mut eff);
+        // Quorum only (4 < 5): single W round follows.
+        for i in 0..4 {
+            w.on_message(server(i), pw_ack(1), &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+        let mut eff = Effects::new();
+        for i in 0..4 {
+            w.on_message(
+                server(i),
+                Message::WriteAck(WriteAckMsg { round: 2, tag: Tag::Write(Seq(1)) }),
+                &mut eff,
+            );
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(sends.is_empty(), "no third round in the regular variant");
+        let c = completion.expect("slow completion");
+        assert_eq!((c.rounds, c.fast), (2, false));
+    }
+}

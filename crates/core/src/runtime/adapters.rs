@@ -1,0 +1,157 @@
+//! Bridging the sans-io protocol cores onto `lucky-sim`'s [`Automaton`].
+
+use crate::atomic::{AtomicReader, AtomicServer, AtomicWriter};
+use crate::regular::{RegularReader, RegularServer, RegularWriter};
+use crate::tworound::{TwoRoundReader, TwoRoundServer, TwoRoundWriter};
+use lucky_sim::{Automaton, Effects, TimerId};
+use lucky_types::{Message, Op, ProcessId};
+
+/// A client-side protocol core: a writer or reader of any variant.
+///
+/// The three variants expose structurally identical surfaces (invoke,
+/// deliver, timer); this trait lets the adapters, the [`SimCluster`] and
+/// the threaded runtime treat them uniformly.
+///
+/// [`SimCluster`]: crate::SimCluster
+pub trait ClientCore: Send {
+    /// Invoke an operation (a WRITE with its value, or a READ).
+    fn invoke(&mut self, op: Op, eff: &mut Effects<Message>);
+    /// Deliver a message from `from`.
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>);
+    /// A timer fired.
+    fn timer(&mut self, id: TimerId, eff: &mut Effects<Message>);
+}
+
+/// A server-side protocol core (honest or Byzantine).
+pub trait ServerCore: Send {
+    /// Deliver a message from `from`.
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>);
+}
+
+impl ServerCore for Box<dyn ServerCore> {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        (**self).deliver(from, msg, eff);
+    }
+}
+
+macro_rules! impl_writer_core {
+    ($ty:ty) => {
+        impl ClientCore for $ty {
+            fn invoke(&mut self, op: Op, eff: &mut Effects<Message>) {
+                match op {
+                    Op::Write(v) => self.invoke_write(v, eff),
+                    Op::Read => panic!("the writer does not invoke READs (§2.2)"),
+                }
+            }
+            fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+                self.on_message(from, msg, eff);
+            }
+            fn timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+                self.on_timer(id, eff);
+            }
+        }
+    };
+}
+
+macro_rules! impl_reader_core {
+    ($ty:ty) => {
+        impl ClientCore for $ty {
+            fn invoke(&mut self, op: Op, eff: &mut Effects<Message>) {
+                match op {
+                    Op::Read => self.invoke_read(eff),
+                    Op::Write(_) => panic!("readers do not invoke WRITEs (§2.2)"),
+                }
+            }
+            fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+                self.on_message(from, msg, eff);
+            }
+            fn timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+                self.on_timer(id, eff);
+            }
+        }
+    };
+}
+
+macro_rules! impl_server_core {
+    ($ty:ty) => {
+        impl ServerCore for $ty {
+            fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+                self.handle(from, msg, eff);
+            }
+        }
+    };
+}
+
+impl_writer_core!(AtomicWriter);
+impl_writer_core!(RegularWriter);
+impl ClientCore for TwoRoundWriter {
+    fn invoke(&mut self, op: Op, eff: &mut Effects<Message>) {
+        match op {
+            Op::Write(v) => self.invoke_write(v, eff),
+            Op::Read => panic!("the writer does not invoke READs (§2.2)"),
+        }
+    }
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        self.on_message(from, msg, eff);
+    }
+    fn timer(&mut self, _id: TimerId, _eff: &mut Effects<Message>) {
+        // The two-round writer has no timers (Fig. 6).
+    }
+}
+impl_reader_core!(AtomicReader);
+impl_reader_core!(RegularReader);
+impl_reader_core!(TwoRoundReader);
+impl_server_core!(AtomicServer);
+impl_server_core!(RegularServer);
+impl_server_core!(TwoRoundServer);
+
+/// Adapter presenting any [`ClientCore`] as a simulator [`Automaton`].
+#[derive(Debug)]
+pub struct ClientAutomaton<C>(pub C);
+
+impl<C: ClientCore> Automaton<Message> for ClientAutomaton<C> {
+    fn on_invoke(&mut self, op: Op, eff: &mut Effects<Message>) {
+        self.0.invoke(op, eff);
+    }
+    fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        self.0.deliver(from, msg, eff);
+    }
+    fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+        self.0.timer(id, eff);
+    }
+}
+
+/// Adapter presenting any [`ServerCore`] as a simulator [`Automaton`].
+#[derive(Debug)]
+pub struct ServerAutomaton<S>(pub S);
+
+impl<S: ServerCore> Automaton<Message> for ServerAutomaton<S> {
+    fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        self.0.deliver(from, msg, eff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use lucky_types::{Params, ReaderId, Value};
+
+    #[test]
+    #[should_panic(expected = "does not invoke READs")]
+    fn writer_rejects_read_invocations() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut w = AtomicWriter::new(params, ProtocolConfig::default());
+        let mut eff = Effects::new();
+        ClientCore::invoke(&mut w, Op::Read, &mut eff);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not invoke WRITEs")]
+    fn reader_rejects_write_invocations() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut r = AtomicReader::new(ReaderId(0), params, ProtocolConfig::default());
+        let mut eff = Effects::new();
+        ClientCore::invoke(&mut r, Op::Write(Value::from_u64(1)), &mut eff);
+    }
+}

@@ -1,0 +1,14 @@
+//! Drivers: `lucky-sim` adapters and the [`SimCluster`] high-level API.
+//!
+//! The protocol cores are sans-io; this module is where they meet an
+//! execution substrate. [`ClientCore`]/[`ServerCore`] give every variant a
+//! uniform surface, [`ClientAutomaton`]/[`ServerAutomaton`] lift them into
+//! simulator processes, and [`SimCluster`] wires a full cluster (writer,
+//! readers, servers), drives operations, injects faults and hands the
+//! resulting history to the `lucky-checker` oracles.
+
+mod adapters;
+mod cluster;
+
+pub use adapters::{ClientAutomaton, ClientCore, ServerAutomaton, ServerCore};
+pub use cluster::{ClusterConfig, OpOutcome, Setup, SimCluster, SYNC_BOUND_MICROS};

@@ -1,0 +1,26 @@
+//! The two-round-write algorithm (Appendix C, Figs 6–8).
+//!
+//! Trades one extra server per unit of `min(b, fr)` for a **two-round
+//! worst-case WRITE**: over `S = 2t + b + min(b, fr) + 1` servers,
+//!
+//! * every WRITE completes in exactly two communication round-trips
+//!   (PW round + W round, no timer, no fast path — Fig. 6);
+//! * every lucky READ is fast despite up to `fr` server failures, using
+//!   the `fast(c) ::= |{i : w_i = c}| ≥ S − t − fr` predicate
+//!   (Fig. 7 line 5);
+//! * slow READs write back in **two** rounds (Fig. 7 lines 24–26).
+//!
+//! Proposition 5 shows the server count is tight: with one server fewer no
+//! such algorithm exists (experiment T6 reconstructs the Fig. 5 runs).
+//! Differences from the atomic variant worth auditing: the `frozen` set
+//! rides the **W** message instead of the PW message (Fig. 6 line 9), and
+//! servers keep no `vw` register (the pseudocode's `vw` is vestigial — see
+//! DESIGN.md §4.5).
+
+mod reader;
+mod server;
+mod writer;
+
+pub use reader::TwoRoundReader;
+pub use server::TwoRoundServer;
+pub use writer::TwoRoundWriter;

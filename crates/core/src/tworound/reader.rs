@@ -1,0 +1,321 @@
+//! The two-round variant's reader automaton (Fig. 7).
+
+use crate::config::ProtocolConfig;
+use crate::predicates::{self, Thresholds};
+use crate::view::{update_view, ViewTable};
+use lucky_sim::{Effects, TimerId};
+use lucky_types::{
+    Message, ProcessId, ReadMsg, ReadSeq, ReaderId, ServerId, Tag, TsVal, TwoRoundParams,
+    WriteMsg,
+};
+use std::collections::BTreeSet;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum ReaderState {
+    Idle,
+    Reading {
+        rnd: u32,
+        round_acks: BTreeSet<ServerId>,
+        views: ViewTable,
+        timer_expired: bool,
+    },
+    /// Two-round write-back (Fig. 7 lines 24–26).
+    WritingBack { round: u8, c: TsVal, acks: BTreeSet<ServerId>, read_rounds: u32 },
+    Capped,
+}
+
+/// A reader of the two-round algorithm.
+///
+/// Identical to the atomic reader except for two deviations dictated by
+/// Fig. 7: the fast predicate is `|{i : w_i = c}| ≥ S − t − fr` (line 5 —
+/// there is no `vw` register and WRITEs never skip their W round), and the
+/// write-back takes two rounds, mirroring the two-round WRITE.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TwoRoundReader {
+    id: ReaderId,
+    params: TwoRoundParams,
+    cfg: ProtocolConfig,
+    thresholds: Thresholds,
+    tsr: ReadSeq,
+    state: ReaderState,
+}
+
+impl TwoRoundReader {
+    /// A fresh reader with identity `id`.
+    pub fn new(id: ReaderId, params: TwoRoundParams, cfg: ProtocolConfig) -> TwoRoundReader {
+        TwoRoundReader {
+            id,
+            params,
+            cfg,
+            thresholds: Thresholds::from(params),
+            tsr: ReadSeq::INITIAL,
+            state: ReaderState::Idle,
+        }
+    }
+
+    /// This reader's identity.
+    pub fn id(&self) -> ReaderId {
+        self.id
+    }
+
+    /// `true` iff no READ is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.state == ReaderState::Idle
+    }
+
+    /// `true` iff the READ hit the configured round cap.
+    pub fn is_capped(&self) -> bool {
+        self.state == ReaderState::Capped
+    }
+
+    /// Invoke `READ()` (Fig. 7 lines 10–14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a READ is already in progress.
+    pub fn invoke_read(&mut self, eff: &mut Effects<Message>) {
+        assert!(self.is_idle(), "READ invoked while another READ is in progress");
+        self.tsr = self.tsr.next();
+        self.state = ReaderState::Reading {
+            rnd: 1,
+            round_acks: BTreeSet::new(),
+            views: ViewTable::new(),
+            timer_expired: false,
+        };
+        eff.set_timer(TimerId(self.tsr.0), self.cfg.timer_micros);
+        eff.broadcast(self.servers(), Message::Read(ReadMsg { tsr: self.tsr, rnd: 1 }));
+    }
+
+    /// Deliver a server message.
+    pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let Some(server) = from.as_server() else {
+            return;
+        };
+        match msg {
+            Message::ReadAck(ack) if ack.tsr == self.tsr => {
+                if let ReaderState::Reading { rnd, round_acks, views, .. } = &mut self.state {
+                    update_view(views, server, &ack);
+                    if ack.rnd == *rnd {
+                        round_acks.insert(server);
+                    }
+                } else {
+                    return;
+                }
+                self.try_finish_round(eff);
+            }
+            Message::WriteAck(ack) if ack.tag == Tag::WriteBack(self.tsr) => {
+                let quorum = self.params.quorum();
+                let finished_round = match &mut self.state {
+                    ReaderState::WritingBack { round, acks, .. } if ack.round == *round => {
+                        acks.insert(server);
+                        (acks.len() >= quorum).then_some(*round)
+                    }
+                    _ => None,
+                };
+                match finished_round {
+                    Some(r) if r < 2 => self.start_writeback_round(r + 1, eff),
+                    Some(_) => {
+                        let ReaderState::WritingBack { c, read_rounds, .. } =
+                            std::mem::replace(&mut self.state, ReaderState::Idle)
+                        else {
+                            unreachable!("matched WritingBack above");
+                        };
+                        eff.complete(Some(c.val), read_rounds + 2, false);
+                    }
+                    None => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The round-1 timer fired.
+    pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+        if id != TimerId(self.tsr.0) {
+            return;
+        }
+        if let ReaderState::Reading { timer_expired, .. } = &mut self.state {
+            *timer_expired = true;
+            self.try_finish_round(eff);
+        }
+    }
+
+    fn try_finish_round(&mut self, eff: &mut Effects<Message>) {
+        let ReaderState::Reading { rnd, round_acks, views, timer_expired } = &self.state
+        else {
+            return;
+        };
+        if round_acks.len() < self.params.quorum() || (*rnd == 1 && !*timer_expired) {
+            return;
+        }
+        let rnd = *rnd;
+        match predicates::select(views, self.tsr, &self.thresholds) {
+            Some(c) => {
+                // Fig. 7 line 5: fast(c) counts `w` copies only.
+                let is_fast = rnd == 1
+                    && self.cfg.fast_reads
+                    && predicates::count_w(views, &c) >= self.thresholds.fast_w;
+                if is_fast {
+                    self.state = ReaderState::Idle;
+                    eff.complete(Some(c.val), 1, true);
+                } else {
+                    self.state = ReaderState::WritingBack {
+                        round: 0,
+                        c,
+                        acks: BTreeSet::new(),
+                        read_rounds: rnd,
+                    };
+                    self.start_writeback_round(1, eff);
+                }
+            }
+            None => {
+                if let Some(cap) = self.cfg.max_read_rounds {
+                    if rnd + 1 > cap {
+                        self.state = ReaderState::Capped;
+                        return;
+                    }
+                }
+                let next = rnd + 1;
+                if let ReaderState::Reading { rnd, round_acks, .. } = &mut self.state {
+                    *rnd = next;
+                    round_acks.clear();
+                }
+                eff.broadcast(
+                    self.servers(),
+                    Message::Read(ReadMsg { tsr: self.tsr, rnd: next }),
+                );
+            }
+        }
+    }
+
+    fn start_writeback_round(&mut self, round: u8, eff: &mut Effects<Message>) {
+        let ReaderState::WritingBack { round: r, c, acks, .. } = &mut self.state else {
+            unreachable!("write-back round outside WritingBack state");
+        };
+        *r = round;
+        acks.clear();
+        let msg = Message::Write(WriteMsg {
+            round,
+            tag: Tag::WriteBack(self.tsr),
+            c: c.clone(),
+            frozen: vec![],
+        });
+        eff.broadcast(self.servers(), msg);
+    }
+
+    fn servers(&self) -> impl Iterator<Item = ProcessId> {
+        ServerId::all(self.params.server_count()).map(ProcessId::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{FrozenSlot, ReadAckMsg, Seq, Value, WriteAckMsg};
+
+    /// t = 2, b = 1, fr = 1 → S = 7, quorum 5, fast_w = 4, safe 2.
+    fn reader() -> TwoRoundReader {
+        let params = TwoRoundParams::new(2, 1, 1).unwrap();
+        TwoRoundReader::new(ReaderId(0), params, ProtocolConfig::for_sync_bound(100))
+    }
+
+    fn pair(ts: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(ts))
+    }
+
+    fn server(i: u16) -> ProcessId {
+        ProcessId::Server(ServerId(i))
+    }
+
+    fn read_ack(tsr: u64, rnd: u32, pw: TsVal, w: TsVal) -> Message {
+        Message::ReadAck(ReadAckMsg {
+            tsr: ReadSeq(tsr),
+            rnd,
+            pw,
+            w,
+            vw: None,
+            frozen: FrozenSlot::initial(),
+        })
+    }
+
+    fn wb_ack(round: u8, tsr: u64) -> Message {
+        Message::WriteAck(WriteAckMsg { round, tag: Tag::WriteBack(ReadSeq(tsr)) })
+    }
+
+    #[test]
+    fn fast_read_needs_s_minus_t_minus_fr_w_copies() {
+        let mut r = reader();
+        let mut eff = Effects::new();
+        r.invoke_read(&mut eff);
+        let mut eff = Effects::new();
+        // 4 servers (= S − t − fr) report ⟨1⟩ in w; 1 lags.
+        for i in 0..4 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1)), &mut eff);
+        }
+        r.on_message(server(4), read_ack(1, 1, pair(1), TsVal::initial()), &mut eff);
+        r.on_timer(TimerId(1), &mut eff);
+        let (sends, _, completion) = eff.into_parts();
+        assert!(sends.iter().all(|(_, m)| !matches!(m, Message::Write(_))));
+        let c = completion.expect("fast completion");
+        assert_eq!((c.rounds, c.fast), (1, true));
+        assert_eq!(c.value.unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn slow_read_writes_back_in_two_rounds() {
+        let mut r = reader();
+        let mut eff = Effects::new();
+        r.invoke_read(&mut eff);
+        let mut eff = Effects::new();
+        // Only 3 w-copies (< 4): safe but not fast.
+        for i in 0..3 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), pair(1)), &mut eff);
+        }
+        for i in 3..5 {
+            r.on_message(server(i), read_ack(1, 1, pair(1), TsVal::initial()), &mut eff);
+        }
+        r.on_timer(TimerId(1), &mut eff);
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert_eq!(sends.len(), 7);
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
+        // Two write-back rounds, then completion with rounds = 1 + 2.
+        let mut eff = Effects::new();
+        for i in 0..5 {
+            r.on_message(server(i), wb_ack(1, 1), &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+        let mut eff = Effects::new();
+        for i in 0..5 {
+            r.on_message(server(i), wb_ack(2, 1), &mut eff);
+        }
+        let (_, _, completion) = eff.into_parts();
+        let c = completion.expect("slow completion");
+        assert_eq!((c.rounds, c.fast), (3, false));
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn no_candidate_forces_round_two() {
+        let mut r = reader();
+        let mut eff = Effects::new();
+        r.invoke_read(&mut eff);
+        let mut eff = Effects::new();
+        // Divided pre-writes: no safe+highCand pair among 5 responders.
+        for (i, ts) in [(0u16, 2u64), (1, 3), (2, 4), (3, 5), (4, 6)] {
+            r.on_message(server(i), read_ack(1, 1, pair(ts), pair(1)), &mut eff);
+        }
+        r.on_timer(TimerId(1), &mut eff);
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
+    }
+}

@@ -1,0 +1,259 @@
+//! The two-round variant's writer automaton (Fig. 6).
+
+use lucky_sim::Effects;
+use lucky_types::{
+    FrozenUpdate, Message, NewRead, ProcessId, PwMsg, ReadSeq, ReaderId, Seq, ServerId, Tag,
+    TsVal, TwoRoundParams, Value, WriteMsg,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum WriterState {
+    Idle,
+    /// PW round: waiting for `S − t` acks (no timer — Fig. 6 line 6).
+    Pw { acks: BTreeMap<ServerId, Vec<NewRead>> },
+    /// W round: waiting for `S − t` acks (line 11).
+    W { acks: BTreeSet<ServerId> },
+}
+
+/// The writer of the two-round algorithm: every WRITE takes exactly two
+/// communication round-trips, unconditionally.
+///
+/// Compared with the atomic writer (Fig. 1): no timer, no fast path, and
+/// the frozen set computed by `freezevalues()` is shipped inside the W
+/// message of the *same* WRITE (Fig. 6 lines 7–10) rather than the next
+/// WRITE's PW message — which is what lets the wait-freedom argument of
+/// Appendix C.5 go through with only two rounds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TwoRoundWriter {
+    params: TwoRoundParams,
+    ts: Seq,
+    pw: TsVal,
+    w: TsVal,
+    read_ts: BTreeMap<ReaderId, ReadSeq>,
+    state: WriterState,
+}
+
+impl TwoRoundWriter {
+    /// A fresh writer.
+    pub fn new(params: TwoRoundParams) -> TwoRoundWriter {
+        TwoRoundWriter {
+            params,
+            ts: Seq::INITIAL,
+            pw: TsVal::initial(),
+            w: TsVal::initial(),
+            read_ts: BTreeMap::new(),
+            state: WriterState::Idle,
+        }
+    }
+
+    /// The timestamp of the last invoked WRITE.
+    pub fn ts(&self) -> Seq {
+        self.ts
+    }
+
+    /// `true` iff no WRITE is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.state == WriterState::Idle
+    }
+
+    /// The freeze watermark for `reader`.
+    pub fn read_ts_for(&self, reader: ReaderId) -> ReadSeq {
+        self.read_ts.get(&reader).copied().unwrap_or(ReadSeq::INITIAL)
+    }
+
+    /// Invoke `WRITE(v)` (Fig. 6 lines 3–5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a WRITE is in progress or `v` is `⊥`.
+    pub fn invoke_write(&mut self, v: Value, eff: &mut Effects<Message>) {
+        assert!(self.is_idle(), "WRITE invoked while another WRITE is in progress");
+        assert!(!v.is_bot(), "⊥ is not a valid WRITE input (§2.2)");
+        self.ts = self.ts.next();
+        self.pw = TsVal::new(self.ts, v);
+        let msg = Message::Pw(PwMsg {
+            ts: self.ts,
+            pw: self.pw.clone(),
+            w: self.w.clone(),
+            frozen: vec![], // this variant's PW carries no frozen entries
+        });
+        eff.broadcast(self.servers(), msg);
+        self.state = WriterState::Pw { acks: BTreeMap::new() };
+    }
+
+    /// Deliver a server message.
+    pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let Some(server) = from.as_server() else {
+            return;
+        };
+        match msg {
+            Message::PwAck(ack) if ack.ts == self.ts => {
+                let quorum = self.params.quorum();
+                let done = match &mut self.state {
+                    WriterState::Pw { acks } => {
+                        acks.insert(server, ack.newread);
+                        acks.len() >= quorum
+                    }
+                    _ => false,
+                };
+                if done {
+                    let WriterState::Pw { acks } =
+                        std::mem::replace(&mut self.state, WriterState::Idle)
+                    else {
+                        unreachable!("checked above");
+                    };
+                    // Fig. 6 lines 7–10: freeze, adopt w, start the W round
+                    // with the frozen set on board.
+                    let frozen = self.freeze_values(&acks);
+                    self.w = self.pw.clone();
+                    let msg = Message::Write(WriteMsg {
+                        round: 2,
+                        tag: Tag::Write(self.ts),
+                        c: self.pw.clone(),
+                        frozen,
+                    });
+                    eff.broadcast(self.servers(), msg);
+                    self.state = WriterState::W { acks: BTreeSet::new() };
+                }
+            }
+            Message::WriteAck(ack) if ack.tag == Tag::Write(self.ts) && ack.round == 2 => {
+                let quorum = self.params.quorum();
+                let done = match &mut self.state {
+                    WriterState::W { acks } => {
+                        acks.insert(server);
+                        acks.len() >= quorum
+                    }
+                    _ => false,
+                };
+                if done {
+                    self.state = WriterState::Idle;
+                    // Always two rounds; never "fast" in the §2.4 sense.
+                    eff.complete(None, 2, false);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// `freezevalues()` (Fig. 6 lines 13–15) — identical counting rule to
+    /// the atomic variant; see [`crate::freeze`].
+    fn freeze_values(&mut self, acks: &BTreeMap<ServerId, Vec<NewRead>>) -> Vec<FrozenUpdate> {
+        crate::freeze::freeze_values(self.params.b(), &self.pw, &mut self.read_ts, acks)
+    }
+
+    fn servers(&self) -> impl Iterator<Item = ProcessId> {
+        ServerId::all(self.params.server_count()).map(ProcessId::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{PwAckMsg, WriteAckMsg};
+
+    /// t = 2, b = 1, fr = 1 → S = 7, quorum 5.
+    fn writer() -> TwoRoundWriter {
+        TwoRoundWriter::new(TwoRoundParams::new(2, 1, 1).unwrap())
+    }
+
+    fn server(i: u16) -> ProcessId {
+        ProcessId::Server(ServerId(i))
+    }
+
+    fn pw_ack(ts: u64, newread: Vec<NewRead>) -> Message {
+        Message::PwAck(PwAckMsg { ts: Seq(ts), newread })
+    }
+
+    fn w_ack(ts: u64) -> Message {
+        Message::WriteAck(WriteAckMsg { round: 2, tag: Tag::Write(Seq(ts)) })
+    }
+
+    #[test]
+    fn every_write_takes_exactly_two_rounds() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::from_u64(7), &mut eff);
+        let (sends, timers, _) = eff.into_parts();
+        assert_eq!(sends.len(), 7);
+        assert!(timers.is_empty(), "no timer in the two-round variant");
+
+        // All seven servers ack the PW round — still not complete.
+        let mut eff = Effects::new();
+        for i in 0..7 {
+            w.on_message(server(i), pw_ack(1, vec![]), &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none(), "no fast path even with all acks");
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+
+        // W-round quorum completes the WRITE in two rounds.
+        let mut eff = Effects::new();
+        for i in 0..5 {
+            w.on_message(server(i), w_ack(1), &mut eff);
+        }
+        let (_, _, completion) = eff.into_parts();
+        let c = completion.expect("completion");
+        assert_eq!((c.rounds, c.fast), (2, false));
+        assert!(w.is_idle());
+    }
+
+    #[test]
+    fn frozen_set_rides_this_writes_w_round() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::from_u64(7), &mut eff);
+        let nr = |tsr: u64| vec![NewRead { reader: ReaderId(0), tsr: ReadSeq(tsr) }];
+        let mut eff = Effects::new();
+        for i in 0..5 {
+            w.on_message(server(i), pw_ack(1, nr(3)), &mut eff);
+        }
+        let (sends, _, _) = eff.into_parts();
+        match &sends[0].1 {
+            Message::Write(wm) => {
+                assert_eq!(wm.round, 2);
+                assert_eq!(wm.frozen.len(), 1);
+                assert_eq!(wm.frozen[0].tsr, ReadSeq(3));
+                // Frozen pair is *this* write's pair, not the previous one.
+                assert_eq!(wm.frozen[0].pw, TsVal::new(Seq(1), Value::from_u64(7)));
+            }
+            other => panic!("expected Write, got {other:?}"),
+        }
+        assert_eq!(w.read_ts_for(ReaderId(0)), ReadSeq(3));
+    }
+
+    #[test]
+    fn pw_acks_with_wrong_ts_are_invalid() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::from_u64(7), &mut eff);
+        let mut eff = Effects::new();
+        for i in 0..5 {
+            w.on_message(server(i), pw_ack(9, vec![]), &mut eff);
+        }
+        assert!(eff.is_empty());
+        assert!(!w.is_idle());
+    }
+
+    #[test]
+    fn duplicate_acks_count_once() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::from_u64(7), &mut eff);
+        let mut eff = Effects::new();
+        for _ in 0..10 {
+            w.on_message(server(0), pw_ack(1, vec![]), &mut eff);
+        }
+        assert!(eff.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid WRITE input")]
+    fn bot_rejected() {
+        let mut w = writer();
+        let mut eff = Effects::new();
+        w.invoke_write(Value::Bot, &mut eff);
+    }
+}

@@ -1,0 +1,108 @@
+//! The reader's view of server state.
+//!
+//! During a READ, the reader keeps the latest copy it has received of each
+//! server's `pw`, `w`, `vw` and `frozen` variables (Fig. 2 lines 23–25).
+//! All decision predicates are evaluated over this table — and **only**
+//! over servers that have actually responded during the current READ,
+//! which is what the counting arguments of Lemmas 5 and 6 require
+//! (see DESIGN.md §4.2).
+
+use lucky_types::{FrozenSlot, ReadAckMsg, ServerId, TsVal};
+use std::collections::BTreeMap;
+
+/// The latest copy of one server's registers received in this READ.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ServerView {
+    /// Round number of the ack this view came from (`rnd_i`).
+    pub rnd: u32,
+    /// Server's `pw` register.
+    pub pw: TsVal,
+    /// Server's `w` register.
+    pub w: TsVal,
+    /// Server's `vw` register (absent in the two-round variant).
+    pub vw: Option<TsVal>,
+    /// Server's frozen slot for this reader.
+    pub frozen: FrozenSlot,
+}
+
+impl ServerView {
+    /// Build a view from a READ ack.
+    pub fn from_ack(ack: &ReadAckMsg) -> ServerView {
+        ServerView {
+            rnd: ack.rnd,
+            pw: ack.pw.clone(),
+            w: ack.w.clone(),
+            vw: ack.vw.clone(),
+            frozen: ack.frozen.clone(),
+        }
+    }
+
+    /// `readLive(c, i)` (Fig. 2 line 1): the pair `c` is the latest copy of
+    /// this server's `pw` or `w` register.
+    pub fn read_live(&self, c: &TsVal) -> bool {
+        self.pw == *c || self.w == *c
+    }
+}
+
+/// The reader's table of the latest server views, keyed by server.
+///
+/// Servers that have not responded in the current READ are simply absent.
+pub type ViewTable = BTreeMap<ServerId, ServerView>;
+
+/// Insert `ack` into `views` following Fig. 2 lines 24–25: adopt it only
+/// if it is from a later round than the stored view (`rnd' > rnd_i`).
+/// Returns `true` if the view was updated.
+pub fn update_view(views: &mut ViewTable, server: ServerId, ack: &ReadAckMsg) -> bool {
+    match views.get(&server) {
+        Some(existing) if ack.rnd <= existing.rnd => false,
+        _ => {
+            views.insert(server, ServerView::from_ack(ack));
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{ReadSeq, Seq, Value};
+
+    fn ack(rnd: u32, pw_ts: u64) -> ReadAckMsg {
+        ReadAckMsg {
+            tsr: ReadSeq(1),
+            rnd,
+            pw: TsVal::new(Seq(pw_ts), Value::from_u64(pw_ts)),
+            w: TsVal::initial(),
+            vw: Some(TsVal::initial()),
+            frozen: FrozenSlot::initial(),
+        }
+    }
+
+    #[test]
+    fn later_round_replaces_view() {
+        let mut views = ViewTable::new();
+        assert!(update_view(&mut views, ServerId(0), &ack(1, 5)));
+        assert!(update_view(&mut views, ServerId(0), &ack(2, 6)));
+        assert_eq!(views[&ServerId(0)].pw.ts, Seq(6));
+    }
+
+    #[test]
+    fn stale_round_is_ignored() {
+        let mut views = ViewTable::new();
+        assert!(update_view(&mut views, ServerId(0), &ack(2, 6)));
+        assert!(!update_view(&mut views, ServerId(0), &ack(1, 5)));
+        assert!(!update_view(&mut views, ServerId(0), &ack(2, 7)));
+        assert_eq!(views[&ServerId(0)].pw.ts, Seq(6));
+    }
+
+    #[test]
+    fn read_live_matches_pw_or_w() {
+        let mut view = ServerView::from_ack(&ack(1, 5));
+        let five = TsVal::new(Seq(5), Value::from_u64(5));
+        assert!(view.read_live(&five));
+        assert!(view.read_live(&TsVal::initial())); // w is initial
+        view.w = five.clone();
+        assert!(view.read_live(&five));
+        assert!(!view.read_live(&TsVal::new(Seq(9), Value::from_u64(9))));
+    }
+}

@@ -1,0 +1,541 @@
+//! Cluster assembly and blocking client handles.
+
+use crate::router::{run_router, Envelope, NetStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lucky_core::atomic::{AtomicReader, AtomicServer, AtomicWriter};
+use lucky_core::runtime::{ClientCore, ServerCore};
+use lucky_core::ProtocolConfig;
+use lucky_sim::{Effects, TimerId};
+use lucky_types::{Message, Op, Params, ProcessId, ReaderId, ServerId, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded cluster.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Minimum injected one-way latency.
+    pub min_latency: Duration,
+    /// Maximum injected one-way latency.
+    pub max_latency: Duration,
+    /// Router RNG seed (latency sampling).
+    pub seed: u64,
+    /// Client round-1 timer. Should be at least `2 × max_latency` plus a
+    /// scheduling margin for operations to be reliably lucky.
+    pub timer: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            min_latency: Duration::from_micros(200),
+            max_latency: Duration::from_millis(2),
+            seed: 0,
+            // 2 × 2ms plus a generous margin for thread scheduling noise.
+            timer: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Why a blocking operation failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetError {
+    /// The cluster was shut down while the operation was in flight.
+    Disconnected,
+    /// The operation did not complete within the deadline.
+    TimedOut,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "cluster shut down mid-operation"),
+            NetError::TimedOut => write!(f, "operation did not complete within the deadline"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Outcome of a blocking operation on the threaded runtime.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetOutcome {
+    /// Value read (READs) or written (WRITEs).
+    pub value: Value,
+    /// Communication round-trips used.
+    pub rounds: u32,
+    /// `true` iff the operation was fast (one round-trip).
+    pub fast: bool,
+    /// Wall-clock latency.
+    pub elapsed: Duration,
+}
+
+/// Drives one client core from the calling thread.
+struct ClientDriver<C> {
+    id: ProcessId,
+    core: C,
+    inbox: Receiver<(ProcessId, Message)>,
+    router: Sender<Envelope>,
+    /// Per-operation deadline: generous multiple of the timer so stalled
+    /// operations surface as errors instead of hanging forever.
+    op_deadline: Duration,
+}
+
+impl<C: ClientCore> ClientDriver<C> {
+    fn run_op(&mut self, op: Op) -> Result<NetOutcome, NetError> {
+        let start = Instant::now();
+        let deadline = start + self.op_deadline;
+        let mut eff = Effects::new();
+        self.core.invoke(op.clone(), &mut eff);
+        let mut timers: Vec<(TimerId, Instant)> = Vec::new();
+        if let Some(done) = self.apply(eff, &mut timers) {
+            return Ok(self.outcome(op, done, start));
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            // Fire due timers.
+            let mut fired = false;
+            let mut i = 0;
+            while i < timers.len() {
+                if timers[i].1 <= now {
+                    let (id, _) = timers.remove(i);
+                    let mut eff = Effects::new();
+                    self.core.timer(id, &mut eff);
+                    fired = true;
+                    if let Some(done) = self.apply(eff, &mut timers) {
+                        return Ok(self.outcome(op, done, start));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if fired {
+                continue;
+            }
+            let next_timer = timers.iter().map(|(_, at)| *at).min();
+            let wait_until = next_timer.unwrap_or(deadline).min(deadline);
+            let timeout = wait_until.saturating_duration_since(Instant::now());
+            match self.inbox.recv_timeout(timeout) {
+                Ok((from, msg)) => {
+                    let mut eff = Effects::new();
+                    self.core.deliver(from, msg, &mut eff);
+                    if let Some(done) = self.apply(eff, &mut timers) {
+                        return Ok(self.outcome(op, done, start));
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Disconnected);
+                }
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        eff: Effects<Message>,
+        timers: &mut Vec<(TimerId, Instant)>,
+    ) -> Option<(Option<Value>, u32, bool)> {
+        let (sends, new_timers, completion) = eff.into_parts();
+        for (to, msg) in sends {
+            let _ = self.router.send(Envelope::Deliver { from: self.id, to, msg });
+        }
+        let now = Instant::now();
+        for (id, delay_micros) in new_timers {
+            timers.push((id, now + Duration::from_micros(delay_micros)));
+        }
+        completion.map(|c| (c.value, c.rounds, c.fast))
+    }
+
+    fn outcome(
+        &self,
+        op: Op,
+        (value, rounds, fast): (Option<Value>, u32, bool),
+        start: Instant,
+    ) -> NetOutcome {
+        let value = match (value, op) {
+            (Some(v), _) => v,
+            (None, Op::Write(v)) => v,
+            (None, Op::Read) => Value::Bot,
+        };
+        NetOutcome { value, rounds, fast, elapsed: start.elapsed() }
+    }
+}
+
+/// Blocking writer handle: owns the writer core.
+pub struct WriterHandle {
+    driver: ClientDriver<AtomicWriter>,
+}
+
+impl fmt::Debug for WriterHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriterHandle").finish_non_exhaustive()
+    }
+}
+
+impl WriterHandle {
+    /// `WRITE(v)`, blocking until it completes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the cluster shut down or the operation stalled.
+    pub fn write(&mut self, v: Value) -> Result<NetOutcome, NetError> {
+        self.driver.run_op(Op::Write(v))
+    }
+}
+
+/// Blocking reader handle: owns one reader core.
+pub struct ReaderHandle {
+    driver: ClientDriver<AtomicReader>,
+}
+
+impl fmt::Debug for ReaderHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReaderHandle").finish_non_exhaustive()
+    }
+}
+
+impl ReaderHandle {
+    /// `READ()`, blocking until it completes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the cluster shut down or the operation stalled.
+    pub fn read(&mut self) -> Result<NetOutcome, NetError> {
+        self.driver.run_op(Op::Read)
+    }
+}
+
+/// Builder for a threaded cluster.
+pub struct NetClusterBuilder {
+    params: Params,
+    cfg: NetConfig,
+    readers: usize,
+    byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
+    crashed: Vec<u16>,
+}
+
+impl fmt::Debug for NetClusterBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetClusterBuilder")
+            .field("params", &self.params)
+            .field("readers", &self.readers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetClusterBuilder {
+    /// Number of reader handles to create (default 1).
+    #[must_use]
+    pub fn readers(mut self, readers: usize) -> Self {
+        self.readers = readers;
+        self
+    }
+
+    /// Install a Byzantine behaviour at server `i`.
+    #[must_use]
+    pub fn byzantine(mut self, i: u16, core: Box<dyn ServerCore>) -> Self {
+        self.byzantine.insert(i, core);
+        self
+    }
+
+    /// Start server `i` crashed (it is simply never spawned).
+    #[must_use]
+    pub fn crashed(mut self, i: u16) -> Self {
+        self.crashed.push(i);
+        self
+    }
+
+    /// Spawn the router and server threads and hand out client handles.
+    pub fn build(mut self) -> NetCluster {
+        let protocol = ProtocolConfig {
+            timer_micros: self.cfg.timer.as_micros() as u64,
+            ..ProtocolConfig::default()
+        };
+        let (router_tx, router_rx) = unbounded::<Envelope>();
+        let mut inboxes = BTreeMap::new();
+        let mut server_threads = Vec::new();
+
+        // Client inboxes.
+        let (writer_tx, writer_rx) = unbounded();
+        inboxes.insert(ProcessId::Writer, writer_tx);
+        let mut reader_rxs = BTreeMap::new();
+        for r in ReaderId::all(self.readers) {
+            let (tx, rx) = unbounded();
+            inboxes.insert(ProcessId::Reader(r), tx);
+            reader_rxs.insert(r, rx);
+        }
+
+        // Server threads.
+        for s in ServerId::all(self.params.server_count()) {
+            if self.crashed.contains(&s.0) {
+                continue;
+            }
+            let (tx, rx) = unbounded::<(ProcessId, Message)>();
+            inboxes.insert(ProcessId::Server(s), tx);
+            let router = router_tx.clone();
+            let mut core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
+                Some(byz) => byz,
+                None => Box::new(AtomicServer::new()),
+            };
+            let id = ProcessId::Server(s);
+            server_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("lucky-server-{}", s.0))
+                    .spawn(move || {
+                        while let Ok((from, msg)) = rx.recv() {
+                            let mut eff = Effects::new();
+                            core.deliver(from, msg, &mut eff);
+                            let (sends, _, _) = eff.into_parts();
+                            for (to, out) in sends {
+                                if router
+                                    .send(Envelope::Deliver { from: id, to, msg: out })
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn server thread"),
+            );
+        }
+
+        // Router thread.
+        let stats = Arc::new(Mutex::new(NetStats::default()));
+        let latency = (self.cfg.min_latency, self.cfg.max_latency);
+        let seed = self.cfg.seed;
+        let stats_for_router = Arc::clone(&stats);
+        let router_thread = std::thread::Builder::new()
+            .name("lucky-router".into())
+            .spawn(move || run_router(router_rx, inboxes, latency, seed, stats_for_router))
+            .expect("spawn router thread");
+
+        // Generous per-op deadline: stalls surface as TimedOut.
+        let op_deadline = 100 * self.cfg.timer.max(Duration::from_millis(10));
+
+        let writer = WriterHandle {
+            driver: ClientDriver {
+                id: ProcessId::Writer,
+                core: AtomicWriter::new(self.params, protocol),
+                inbox: writer_rx,
+                router: router_tx.clone(),
+                op_deadline,
+            },
+        };
+        let readers = reader_rxs
+            .into_iter()
+            .map(|(r, rx)| {
+                (
+                    r,
+                    ReaderHandle {
+                        driver: ClientDriver {
+                            id: ProcessId::Reader(r),
+                            core: AtomicReader::new(r, self.params, protocol),
+                            inbox: rx,
+                            router: router_tx.clone(),
+                            op_deadline,
+                        },
+                    },
+                )
+            })
+            .collect();
+
+        NetCluster {
+            router_tx,
+            router_thread: Some(router_thread),
+            server_threads,
+            writer: Some(writer),
+            readers,
+            stats,
+        }
+    }
+}
+
+/// A running threaded cluster. Take the client handles with
+/// [`NetCluster::take_writer`] / [`NetCluster::take_reader`] (they can be
+/// moved to other threads) and call [`NetCluster::shutdown`] when done.
+pub struct NetCluster {
+    router_tx: Sender<Envelope>,
+    router_thread: Option<JoinHandle<()>>,
+    server_threads: Vec<JoinHandle<()>>,
+    writer: Option<WriterHandle>,
+    readers: BTreeMap<ReaderId, ReaderHandle>,
+    stats: Arc<Mutex<NetStats>>,
+}
+
+impl fmt::Debug for NetCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetCluster")
+            .field("servers", &self.server_threads.len())
+            .field("readers", &self.readers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetCluster {
+    /// Start building a cluster.
+    pub fn builder(params: Params, cfg: NetConfig) -> NetClusterBuilder {
+        NetClusterBuilder {
+            params,
+            cfg,
+            readers: 1,
+            byzantine: BTreeMap::new(),
+            crashed: Vec::new(),
+        }
+    }
+
+    /// Take the writer handle (once).
+    pub fn take_writer(&mut self) -> Option<WriterHandle> {
+        self.writer.take()
+    }
+
+    /// Take reader `i`'s handle (once each).
+    pub fn take_reader(&mut self, i: u16) -> Option<ReaderHandle> {
+        self.readers.remove(&ReaderId(i))
+    }
+
+    /// Router statistics so far.
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// Stop the router and server threads and wait for them.
+    pub fn shutdown(&mut self) {
+        let _ = self.router_tx.send(Envelope::Stop);
+        if let Some(t) = self.router_thread.take() {
+            let _ = t.join();
+        }
+        // Router gone → server inboxes disconnect → servers exit.
+        for t in self.server_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetCluster {
+    fn drop(&mut self) {
+        // Non-blocking: signal stop; threads unwind on channel disconnect.
+        let _ = self.router_tx.send(Envelope::Stop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> NetConfig {
+        NetConfig {
+            min_latency: Duration::from_micros(50),
+            max_latency: Duration::from_micros(200),
+            seed: 1,
+            timer: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut cluster = NetCluster::builder(params, fast_cfg()).build();
+        let mut writer = cluster.take_writer().unwrap();
+        let mut reader = cluster.take_reader(0).unwrap();
+        let w = writer.write(Value::from_u64(7)).unwrap();
+        assert!(w.rounds >= 1);
+        let r = reader.read().unwrap();
+        assert_eq!(r.value.as_u64(), Some(7));
+        assert!(cluster.stats().messages > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sequential_values_are_monotone() {
+        let params = Params::new(1, 1, 0, 0).unwrap();
+        let mut cluster = NetCluster::builder(params, fast_cfg()).build();
+        let mut writer = cluster.take_writer().unwrap();
+        let mut reader = cluster.take_reader(0).unwrap();
+        for i in 1..=5u64 {
+            writer.write(Value::from_u64(i)).unwrap();
+            let r = reader.read().unwrap();
+            assert_eq!(r.value.as_u64(), Some(i));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_server_within_t_does_not_block() {
+        let params = Params::new(2, 0, 1, 1).unwrap();
+        let mut cluster = NetCluster::builder(params, fast_cfg()).crashed(0).build();
+        let mut writer = cluster.take_writer().unwrap();
+        let mut reader = cluster.take_reader(0).unwrap();
+        writer.write(Value::from_u64(1)).unwrap();
+        let r = reader.read().unwrap();
+        assert_eq!(r.value.as_u64(), Some(1));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn byzantine_forger_is_outvoted() {
+        use lucky_core::byz::ForgeValue;
+        use lucky_types::{Seq, TsVal};
+        let params = Params::new(1, 1, 0, 0).unwrap();
+        let forged = TsVal::new(Seq(50), Value::from_u64(666));
+        let mut cluster = NetCluster::builder(params, fast_cfg())
+            .byzantine(0, Box::new(ForgeValue::new(forged)))
+            .build();
+        let mut writer = cluster.take_writer().unwrap();
+        let mut reader = cluster.take_reader(0).unwrap();
+        writer.write(Value::from_u64(1)).unwrap();
+        let r = reader.read().unwrap();
+        assert_eq!(r.value.as_u64(), Some(1));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_reader_threads() {
+        let params = Params::new(1, 0, 0, 1).unwrap();
+        let mut cluster =
+            NetCluster::builder(params, fast_cfg()).readers(2).build();
+        let mut writer = cluster.take_writer().unwrap();
+        let mut r0 = cluster.take_reader(0).unwrap();
+        let mut r1 = cluster.take_reader(1).unwrap();
+        writer.write(Value::from_u64(1)).unwrap();
+        let t = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            for _ in 0..5 {
+                seen.push(r1.read().unwrap().value.as_u64().unwrap());
+            }
+            seen
+        });
+        for i in 2..=6u64 {
+            writer.write(Value::from_u64(i)).unwrap();
+            let v = r0.read().unwrap().value.as_u64().unwrap();
+            assert!(v >= i.saturating_sub(1), "reader sees a recent value");
+        }
+        let seen = t.join().unwrap();
+        // Values seen by the concurrent reader never decrease (atomicity).
+        for pair in seen.windows(2) {
+            assert!(pair[1] >= pair[0], "no new/old inversion: {seen:?}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn too_many_crashes_time_out() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut cfg = fast_cfg();
+        cfg.timer = Duration::from_millis(1);
+        let mut cluster = NetCluster::builder(params, cfg)
+            .crashed(0)
+            .crashed(1)
+            .build();
+        let mut writer = cluster.take_writer().unwrap();
+        assert_eq!(writer.write(Value::from_u64(1)).unwrap_err(), NetError::TimedOut);
+        cluster.shutdown();
+    }
+}

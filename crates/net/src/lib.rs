@@ -1,0 +1,41 @@
+//! # lucky-net
+//!
+//! A thread-based, wall-clock runtime for the lucky storage protocols.
+//!
+//! The same sans-io cores that run under the deterministic simulator run
+//! here over real threads and channels: every server is a thread, a
+//! router thread injects configurable per-message latency, and client
+//! handles drive the writer/reader cores from the caller's thread with
+//! blocking `write`/`read` calls. This is the runtime the
+//! `replicated_config_store` example uses to demonstrate the library
+//! outside the simulator.
+//!
+//! ```
+//! use lucky_net::{NetCluster, NetConfig};
+//! use lucky_types::{Params, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = Params::new(1, 0, 1, 0)?;
+//! let mut cluster = NetCluster::builder(params, NetConfig::default()).build();
+//! let mut writer = cluster.take_writer().expect("writer handle");
+//! let mut reader = cluster.take_reader(0).expect("reader handle");
+//!
+//! let w = writer.write(Value::from_u64(42))?;
+//! assert!(w.rounds >= 1);
+//! let r = reader.read()?;
+//! assert_eq!(r.value.as_u64(), Some(42));
+//! cluster.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster;
+mod router;
+
+pub use cluster::{
+    NetCluster, NetClusterBuilder, NetConfig, NetError, NetOutcome, ReaderHandle, WriterHandle,
+};
+pub use router::NetStats;

@@ -1,0 +1,126 @@
+//! The latency-injecting router thread.
+
+use crossbeam::channel::{Receiver, Sender};
+use lucky_types::{Message, ProcessId};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message travelling between two processes.
+#[derive(Debug)]
+pub(crate) enum Envelope {
+    /// Deliver `msg` from `from` to `to` after the injected latency.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Recipient.
+        to: ProcessId,
+        /// Payload.
+        msg: Message,
+    },
+    /// Tear the cluster down.
+    Stop,
+}
+
+/// Counters the router maintains; readable via `NetCluster::stats`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NetStats {
+    /// Messages routed.
+    pub messages: u64,
+    /// Estimated wire bytes routed.
+    pub bytes: u64,
+    /// Messages dropped because the recipient was unknown or its inbox
+    /// closed (e.g. a crashed server).
+    pub dropped: u64,
+}
+
+struct InFlight {
+    due: Instant,
+    seq: u64,
+    from: ProcessId,
+    to: ProcessId,
+    msg: Message,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Run the router loop until a [`Envelope::Stop`] arrives or every sender
+/// disconnects.
+pub(crate) fn run_router(
+    rx: Receiver<Envelope>,
+    inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
+    latency: (Duration, Duration),
+    seed: u64,
+    stats: Arc<Mutex<NetStats>>,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut heap: BinaryHeap<InFlight> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|m| m.due <= now) {
+            let m = heap.pop().expect("peeked above");
+            let mut s = stats.lock();
+            match inboxes.get(&m.to) {
+                Some(tx) if tx.send((m.from, m.msg)).is_ok() => {}
+                _ => s.dropped += 1,
+            }
+        }
+        // Wait for the next envelope or the next due instant.
+        let received = match heap.peek() {
+            Some(m) => {
+                let timeout = m.due.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok(env) => Some(env),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match rx.recv() {
+                Ok(env) => Some(env),
+                Err(_) => return,
+            },
+        };
+        match received {
+            Some(Envelope::Deliver { from, to, msg }) => {
+                let (min, max) = latency;
+                let delay = if max > min {
+                    min + Duration::from_micros(
+                        rng.gen_range(0..=(max - min).as_micros() as u64),
+                    )
+                } else {
+                    min
+                };
+                {
+                    let mut s = stats.lock();
+                    s.messages += 1;
+                    s.bytes += msg.wire_size() as u64;
+                }
+                seq += 1;
+                heap.push(InFlight { due: Instant::now() + delay, seq, from, to, msg });
+            }
+            Some(Envelope::Stop) => return,
+            None => {}
+        }
+    }
+}

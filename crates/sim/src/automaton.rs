@@ -1,0 +1,192 @@
+//! The process model: sans-io automata and their effects.
+
+use lucky_types::{Message, Op, ProcessId, Value};
+
+/// Identifier an automaton assigns to a timer it starts, echoed back when
+/// the timer fires. Automata choose their own ids (e.g. the round number),
+/// which lets them ignore stale timers from abandoned phases.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TimerId(pub u64);
+
+/// Everything an automaton wants done as the result of one step: messages
+/// to send, timers to start, and possibly the completion of the client
+/// operation in progress.
+///
+/// An `Effects` value is handed to the automaton by the [`World`]
+/// (or any other driver, such as the threaded runtime in `lucky-net`) and
+/// applied atomically after the step — matching the paper's definition of
+/// a step (§2.1), in which a process removes messages, computes, and then
+/// puts its output messages into the channels.
+///
+/// [`World`]: crate::World
+#[derive(Debug)]
+pub struct Effects<M> {
+    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) timers: Vec<(TimerId, u64)>,
+    pub(crate) completion: Option<Completion>,
+}
+
+/// Completion of a client operation, with the complexity metadata the
+/// paper's fast/slow distinction cares about.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Completion {
+    /// Value returned (READs) or `None` (WRITEs).
+    pub value: Option<Value>,
+    /// Communication round-trips used.
+    pub rounds: u32,
+    /// `true` iff the operation was fast (one round-trip).
+    pub fast: bool,
+}
+
+impl<M> Effects<M> {
+    /// Fresh, empty effects.
+    pub fn new() -> Effects<M> {
+        Effects { sends: Vec::new(), timers: Vec::new(), completion: None }
+    }
+
+    /// Send `msg` to `to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Send clones of `msg` to every destination.
+    pub fn broadcast(&mut self, to: impl IntoIterator<Item = ProcessId>, msg: M)
+    where
+        M: Clone,
+    {
+        for dest in to {
+            self.sends.push((dest, msg.clone()));
+        }
+    }
+
+    /// Start a timer that fires after `delay_micros`, echoing `id`.
+    pub fn set_timer(&mut self, id: TimerId, delay_micros: u64) {
+        self.timers.push((id, delay_micros));
+    }
+
+    /// Complete the operation in progress. `value` is the READ result
+    /// (`None` for WRITEs); `rounds` counts communication round-trips and
+    /// `fast` records whether the operation was fast (§2.4: one round).
+    pub fn complete(&mut self, value: Option<Value>, rounds: u32, fast: bool) {
+        debug_assert!(self.completion.is_none(), "operation completed twice in one step");
+        self.completion = Some(Completion { value, rounds, fast });
+    }
+
+    /// Number of queued sends (used by drivers for accounting).
+    pub fn send_count(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// `true` iff nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty() && self.completion.is_none()
+    }
+
+    /// Decompose into `(sends, timers, completion)` — used by protocol
+    /// unit tests and alternative drivers (e.g. the threaded runtime).
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (Vec<(ProcessId, M)>, Vec<(TimerId, u64)>, Option<Completion>) {
+        (self.sends, self.timers, self.completion)
+    }
+}
+
+impl<M> Default for Effects<M> {
+    fn default() -> Self {
+        Effects::new()
+    }
+}
+
+/// A process automaton, following the paper's model (§2.1): in each step it
+/// consumes at most one message (or a timer expiry, or an operation
+/// invocation scheduled by the algorithm) and atomically produces output
+/// messages.
+///
+/// Malicious processes are modelled as different implementations of this
+/// same trait — they may answer anything, but the driver guarantees they
+/// cannot tamper with channels between non-malicious processes, exactly as
+/// in the paper's fault model.
+pub trait Automaton<M>: Send {
+    /// A client operation is invoked on this process. Servers never
+    /// receive invocations; the default ignores them.
+    fn on_invoke(&mut self, op: Op, eff: &mut Effects<M>) {
+        let _ = (op, eff);
+    }
+
+    /// A message from `from` is delivered.
+    fn on_message(&mut self, from: ProcessId, msg: M, eff: &mut Effects<M>);
+
+    /// A timer previously started via [`Effects::set_timer`] fired.
+    fn on_timer(&mut self, id: TimerId, eff: &mut Effects<M>) {
+        let _ = (id, eff);
+    }
+}
+
+/// Message payloads the simulator can account for (wire-size metrics and
+/// trace labels).
+pub trait Payload: Clone + std::fmt::Debug + Send {
+    /// Estimated encoded size in bytes; the default is a fixed header.
+    fn wire_size(&self) -> usize {
+        8
+    }
+
+    /// Short label for trace output (e.g. `"PW_ACK"`).
+    fn label(&self) -> &'static str {
+        "msg"
+    }
+}
+
+impl Payload for Message {
+    fn wire_size(&self) -> usize {
+        Message::wire_size(self)
+    }
+
+    fn label(&self) -> &'static str {
+        self.kind()
+    }
+}
+
+impl Payload for u32 {}
+impl Payload for u64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::ServerId;
+
+    #[test]
+    fn effects_accumulate_sends() {
+        let mut eff: Effects<u32> = Effects::new();
+        assert!(eff.is_empty());
+        eff.send(ProcessId::Writer, 1);
+        eff.broadcast(ServerId::all(3).map(ProcessId::from), 2);
+        assert_eq!(eff.send_count(), 4);
+        assert!(!eff.is_empty());
+    }
+
+    #[test]
+    fn effects_record_completion() {
+        let mut eff: Effects<u32> = Effects::new();
+        eff.complete(Some(Value::from_u64(3)), 2, false);
+        let c = eff.completion.unwrap();
+        assert_eq!(c.rounds, 2);
+        assert!(!c.fast);
+        assert_eq!(c.value.unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn effects_record_timers() {
+        let mut eff: Effects<u32> = Effects::new();
+        eff.set_timer(TimerId(7), 250);
+        assert_eq!(eff.timers, vec![(TimerId(7), 250)]);
+    }
+
+    use lucky_types::Value;
+
+    #[test]
+    fn default_is_empty() {
+        let eff: Effects<u64> = Effects::default();
+        assert!(eff.is_empty());
+    }
+}

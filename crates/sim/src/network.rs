@@ -1,0 +1,184 @@
+//! Link delay models.
+//!
+//! The paper's synchrony definition (§2.3) bounds the propagation time of
+//! every message exchanged during an operation by a constant known to the
+//! client. [`NetworkModel`] realises both regimes:
+//!
+//! * *synchronous runs*: choose a delay distribution whose maximum is at
+//!   most the advertised bound — every operation is synchronous;
+//! * *asynchronous runs*: choose delays that exceed the bound (or gate
+//!   links in the [`World`]) — operations lose their luck.
+//!
+//! [`World`]: crate::World
+
+use lucky_types::ProcessId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A delivery-delay distribution, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Delay {
+    /// Every message takes exactly this long.
+    Constant(u64),
+    /// Uniformly distributed in `[min, max]` (inclusive).
+    Uniform {
+        /// Minimum delay.
+        min: u64,
+        /// Maximum delay.
+        max: u64,
+    },
+}
+
+impl Delay {
+    /// Sample a delay.
+    pub fn sample(self, rng: &mut SmallRng) -> u64 {
+        match self {
+            Delay::Constant(d) => d,
+            Delay::Uniform { min, max } => rng.gen_range(min..=max),
+        }
+    }
+
+    /// Upper bound of the distribution (the `t_{c,s}` a client may assume).
+    pub fn max(self) -> u64 {
+        match self {
+            Delay::Constant(d) => d,
+            Delay::Uniform { max, .. } => max,
+        }
+    }
+}
+
+/// Per-link delay assignment: a default distribution plus directed
+/// per-link overrides.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    default: Delay,
+    overrides: BTreeMap<(ProcessId, ProcessId), Delay>,
+}
+
+impl NetworkModel {
+    /// All links use `delay`.
+    pub fn new(delay: Delay) -> NetworkModel {
+        NetworkModel { default: delay, overrides: BTreeMap::new() }
+    }
+
+    /// All links take a constant `micros`.
+    pub fn constant(micros: u64) -> NetworkModel {
+        NetworkModel::new(Delay::Constant(micros))
+    }
+
+    /// All links uniform in `[min, max]` microseconds.
+    pub fn uniform(min: u64, max: u64) -> NetworkModel {
+        assert!(min <= max, "min delay must not exceed max");
+        NetworkModel::new(Delay::Uniform { min, max })
+    }
+
+    /// Override the delay of the directed link `from → to`.
+    pub fn set_link(&mut self, from: ProcessId, to: ProcessId, delay: Delay) -> &mut Self {
+        self.overrides.insert((from, to), delay);
+        self
+    }
+
+    /// Override both directions between `a` and `b`.
+    pub fn set_pair(&mut self, a: ProcessId, b: ProcessId, delay: Delay) -> &mut Self {
+        self.set_link(a, b, delay);
+        self.set_link(b, a, delay)
+    }
+
+    /// Remove a directed override.
+    pub fn clear_link(&mut self, from: ProcessId, to: ProcessId) -> &mut Self {
+        self.overrides.remove(&(from, to));
+        self
+    }
+
+    /// The distribution governing `from → to`.
+    pub fn link(&self, from: ProcessId, to: ProcessId) -> Delay {
+        self.overrides.get(&(from, to)).copied().unwrap_or(self.default)
+    }
+
+    /// Sample a delivery delay for `from → to`.
+    pub fn sample(&self, from: ProcessId, to: ProcessId, rng: &mut SmallRng) -> u64 {
+        self.link(from, to).sample(rng)
+    }
+
+    /// The largest delay any link can produce — the synchrony bound δ a
+    /// client may safely assume when setting round-1 timers.
+    pub fn max_delay(&self) -> u64 {
+        self.overrides
+            .values()
+            .map(|d| d.max())
+            .chain(std::iter::once(self.default.max()))
+            .max()
+            .expect("at least the default delay exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::ServerId;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn constant_delay_is_constant() {
+        let mut r = rng();
+        assert_eq!(Delay::Constant(5).sample(&mut r), 5);
+        assert_eq!(Delay::Constant(5).max(), 5);
+    }
+
+    #[test]
+    fn uniform_delay_respects_bounds() {
+        let mut r = rng();
+        let d = Delay::Uniform { min: 10, max: 20 };
+        for _ in 0..100 {
+            let s = d.sample(&mut r);
+            assert!((10..=20).contains(&s));
+        }
+        assert_eq!(d.max(), 20);
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let a = ProcessId::Writer;
+        let b = ProcessId::Server(ServerId(0));
+        let mut net = NetworkModel::constant(100);
+        net.set_link(a, b, Delay::Constant(1));
+        assert_eq!(net.link(a, b), Delay::Constant(1));
+        // Other direction still uses the default.
+        assert_eq!(net.link(b, a), Delay::Constant(100));
+        net.clear_link(a, b);
+        assert_eq!(net.link(a, b), Delay::Constant(100));
+    }
+
+    #[test]
+    fn set_pair_overrides_both_directions() {
+        let a = ProcessId::Writer;
+        let b = ProcessId::Server(ServerId(1));
+        let mut net = NetworkModel::constant(100);
+        net.set_pair(a, b, Delay::Constant(7));
+        assert_eq!(net.link(a, b), Delay::Constant(7));
+        assert_eq!(net.link(b, a), Delay::Constant(7));
+    }
+
+    #[test]
+    fn max_delay_considers_overrides() {
+        let mut net = NetworkModel::uniform(1, 50);
+        assert_eq!(net.max_delay(), 50);
+        net.set_link(
+            ProcessId::Writer,
+            ProcessId::Server(ServerId(0)),
+            Delay::Constant(500),
+        );
+        assert_eq!(net.max_delay(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "min delay")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = NetworkModel::uniform(5, 1);
+    }
+}

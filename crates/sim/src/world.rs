@@ -1,0 +1,754 @@
+//! The simulation engine.
+
+use crate::automaton::{Automaton, Completion, Effects, Payload, TimerId};
+use crate::network::NetworkModel;
+use lucky_types::{History, Op, OpId, OpRecord, ProcessId, Time};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a run helper stopped before the requested condition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// The event queue drained with the operation still incomplete —
+    /// it is blocked on gated links or crashed processes.
+    Stalled {
+        /// The operation that never completed.
+        op: OpId,
+    },
+    /// The step budget was exhausted (the run may be livelocked or simply
+    /// needs a larger budget).
+    StepBudgetExhausted,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Stalled { op } => {
+                write!(f, "event queue drained before {op} completed")
+            }
+            RunError::StepBudgetExhausted => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One line of the (optional) message trace: a delivery that was
+/// processed, with the payload's label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEntry {
+    /// Delivery instant.
+    pub time: Time,
+    /// Sender.
+    pub from: ProcessId,
+    /// Recipient.
+    pub to: ProcessId,
+    /// Payload label (e.g. `"PW_ACK"`).
+    pub label: &'static str,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} -> {}: {}", self.time, self.from, self.to, self.label)
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: ProcessId, msg: M },
+    Timer { id: TimerId },
+    Invoke { op_id: OpId },
+    Crash,
+}
+
+struct ProcEntry<M> {
+    automaton: Box<dyn Automaton<M>>,
+    alive: bool,
+}
+
+/// The deterministic discrete-event world: processes, clock, network.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct World<M> {
+    now: Time,
+    seq: u64,
+    queue: BTreeMap<(Time, u64), (ProcessId, EventKind<M>)>,
+    procs: BTreeMap<ProcessId, ProcEntry<M>>,
+    net: NetworkModel,
+    rng: SmallRng,
+    gates: BTreeSet<(ProcessId, ProcessId)>,
+    held: BTreeMap<(ProcessId, ProcessId), Vec<M>>,
+    history: History,
+    op_index: BTreeMap<OpId, usize>,
+    pending: BTreeMap<ProcessId, OpId>,
+    next_op: u64,
+    steps: u64,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl<M> fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("queued_events", &self.queue.len())
+            .field("processes", &self.procs.len())
+            .field("ops", &self.history.ops.len())
+            .finish()
+    }
+}
+
+impl<M: Payload> World<M> {
+    /// Create a world with the given network model and RNG seed. Runs with
+    /// equal seeds, processes and schedules are bit-for-bit identical.
+    pub fn new(net: NetworkModel, seed: u64) -> World<M> {
+        World {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BTreeMap::new(),
+            procs: BTreeMap::new(),
+            net,
+            rng: SmallRng::seed_from_u64(seed),
+            gates: BTreeSet::new(),
+            held: BTreeMap::new(),
+            history: History::new(),
+            op_index: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_op: 0,
+            steps: 0,
+            trace: None,
+        }
+    }
+
+    /// Start recording a message trace (every processed delivery). Useful
+    /// when debugging adversarial schedules; off by default because traces
+    /// grow with the run.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty if tracing was never enabled).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Install a process. Replaces any previous automaton at this id
+    /// (used to install Byzantine behaviours at a server's address).
+    pub fn add_process(&mut self, id: ProcessId, automaton: Box<dyn Automaton<M>>) {
+        self.procs.insert(id, ProcEntry { automaton, alive: true });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The run history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Consume the world, returning the history.
+    pub fn into_history(self) -> History {
+        self.history
+    }
+
+    /// The record of operation `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was never invoked through this world.
+    pub fn record(&self, op: OpId) -> &OpRecord {
+        &self.history.ops[*self.op_index.get(&op).expect("unknown op id")]
+    }
+
+    /// Mutable access to the network model (delay reconfiguration between
+    /// phases of an experiment).
+    pub fn network_mut(&mut self) -> &mut NetworkModel {
+        &mut self.net
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    // ------------------------------------------------------------------
+    // Fault and schedule control
+    // ------------------------------------------------------------------
+
+    /// Crash `p` at time `at` (no further steps after that instant).
+    pub fn crash_at(&mut self, p: ProcessId, at: Time) {
+        self.schedule(at, p, EventKind::Crash);
+    }
+
+    /// Crash `p` immediately.
+    pub fn crash_now(&mut self, p: ProcessId) {
+        let proc_ = self.procs.get_mut(&p).expect("unknown process");
+        proc_.alive = false;
+    }
+
+    /// `true` iff `p` has not crashed.
+    pub fn is_alive(&self, p: ProcessId) -> bool {
+        self.procs.get(&p).map(|e| e.alive).unwrap_or(false)
+    }
+
+    /// Hold all messages sent on the directed link `from → to` from now
+    /// on: they stay "in transit" until [`World::release`] (or forever).
+    pub fn hold(&mut self, from: ProcessId, to: ProcessId) {
+        self.gates.insert((from, to));
+    }
+
+    /// Hold every directed link out of `p`.
+    pub fn hold_all_from(&mut self, p: ProcessId) {
+        let others: Vec<_> = self.procs.keys().copied().filter(|&q| q != p).collect();
+        for q in others {
+            self.hold(p, q);
+        }
+    }
+
+    /// Hold every directed link into `p`.
+    pub fn hold_all_to(&mut self, p: ProcessId) {
+        let others: Vec<_> = self.procs.keys().copied().filter(|&q| q != p).collect();
+        for q in others {
+            self.hold(q, p);
+        }
+    }
+
+    /// Stop holding `from → to` and deliver every held message with a
+    /// fresh network delay from the current instant.
+    pub fn release(&mut self, from: ProcessId, to: ProcessId) {
+        self.gates.remove(&(from, to));
+        if let Some(msgs) = self.held.remove(&(from, to)) {
+            for msg in msgs {
+                let delay = self.net.sample(from, to, &mut self.rng);
+                let at = self.now + delay;
+                self.schedule(at, to, EventKind::Deliver { from, msg });
+            }
+        }
+    }
+
+    /// Stop holding every link out of `p`, delivering held messages.
+    pub fn release_all_from(&mut self, p: ProcessId) {
+        let links: Vec<_> =
+            self.gates.iter().copied().filter(|&(f, _)| f == p).collect();
+        for (f, t) in links {
+            self.release(f, t);
+        }
+    }
+
+    /// Discard all messages currently held on `from → to` **and keep the
+    /// gate closed**. Models a partial run in which those messages remain
+    /// in transit beyond the end of the experiment.
+    pub fn drop_held(&mut self, from: ProcessId, to: ProcessId) {
+        self.held.remove(&(from, to));
+    }
+
+    /// Number of messages currently held on `from → to`.
+    pub fn held_count(&self, from: ProcessId, to: ProcessId) -> usize {
+        self.held.get(&(from, to)).map_or(0, Vec::len)
+    }
+
+    /// Inject `msg` into the channel `from → to` as if `from` had sent it.
+    ///
+    /// This models the paper's malicious-process capability of putting
+    /// arbitrary messages into **its own** channels (§2.1) — use it only
+    /// to script Byzantine senders; honest processes send exclusively
+    /// through their automaton's [`Effects`]. Gates on the link apply as
+    /// usual.
+    pub fn send_as(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        if self.gates.contains(&(from, to)) {
+            self.held.entry((from, to)).or_default().push(msg);
+        } else {
+            let delay = self.net.sample(from, to, &mut self.rng);
+            let at = self.now + delay;
+            self.schedule(at, to, EventKind::Deliver { from, msg });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invocations
+    // ------------------------------------------------------------------
+
+    /// Invoke `op` on `client` now. Returns the operation id.
+    pub fn invoke(&mut self, client: ProcessId, op: Op) -> OpId {
+        self.invoke_at(self.now, client, op)
+    }
+
+    /// Invoke `op` on `client` at time `at` (≥ now).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `client` is unknown.
+    pub fn invoke_at(&mut self, at: Time, client: ProcessId, op: Op) -> OpId {
+        assert!(at >= self.now, "cannot invoke in the past");
+        assert!(self.procs.contains_key(&client), "unknown client {client}");
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.op_index.insert(id, self.history.ops.len());
+        self.history.ops.push(OpRecord {
+            id,
+            client,
+            op: op.clone(),
+            invoked_at: at,
+            completed_at: None,
+            result: None,
+            rounds: 0,
+            fast: false,
+            msgs: 0,
+            bytes: 0,
+        });
+        self.schedule(at, client, EventKind::Invoke { op_id: id });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Process the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((&key, _)) = self.queue.iter().next() else {
+            return false;
+        };
+        let (proc_id, kind) = self.queue.remove(&key).expect("key just observed");
+        self.now = key.0;
+        self.steps += 1;
+
+        let Some(entry) = self.procs.get_mut(&proc_id) else {
+            return true; // message to a process that was never installed
+        };
+
+        if let EventKind::Crash = kind {
+            entry.alive = false;
+            return true;
+        }
+        if !entry.alive {
+            return true; // crashed processes take no steps
+        }
+
+        let mut eff = Effects::new();
+        match kind {
+            EventKind::Deliver { from, msg } => {
+                self.account_delivery(proc_id, &msg);
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEntry {
+                        time: self.now,
+                        from,
+                        to: proc_id,
+                        label: msg.label(),
+                    });
+                }
+                let entry = self.procs.get_mut(&proc_id).expect("checked above");
+                entry.automaton.on_message(from, msg, &mut eff);
+            }
+            EventKind::Timer { id } => {
+                let entry = self.procs.get_mut(&proc_id).expect("checked above");
+                entry.automaton.on_timer(id, &mut eff);
+            }
+            EventKind::Invoke { op_id } => {
+                let prev = self.pending.insert(proc_id, op_id);
+                assert!(
+                    prev.is_none(),
+                    "client {proc_id} invoked {op_id} with an operation pending \
+                     (clients invoke at most one operation at a time, §2.2)"
+                );
+                let idx = self.op_index[&op_id];
+                let op = self.history.ops[idx].op.clone();
+                let entry = self.procs.get_mut(&proc_id).expect("checked above");
+                entry.automaton.on_invoke(op, &mut eff);
+            }
+            EventKind::Crash => unreachable!("handled above"),
+        }
+        self.apply_effects(proc_id, eff);
+        true
+    }
+
+    /// Run until the event queue is empty or `max_steps` have been taken.
+    /// Returns the number of steps taken.
+    pub fn run_until_idle(&mut self, max_steps: u64) -> u64 {
+        let mut taken = 0;
+        while taken < max_steps && self.step() {
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Process every event scheduled at or before `deadline`, then advance
+    /// the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        loop {
+            match self.queue.iter().next() {
+                Some((&(t, _), _)) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Step until operation `op` completes.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Stalled`] if the queue drains first,
+    /// [`RunError::StepBudgetExhausted`] after 10 million steps.
+    pub fn run_until_complete(&mut self, op: OpId) -> Result<&OpRecord, RunError> {
+        const BUDGET: u64 = 10_000_000;
+        let mut taken = 0;
+        while !self.record(op).is_complete() {
+            if taken >= BUDGET {
+                return Err(RunError::StepBudgetExhausted);
+            }
+            if !self.step() {
+                return Err(RunError::Stalled { op });
+            }
+            taken += 1;
+        }
+        Ok(self.record(op))
+    }
+
+    /// Step until each of `ops` completes (any interleaving).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`World::run_until_complete`].
+    pub fn run_until_all_complete(&mut self, ops: &[OpId]) -> Result<(), RunError> {
+        for &op in ops {
+            self.run_until_complete(op)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn schedule(&mut self, at: Time, to: ProcessId, kind: EventKind<M>) {
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.queue.insert(key, (to, kind));
+    }
+
+    fn account_delivery(&mut self, to: ProcessId, msg: &M) {
+        if to.is_client() {
+            if let Some(&op) = self.pending.get(&to) {
+                let idx = self.op_index[&op];
+                let rec = &mut self.history.ops[idx];
+                rec.msgs += 1;
+                rec.bytes += msg.wire_size() as u64;
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, from: ProcessId, eff: Effects<M>) {
+        let Effects { sends, timers, completion } = eff;
+        // Client-side message accounting.
+        if from.is_client() {
+            if let Some(&op) = self.pending.get(&from) {
+                let idx = self.op_index[&op];
+                let rec = &mut self.history.ops[idx];
+                rec.msgs += sends.len() as u64;
+                rec.bytes += sends.iter().map(|(_, m)| m.wire_size() as u64).sum::<u64>();
+            }
+        }
+        for (to, msg) in sends {
+            if self.gates.contains(&(from, to)) {
+                self.held.entry((from, to)).or_default().push(msg);
+            } else {
+                let delay = self.net.sample(from, to, &mut self.rng);
+                let at = self.now + delay;
+                self.schedule(at, to, EventKind::Deliver { from, msg });
+            }
+        }
+        for (id, delay) in timers {
+            let at = self.now + delay;
+            self.schedule(at, from, EventKind::Timer { id });
+        }
+        if let Some(Completion { value, rounds, fast }) = completion {
+            let op = self
+                .pending
+                .remove(&from)
+                .unwrap_or_else(|| panic!("{from} completed with no pending operation"));
+            let idx = self.op_index[&op];
+            let rec = &mut self.history.ops[idx];
+            rec.completed_at = Some(self.now);
+            rec.result = value;
+            rec.rounds = rounds;
+            rec.fast = fast;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{ServerId, Value};
+
+    /// Echo server used by the engine tests: replies `msg + 1`.
+    struct Echo;
+    impl Automaton<u32> for Echo {
+        fn on_message(&mut self, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
+            eff.send(from, msg + 1);
+        }
+    }
+
+    /// Client that pings `n` servers and completes when all reply.
+    struct FanOut {
+        expect: usize,
+        got: usize,
+    }
+    impl Automaton<u32> for FanOut {
+        fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u32>) {
+            for s in ServerId::all(self.expect) {
+                eff.send(ProcessId::Server(s), 0);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: u32, eff: &mut Effects<u32>) {
+            self.got += 1;
+            if self.got == self.expect {
+                eff.complete(Some(Value::from_u64(self.got as u64)), 1, true);
+            }
+        }
+    }
+
+    /// Client that completes when its timer fires.
+    struct TimerClient;
+    impl Automaton<u32> for TimerClient {
+        fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u32>) {
+            eff.set_timer(TimerId(3), 777);
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: u32, _eff: &mut Effects<u32>) {}
+        fn on_timer(&mut self, id: TimerId, eff: &mut Effects<u32>) {
+            assert_eq!(id, TimerId(3));
+            eff.complete(None, 1, false);
+        }
+    }
+
+    fn fan_out_world(servers: usize, seed: u64) -> World<u32> {
+        let mut w = World::new(NetworkModel::constant(50), seed);
+        for s in ServerId::all(servers) {
+            w.add_process(ProcessId::Server(s), Box::new(Echo));
+        }
+        w.add_process(ProcessId::Writer, Box::new(FanOut { expect: servers, got: 0 }));
+        w
+    }
+
+    #[test]
+    fn round_trip_latency_is_two_hops() {
+        let mut w = fan_out_world(3, 0);
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        let rec = w.run_until_complete(op).unwrap();
+        assert_eq!(rec.latency(), Some(100));
+        assert!(rec.fast);
+        // 3 sends + 3 replies accounted.
+        assert_eq!(rec.msgs, 6);
+    }
+
+    #[test]
+    fn timer_fires_at_requested_delay() {
+        let mut w: World<u32> = World::new(NetworkModel::constant(50), 0);
+        w.add_process(ProcessId::Writer, Box::new(TimerClient));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        let rec = w.run_until_complete(op).unwrap();
+        assert_eq!(rec.latency(), Some(777));
+    }
+
+    #[test]
+    fn crashed_server_never_replies() {
+        let mut w = fan_out_world(3, 0);
+        w.crash_now(ProcessId::Server(ServerId(2)));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        let err = w.run_until_complete(op).unwrap_err();
+        assert_eq!(err, RunError::Stalled { op });
+        assert!(!w.record(op).is_complete());
+    }
+
+    #[test]
+    fn crash_at_takes_effect_at_that_instant() {
+        let mut w = fan_out_world(1, 0);
+        // Crash after the request is delivered (50) but the reply is already
+        // in flight, so the operation still completes.
+        w.crash_at(ProcessId::Server(ServerId(0)), Time(60));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        assert!(w.run_until_complete(op).is_ok());
+
+        // Crash before delivery: no reply ever.
+        let mut w = fan_out_world(1, 0);
+        w.crash_at(ProcessId::Server(ServerId(0)), Time(10));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        assert!(w.run_until_complete(op).is_err());
+        assert!(!w.is_alive(ProcessId::Server(ServerId(0))));
+    }
+
+    #[test]
+    fn gated_links_hold_messages_until_release() {
+        let mut w = fan_out_world(2, 0);
+        w.hold(ProcessId::Writer, ProcessId::Server(ServerId(1)));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        // Only server 0 gets the request; the op cannot complete.
+        assert!(w.run_until_complete(op).is_err());
+        assert_eq!(w.held_count(ProcessId::Writer, ProcessId::Server(ServerId(1))), 1);
+        // Release: the held message is delivered and the op completes.
+        w.release(ProcessId::Writer, ProcessId::Server(ServerId(1)));
+        assert!(w.run_until_complete(op).is_ok());
+    }
+
+    #[test]
+    fn drop_held_discards_but_keeps_gate() {
+        let mut w = fan_out_world(2, 0);
+        w.hold(ProcessId::Writer, ProcessId::Server(ServerId(1)));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        let _ = w.run_until_complete(op);
+        w.drop_held(ProcessId::Writer, ProcessId::Server(ServerId(1)));
+        assert_eq!(w.held_count(ProcessId::Writer, ProcessId::Server(ServerId(1))), 0);
+        w.release(ProcessId::Writer, ProcessId::Server(ServerId(1)));
+        // Message was dropped: still stalled.
+        assert!(w.run_until_complete(op).is_err());
+    }
+
+    #[test]
+    fn hold_all_from_gates_every_outgoing_link() {
+        let mut w = fan_out_world(3, 0);
+        w.hold_all_from(ProcessId::Writer);
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        assert!(w.run_until_complete(op).is_err());
+        let total: usize = (0..3)
+            .map(|i| w.held_count(ProcessId::Writer, ProcessId::Server(ServerId(i))))
+            .sum();
+        assert_eq!(total, 3);
+        w.release_all_from(ProcessId::Writer);
+        assert!(w.run_until_complete(op).is_ok());
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_histories() {
+        let run = |seed| {
+            let mut w = fan_out_world(3, seed);
+            let mut net = NetworkModel::uniform(10, 500);
+            std::mem::swap(w.network_mut(), &mut net);
+            let op = w.invoke(ProcessId::Writer, Op::Read);
+            w.run_until_complete(op).unwrap();
+            w.into_history()
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds almost surely differ in latency.
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut w: World<u32> = World::new(NetworkModel::constant(1), 0);
+        w.add_process(ProcessId::Writer, Box::new(TimerClient));
+        w.run_until(Time(5000));
+        assert_eq!(w.now(), Time(5000));
+    }
+
+    #[test]
+    fn run_until_only_processes_events_up_to_deadline() {
+        let mut w: World<u32> = World::new(NetworkModel::constant(1), 0);
+        w.add_process(ProcessId::Writer, Box::new(TimerClient));
+        let op = w.invoke(ProcessId::Writer, Op::Read); // timer at 777
+        w.run_until(Time(700));
+        assert!(!w.record(op).is_complete());
+        w.run_until(Time(800));
+        assert!(w.record(op).is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one operation")]
+    fn double_invocation_is_rejected() {
+        let mut w = fan_out_world(2, 0);
+        w.hold_all_from(ProcessId::Writer);
+        let _ = w.invoke(ProcessId::Writer, Op::Read);
+        let _ = w.invoke(ProcessId::Writer, Op::Read);
+        w.run_until_idle(100);
+    }
+
+    #[test]
+    fn invoke_at_schedules_in_the_future() {
+        let mut w = fan_out_world(2, 0);
+        let op = w.invoke_at(Time(1000), ProcessId::Writer, Op::Read);
+        let rec = w.run_until_complete(op).unwrap();
+        assert_eq!(rec.invoked_at, Time(1000));
+        assert_eq!(rec.completed_at, Some(Time(1100)));
+    }
+
+    #[test]
+    fn steps_counter_increments() {
+        let mut w = fan_out_world(2, 0);
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        w.run_until_complete(op).unwrap();
+        // 1 invoke + 2 delivers to servers + 2 delivers to client.
+        assert_eq!(w.steps(), 5);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::automaton::{Automaton, Effects};
+    use lucky_types::{Op, ServerId};
+
+    struct Echo;
+    impl Automaton<u32> for Echo {
+        fn on_message(&mut self, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
+            eff.send(from, msg + 1);
+        }
+    }
+    struct Probe;
+    impl Automaton<u32> for Probe {
+        fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u32>) {
+            eff.send(ProcessId::Server(ServerId(0)), 1);
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: u32, eff: &mut Effects<u32>) {
+            eff.complete(None, 1, true);
+        }
+    }
+
+    #[test]
+    fn trace_records_processed_deliveries_in_order() {
+        let mut w: World<u32> = World::new(NetworkModel::constant(10), 0);
+        w.add_process(ProcessId::Server(ServerId(0)), Box::new(Echo));
+        w.add_process(ProcessId::Writer, Box::new(Probe));
+        w.enable_trace();
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        w.run_until_complete(op).unwrap();
+        let trace = w.trace();
+        assert_eq!(trace.len(), 2, "request + reply");
+        assert_eq!(trace[0].from, ProcessId::Writer);
+        assert_eq!(trace[0].to, ProcessId::Server(ServerId(0)));
+        assert_eq!(trace[1].from, ProcessId::Server(ServerId(0)));
+        assert!(trace[0].time <= trace[1].time);
+        // Display renders a readable line.
+        let line = trace[0].to_string();
+        assert!(line.contains("w") && line.contains("s0"));
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let mut w: World<u32> = World::new(NetworkModel::constant(10), 0);
+        w.add_process(ProcessId::Server(ServerId(0)), Box::new(Echo));
+        w.add_process(ProcessId::Writer, Box::new(Probe));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        w.run_until_complete(op).unwrap();
+        assert!(w.trace().is_empty());
+    }
+
+    #[test]
+    fn protocol_messages_have_labels() {
+        use crate::automaton::Payload;
+        use lucky_types::{Message, ReadMsg, ReadSeq};
+        let m = Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 });
+        assert_eq!(Payload::label(&m), "READ");
+        assert_eq!(Payload::label(&42u32), "msg");
+    }
+}

@@ -1,0 +1,186 @@
+//! Process identities.
+//!
+//! The paper's system model (§2) has three disjoint process sets: a set of
+//! `S` servers, a singleton writer, and a set of readers. [`ProcessId`]
+//! is the union used for addressing messages; [`ServerId`] and [`ReaderId`]
+//! are the typed indices used inside protocol state.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a server process (`s_1 … s_S` in the paper), zero-based.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u16);
+
+impl ServerId {
+    /// Iterator over the first `count` server ids: `0 .. count`.
+    pub fn all(count: usize) -> impl Iterator<Item = ServerId> {
+        (0..count as u16).map(ServerId)
+    }
+
+    /// Zero-based index usable for array addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Index of a reader process (`r_1 … r_R` in the paper), zero-based.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct ReaderId(pub u16);
+
+impl ReaderId {
+    /// Iterator over the first `count` reader ids: `0 .. count`.
+    pub fn all(count: usize) -> impl Iterator<Item = ReaderId> {
+        (0..count as u16).map(ReaderId)
+    }
+
+    /// Zero-based index usable for array addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ReaderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A process in the system: the unique writer, a reader, or a server.
+///
+/// The ordering (writer < readers < servers) is arbitrary but total, which
+/// the deterministic simulator relies on for reproducible scheduling.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub enum ProcessId {
+    /// The singleton writer `w`.
+    Writer,
+    /// Reader `r_j`.
+    Reader(ReaderId),
+    /// Server `s_i`.
+    Server(ServerId),
+}
+
+impl ProcessId {
+    /// `true` iff this is a server process.
+    pub fn is_server(self) -> bool {
+        matches!(self, ProcessId::Server(_))
+    }
+
+    /// `true` iff this is a client (writer or reader).
+    pub fn is_client(self) -> bool {
+        !self.is_server()
+    }
+
+    /// The reader id, if this process is a reader.
+    pub fn as_reader(self) -> Option<ReaderId> {
+        match self {
+            ProcessId::Reader(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The server id, if this process is a server.
+    pub fn as_server(self) -> Option<ServerId> {
+        match self {
+            ProcessId::Server(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessId::Writer => write!(f, "w"),
+            ProcessId::Reader(r) => write!(f, "{r}"),
+            ProcessId::Server(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<ServerId> for ProcessId {
+    fn from(s: ServerId) -> Self {
+        ProcessId::Server(s)
+    }
+}
+
+impl From<ReaderId> for ProcessId {
+    fn from(r: ReaderId) -> Self {
+        ProcessId::Reader(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_all_enumerates_in_order() {
+        let ids: Vec<_> = ServerId::all(4).collect();
+        assert_eq!(ids, vec![ServerId(0), ServerId(1), ServerId(2), ServerId(3)]);
+    }
+
+    #[test]
+    fn reader_all_enumerates_in_order() {
+        let ids: Vec<_> = ReaderId::all(2).collect();
+        assert_eq!(ids, vec![ReaderId(0), ReaderId(1)]);
+    }
+
+    #[test]
+    fn process_classification() {
+        assert!(ProcessId::Writer.is_client());
+        assert!(ProcessId::Reader(ReaderId(0)).is_client());
+        assert!(ProcessId::Server(ServerId(3)).is_server());
+        assert_eq!(ProcessId::Server(ServerId(3)).as_server(), Some(ServerId(3)));
+        assert_eq!(ProcessId::Reader(ReaderId(1)).as_reader(), Some(ReaderId(1)));
+        assert_eq!(ProcessId::Writer.as_reader(), None);
+        assert_eq!(ProcessId::Writer.as_server(), None);
+    }
+
+    #[test]
+    fn process_ordering_is_total_and_stable() {
+        let mut v = vec![
+            ProcessId::Server(ServerId(0)),
+            ProcessId::Reader(ReaderId(1)),
+            ProcessId::Writer,
+            ProcessId::Reader(ReaderId(0)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                ProcessId::Writer,
+                ProcessId::Reader(ReaderId(0)),
+                ProcessId::Reader(ReaderId(1)),
+                ProcessId::Server(ServerId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::Writer.to_string(), "w");
+        assert_eq!(ProcessId::Reader(ReaderId(2)).to_string(), "r2");
+        assert_eq!(ProcessId::Server(ServerId(5)).to_string(), "s5");
+    }
+
+    #[test]
+    fn conversions_from_typed_ids() {
+        let p: ProcessId = ServerId(1).into();
+        assert_eq!(p, ProcessId::Server(ServerId(1)));
+        let p: ProcessId = ReaderId(1).into();
+        assert_eq!(p, ProcessId::Reader(ReaderId(1)));
+    }
+}

@@ -1,0 +1,47 @@
+//! # lucky-types
+//!
+//! Core vocabulary shared by every crate in the `lucky-atomic` workspace:
+//! process identities, logical timestamps, register values, the wire
+//! messages of the protocols in *Lucky Read/Write Access to Robust Atomic
+//! Storage* (Guerraoui, Levy, Vukolić; DSN 2006), and the resilience
+//! parameters with every derived quorum threshold.
+//!
+//! The types here are deliberately free of any I/O or simulation concern so
+//! that the protocol cores in `lucky-core` stay *sans-io*: they consume and
+//! produce these values and nothing else.
+//!
+//! ```
+//! use lucky_types::{Params, Value, TsVal, Seq};
+//!
+//! # fn main() -> Result<(), lucky_types::ParamsError> {
+//! // t = 2 failures, b = 1 Byzantine, fast writes survive fw = 1 failure,
+//! // fast reads survive fr = 0 failures (fw + fr = t - b).
+//! let params = Params::new(2, 1, 1, 0)?;
+//! assert_eq!(params.server_count(), 6); // 2t + b + 1
+//! assert_eq!(params.quorum(), 4);       // S - t
+//!
+//! let pair = TsVal::new(Seq(1), Value::from_u64(7));
+//! assert!(pair > TsVal::initial());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod history;
+mod id;
+mod msg;
+mod params;
+mod time;
+mod value;
+
+pub use history::{History, Op, OpId, OpRecord};
+pub use id::{ProcessId, ReaderId, ServerId};
+pub use msg::{
+    FrozenSlot, FrozenUpdate, Message, NewRead, PwAckMsg, PwMsg, ReadAckMsg, ReadMsg, Tag,
+    WriteAckMsg, WriteMsg,
+};
+pub use params::{Params, ParamsError, TwoRoundParams};
+pub use time::Time;
+pub use value::{ReadSeq, Seq, TsVal, Value};

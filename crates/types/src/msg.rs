@@ -1,0 +1,293 @@
+//! Wire messages of the lucky storage protocols.
+//!
+//! One enum covers all three protocol variants (atomic §3, two-round
+//! App. C, regular App. D); the variants simply use different subsets of
+//! the fields (for example only the two-round writer sends `frozen` inside
+//! a [`WriteMsg`], and the regular servers ignore reader write-backs).
+//!
+//! Field names follow the paper's pseudocode (Figs 1–3 and 6–8) so the
+//! implementation can be audited line by line against it.
+
+use crate::{ReadSeq, ReaderId, Seq, TsVal};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `⟨r_j, pw, tsr⟩` triple the writer sends to freeze a value for reader
+/// `r_j`'s ongoing slow READ (Fig. 1 line 15).
+#[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct FrozenUpdate {
+    /// The reader the value is frozen for.
+    pub reader: ReaderId,
+    /// The timestamp–value pair frozen for that reader.
+    pub pw: TsVal,
+    /// The READ timestamp the freeze is addressed to (`read_ts[r_j]`).
+    pub tsr: ReadSeq,
+}
+
+/// A server's per-reader frozen slot `⟨frozen_rj.pw, frozen_rj.tsr⟩`
+/// (Fig. 3 line 2), echoed to the reader inside [`ReadAckMsg`].
+#[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct FrozenSlot {
+    /// Frozen timestamp–value pair.
+    pub pw: TsVal,
+    /// READ timestamp the pair was frozen for.
+    pub tsr: ReadSeq,
+}
+
+impl FrozenSlot {
+    /// The initial slot `⟨⟨ts0,⊥⟩, tsr0⟩`.
+    pub fn initial() -> FrozenSlot {
+        FrozenSlot { pw: TsVal::initial(), tsr: ReadSeq::INITIAL }
+    }
+}
+
+impl Default for FrozenSlot {
+    fn default() -> Self {
+        FrozenSlot::initial()
+    }
+}
+
+/// A `⟨r_j, tsr_j⟩` entry of the `newread` field servers piggyback on
+/// `PW_ACK`s to report ongoing slow READs to the writer (Fig. 3 line 7).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct NewRead {
+    /// The reader whose slow READ is in progress.
+    pub reader: ReaderId,
+    /// The server's stored timestamp `tsr_j` for that reader.
+    pub tsr: ReadSeq,
+}
+
+/// Tag used to match `WRITE_ACK`s to the round they acknowledge.
+///
+/// The writer's W-phase messages are tagged with the write timestamp
+/// (Fig. 1 line 10); a reader's write-back rounds are tagged with its READ
+/// timestamp (Fig. 2 line 27). Keeping them in one enum means a writer can
+/// never mistake a write-back ack for one of its own and vice versa.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Tag {
+    /// Writer W phase for write timestamp `ts`.
+    Write(Seq),
+    /// Reader write-back for READ timestamp `tsr`.
+    WriteBack(ReadSeq),
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tag::Write(ts) => write!(f, "W:{ts}"),
+            Tag::WriteBack(tsr) => write!(f, "WB:{tsr}"),
+        }
+    }
+}
+
+/// `PW⟨ts, pw, w, frozen⟩` — first (pre-write) round of a WRITE
+/// (Fig. 1 line 4; Fig. 6 line 5 sends it without `frozen`).
+#[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PwMsg {
+    /// Timestamp of the WRITE this message belongs to.
+    pub ts: Seq,
+    /// The new pre-written pair `⟨ts, v⟩`.
+    pub pw: TsVal,
+    /// The previous completed pair (the writer's `w` variable).
+    pub w: TsVal,
+    /// Values frozen for ongoing slow READs (empty when none).
+    pub frozen: Vec<FrozenUpdate>,
+}
+
+/// `PW_ACK⟨ts, newread⟩` — server reply to [`PwMsg`] (Fig. 3 line 8).
+#[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PwAckMsg {
+    /// Echo of the WRITE timestamp (validity check, §3.4).
+    pub ts: Seq,
+    /// Ongoing slow READs this server knows about.
+    pub newread: Vec<NewRead>,
+}
+
+/// `W⟨round, tag, c⟩` — W-phase round of a WRITE (rounds 2–3, Fig. 1
+/// line 10) or a write-back round (Fig. 2 line 27). The two-round variant's
+/// writer additionally carries `frozen` here (Fig. 6 line 9).
+#[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct WriteMsg {
+    /// Round number within the operation (write-back rounds start at 1).
+    pub round: u8,
+    /// Ack-matching tag (write timestamp or READ timestamp).
+    pub tag: Tag,
+    /// The timestamp–value pair being written.
+    pub c: TsVal,
+    /// Frozen values — used only by the two-round (App. C) writer.
+    pub frozen: Vec<FrozenUpdate>,
+}
+
+/// `WRITE_ACK⟨round, tag⟩` — server reply to [`WriteMsg`] (Fig. 3 line 16).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct WriteAckMsg {
+    /// Echo of the round number.
+    pub round: u8,
+    /// Echo of the tag.
+    pub tag: Tag,
+}
+
+/// `READ⟨tsr, rnd⟩` — one round of a READ (Fig. 2 line 16).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ReadMsg {
+    /// The READ's timestamp.
+    pub tsr: ReadSeq,
+    /// Round number, starting at 1.
+    pub rnd: u32,
+}
+
+/// `READ_ACK⟨tsr, rnd, pw, w, vw, frozen⟩` — server reply to [`ReadMsg`]
+/// (Fig. 3 line 11).
+#[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ReadAckMsg {
+    /// Echo of the READ timestamp.
+    pub tsr: ReadSeq,
+    /// Echo of the round number.
+    pub rnd: u32,
+    /// Server's `pw` register.
+    pub pw: TsVal,
+    /// Server's `w` register.
+    pub w: TsVal,
+    /// Server's `vw` register (`None` in the two-round variant, which has
+    /// no `vw` — see DESIGN.md §4.5).
+    pub vw: Option<TsVal>,
+    /// Server's frozen slot for the requesting reader.
+    pub frozen: FrozenSlot,
+}
+
+/// Any protocol message. Clients send the first three variants; servers
+/// reply with the last three.
+#[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Message {
+    /// Pre-write round (writer → servers).
+    Pw(PwMsg),
+    /// Pre-write ack (server → writer).
+    PwAck(PwAckMsg),
+    /// W-phase / write-back round (client → servers).
+    Write(WriteMsg),
+    /// W-phase / write-back ack (server → client).
+    WriteAck(WriteAckMsg),
+    /// READ round (reader → servers).
+    Read(ReadMsg),
+    /// READ ack (server → reader).
+    ReadAck(ReadAckMsg),
+}
+
+impl Message {
+    /// Rough wire size in bytes: fixed header plus payload fields. Used by
+    /// the benchmarks to report the byte complexity of each operation; the
+    /// estimate is intentionally simple (8 bytes per scalar, payload length
+    /// for values) and identical across variants so comparisons are fair.
+    pub fn wire_size(&self) -> usize {
+        const HDR: usize = 8;
+        match self {
+            Message::Pw(m) => {
+                HDR + 8
+                    + m.pw.wire_size()
+                    + m.w.wire_size()
+                    + m.frozen.iter().map(|f| 16 + f.pw.wire_size()).sum::<usize>()
+            }
+            Message::PwAck(m) => HDR + 8 + 16 * m.newread.len(),
+            Message::Write(m) => {
+                HDR + 1
+                    + 8
+                    + m.c.wire_size()
+                    + m.frozen.iter().map(|f| 16 + f.pw.wire_size()).sum::<usize>()
+            }
+            Message::WriteAck(_) => HDR + 1 + 8,
+            Message::Read(_) => HDR + 8 + 4,
+            Message::ReadAck(m) => {
+                HDR + 8
+                    + 4
+                    + m.pw.wire_size()
+                    + m.w.wire_size()
+                    + m.vw.as_ref().map_or(0, TsVal::wire_size)
+                    + 8
+                    + m.frozen.pw.wire_size()
+            }
+        }
+    }
+
+    /// Short label for tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Pw(_) => "PW",
+            Message::PwAck(_) => "PW_ACK",
+            Message::Write(_) => "W",
+            Message::WriteAck(_) => "W_ACK",
+            Message::Read(_) => "READ",
+            Message::ReadAck(_) => "READ_ACK",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn pair(ts: u64, v: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(v))
+    }
+
+    #[test]
+    fn frozen_slot_initial() {
+        let s = FrozenSlot::initial();
+        assert_eq!(s.pw, TsVal::initial());
+        assert_eq!(s.tsr, ReadSeq::INITIAL);
+        assert_eq!(FrozenSlot::default(), s);
+    }
+
+    #[test]
+    fn tags_for_write_and_writeback_never_collide() {
+        // Same numeric payload, different namespaces.
+        assert_ne!(Tag::Write(Seq(3)), Tag::WriteBack(ReadSeq(3)));
+        assert_eq!(Tag::Write(Seq(3)), Tag::Write(Seq(3)));
+    }
+
+    #[test]
+    fn wire_size_grows_with_frozen_entries() {
+        let base = Message::Pw(PwMsg {
+            ts: Seq(1),
+            pw: pair(1, 1),
+            w: TsVal::initial(),
+            frozen: vec![],
+        });
+        let with_frozen = Message::Pw(PwMsg {
+            ts: Seq(1),
+            pw: pair(1, 1),
+            w: TsVal::initial(),
+            frozen: vec![FrozenUpdate { reader: ReaderId(0), pw: pair(1, 1), tsr: ReadSeq(1) }],
+        });
+        assert!(with_frozen.wire_size() > base.wire_size());
+    }
+
+    #[test]
+    fn wire_size_read_ack_counts_optional_vw() {
+        let without = Message::ReadAck(ReadAckMsg {
+            tsr: ReadSeq(1),
+            rnd: 1,
+            pw: pair(1, 1),
+            w: pair(1, 1),
+            vw: None,
+            frozen: FrozenSlot::initial(),
+        });
+        let with = Message::ReadAck(ReadAckMsg {
+            tsr: ReadSeq(1),
+            rnd: 1,
+            pw: pair(1, 1),
+            w: pair(1, 1),
+            vw: Some(pair(1, 1)),
+            frozen: FrozenSlot::initial(),
+        });
+        assert!(with.wire_size() > without.wire_size());
+    }
+
+    #[test]
+    fn kind_labels() {
+        let m = Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 });
+        assert_eq!(m.kind(), "READ");
+        let m = Message::PwAck(PwAckMsg { ts: Seq(1), newread: vec![] });
+        assert_eq!(m.kind(), "PW_ACK");
+    }
+}

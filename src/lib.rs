@@ -1,0 +1,49 @@
+//! # lucky-atomic
+//!
+//! A complete Rust implementation of the storage protocols from
+//! *Lucky Read/Write Access to Robust Atomic Storage*
+//! (Rachid Guerraoui, Ron R. Levy, Marko Vukolić — DSN 2006).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`types`] — identities, timestamps, values, wire messages, parameters;
+//! * [`sim`] — the deterministic discrete-event simulator the protocols are
+//!   evaluated on;
+//! * [`core`] — the protocol cores (atomic §3, two-round Appendix C,
+//!   regular Appendix D), Byzantine behaviours and the [`core::SimCluster`]
+//!   high-level API;
+//! * [`checker`] — atomicity / regularity / safeness history checkers;
+//! * [`baselines`] — the ABD crash-only register used for comparison;
+//! * [`net`] — a thread-based real-time runtime for the same cores.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lucky_atomic::core::{ClusterConfig, SimCluster};
+//! use lucky_atomic::types::{Params, ReaderId, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // t = 2 failures, b = 1 Byzantine; fast writes survive 1 failure.
+//! let params = Params::new(2, 1, 1, 0)?;
+//! let mut cluster = SimCluster::new(ClusterConfig::synchronous(params), 1);
+//!
+//! let w = cluster.write(Value::from_u64(7));
+//! assert!(w.fast, "a lucky write completes in one round-trip");
+//!
+//! let r = cluster.read(ReaderId(0));
+//! assert_eq!(r.value.as_u64(), Some(7));
+//! assert!(r.fast, "a lucky read completes in one round-trip");
+//! cluster.check_atomicity()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lucky_baselines as baselines;
+pub use lucky_checker as checker;
+pub use lucky_core as core;
+pub use lucky_explore as explore;
+pub use lucky_net as net;
+pub use lucky_sim as sim;
+pub use lucky_types as types;
