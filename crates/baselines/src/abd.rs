@@ -175,12 +175,7 @@ pub struct AbdReader {
 impl AbdReader {
     /// A reader for `servers = 2t + 1` servers.
     pub fn new(servers: usize) -> AbdReader {
-        AbdReader {
-            servers,
-            majority: servers / 2 + 1,
-            next_rid: 0,
-            state: ReaderState::Idle,
-        }
+        AbdReader { servers, majority: servers / 2 + 1, next_rid: 0, state: ReaderState::Idle }
     }
 
     fn broadcast(&self, eff: &mut Effects<AbdMessage>, msg: AbdMessage) {
@@ -193,15 +188,11 @@ impl AbdReader {
 impl Automaton<AbdMessage> for AbdReader {
     fn on_invoke(&mut self, op: Op, eff: &mut Effects<AbdMessage>) {
         assert!(matches!(op, Op::Read), "ABD readers only invoke READs");
-        assert!(
-            self.state == ReaderState::Idle,
-            "READ invoked while another READ is in progress"
-        );
+        assert!(self.state == ReaderState::Idle, "READ invoked while another READ is in progress");
         self.next_rid += 1;
         let rid = self.next_rid;
         self.broadcast(eff, AbdMessage::Get { rid });
-        self.state =
-            ReaderState::Querying { rid, acks: BTreeSet::new(), best: TsVal::initial() };
+        self.state = ReaderState::Querying { rid, acks: BTreeSet::new(), best: TsVal::initial() };
     }
 
     fn on_message(&mut self, from: ProcessId, msg: AbdMessage, eff: &mut Effects<AbdMessage>) {
@@ -224,10 +215,9 @@ impl Automaton<AbdMessage> for AbdReader {
                         ReaderState::WritingBack { rid: wb_rid, acks: BTreeSet::new(), best };
                 }
             }
-            (
-                ReaderState::WritingBack { rid, acks, best },
-                AbdMessage::PutAck { rid: ack_rid },
-            ) if ack_rid == *rid => {
+            (ReaderState::WritingBack { rid, acks, best }, AbdMessage::PutAck { rid: ack_rid })
+                if ack_rid == *rid =>
+            {
                 acks.insert(server);
                 if acks.len() >= self.majority {
                     let value = best.val.clone();

@@ -32,7 +32,10 @@ fn main() {
             let busy = period * duty_pct / 100;
             let mut offset = 0u64;
             while offset + write_len <= busy {
-                c.invoke_write_at(Time(slot_start.micros() + offset + 1), Value::from_u64(next_val));
+                c.invoke_write_at(
+                    Time(slot_start.micros() + offset + 1),
+                    Value::from_u64(next_val),
+                );
                 next_val += 1;
                 offset += write_len;
             }

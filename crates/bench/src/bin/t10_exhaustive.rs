@@ -25,9 +25,7 @@ fn main() {
         ),
         (
             "S=3 crash-only: write ∥ read",
-            Scenario::new(Params::new(1, 0, 1, 0).unwrap())
-                .write(Value::from_u64(1))
-                .reads(0, 1),
+            Scenario::new(Params::new(1, 0, 1, 0).unwrap()).write(Value::from_u64(1)).reads(0, 1),
         ),
         (
             "S=3 crash-only: write ∥ read, 1 crashed",

@@ -24,8 +24,7 @@ fn write_side(params: Params, crashes: usize) -> (f64, f64) {
     let mut rounds = Vec::new();
     let mut fast = 0;
     for seed in 0..REPS as u64 {
-        let mut c =
-            SimCluster::new(ClusterConfig::synchronous(params).with_seed(seed), 1);
+        let mut c = SimCluster::new(ClusterConfig::synchronous(params).with_seed(seed), 1);
         for i in 0..crashes {
             c.crash_server(i as u16);
         }
@@ -43,8 +42,7 @@ fn read_side(params: Params, crashes: usize, worst_case: bool) -> (f64, f64) {
     let mut rounds = Vec::new();
     let mut fast = 0;
     for seed in 0..REPS as u64 {
-        let mut c =
-            SimCluster::new(ClusterConfig::synchronous(params).with_seed(seed), 1);
+        let mut c = SimCluster::new(ClusterConfig::synchronous(params).with_seed(seed), 1);
         if worst_case {
             // The fast write misses its full budget of fw servers (PW in
             // transit), then `crashes` holders fail.
@@ -98,8 +96,16 @@ fn main() {
         print_table(
             &format!("t={t}, b={b} (S={}): rounds & fast-rate vs crashes", 2 * t + b + 1),
             &[
-                "split", "crashes", "wr rounds", "wr fast", "rd rounds", "rd fast",
-                "rd rounds (worst)", "rd fast (worst)", "write guar.", "read guar.",
+                "split",
+                "crashes",
+                "wr rounds",
+                "wr fast",
+                "rd rounds",
+                "rd fast",
+                "rd rounds (worst)",
+                "rd fast (worst)",
+                "write guar.",
+                "read guar.",
             ],
             &rows,
         );

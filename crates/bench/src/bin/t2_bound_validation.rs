@@ -79,8 +79,7 @@ fn main() {
             },
             format!("{rd1_fast}"),
             v1.map(|v| format!("v{v}")).unwrap_or("-".into()),
-            v2.map(|v| if v == 0 { "⊥".into() } else { format!("v{v}") })
-                .unwrap_or("-".into()),
+            v2.map(|v| if v == 0 { "⊥".into() } else { format!("v{v}") }).unwrap_or("-".into()),
             if atomic { "atomic ✓".into() } else { "VIOLATION".into() },
         ]);
     }

@@ -62,12 +62,8 @@ fn lucky_run(params: Params, slow_only: bool, asynchronous: bool, seed: u64) -> 
 }
 
 fn abd_run(t: usize, asynchronous: bool, seed: u64) -> Row {
-    let cfg = if asynchronous {
-        AbdConfig::asynchronous(t)
-    } else {
-        AbdConfig::synchronous(t)
-    }
-    .with_seed(seed);
+    let cfg = if asynchronous { AbdConfig::asynchronous(t) } else { AbdConfig::synchronous(t) }
+        .with_seed(seed);
     let mut c = AbdCluster::new(cfg, 1);
     let (mut wr, mut wl, mut wm, mut rr, mut rl, mut rm) =
         (vec![], vec![], vec![], vec![], vec![], vec![]);
@@ -113,8 +109,7 @@ fn main() {
     println!("# T3 — rounds / latency / messages vs baselines (§1, §6)");
     let t = 2;
     let params = Params::new(t, 1, 1, 0).unwrap();
-    let headers =
-        ["system", "wr rounds", "wr µs", "wr msgs", "rd rounds", "rd µs", "rd msgs"];
+    let headers = ["system", "wr rounds", "wr µs", "wr msgs", "rd rounds", "rd µs", "rd msgs"];
 
     let rows = vec![
         lucky_run(params, false, false, 1),
@@ -122,7 +117,9 @@ fn main() {
         abd_run(t, false, 1),
     ];
     print_table(
-        &format!("synchronous, failure-free, contention-free (t={t}; lucky: b=1, S=6; ABD: b=0, S=5)"),
+        &format!(
+            "synchronous, failure-free, contention-free (t={t}; lucky: b=1, S=6; ABD: b=0, S=5)"
+        ),
         &headers,
         &fmt(&rows),
     );

@@ -19,10 +19,8 @@ fn main() {
                 let mut first_fast = 0usize;
                 const REPS: usize = 10;
                 for seed in 0..REPS as u64 {
-                    let mut c = SimCluster::new(
-                        ClusterConfig::synchronous(params).with_seed(seed),
-                        1,
-                    );
+                    let mut c =
+                        SimCluster::new(ClusterConfig::synchronous(params).with_seed(seed), 1);
                     // Worst case: one server misses the fast write, then
                     // `crashes` holders fail.
                     if crashes > 0 {

@@ -58,8 +58,7 @@ fn main() {
             if fw <= 1 { "= t − b".into() } else { "> t − b".into() },
             format!("{fast}"),
             rounds.to_string(),
-            val.map(|v| if v == 0 { "⊥".into() } else { format!("v{v}") })
-                .unwrap_or("-".into()),
+            val.map(|v| if v == 0 { "⊥".into() } else { format!("v{v}") }).unwrap_or("-".into()),
             if safe { "safe ✓".into() } else { "VIOLATION".into() },
         ]);
     }

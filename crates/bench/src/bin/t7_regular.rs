@@ -18,10 +18,8 @@ fn fast_rate_table() {
             let mut rd_fast = 0usize;
             for seed in 0..REPS as u64 {
                 // Write side: all crashes in place before the write.
-                let mut c = SimCluster::new(
-                    ClusterConfig::synchronous_regular(params).with_seed(seed),
-                    1,
-                );
+                let mut c =
+                    SimCluster::new(ClusterConfig::synchronous_regular(params).with_seed(seed), 1);
                 for i in 0..crashes {
                     c.crash_server(i as u16);
                 }
@@ -29,10 +27,8 @@ fn fast_rate_table() {
                 wr_fast += w.fast as usize;
                 c.check_regularity().expect("regularity");
                 // Read side: the write completes first, then the crashes.
-                let mut c = SimCluster::new(
-                    ClusterConfig::synchronous_regular(params).with_seed(seed),
-                    1,
-                );
+                let mut c =
+                    SimCluster::new(ClusterConfig::synchronous_regular(params).with_seed(seed), 1);
                 c.write(Value::from_u64(1));
                 for i in 0..crashes {
                     c.crash_server(i as u16);

@@ -15,8 +15,7 @@ fn storm(freezing: bool, cap: u32, seed: u64) -> (SimCluster, OpId, u64) {
         max_read_rounds: Some(cap),
         ..ProtocolConfig::for_sync_bound(100)
     };
-    let mut cfg =
-        ClusterConfig::synchronous(params).with_protocol(protocol).with_seed(seed);
+    let mut cfg = ClusterConfig::synchronous(params).with_protocol(protocol).with_seed(seed);
     // Staggered sampling: each round sees four non-adjacent write epochs.
     for i in 0..params.server_count() as u16 {
         cfg.net.set_link(

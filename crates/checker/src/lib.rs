@@ -122,9 +122,7 @@ pub fn check_safeness(history: &History) -> Result<(), Vec<Violation>> {
     };
     check_no_creation(history, &index, &mut v);
     for read in history.complete_reads() {
-        let contention_free = history
-            .writes()
-            .all(|w| w.precedes(read) || read.precedes(w));
+        let contention_free = history.writes().all(|w| w.precedes(read) || read.precedes(w));
         if !contention_free {
             continue;
         }
@@ -133,11 +131,7 @@ pub fn check_safeness(history: &History) -> Result<(), Vec<Violation>> {
         };
         let min = min_allowed_index(history, read);
         if l < min {
-            v.push(Violation::StaleRead {
-                read: read.id,
-                returned_index: l,
-                min_index: min,
-            });
+            v.push(Violation::StaleRead { read: read.id, returned_index: l, min_index: min });
         }
     }
     if v.is_empty() {
@@ -175,11 +169,7 @@ fn read_index(read: &OpRecord, index: &BTreeMap<Value, u64>) -> Option<u64> {
 }
 
 /// Condition (1), *no creation*: every returned value was written (or ⊥).
-fn check_no_creation(
-    history: &History,
-    index: &BTreeMap<Value, u64>,
-    v: &mut Vec<Violation>,
-) {
+fn check_no_creation(history: &History, index: &BTreeMap<Value, u64>, v: &mut Vec<Violation>) {
     for read in history.complete_reads() {
         match &read.result {
             None => v.push(Violation::ReadWithoutValue { read: read.id }),
@@ -204,11 +194,7 @@ fn min_allowed_index(history: &History, read: &OpRecord) -> u64 {
 }
 
 /// Condition (2): a READ succeeding complete `wr_k` returns `val_l`, `l ≥ k`.
-fn check_read_write_order(
-    history: &History,
-    index: &BTreeMap<Value, u64>,
-    v: &mut Vec<Violation>,
-) {
+fn check_read_write_order(history: &History, index: &BTreeMap<Value, u64>, v: &mut Vec<Violation>) {
     for read in history.complete_reads() {
         let Some(l) = read_index(read, index) else { continue };
         let min = min_allowed_index(history, read);
@@ -220,20 +206,13 @@ fn check_read_write_order(
 
 /// Condition (3): if a READ returns `val_k` (k ≥ 1), `wr_k` precedes it or
 /// is concurrent with it — i.e. the READ does not precede `wr_k`.
-fn check_no_future_values(
-    history: &History,
-    index: &BTreeMap<Value, u64>,
-    v: &mut Vec<Violation>,
-) {
+fn check_no_future_values(history: &History, index: &BTreeMap<Value, u64>, v: &mut Vec<Violation>) {
     for read in history.complete_reads() {
         let Some(l) = read_index(read, index) else { continue };
         if l == 0 {
             continue;
         }
-        let write = history
-            .writes()
-            .nth(l as usize - 1)
-            .expect("index derived from writes()");
+        let write = history.writes().nth(l as usize - 1).expect("index derived from writes()");
         if read.precedes(write) {
             v.push(Violation::FutureRead { read: read.id, write: write.id });
         }
@@ -242,15 +221,9 @@ fn check_no_future_values(
 
 /// Condition (4): if `rd_1` returns `val_k` and `rd_2` succeeds `rd_1` and
 /// returns `val_l`, then `l ≥ k` — across *all* readers.
-fn check_read_read_order(
-    history: &History,
-    index: &BTreeMap<Value, u64>,
-    v: &mut Vec<Violation>,
-) {
-    let reads: Vec<(&OpRecord, u64)> = history
-        .complete_reads()
-        .filter_map(|r| read_index(r, index).map(|l| (r, l)))
-        .collect();
+fn check_read_read_order(history: &History, index: &BTreeMap<Value, u64>, v: &mut Vec<Violation>) {
+    let reads: Vec<(&OpRecord, u64)> =
+        history.complete_reads().filter_map(|r| read_index(r, index).map(|l| (r, l))).collect();
     for (rd1, k) in &reads {
         for (rd2, l) in &reads {
             if rd1.id != rd2.id && rd1.precedes(rd2) && l < k {
@@ -358,16 +331,10 @@ mod tests {
     #[test]
     fn stale_read_is_caught() {
         // Read strictly after write 2 returns value of write 1.
-        let history = h(vec![
-            w(0, 1, 0, Some(10)),
-            w(1, 2, 20, Some(30)),
-            r(2, 0, Some(1), 40, 50),
-        ]);
+        let history =
+            h(vec![w(0, 1, 0, Some(10)), w(1, 2, 20, Some(30)), r(2, 0, Some(1), 40, 50)]);
         let v = check_atomicity(&history).unwrap_err();
-        assert_eq!(
-            v[0],
-            Violation::StaleRead { read: OpId(2), returned_index: 1, min_index: 2 }
-        );
+        assert_eq!(v[0], Violation::StaleRead { read: OpId(2), returned_index: 1, min_index: 2 });
         // Regularity is equally violated.
         assert!(check_regularity(&history).is_err());
     }
@@ -375,13 +342,8 @@ mod tests {
     #[test]
     fn read_concurrent_with_write_may_return_either() {
         // Write 2 is concurrent with the read: returning 1 or 2 is fine.
-        let history = |ret| {
-            h(vec![
-                w(0, 1, 0, Some(10)),
-                w(1, 2, 20, Some(40)),
-                r(2, 0, Some(ret), 30, 35),
-            ])
-        };
+        let history =
+            |ret| h(vec![w(0, 1, 0, Some(10)), w(1, 2, 20, Some(40)), r(2, 0, Some(ret), 30, 35)]);
         assert!(check_atomicity(&history(1)).is_ok());
         assert!(check_atomicity(&history(2)).is_ok());
     }
@@ -390,10 +352,7 @@ mod tests {
     fn bot_after_complete_write_is_stale() {
         let history = h(vec![w(0, 1, 0, Some(10)), r(1, 0, None, 20, 30)]);
         let v = check_atomicity(&history).unwrap_err();
-        assert_eq!(
-            v[0],
-            Violation::StaleRead { read: OpId(1), returned_index: 0, min_index: 1 }
-        );
+        assert_eq!(v[0], Violation::StaleRead { read: OpId(1), returned_index: 0, min_index: 1 });
     }
 
     #[test]
@@ -450,11 +409,7 @@ mod tests {
     #[test]
     fn incomplete_write_does_not_raise_min_index() {
         // Write 2 never completes; a later read may still return value 1.
-        let history = h(vec![
-            w(0, 1, 0, Some(10)),
-            w(1, 2, 20, None),
-            r(2, 0, Some(1), 50, 60),
-        ]);
+        let history = h(vec![w(0, 1, 0, Some(10)), w(1, 2, 20, None), r(2, 0, Some(1), 50, 60)]);
         assert!(check_atomicity(&history).is_ok());
     }
 
@@ -495,18 +450,12 @@ mod tests {
     fn safeness_ignores_contended_reads() {
         // Read concurrent with write 2 returns a stale value: safeness
         // does not constrain it...
-        let history = h(vec![
-            w(0, 1, 0, Some(10)),
-            w(1, 2, 20, Some(40)),
-            r(2, 0, Some(1), 30, 35),
-        ]);
+        let history =
+            h(vec![w(0, 1, 0, Some(10)), w(1, 2, 20, Some(40)), r(2, 0, Some(1), 30, 35)]);
         assert!(check_safeness(&history).is_ok());
         // ...but a contention-free stale read is a safeness violation.
-        let history = h(vec![
-            w(0, 1, 0, Some(10)),
-            w(1, 2, 20, Some(30)),
-            r(2, 0, Some(1), 40, 50),
-        ]);
+        let history =
+            h(vec![w(0, 1, 0, Some(10)), w(1, 2, 20, Some(30)), r(2, 0, Some(1), 40, 50)]);
         assert!(check_safeness(&history).is_err());
     }
 

@@ -1,43 +1,48 @@
-//! The reader automaton (Fig. 2).
+//! The reader automaton (Fig. 2), as a policy over the shared
+//! [`ReadEngine`] kernel.
 
 use crate::config::ProtocolConfig;
+use crate::engine::{ReadEngine, ReadPolicy};
 use crate::predicates::{self, Thresholds};
-use crate::view::{update_view, ViewTable};
+use crate::view::ViewTable;
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{
-    Message, Params, ProcessId, ReadMsg, ReadSeq, ReaderId, ServerId, Tag, TsVal, WriteMsg,
-};
-use std::collections::BTreeSet;
+use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, TsVal};
 
-/// Progress of the READ in flight.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-enum ReaderState {
-    /// No operation in progress.
-    Idle,
-    /// Iterating READ rounds (Fig. 2 lines 14–19).
-    Reading {
-        rnd: u32,
-        round_acks: BTreeSet<ServerId>,
-        views: ViewTable,
-        timer_expired: bool,
-    },
-    /// Writing the selected value back (lines 26–28). `read_rounds`
-    /// remembers how many READ rounds preceded the write-back.
-    WritingBack { round: u8, c: TsVal, acks: BTreeSet<ServerId>, read_rounds: u32 },
-    /// The configured round cap was hit: the READ is parked and will never
-    /// complete (used to keep starvation experiments finite).
-    Capped,
+/// The atomic variant's READ policy: three write-back rounds and the
+/// `fast(c) = fastpw(c) ∨ fastvw(c)` round-1 gate (Fig. 2 lines 5–7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct AtomicReadPolicy {
+    params: Params,
+    thresholds: Thresholds,
+    fast_reads: bool,
+}
+
+impl ReadPolicy for AtomicReadPolicy {
+    const WRITEBACK_ROUNDS: u8 = 3;
+
+    fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+
+    fn server_count(&self) -> usize {
+        self.params.server_count()
+    }
+
+    fn round_one_fast(&self, views: &ViewTable, c: &TsVal) -> bool {
+        // Line 21: skip the write-back iff fast(c) holds.
+        self.fast_reads && predicates::fast(views, c, &self.thresholds)
+    }
 }
 
 /// A reader `r_j` of the atomic algorithm.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct AtomicReader {
     id: ReaderId,
-    params: Params,
-    cfg: ProtocolConfig,
-    thresholds: Thresholds,
-    tsr: ReadSeq,
-    state: ReaderState,
+    engine: ReadEngine<AtomicReadPolicy>,
 }
 
 impl AtomicReader {
@@ -47,14 +52,8 @@ impl AtomicReader {
         if let Some(fastpw) = cfg.fastpw_override {
             thresholds.fastpw = fastpw;
         }
-        AtomicReader {
-            id,
-            params,
-            cfg,
-            thresholds,
-            tsr: ReadSeq::INITIAL,
-            state: ReaderState::Idle,
-        }
+        let policy = AtomicReadPolicy { params, thresholds, fast_reads: cfg.fast_reads };
+        AtomicReader { id, engine: ReadEngine::new(policy, cfg) }
     }
 
     /// This reader's identity.
@@ -64,179 +63,48 @@ impl AtomicReader {
 
     /// The timestamp of the last invoked READ.
     pub fn tsr(&self) -> ReadSeq {
-        self.tsr
+        self.engine.tsr()
     }
 
     /// `true` iff no READ is in progress.
     pub fn is_idle(&self) -> bool {
-        self.state == ReaderState::Idle
+        self.engine.is_idle()
     }
 
     /// `true` iff the READ hit the configured round cap and was parked.
     pub fn is_capped(&self) -> bool {
-        self.state == ReaderState::Capped
+        self.engine.is_capped()
     }
 
     /// The current round number, if a READ is iterating rounds.
     pub fn current_round(&self) -> Option<u32> {
-        match &self.state {
-            ReaderState::Reading { rnd, .. } => Some(*rnd),
-            _ => None,
-        }
+        self.engine.current_round()
     }
 
-    /// Invoke `READ()` (Fig. 2 lines 12–16): bump `tsr`, reset the view
-    /// table, start the round-1 timer and send `READ⟨tsr, 1⟩` to all.
+    /// Invoke `READ()` (Fig. 2 lines 12–16).
     ///
     /// # Panics
     ///
     /// Panics if a READ is already in progress.
     pub fn invoke_read(&mut self, eff: &mut Effects<Message>) {
-        assert!(self.is_idle(), "READ invoked while another READ is in progress");
-        self.tsr = self.tsr.next();
-        self.state = ReaderState::Reading {
-            rnd: 1,
-            round_acks: BTreeSet::new(),
-            views: ViewTable::new(),
-            timer_expired: false,
-        };
-        eff.set_timer(TimerId(self.tsr.0), self.cfg.timer_micros);
-        eff.broadcast(self.servers(), Message::Read(ReadMsg { tsr: self.tsr, rnd: 1 }));
+        self.engine.invoke(eff);
     }
 
     /// Deliver a server message.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        let Some(server) = from.as_server() else {
-            return;
-        };
-        match msg {
-            Message::ReadAck(ack) if ack.tsr == self.tsr => {
-                if let ReaderState::Reading { rnd, round_acks, views, .. } = &mut self.state {
-                    // Lines 23–25: keep the latest view per server.
-                    update_view(views, server, &ack);
-                    // Line 17 counts acks of the *current* round.
-                    if ack.rnd == *rnd {
-                        round_acks.insert(server);
-                    }
-                } else {
-                    return;
-                }
-                self.try_finish_round(eff);
-            }
-            Message::WriteAck(ack) if ack.tag == Tag::WriteBack(self.tsr) => {
-                let quorum = self.params.quorum();
-                let finished_round = match &mut self.state {
-                    ReaderState::WritingBack { round, acks, .. } if ack.round == *round => {
-                        acks.insert(server);
-                        (acks.len() >= quorum).then_some(*round)
-                    }
-                    _ => None,
-                };
-                match finished_round {
-                    Some(r) if r < 3 => self.start_writeback_round(r + 1, eff),
-                    Some(_) => {
-                        let ReaderState::WritingBack { c, read_rounds, .. } =
-                            std::mem::replace(&mut self.state, ReaderState::Idle)
-                        else {
-                            unreachable!("matched WritingBack above");
-                        };
-                        // Line 22: return csel.val (slow READ: rounds of
-                        // reading plus three write-back rounds).
-                        eff.complete(Some(c.val), read_rounds + 3, false);
-                    }
-                    None => {}
-                }
-            }
-            _ => {}
-        }
+        self.engine.on_message(from, msg, eff);
     }
 
     /// The round-1 timer fired.
     pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
-        if id != TimerId(self.tsr.0) {
-            return; // stale timer from a previous READ
-        }
-        if let ReaderState::Reading { timer_expired, .. } = &mut self.state {
-            *timer_expired = true;
-            self.try_finish_round(eff);
-        }
-    }
-
-    /// Fig. 2 lines 17–22: once `S − t` acks of the current round arrived
-    /// (and, in round 1, the timer expired), evaluate the candidate set.
-    fn try_finish_round(&mut self, eff: &mut Effects<Message>) {
-        let ReaderState::Reading { rnd, round_acks, views, timer_expired } = &self.state
-        else {
-            return;
-        };
-        if round_acks.len() < self.params.quorum() || (*rnd == 1 && !*timer_expired) {
-            return;
-        }
-        let rnd = *rnd;
-        match predicates::select(views, self.tsr, &self.thresholds) {
-            Some(c) => {
-                // Line 21: skip the write-back iff the READ is in round 1
-                // and fast(c) holds.
-                let is_fast =
-                    rnd == 1 && self.cfg.fast_reads && predicates::fast(views, &c, &self.thresholds);
-                if is_fast {
-                    self.state = ReaderState::Idle;
-                    eff.complete(Some(c.val), 1, true);
-                } else {
-                    self.state = ReaderState::WritingBack {
-                        round: 0, // set by start_writeback_round
-                        c,
-                        acks: BTreeSet::new(),
-                        read_rounds: rnd,
-                    };
-                    self.start_writeback_round(1, eff);
-                }
-            }
-            None => {
-                // No candidate yet: next round.
-                if let Some(cap) = self.cfg.max_read_rounds {
-                    if rnd + 1 > cap {
-                        self.state = ReaderState::Capped;
-                        return;
-                    }
-                }
-                let next = rnd + 1;
-                if let ReaderState::Reading { rnd, round_acks, .. } = &mut self.state {
-                    *rnd = next;
-                    round_acks.clear();
-                }
-                eff.broadcast(
-                    self.servers(),
-                    Message::Read(ReadMsg { tsr: self.tsr, rnd: next }),
-                );
-            }
-        }
-    }
-
-    fn start_writeback_round(&mut self, round: u8, eff: &mut Effects<Message>) {
-        let ReaderState::WritingBack { round: r, c, acks, .. } = &mut self.state else {
-            unreachable!("write-back round outside WritingBack state");
-        };
-        *r = round;
-        acks.clear();
-        let msg = Message::Write(WriteMsg {
-            round,
-            tag: Tag::WriteBack(self.tsr),
-            c: c.clone(),
-            frozen: vec![],
-        });
-        eff.broadcast(self.servers(), msg);
-    }
-
-    fn servers(&self) -> impl Iterator<Item = ProcessId> {
-        ServerId::all(self.params.server_count()).map(ProcessId::from)
+        self.engine.on_timer(id, eff);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{FrozenSlot, ReadAckMsg, Seq, Value, WriteAckMsg};
+    use lucky_types::{FrozenSlot, ReadAckMsg, Seq, ServerId, Tag, Value, WriteAckMsg};
 
     /// t = 2, b = 1, fw = 1, fr = 0 → S = 6, quorum 4, fastpw 5, safe 2.
     fn reader() -> AtomicReader {
@@ -339,9 +207,9 @@ mod tests {
         assert!(completion.is_none());
         // Write-back round 1 broadcast.
         assert_eq!(sends.len(), 6);
-        assert!(sends.iter().all(
-            |(_, m)| matches!(m, Message::Write(wm) if wm.round == 1 && wm.c == pair(1))
-        ));
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1 && wm.c == pair(1))));
         // Three write-back rounds, then completion with rounds = 1 + 3.
         for round in 1..=3u8 {
             let mut eff = Effects::new();
@@ -380,9 +248,7 @@ mod tests {
         assert!(completion.is_none());
         // Round 2 broadcast.
         assert_eq!(sends.len(), 6);
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
         assert_eq!(r.current_round(), Some(2));
         // Round 2: the write completed meanwhile; all six servers now
         // vouch for ⟨2⟩ — but round 2 is never fast, so a write-back runs.
@@ -392,9 +258,7 @@ mod tests {
         }
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
         for round in 1..=3u8 {
             let mut eff = Effects::new();
             for i in 0..4 {
@@ -445,11 +309,7 @@ mod tests {
         // so no pair is safe and ⟨1⟩'s highCand is blocked by ⟨4⟩/⟨5⟩
         // (fewer than S−b−t = 3 older pw responses) → C empty → cap hit.
         for (i, ts) in [(0u16, 2u64), (1, 3), (2, 4), (3, 5)] {
-            r.on_message(
-                server(i),
-                read_ack(1, 1, pair(ts), pair(1), TsVal::initial()),
-                &mut eff,
-            );
+            r.on_message(server(i), read_ack(1, 1, pair(ts), pair(1), TsVal::initial()), &mut eff);
         }
         assert!(r.is_capped());
     }
@@ -457,8 +317,7 @@ mod tests {
     #[test]
     fn fast_reads_disabled_forces_writeback() {
         let params = Params::new(2, 1, 1, 0).unwrap();
-        let mut r =
-            AtomicReader::new(ReaderId(0), params, ProtocolConfig::slow_only(100));
+        let mut r = AtomicReader::new(ReaderId(0), params, ProtocolConfig::slow_only(100));
         invoke(&mut r);
         let mut eff = Effects::new();
         r.on_timer(TimerId(1), &mut eff);
@@ -467,9 +326,7 @@ mod tests {
         }
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none(), "fast path disabled: must write back");
-        assert!(sends
-            .iter()
-            .any(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
+        assert!(sends.iter().any(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
     }
 
     #[test]

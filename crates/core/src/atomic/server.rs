@@ -96,12 +96,7 @@ impl AtomicServer {
                     .reader_ts
                     .iter()
                     .filter(|(r, tsr)| {
-                        **tsr
-                            > self
-                                .frozen
-                                .get(r)
-                                .map(|f| f.tsr)
-                                .unwrap_or(ReadSeq::INITIAL)
+                        **tsr > self.frozen.get(r).map(|f| f.tsr).unwrap_or(ReadSeq::INITIAL)
                     })
                     .map(|(r, tsr)| NewRead { reader: *r, tsr: *tsr })
                     .collect();
@@ -236,12 +231,7 @@ mod tests {
         let mut s = AtomicServer::new();
         let mut eff = Effects::new();
         let w = |round| {
-            Message::Write(WriteMsg {
-                round,
-                tag: Tag::Write(Seq(2)),
-                c: pair(2),
-                frozen: vec![],
-            })
+            Message::Write(WriteMsg { round, tag: Tag::Write(Seq(2)), c: pair(2), frozen: vec![] })
         };
         s.handle(ProcessId::Writer, w(2), &mut eff);
         assert_eq!((s.pw(), s.w(), s.vw()), (&pair(2), &pair(2), &TsVal::initial()));

@@ -1,198 +1,107 @@
-//! The writer automaton (Fig. 1).
+//! The writer automaton (Fig. 1), as a policy over the shared
+//! [`WriteEngine`] kernel.
 
 use crate::config::ProtocolConfig;
+use crate::engine::{WriteEngine, WritePolicy};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{
-    FrozenUpdate, Message, NewRead, Params, ProcessId, PwMsg, ReadSeq, ReaderId, Seq, ServerId,
-    Tag, TsVal, Value, WriteMsg,
-};
-use std::collections::{BTreeMap, BTreeSet};
+use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, Seq, Value};
 
-/// Progress of the WRITE in flight.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-enum WriterState {
-    /// No operation in progress.
-    Idle,
-    /// Pre-write phase: waiting for `S − t` acks **and** the timer
-    /// (Fig. 1 line 5).
-    Pw { acks: BTreeMap<ServerId, Vec<NewRead>>, timer_expired: bool },
-    /// W phase, `round ∈ {2, 3}`: waiting for `S − t` acks (line 11).
-    W { round: u8, acks: BTreeSet<ServerId> },
+/// The atomic variant's WRITE policy: a timed PW phase, the `S − fw`
+/// one-round fast path (Fig. 1 line 8), a two-round W phase (rounds 2
+/// and 3), and the frozen set shipped on the *next* WRITE's PW message.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct AtomicWritePolicy {
+    params: Params,
+    fast_writes: bool,
+    freezing: bool,
+}
+
+impl WritePolicy for AtomicWritePolicy {
+    const PW_TIMER: bool = true;
+    const W_ROUNDS: &'static [u8] = &[2, 3];
+    const FROZEN_ON_W: bool = false;
+
+    fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+
+    fn server_count(&self) -> usize {
+        self.params.server_count()
+    }
+
+    fn b(&self) -> usize {
+        self.params.b()
+    }
+
+    fn fast_write_acks(&self) -> Option<usize> {
+        self.fast_writes.then(|| self.params.fast_write_acks())
+    }
+
+    fn freezing(&self) -> bool {
+        self.freezing
+    }
 }
 
 /// The single writer `w` of the atomic algorithm.
 ///
-/// Persistent state (Fig. 1 lines 1–2): the timestamp counter `ts`, the
+/// Persistent state (Fig. 1 lines 1–2) — the timestamp counter `ts`, the
 /// last pre-written and written pairs `pw`/`w`, the per-reader freeze
 /// watermark `read_ts[*]`, and the `frozen` set computed by the last
-/// `freezevalues()` — shipped to the servers inside the *next* WRITE's PW
-/// message.
+/// `freezevalues()` — lives in the shared [`WriteEngine`]; this type only
+/// contributes the policy above.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct AtomicWriter {
-    params: Params,
-    cfg: ProtocolConfig,
-    ts: Seq,
-    pw: TsVal,
-    w: TsVal,
-    read_ts: BTreeMap<ReaderId, ReadSeq>,
-    frozen: Vec<FrozenUpdate>,
-    state: WriterState,
+    engine: WriteEngine<AtomicWritePolicy>,
 }
 
 impl AtomicWriter {
     /// A fresh writer for a cluster with the given parameters.
     pub fn new(params: Params, cfg: ProtocolConfig) -> AtomicWriter {
-        AtomicWriter {
-            params,
-            cfg,
-            ts: Seq::INITIAL,
-            pw: TsVal::initial(),
-            w: TsVal::initial(),
-            read_ts: BTreeMap::new(),
-            frozen: Vec::new(),
-            state: WriterState::Idle,
-        }
+        let policy =
+            AtomicWritePolicy { params, fast_writes: cfg.fast_writes, freezing: cfg.freezing };
+        AtomicWriter { engine: WriteEngine::new(policy, cfg.timer_micros) }
     }
 
     /// The timestamp of the last invoked WRITE.
     pub fn ts(&self) -> Seq {
-        self.ts
+        self.engine.ts()
     }
 
     /// `true` iff no WRITE is in progress.
     pub fn is_idle(&self) -> bool {
-        self.state == WriterState::Idle
+        self.engine.is_idle()
     }
 
     /// The freeze watermark for `reader` (`read_ts[r_j]`).
     pub fn read_ts_for(&self, reader: ReaderId) -> ReadSeq {
-        self.read_ts.get(&reader).copied().unwrap_or(ReadSeq::INITIAL)
+        self.engine.read_ts_for(reader)
     }
 
-    /// Invoke `WRITE(v)` (Fig. 1 lines 3–4): bump the timestamp, start the
-    /// PW-phase timer, and send `PW⟨ts, pw, w, frozen⟩` to all servers.
+    /// Invoke `WRITE(v)` (Fig. 1 lines 3–4).
     ///
     /// # Panics
     ///
     /// Panics if a WRITE is already in progress (clients invoke one
     /// operation at a time, §2.2) or if `v` is `⊥` (not a valid input).
     pub fn invoke_write(&mut self, v: Value, eff: &mut Effects<Message>) {
-        assert!(self.is_idle(), "WRITE invoked while another WRITE is in progress");
-        assert!(!v.is_bot(), "⊥ is not a valid WRITE input (§2.2)");
-        self.ts = self.ts.next();
-        self.pw = TsVal::new(self.ts, v);
-        eff.set_timer(TimerId(self.ts.0), self.cfg.timer_micros);
-        let msg = Message::Pw(PwMsg {
-            ts: self.ts,
-            pw: self.pw.clone(),
-            w: self.w.clone(),
-            frozen: self.frozen.clone(),
-        });
-        eff.broadcast(self.servers(), msg);
-        self.state = WriterState::Pw { acks: BTreeMap::new(), timer_expired: false };
+        self.engine.invoke(v, eff);
     }
 
     /// Deliver a server message.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        let Some(server) = from.as_server() else {
-            return;
-        };
-        match msg {
-            // Valid PW ack: same timestamp (§3.4 "valid response").
-            Message::PwAck(ack) if ack.ts == self.ts => {
-                if let WriterState::Pw { acks, .. } = &mut self.state {
-                    acks.insert(server, ack.newread);
-                } else {
-                    return;
-                }
-                self.try_finish_pw(eff);
-            }
-            // Valid W ack: same round and tag.
-            Message::WriteAck(ack) if ack.tag == Tag::Write(self.ts) => {
-                let quorum = self.params.quorum();
-                let finished_round = match &mut self.state {
-                    WriterState::W { round, acks } if ack.round == *round => {
-                        acks.insert(server);
-                        (acks.len() >= quorum).then_some(*round)
-                    }
-                    _ => None,
-                };
-                match finished_round {
-                    Some(2) => self.start_w_round(3, eff),
-                    Some(_) => {
-                        // Line 12: the slow WRITE completes after round 3.
-                        self.state = WriterState::Idle;
-                        eff.complete(None, 3, false);
-                    }
-                    None => {}
-                }
-            }
-            _ => {}
-        }
+        self.engine.on_message(from, msg, eff);
     }
 
     /// The PW-phase timer fired.
     pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
-        if id != TimerId(self.ts.0) {
-            return; // stale timer from a previous WRITE
-        }
-        if let WriterState::Pw { timer_expired, .. } = &mut self.state {
-            *timer_expired = true;
-            self.try_finish_pw(eff);
-        }
-    }
-
-    /// Fig. 1 lines 5–9: once `S − t` acks have arrived **and** the timer
-    /// expired, run `freezevalues()`, adopt `w := ⟨ts, v⟩`, and either
-    /// complete fast (`≥ S − fw` acks) or start the W phase.
-    fn try_finish_pw(&mut self, eff: &mut Effects<Message>) {
-        let WriterState::Pw { acks, timer_expired } = &self.state else {
-            return;
-        };
-        if acks.len() < self.params.quorum() || !*timer_expired {
-            return;
-        }
-        let acks = acks.clone();
-        // Line 6: frozen := ∅; w := ⟨ts, v⟩ — then line 7 recomputes.
-        self.w = self.pw.clone();
-        self.frozen = self.freeze_values(&acks);
-        if self.cfg.fast_writes && acks.len() >= self.params.fast_write_acks() {
-            // Line 8: fast WRITE — one communication round-trip.
-            self.state = WriterState::Idle;
-            eff.complete(None, 1, true);
-        } else {
-            self.start_w_round(2, eff);
-        }
-    }
-
-    fn start_w_round(&mut self, round: u8, eff: &mut Effects<Message>) {
-        let msg = Message::Write(WriteMsg {
-            round,
-            tag: Tag::Write(self.ts),
-            c: self.pw.clone(),
-            frozen: vec![],
-        });
-        eff.broadcast(self.servers(), msg);
-        self.state = WriterState::W { round, acks: BTreeSet::new() };
-    }
-
-    /// `freezevalues()` (Fig. 1 lines 13–15); see [`crate::freeze`].
-    fn freeze_values(&mut self, acks: &BTreeMap<ServerId, Vec<NewRead>>) -> Vec<FrozenUpdate> {
-        if !self.cfg.freezing {
-            return Vec::new();
-        }
-        crate::freeze::freeze_values(self.params.b(), &self.pw, &mut self.read_ts, acks)
-    }
-
-    fn servers(&self) -> impl Iterator<Item = ProcessId> {
-        ServerId::all(self.params.server_count()).map(ProcessId::from)
+        self.engine.on_timer(id, eff);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{PwAckMsg, WriteAckMsg};
+    use lucky_types::{NewRead, PwAckMsg, ServerId, Tag, TsVal, WriteAckMsg};
 
     /// t = 2, b = 1, fw = 1, fr = 0 → S = 6, quorum 4, fast acks 5.
     fn writer() -> AtomicWriter {
@@ -267,9 +176,7 @@ mod tests {
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
         assert_eq!(sends.len(), 6);
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
 
         // Round 2 quorum -> round 3 broadcast.
         let mut eff = Effects::new();
@@ -279,9 +186,7 @@ mod tests {
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
         assert_eq!(sends.len(), 6);
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 3)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 3)));
 
         // Round 3 quorum -> slow completion (3 rounds total).
         let mut eff = Effects::new();
@@ -306,9 +211,7 @@ mod tests {
         // All 6 acks received, yet the W phase starts anyway.
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
-        assert!(sends
-            .iter()
-            .any(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+        assert!(sends.iter().any(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
     }
 
     #[test]

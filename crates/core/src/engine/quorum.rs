@@ -1,0 +1,91 @@
+//! Quorum collection: duplicate- and stale-filtering ack accumulation.
+
+use lucky_types::ServerId;
+use std::collections::BTreeSet;
+
+/// The set of distinct servers that have acked the *current* round of an
+/// operation.
+///
+/// Every client phase of every variant collects acks the same way: an ack
+/// carries the round number it answers, acks for any other round (stale
+/// retransmissions from an abandoned round, or — from a Byzantine server —
+/// a round that never ran) are ignored, and each server counts at most
+/// once. `R` is the round-number type (`u32` for READ rounds, `u8` for
+/// write rounds).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AckSet<R> {
+    round: R,
+    acks: BTreeSet<ServerId>,
+}
+
+impl<R: Copy + Eq> AckSet<R> {
+    /// An empty set collecting acks for `round`.
+    pub fn new(round: R) -> AckSet<R> {
+        AckSet { round, acks: BTreeSet::new() }
+    }
+
+    /// The round currently being collected.
+    pub fn round(&self) -> R {
+        self.round
+    }
+
+    /// Record an ack from `server` claiming `round`.
+    ///
+    /// Returns `true` iff the ack counted: acks for a different round and
+    /// duplicate acks from the same server leave the set unchanged.
+    pub fn record(&mut self, round: R, server: ServerId) -> bool {
+        round == self.round && self.acks.insert(server)
+    }
+
+    /// Number of distinct servers that acked the current round.
+    pub fn count(&self) -> usize {
+        self.acks.len()
+    }
+
+    /// `true` iff at least `quorum` distinct servers acked.
+    pub fn has_quorum(&self, quorum: usize) -> bool {
+        self.acks.len() >= quorum
+    }
+
+    /// Move on to `round`, forgetting everything collected so far.
+    pub fn advance(&mut self, round: R) {
+        self.round = round;
+        self.acks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_servers_once() {
+        let mut s: AckSet<u32> = AckSet::new(1);
+        assert!(s.record(1, ServerId(0)));
+        assert!(!s.record(1, ServerId(0)), "duplicate is ignored");
+        assert!(s.record(1, ServerId(1)));
+        assert_eq!(s.count(), 2);
+        assert!(s.has_quorum(2));
+        assert!(!s.has_quorum(3));
+    }
+
+    #[test]
+    fn filters_acks_for_other_rounds() {
+        let mut s: AckSet<u8> = AckSet::new(2);
+        assert!(!s.record(1, ServerId(0)), "stale round");
+        assert!(!s.record(3, ServerId(1)), "future round");
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn advance_resets_the_count() {
+        let mut s: AckSet<u32> = AckSet::new(1);
+        s.record(1, ServerId(0));
+        s.record(1, ServerId(1));
+        s.advance(2);
+        assert_eq!(s.round(), 2);
+        assert_eq!(s.count(), 0);
+        assert!(!s.record(1, ServerId(2)), "old round stays stale after advance");
+        assert!(s.record(2, ServerId(2)));
+    }
+}

@@ -73,8 +73,7 @@ mod tests {
     fn watermark_is_b_plus_first_highest() {
         let mut read_ts = BTreeMap::new();
         // b = 2: reports 9, 7, 5 → watermark is the 3rd highest = 5.
-        let frozen =
-            freeze_values(2, &pw(), &mut read_ts, &report(&[(0, 9), (1, 7), (2, 5)]));
+        let frozen = freeze_values(2, &pw(), &mut read_ts, &report(&[(0, 9), (1, 7), (2, 5)]));
         assert_eq!(frozen[0].tsr, ReadSeq(5));
         assert_eq!(read_ts[&ReaderId(0)], ReadSeq(5));
     }

@@ -19,8 +19,22 @@
 //!   write-back, tolerates malicious readers, `fw = t − b`, `fr = t`
 //!   (Proposition 7).
 //!
+//! ## Kernel / policy split
+//!
+//! The three variants share one **round-engine kernel** ([`engine`]):
+//! generic READ/WRITE drivers owning ack accumulation keyed by
+//! `(timestamp, round)`, stale-ack filtering, the round-1 synchrony
+//! timers, write-back and W-round sequencing, and the round-cap parking
+//! logic. Each variant module contributes only a small *policy* object
+//! naming its thresholds, quorum sizes, round schedule and fast-path
+//! predicate. Every runtime builds its processes through the [`Setup`]
+//! factories ([`Setup::make_writer`], [`Setup::make_reader`],
+//! [`Setup::make_server`]), so the simulator and the threaded `lucky-net`
+//! runtime run all three variants from the same enum.
+//!
 //! Supporting modules:
 //!
+//! * [`engine`] — the shared round-engine kernel described above;
 //! * [`predicates`] — the reader's decision predicates (`safe`,
 //!   `safeFrozen`, `fastpw`, `fastvw`, `invalidw`, `invalidpw`,
 //!   `highCand`), shared by all variants and tested in isolation;
@@ -53,6 +67,7 @@
 pub mod atomic;
 pub mod byz;
 pub mod config;
+pub mod engine;
 mod freeze;
 pub mod predicates;
 pub mod regular;
@@ -61,7 +76,5 @@ pub mod tworound;
 pub mod view;
 
 pub use config::{ProtocolConfig, Variant};
-pub use runtime::{
-    ClusterConfig, OpOutcome, Setup, SimCluster, SYNC_BOUND_MICROS,
-};
+pub use runtime::{ClusterConfig, OpOutcome, Setup, SimCluster, SYNC_BOUND_MICROS};
 pub use view::{ServerView, ViewTable};

@@ -95,11 +95,7 @@ pub fn safe(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
 /// `safeFrozen(c)` (Fig. 2 line 4): at least `b + 1` servers report `c`
 /// frozen for **this** READ (their slot's `tsr` equals the READ timestamp).
 pub fn safe_frozen(views: &ViewTable, c: &TsVal, tsr: ReadSeq, thr: &Thresholds) -> bool {
-    views
-        .values()
-        .filter(|v| v.frozen.pw == *c && v.frozen.tsr == tsr)
-        .count()
-        >= thr.safe
+    views.values().filter(|v| v.frozen.pw == *c && v.frozen.tsr == tsr).count() >= thr.safe
 }
 
 /// `fastpw(c)` (Fig. 2 line 5): enough `pw` copies that every future
@@ -123,11 +119,7 @@ pub fn fast(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
 /// a `pw` **or** `w` pair older than `c` (or same timestamp, different
 /// value) — `c` cannot have completed its second write round.
 pub fn invalidw(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
-    views
-        .values()
-        .filter(|v| v.pw.invalidates(c) || v.w.invalidates(c))
-        .count()
-        >= thr.invalidw
+    views.values().filter(|v| v.pw.invalidates(c) || v.w.invalidates(c)).count() >= thr.invalidw
 }
 
 /// `invalidpw(c)` (Fig. 2 line 9): at least `S − b − t` servers responded
@@ -206,20 +198,14 @@ mod tests {
     }
 
     fn table(entries: Vec<ServerView>) -> ViewTable {
-        entries
-            .into_iter()
-            .enumerate()
-            .map(|(i, v)| (ServerId(i as u16), v))
-            .collect()
+        entries.into_iter().enumerate().map(|(i, v)| (ServerId(i as u16), v)).collect()
     }
 
     #[test]
     fn counts_over_responders_only() {
         // Two responders out of six servers: absent servers count nowhere.
-        let views = table(vec![
-            view(pair(3), pair(3), Some(pair(3))),
-            view(pair(3), pair(2), None),
-        ]);
+        let views =
+            table(vec![view(pair(3), pair(3), Some(pair(3))), view(pair(3), pair(2), None)]);
         assert_eq!(count_pw(&views, &pair(3)), 2);
         assert_eq!(count_w(&views, &pair(3)), 1);
         assert_eq!(count_vw(&views, &pair(3)), 1);
@@ -239,10 +225,7 @@ mod tests {
 
     #[test]
     fn safe_frozen_requires_matching_tsr() {
-        let mut views = table(vec![
-            view(pair(1), pair(1), None),
-            view(pair(1), pair(1), None),
-        ]);
+        let mut views = table(vec![view(pair(1), pair(1), None), view(pair(1), pair(1), None)]);
         for v in views.values_mut() {
             v.frozen = FrozenSlot { pw: pair(4), tsr: ReadSeq(7) };
         }
@@ -406,10 +389,8 @@ mod tests {
     fn initial_value_is_returned_when_nothing_written() {
         // All six servers respond with the initial state: ⊥ is safe and
         // highCand (no other pair exists).
-        let views = table(vec![
-            view(TsVal::initial(), TsVal::initial(), Some(TsVal::initial()));
-            6
-        ]);
+        let views =
+            table(vec![view(TsVal::initial(), TsVal::initial(), Some(TsVal::initial())); 6]);
         assert_eq!(select(&views, ReadSeq(1), &thr()), Some(TsVal::initial()));
         // ... and fast: 6 matching pw ≥ 5 and 6 matching vw ≥ 2.
         assert!(fast(&views, &TsVal::initial(), &thr()));

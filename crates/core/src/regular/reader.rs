@@ -1,53 +1,60 @@
-//! The regular variant's reader: Fig. 2 without the write-back.
+//! The regular variant's reader — Fig. 2 without the write-back — as a
+//! policy over the shared [`ReadEngine`] kernel.
 
 use crate::config::ProtocolConfig;
-use crate::predicates::{self, Thresholds};
-use crate::view::{update_view, ViewTable};
+use crate::engine::{ReadEngine, ReadPolicy};
+use crate::predicates::Thresholds;
+use crate::view::ViewTable;
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Params, ProcessId, ReadMsg, ReadSeq, ReaderId, ServerId};
-use std::collections::BTreeSet;
+use lucky_types::{Message, Params, ProcessId, ReaderId, TsVal};
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum ReaderState {
-    Idle,
-    Reading {
-        rnd: u32,
-        round_acks: BTreeSet<ServerId>,
-        views: ViewTable,
-        timer_expired: bool,
-    },
-    Capped,
+/// The regular variant's READ policy: the READ loop is the atomic
+/// reader's (rounds, candidate set `C`, freezing), but a selected value
+/// is returned **immediately** — no `fast(c)` gate and no write-back
+/// (App. D.2 modification 2). A READ is fast exactly when it decides in
+/// round 1, which Proposition 7 guarantees for every lucky READ despite
+/// up to `fr = t` failures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct RegularReadPolicy {
+    params: Params,
+    thresholds: Thresholds,
+}
+
+impl ReadPolicy for RegularReadPolicy {
+    const WRITEBACK_ROUNDS: u8 = 0;
+
+    fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+
+    fn server_count(&self) -> usize {
+        self.params.server_count()
+    }
+
+    fn round_one_fast(&self, _views: &ViewTable, _c: &TsVal) -> bool {
+        // Irrelevant: with no write-back the kernel returns the selected
+        // value immediately, fast iff the READ decided in round 1.
+        false
+    }
 }
 
 /// A reader of the regular variant.
-///
-/// The READ loop is the atomic reader's (rounds, candidate set `C`,
-/// freezing), but a selected value is returned **immediately** — no
-/// `fast(c)` gate and no write-back (App. D.2 modification 2). A READ is
-/// fast exactly when it decides in round 1, which Proposition 7 guarantees
-/// for every lucky READ despite up to `fr = t` failures.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RegularReader {
     id: ReaderId,
-    params: Params,
-    cfg: ProtocolConfig,
-    thresholds: Thresholds,
-    tsr: ReadSeq,
-    state: ReaderState,
+    engine: ReadEngine<RegularReadPolicy>,
 }
 
 impl RegularReader {
     /// A fresh reader with identity `id`. Use [`Params::trading_reads`]
     /// for the Appendix D thresholds.
     pub fn new(id: ReaderId, params: Params, cfg: ProtocolConfig) -> RegularReader {
-        RegularReader {
-            id,
-            params,
-            cfg,
-            thresholds: Thresholds::from(params),
-            tsr: ReadSeq::INITIAL,
-            state: ReaderState::Idle,
-        }
+        let policy = RegularReadPolicy { params, thresholds: Thresholds::from(params) };
+        RegularReader { id, engine: ReadEngine::new(policy, cfg) }
     }
 
     /// This reader's identity.
@@ -57,12 +64,12 @@ impl RegularReader {
 
     /// `true` iff no READ is in progress.
     pub fn is_idle(&self) -> bool {
-        self.state == ReaderState::Idle
+        self.engine.is_idle()
     }
 
     /// `true` iff the READ hit the configured round cap.
     pub fn is_capped(&self) -> bool {
-        self.state == ReaderState::Capped
+        self.engine.is_capped()
     }
 
     /// Invoke `READ()`.
@@ -71,94 +78,24 @@ impl RegularReader {
     ///
     /// Panics if a READ is already in progress.
     pub fn invoke_read(&mut self, eff: &mut Effects<Message>) {
-        assert!(self.is_idle(), "READ invoked while another READ is in progress");
-        self.tsr = self.tsr.next();
-        self.state = ReaderState::Reading {
-            rnd: 1,
-            round_acks: BTreeSet::new(),
-            views: ViewTable::new(),
-            timer_expired: false,
-        };
-        eff.set_timer(TimerId(self.tsr.0), self.cfg.timer_micros);
-        eff.broadcast(self.servers(), Message::Read(ReadMsg { tsr: self.tsr, rnd: 1 }));
+        self.engine.invoke(eff);
     }
 
     /// Deliver a server message.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        let Some(server) = from.as_server() else {
-            return;
-        };
-        if let Message::ReadAck(ack) = msg {
-            if ack.tsr != self.tsr {
-                return;
-            }
-            if let ReaderState::Reading { rnd, round_acks, views, .. } = &mut self.state {
-                update_view(views, server, &ack);
-                if ack.rnd == *rnd {
-                    round_acks.insert(server);
-                }
-            } else {
-                return;
-            }
-            self.try_finish_round(eff);
-        }
+        self.engine.on_message(from, msg, eff);
     }
 
     /// The round-1 timer fired.
     pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
-        if id != TimerId(self.tsr.0) {
-            return;
-        }
-        if let ReaderState::Reading { timer_expired, .. } = &mut self.state {
-            *timer_expired = true;
-            self.try_finish_round(eff);
-        }
-    }
-
-    fn try_finish_round(&mut self, eff: &mut Effects<Message>) {
-        let ReaderState::Reading { rnd, round_acks, views, timer_expired } = &self.state
-        else {
-            return;
-        };
-        if round_acks.len() < self.params.quorum() || (*rnd == 1 && !*timer_expired) {
-            return;
-        }
-        let rnd = *rnd;
-        match predicates::select(views, self.tsr, &self.thresholds) {
-            Some(c) => {
-                // No write-back: return immediately; fast iff round 1.
-                self.state = ReaderState::Idle;
-                eff.complete(Some(c.val), rnd, rnd == 1);
-            }
-            None => {
-                if let Some(cap) = self.cfg.max_read_rounds {
-                    if rnd + 1 > cap {
-                        self.state = ReaderState::Capped;
-                        return;
-                    }
-                }
-                let next = rnd + 1;
-                if let ReaderState::Reading { rnd, round_acks, .. } = &mut self.state {
-                    *rnd = next;
-                    round_acks.clear();
-                }
-                eff.broadcast(
-                    self.servers(),
-                    Message::Read(ReadMsg { tsr: self.tsr, rnd: next }),
-                );
-            }
-        }
-    }
-
-    fn servers(&self) -> impl Iterator<Item = ProcessId> {
-        ServerId::all(self.params.server_count()).map(ProcessId::from)
+        self.engine.on_timer(id, eff);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{FrozenSlot, ReadAckMsg, Seq, TsVal, Value};
+    use lucky_types::{FrozenSlot, ReadAckMsg, ReadSeq, Seq, ServerId, TsVal, Value};
 
     /// Trading-reads params: t = 2, b = 1 → S = 6, quorum 4, safe 2.
     fn reader() -> RegularReader {
@@ -217,9 +154,7 @@ mod tests {
         r.on_timer(TimerId(1), &mut eff);
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
         // Round 2 decision is not fast.
         let mut eff = Effects::new();
         for i in 0..4 {

@@ -1,64 +1,78 @@
-//! The regular variant's writer: Fig. 1 with a one-round W phase.
+//! The regular variant's writer — Fig. 1 with a one-round W phase — as a
+//! policy over the shared [`WriteEngine`] kernel.
 
 use crate::config::ProtocolConfig;
+use crate::engine::{WriteEngine, WritePolicy};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{
-    FrozenUpdate, Message, NewRead, Params, ProcessId, PwMsg, ReadSeq, ReaderId, Seq, ServerId,
-    Tag, TsVal, Value, WriteMsg,
-};
-use std::collections::{BTreeMap, BTreeSet};
+use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, Seq, Value};
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum WriterState {
-    Idle,
-    Pw { acks: BTreeMap<ServerId, Vec<NewRead>>, timer_expired: bool },
-    /// Single W round (App. D.2 modification 1).
-    W { acks: BTreeSet<ServerId> },
-}
-
-/// The writer of the regular variant.
-///
-/// Identical to the atomic writer except the W phase is a single round
-/// (so a slow WRITE takes two round-trips and `vw` is never written).
+/// The regular variant's WRITE policy: identical to the atomic policy
+/// except the W phase is a single round (so a slow WRITE takes two
+/// round-trips and `vw` is never written; App. D.2 modification 1).
 /// Intended to run with the Appendix D thresholds `fw = t − b` — i.e.
 /// [`Params::trading_reads`] — where the fast path needs
 /// `S − fw = t + 2b + 1` PW acks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct RegularWritePolicy {
+    params: Params,
+    fast_writes: bool,
+    freezing: bool,
+}
+
+impl WritePolicy for RegularWritePolicy {
+    const PW_TIMER: bool = true;
+    const W_ROUNDS: &'static [u8] = &[2];
+    const FROZEN_ON_W: bool = false;
+
+    fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+
+    fn server_count(&self) -> usize {
+        self.params.server_count()
+    }
+
+    fn b(&self) -> usize {
+        self.params.b()
+    }
+
+    fn fast_write_acks(&self) -> Option<usize> {
+        self.fast_writes.then(|| self.params.fast_write_acks())
+    }
+
+    fn freezing(&self) -> bool {
+        self.freezing
+    }
+}
+
+/// The writer of the regular variant.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RegularWriter {
-    params: Params,
-    cfg: ProtocolConfig,
-    ts: Seq,
-    pw: TsVal,
-    w: TsVal,
-    read_ts: BTreeMap<ReaderId, ReadSeq>,
-    frozen: Vec<FrozenUpdate>,
-    state: WriterState,
+    engine: WriteEngine<RegularWritePolicy>,
 }
 
 impl RegularWriter {
     /// A fresh writer. Use [`Params::trading_reads`] for the Appendix D
     /// thresholds.
     pub fn new(params: Params, cfg: ProtocolConfig) -> RegularWriter {
-        RegularWriter {
-            params,
-            cfg,
-            ts: Seq::INITIAL,
-            pw: TsVal::initial(),
-            w: TsVal::initial(),
-            read_ts: BTreeMap::new(),
-            frozen: Vec::new(),
-            state: WriterState::Idle,
-        }
+        let policy =
+            RegularWritePolicy { params, fast_writes: cfg.fast_writes, freezing: cfg.freezing };
+        RegularWriter { engine: WriteEngine::new(policy, cfg.timer_micros) }
     }
 
     /// The timestamp of the last invoked WRITE.
     pub fn ts(&self) -> Seq {
-        self.ts
+        self.engine.ts()
     }
 
     /// `true` iff no WRITE is in progress.
     pub fn is_idle(&self) -> bool {
-        self.state == WriterState::Idle
+        self.engine.is_idle()
+    }
+
+    /// The freeze watermark for `reader`.
+    pub fn read_ts_for(&self, reader: ReaderId) -> ReadSeq {
+        self.engine.read_ts_for(reader)
     }
 
     /// Invoke `WRITE(v)`.
@@ -67,103 +81,24 @@ impl RegularWriter {
     ///
     /// Panics if a WRITE is in progress or `v` is `⊥`.
     pub fn invoke_write(&mut self, v: Value, eff: &mut Effects<Message>) {
-        assert!(self.is_idle(), "WRITE invoked while another WRITE is in progress");
-        assert!(!v.is_bot(), "⊥ is not a valid WRITE input (§2.2)");
-        self.ts = self.ts.next();
-        self.pw = TsVal::new(self.ts, v);
-        eff.set_timer(TimerId(self.ts.0), self.cfg.timer_micros);
-        let msg = Message::Pw(PwMsg {
-            ts: self.ts,
-            pw: self.pw.clone(),
-            w: self.w.clone(),
-            frozen: self.frozen.clone(),
-        });
-        eff.broadcast(self.servers(), msg);
-        self.state = WriterState::Pw { acks: BTreeMap::new(), timer_expired: false };
+        self.engine.invoke(v, eff);
     }
 
     /// Deliver a server message.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        let Some(server) = from.as_server() else {
-            return;
-        };
-        match msg {
-            Message::PwAck(ack) if ack.ts == self.ts => {
-                if let WriterState::Pw { acks, .. } = &mut self.state {
-                    acks.insert(server, ack.newread);
-                } else {
-                    return;
-                }
-                self.try_finish_pw(eff);
-            }
-            Message::WriteAck(ack) if ack.tag == Tag::Write(self.ts) && ack.round == 2 => {
-                let quorum = self.params.quorum();
-                let done = match &mut self.state {
-                    WriterState::W { acks } => {
-                        acks.insert(server);
-                        acks.len() >= quorum
-                    }
-                    _ => false,
-                };
-                if done {
-                    self.state = WriterState::Idle;
-                    eff.complete(None, 2, false);
-                }
-            }
-            _ => {}
-        }
+        self.engine.on_message(from, msg, eff);
     }
 
     /// The PW-phase timer fired.
     pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
-        if id != TimerId(self.ts.0) {
-            return;
-        }
-        if let WriterState::Pw { timer_expired, .. } = &mut self.state {
-            *timer_expired = true;
-            self.try_finish_pw(eff);
-        }
-    }
-
-    fn try_finish_pw(&mut self, eff: &mut Effects<Message>) {
-        let WriterState::Pw { acks, timer_expired } = &self.state else {
-            return;
-        };
-        if acks.len() < self.params.quorum() || !*timer_expired {
-            return;
-        }
-        let acks = acks.clone();
-        self.w = self.pw.clone();
-        self.frozen = if self.cfg.freezing {
-            crate::freeze::freeze_values(self.params.b(), &self.pw, &mut self.read_ts, &acks)
-        } else {
-            Vec::new()
-        };
-        if self.cfg.fast_writes && acks.len() >= self.params.fast_write_acks() {
-            self.state = WriterState::Idle;
-            eff.complete(None, 1, true);
-        } else {
-            // App. D.2: one W round only.
-            let msg = Message::Write(WriteMsg {
-                round: 2,
-                tag: Tag::Write(self.ts),
-                c: self.pw.clone(),
-                frozen: vec![],
-            });
-            eff.broadcast(self.servers(), msg);
-            self.state = WriterState::W { acks: BTreeSet::new() };
-        }
-    }
-
-    fn servers(&self) -> impl Iterator<Item = ProcessId> {
-        ServerId::all(self.params.server_count()).map(ProcessId::from)
+        self.engine.on_timer(id, eff);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{PwAckMsg, WriteAckMsg};
+    use lucky_types::{PwAckMsg, ServerId, Tag, WriteAckMsg};
 
     /// t = 2, b = 1, trading-reads: fw = 1, fr = 2 → S = 6, fast acks 5.
     fn writer() -> RegularWriter {
@@ -208,9 +143,7 @@ mod tests {
         }
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
         let mut eff = Effects::new();
         for i in 0..4 {
             w.on_message(

@@ -34,6 +34,18 @@ impl ServerCore for Box<dyn ServerCore> {
     }
 }
 
+impl ClientCore for Box<dyn ClientCore> {
+    fn invoke(&mut self, op: Op, eff: &mut Effects<Message>) {
+        (**self).invoke(op, eff);
+    }
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        (**self).deliver(from, msg, eff);
+    }
+    fn timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+        (**self).timer(id, eff);
+    }
+}
+
 macro_rules! impl_writer_core {
     ($ty:ty) => {
         impl ClientCore for $ty {

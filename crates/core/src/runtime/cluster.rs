@@ -2,7 +2,7 @@
 
 use crate::byz;
 use crate::config::{ProtocolConfig, Variant};
-use crate::runtime::adapters::{ClientAutomaton, ServerAutomaton, ServerCore};
+use crate::runtime::adapters::{ClientAutomaton, ClientCore, ServerAutomaton, ServerCore};
 use crate::{atomic, regular, tworound};
 use lucky_checker::Violations;
 use lucky_sim::{NetworkModel, RunError, World};
@@ -38,6 +38,53 @@ impl Setup {
             Setup::TwoRound(_) => Variant::TwoRound,
             Setup::Regular(_) => Variant::Regular,
         }
+    }
+
+    // The factories below are the single place a variant name maps to
+    // concrete protocol cores. Every runtime — the simulator's
+    // [`SimCluster`] and the threaded cluster in `lucky-net` — builds its
+    // processes through them, so adding a variant (or swapping a policy)
+    // lands in one match arm per role.
+
+    /// Build this variant's writer core.
+    pub fn make_writer(&self, protocol: ProtocolConfig) -> Box<dyn ClientCore> {
+        match *self {
+            Setup::Atomic(p) => Box::new(atomic::AtomicWriter::new(p, protocol)),
+            Setup::TwoRound(p) => Box::new(tworound::TwoRoundWriter::new(p)),
+            Setup::Regular(p) => Box::new(regular::RegularWriter::new(p, protocol)),
+        }
+    }
+
+    /// Build this variant's reader core with identity `id`.
+    pub fn make_reader(&self, id: ReaderId, protocol: ProtocolConfig) -> Box<dyn ClientCore> {
+        match *self {
+            Setup::Atomic(p) => Box::new(atomic::AtomicReader::new(id, p, protocol)),
+            Setup::TwoRound(p) => Box::new(tworound::TwoRoundReader::new(id, p, protocol)),
+            Setup::Regular(p) => Box::new(regular::RegularReader::new(id, p, protocol)),
+        }
+    }
+
+    /// Build this variant's (correct) server core.
+    pub fn make_server(&self) -> Box<dyn ServerCore> {
+        match self {
+            Setup::Atomic(_) => Box::new(atomic::AtomicServer::new()),
+            Setup::TwoRound(_) => Box::new(tworound::TwoRoundServer::new()),
+            Setup::Regular(_) => Box::new(regular::RegularServer::new()),
+        }
+    }
+}
+
+/// `Params` defaults to the main atomic algorithm (§3); build
+/// [`Setup::Regular`] explicitly for the Appendix D variant.
+impl From<Params> for Setup {
+    fn from(params: Params) -> Setup {
+        Setup::Atomic(params)
+    }
+}
+
+impl From<TwoRoundParams> for Setup {
+    fn from(params: TwoRoundParams) -> Setup {
+        Setup::TwoRound(params)
     }
 }
 
@@ -173,73 +220,25 @@ pub struct SimCluster {
 }
 
 impl SimCluster {
-    /// Build a cluster with `readers` reader processes.
+    /// Build a cluster with `readers` reader processes. The processes of
+    /// every variant are built through the [`Setup`] factories, so this
+    /// constructor is variant-agnostic.
     pub fn new(cfg: ClusterConfig, readers: usize) -> SimCluster {
         let mut world = World::new(cfg.net.clone(), cfg.seed);
         let protocol = cfg.protocol;
-        match cfg.setup {
-            Setup::Atomic(params) => {
-                world.add_process(
-                    ProcessId::Writer,
-                    Box::new(ClientAutomaton(atomic::AtomicWriter::new(params, protocol))),
-                );
-                for r in ReaderId::all(readers) {
-                    world.add_process(
-                        ProcessId::Reader(r),
-                        Box::new(ClientAutomaton(atomic::AtomicReader::new(
-                            r, params, protocol,
-                        ))),
-                    );
-                }
-                for s in ServerId::all(params.server_count()) {
-                    world.add_process(
-                        ProcessId::Server(s),
-                        Box::new(ServerAutomaton(atomic::AtomicServer::new())),
-                    );
-                }
-            }
-            Setup::TwoRound(params) => {
-                world.add_process(
-                    ProcessId::Writer,
-                    Box::new(ClientAutomaton(tworound::TwoRoundWriter::new(params))),
-                );
-                for r in ReaderId::all(readers) {
-                    world.add_process(
-                        ProcessId::Reader(r),
-                        Box::new(ClientAutomaton(tworound::TwoRoundReader::new(
-                            r, params, protocol,
-                        ))),
-                    );
-                }
-                for s in ServerId::all(params.server_count()) {
-                    world.add_process(
-                        ProcessId::Server(s),
-                        Box::new(ServerAutomaton(tworound::TwoRoundServer::new())),
-                    );
-                }
-            }
-            Setup::Regular(params) => {
-                world.add_process(
-                    ProcessId::Writer,
-                    Box::new(ClientAutomaton(regular::RegularWriter::new(params, protocol))),
-                );
-                for r in ReaderId::all(readers) {
-                    world.add_process(
-                        ProcessId::Reader(r),
-                        Box::new(ClientAutomaton(regular::RegularReader::new(
-                            r, params, protocol,
-                        ))),
-                    );
-                }
-                for s in ServerId::all(params.server_count()) {
-                    world.add_process(
-                        ProcessId::Server(s),
-                        Box::new(ServerAutomaton(regular::RegularServer::new())),
-                    );
-                }
-            }
+        let setup = cfg.setup;
+        world
+            .add_process(ProcessId::Writer, Box::new(ClientAutomaton(setup.make_writer(protocol))));
+        for r in ReaderId::all(readers) {
+            world.add_process(
+                ProcessId::Reader(r),
+                Box::new(ClientAutomaton(setup.make_reader(r, protocol))),
+            );
         }
-        SimCluster { setup: cfg.setup, world, reader_count: readers }
+        for s in ServerId::all(setup.server_count()) {
+            world.add_process(ProcessId::Server(s), Box::new(ServerAutomaton(setup.make_server())));
+        }
+        SimCluster { setup, world, reader_count: readers }
     }
 
     /// The protocol setup this cluster runs.
@@ -394,8 +393,7 @@ impl SimCluster {
 
     /// Replace server `i` with a Byzantine behaviour (see [`byz`]).
     pub fn install_byzantine(&mut self, i: u16, core: Box<dyn ServerCore>) {
-        self.world
-            .add_process(ProcessId::Server(ServerId(i)), Box::new(ServerAutomaton(core)));
+        self.world.add_process(ProcessId::Server(ServerId(i)), Box::new(ServerAutomaton(core)));
     }
 
     /// Replace server `i` with the [`byz::ForgeValue`] behaviour — the
@@ -582,10 +580,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let mut c = SimCluster::new(
-                ClusterConfig::asynchronous(params()).with_seed(seed),
-                1,
-            );
+            let mut c = SimCluster::new(ClusterConfig::asynchronous(params()).with_seed(seed), 1);
             c.write(Value::from_u64(1));
             c.read(ReaderId(0));
             c.history().clone()

@@ -1,56 +1,62 @@
-//! The two-round variant's reader automaton (Fig. 7).
+//! The two-round variant's reader automaton (Fig. 7), as a policy over
+//! the shared [`ReadEngine`] kernel.
 
 use crate::config::ProtocolConfig;
+use crate::engine::{ReadEngine, ReadPolicy};
 use crate::predicates::{self, Thresholds};
-use crate::view::{update_view, ViewTable};
+use crate::view::ViewTable;
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{
-    Message, ProcessId, ReadMsg, ReadSeq, ReaderId, ServerId, Tag, TsVal, TwoRoundParams,
-    WriteMsg,
-};
-use std::collections::BTreeSet;
+use lucky_types::{Message, ProcessId, ReaderId, TsVal, TwoRoundParams};
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum ReaderState {
-    Idle,
-    Reading {
-        rnd: u32,
-        round_acks: BTreeSet<ServerId>,
-        views: ViewTable,
-        timer_expired: bool,
-    },
-    /// Two-round write-back (Fig. 7 lines 24–26).
-    WritingBack { round: u8, c: TsVal, acks: BTreeSet<ServerId>, read_rounds: u32 },
-    Capped,
+/// The two-round variant's READ policy. Two deviations from the atomic
+/// policy, both dictated by Fig. 7: the fast predicate is
+/// `|{i : w_i = c}| ≥ S − t − fr` (line 5 — there is no `vw` register and
+/// WRITEs never skip their W round), and the write-back takes two rounds,
+/// mirroring the two-round WRITE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TwoRoundReadPolicy {
+    params: TwoRoundParams,
+    thresholds: Thresholds,
+    fast_reads: bool,
+}
+
+impl ReadPolicy for TwoRoundReadPolicy {
+    const WRITEBACK_ROUNDS: u8 = 2;
+
+    fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+
+    fn server_count(&self) -> usize {
+        self.params.server_count()
+    }
+
+    fn round_one_fast(&self, views: &ViewTable, c: &TsVal) -> bool {
+        // Fig. 7 line 5: fast(c) counts `w` copies only.
+        self.fast_reads && predicates::count_w(views, c) >= self.thresholds.fast_w
+    }
 }
 
 /// A reader of the two-round algorithm.
-///
-/// Identical to the atomic reader except for two deviations dictated by
-/// Fig. 7: the fast predicate is `|{i : w_i = c}| ≥ S − t − fr` (line 5 —
-/// there is no `vw` register and WRITEs never skip their W round), and the
-/// write-back takes two rounds, mirroring the two-round WRITE.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TwoRoundReader {
     id: ReaderId,
-    params: TwoRoundParams,
-    cfg: ProtocolConfig,
-    thresholds: Thresholds,
-    tsr: ReadSeq,
-    state: ReaderState,
+    engine: ReadEngine<TwoRoundReadPolicy>,
 }
 
 impl TwoRoundReader {
     /// A fresh reader with identity `id`.
     pub fn new(id: ReaderId, params: TwoRoundParams, cfg: ProtocolConfig) -> TwoRoundReader {
-        TwoRoundReader {
-            id,
+        let policy = TwoRoundReadPolicy {
             params,
-            cfg,
             thresholds: Thresholds::from(params),
-            tsr: ReadSeq::INITIAL,
-            state: ReaderState::Idle,
-        }
+            fast_reads: cfg.fast_reads,
+        };
+        TwoRoundReader { id, engine: ReadEngine::new(policy, cfg) }
     }
 
     /// This reader's identity.
@@ -60,12 +66,12 @@ impl TwoRoundReader {
 
     /// `true` iff no READ is in progress.
     pub fn is_idle(&self) -> bool {
-        self.state == ReaderState::Idle
+        self.engine.is_idle()
     }
 
     /// `true` iff the READ hit the configured round cap.
     pub fn is_capped(&self) -> bool {
-        self.state == ReaderState::Capped
+        self.engine.is_capped()
     }
 
     /// Invoke `READ()` (Fig. 7 lines 10–14).
@@ -74,144 +80,24 @@ impl TwoRoundReader {
     ///
     /// Panics if a READ is already in progress.
     pub fn invoke_read(&mut self, eff: &mut Effects<Message>) {
-        assert!(self.is_idle(), "READ invoked while another READ is in progress");
-        self.tsr = self.tsr.next();
-        self.state = ReaderState::Reading {
-            rnd: 1,
-            round_acks: BTreeSet::new(),
-            views: ViewTable::new(),
-            timer_expired: false,
-        };
-        eff.set_timer(TimerId(self.tsr.0), self.cfg.timer_micros);
-        eff.broadcast(self.servers(), Message::Read(ReadMsg { tsr: self.tsr, rnd: 1 }));
+        self.engine.invoke(eff);
     }
 
     /// Deliver a server message.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        let Some(server) = from.as_server() else {
-            return;
-        };
-        match msg {
-            Message::ReadAck(ack) if ack.tsr == self.tsr => {
-                if let ReaderState::Reading { rnd, round_acks, views, .. } = &mut self.state {
-                    update_view(views, server, &ack);
-                    if ack.rnd == *rnd {
-                        round_acks.insert(server);
-                    }
-                } else {
-                    return;
-                }
-                self.try_finish_round(eff);
-            }
-            Message::WriteAck(ack) if ack.tag == Tag::WriteBack(self.tsr) => {
-                let quorum = self.params.quorum();
-                let finished_round = match &mut self.state {
-                    ReaderState::WritingBack { round, acks, .. } if ack.round == *round => {
-                        acks.insert(server);
-                        (acks.len() >= quorum).then_some(*round)
-                    }
-                    _ => None,
-                };
-                match finished_round {
-                    Some(r) if r < 2 => self.start_writeback_round(r + 1, eff),
-                    Some(_) => {
-                        let ReaderState::WritingBack { c, read_rounds, .. } =
-                            std::mem::replace(&mut self.state, ReaderState::Idle)
-                        else {
-                            unreachable!("matched WritingBack above");
-                        };
-                        eff.complete(Some(c.val), read_rounds + 2, false);
-                    }
-                    None => {}
-                }
-            }
-            _ => {}
-        }
+        self.engine.on_message(from, msg, eff);
     }
 
     /// The round-1 timer fired.
     pub fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
-        if id != TimerId(self.tsr.0) {
-            return;
-        }
-        if let ReaderState::Reading { timer_expired, .. } = &mut self.state {
-            *timer_expired = true;
-            self.try_finish_round(eff);
-        }
-    }
-
-    fn try_finish_round(&mut self, eff: &mut Effects<Message>) {
-        let ReaderState::Reading { rnd, round_acks, views, timer_expired } = &self.state
-        else {
-            return;
-        };
-        if round_acks.len() < self.params.quorum() || (*rnd == 1 && !*timer_expired) {
-            return;
-        }
-        let rnd = *rnd;
-        match predicates::select(views, self.tsr, &self.thresholds) {
-            Some(c) => {
-                // Fig. 7 line 5: fast(c) counts `w` copies only.
-                let is_fast = rnd == 1
-                    && self.cfg.fast_reads
-                    && predicates::count_w(views, &c) >= self.thresholds.fast_w;
-                if is_fast {
-                    self.state = ReaderState::Idle;
-                    eff.complete(Some(c.val), 1, true);
-                } else {
-                    self.state = ReaderState::WritingBack {
-                        round: 0,
-                        c,
-                        acks: BTreeSet::new(),
-                        read_rounds: rnd,
-                    };
-                    self.start_writeback_round(1, eff);
-                }
-            }
-            None => {
-                if let Some(cap) = self.cfg.max_read_rounds {
-                    if rnd + 1 > cap {
-                        self.state = ReaderState::Capped;
-                        return;
-                    }
-                }
-                let next = rnd + 1;
-                if let ReaderState::Reading { rnd, round_acks, .. } = &mut self.state {
-                    *rnd = next;
-                    round_acks.clear();
-                }
-                eff.broadcast(
-                    self.servers(),
-                    Message::Read(ReadMsg { tsr: self.tsr, rnd: next }),
-                );
-            }
-        }
-    }
-
-    fn start_writeback_round(&mut self, round: u8, eff: &mut Effects<Message>) {
-        let ReaderState::WritingBack { round: r, c, acks, .. } = &mut self.state else {
-            unreachable!("write-back round outside WritingBack state");
-        };
-        *r = round;
-        acks.clear();
-        let msg = Message::Write(WriteMsg {
-            round,
-            tag: Tag::WriteBack(self.tsr),
-            c: c.clone(),
-            frozen: vec![],
-        });
-        eff.broadcast(self.servers(), msg);
-    }
-
-    fn servers(&self) -> impl Iterator<Item = ProcessId> {
-        ServerId::all(self.params.server_count()).map(ProcessId::from)
+        self.engine.on_timer(id, eff);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{FrozenSlot, ReadAckMsg, Seq, Value, WriteAckMsg};
+    use lucky_types::{FrozenSlot, ReadAckMsg, ReadSeq, Seq, ServerId, Tag, Value, WriteAckMsg};
 
     /// t = 2, b = 1, fr = 1 → S = 7, quorum 5, fast_w = 4, safe 2.
     fn reader() -> TwoRoundReader {
@@ -278,9 +164,7 @@ mod tests {
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
         assert_eq!(sends.len(), 7);
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 1)));
         // Two write-back rounds, then completion with rounds = 1 + 2.
         let mut eff = Effects::new();
         for i in 0..5 {
@@ -288,9 +172,7 @@ mod tests {
         }
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
         let mut eff = Effects::new();
         for i in 0..5 {
             r.on_message(server(i), wb_ack(2, 1), &mut eff);
@@ -314,8 +196,6 @@ mod tests {
         r.on_timer(TimerId(1), &mut eff);
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none());
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Read(rm) if rm.rnd == 2)));
     }
 }

@@ -66,12 +66,7 @@ impl TwoRoundServer {
                     .reader_ts
                     .iter()
                     .filter(|(r, tsr)| {
-                        **tsr
-                            > self
-                                .frozen
-                                .get(r)
-                                .map(|f| f.tsr)
-                                .unwrap_or(ReadSeq::INITIAL)
+                        **tsr > self.frozen.get(r).map(|f| f.tsr).unwrap_or(ReadSeq::INITIAL)
                     })
                     .map(|(r, tsr)| NewRead { reader: *r, tsr: *tsr })
                     .collect();
@@ -111,10 +106,8 @@ impl TwoRoundServer {
                 if from == ProcessId::Writer {
                     for fu in &w_msg.frozen {
                         if fu.tsr >= self.reader_ts_for(fu.reader) {
-                            self.frozen.insert(
-                                fu.reader,
-                                FrozenSlot { pw: fu.pw.clone(), tsr: fu.tsr },
-                            );
+                            self.frozen
+                                .insert(fu.reader, FrozenSlot { pw: fu.pw.clone(), tsr: fu.tsr });
                         }
                     }
                 }
@@ -188,11 +181,7 @@ mod tests {
                 round: 2,
                 tag: Tag::Write(Seq(3)),
                 c: pair(3),
-                frozen: vec![FrozenUpdate {
-                    reader: ReaderId(0),
-                    pw: pair(3),
-                    tsr: ReadSeq(4),
-                }],
+                frozen: vec![FrozenUpdate { reader: ReaderId(0), pw: pair(3), tsr: ReadSeq(4) }],
             }),
             &mut eff,
         );
@@ -210,11 +199,7 @@ mod tests {
                 round: 2,
                 tag: Tag::WriteBack(ReadSeq(1)),
                 c: pair(3),
-                frozen: vec![FrozenUpdate {
-                    reader: ReaderId(0),
-                    pw: pair(9),
-                    tsr: ReadSeq(9),
-                }],
+                frozen: vec![FrozenUpdate { reader: ReaderId(0), pw: pair(9), tsr: ReadSeq(9) }],
             }),
             &mut eff,
         );

@@ -1,65 +1,76 @@
-//! The two-round variant's writer automaton (Fig. 6).
+//! The two-round variant's writer automaton (Fig. 6), as a policy over
+//! the shared [`WriteEngine`] kernel.
 
+use crate::config::ProtocolConfig;
+use crate::engine::{WriteEngine, WritePolicy};
 use lucky_sim::Effects;
-use lucky_types::{
-    FrozenUpdate, Message, NewRead, ProcessId, PwMsg, ReadSeq, ReaderId, Seq, ServerId, Tag,
-    TsVal, TwoRoundParams, Value, WriteMsg,
-};
-use std::collections::{BTreeMap, BTreeSet};
+use lucky_types::{Message, ProcessId, ReadSeq, ReaderId, Seq, TwoRoundParams, Value};
 
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum WriterState {
-    Idle,
-    /// PW round: waiting for `S − t` acks (no timer — Fig. 6 line 6).
-    Pw { acks: BTreeMap<ServerId, Vec<NewRead>> },
-    /// W round: waiting for `S − t` acks (line 11).
-    W { acks: BTreeSet<ServerId> },
+/// The two-round variant's WRITE policy. Compared with the atomic policy
+/// (Fig. 1): no timer, no fast path, a single W round, and the frozen set
+/// computed by `freezevalues()` ships inside the W message of the *same*
+/// WRITE (Fig. 6 lines 7–10) rather than the next WRITE's PW message —
+/// which is what lets the wait-freedom argument of Appendix C.5 go
+/// through with only two rounds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TwoRoundWritePolicy {
+    params: TwoRoundParams,
+}
+
+impl WritePolicy for TwoRoundWritePolicy {
+    const PW_TIMER: bool = false;
+    const W_ROUNDS: &'static [u8] = &[2];
+    const FROZEN_ON_W: bool = true;
+
+    fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+
+    fn server_count(&self) -> usize {
+        self.params.server_count()
+    }
+
+    fn b(&self) -> usize {
+        self.params.b()
+    }
+
+    fn fast_write_acks(&self) -> Option<usize> {
+        None // every WRITE takes exactly two rounds, unconditionally
+    }
+
+    fn freezing(&self) -> bool {
+        true
+    }
 }
 
 /// The writer of the two-round algorithm: every WRITE takes exactly two
 /// communication round-trips, unconditionally.
-///
-/// Compared with the atomic writer (Fig. 1): no timer, no fast path, and
-/// the frozen set computed by `freezevalues()` is shipped inside the W
-/// message of the *same* WRITE (Fig. 6 lines 7–10) rather than the next
-/// WRITE's PW message — which is what lets the wait-freedom argument of
-/// Appendix C.5 go through with only two rounds.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TwoRoundWriter {
-    params: TwoRoundParams,
-    ts: Seq,
-    pw: TsVal,
-    w: TsVal,
-    read_ts: BTreeMap<ReaderId, ReadSeq>,
-    state: WriterState,
+    engine: WriteEngine<TwoRoundWritePolicy>,
 }
 
 impl TwoRoundWriter {
     /// A fresh writer.
     pub fn new(params: TwoRoundParams) -> TwoRoundWriter {
-        TwoRoundWriter {
-            params,
-            ts: Seq::INITIAL,
-            pw: TsVal::initial(),
-            w: TsVal::initial(),
-            read_ts: BTreeMap::new(),
-            state: WriterState::Idle,
-        }
+        // The policy has no timer; the timer length is irrelevant.
+        let timer_micros = ProtocolConfig::default().timer_micros;
+        TwoRoundWriter { engine: WriteEngine::new(TwoRoundWritePolicy { params }, timer_micros) }
     }
 
     /// The timestamp of the last invoked WRITE.
     pub fn ts(&self) -> Seq {
-        self.ts
+        self.engine.ts()
     }
 
     /// `true` iff no WRITE is in progress.
     pub fn is_idle(&self) -> bool {
-        self.state == WriterState::Idle
+        self.engine.is_idle()
     }
 
     /// The freeze watermark for `reader`.
     pub fn read_ts_for(&self, reader: ReaderId) -> ReadSeq {
-        self.read_ts.get(&reader).copied().unwrap_or(ReadSeq::INITIAL)
+        self.engine.read_ts_for(reader)
     }
 
     /// Invoke `WRITE(v)` (Fig. 6 lines 3–5).
@@ -68,89 +79,19 @@ impl TwoRoundWriter {
     ///
     /// Panics if a WRITE is in progress or `v` is `⊥`.
     pub fn invoke_write(&mut self, v: Value, eff: &mut Effects<Message>) {
-        assert!(self.is_idle(), "WRITE invoked while another WRITE is in progress");
-        assert!(!v.is_bot(), "⊥ is not a valid WRITE input (§2.2)");
-        self.ts = self.ts.next();
-        self.pw = TsVal::new(self.ts, v);
-        let msg = Message::Pw(PwMsg {
-            ts: self.ts,
-            pw: self.pw.clone(),
-            w: self.w.clone(),
-            frozen: vec![], // this variant's PW carries no frozen entries
-        });
-        eff.broadcast(self.servers(), msg);
-        self.state = WriterState::Pw { acks: BTreeMap::new() };
+        self.engine.invoke(v, eff);
     }
 
     /// Deliver a server message.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        let Some(server) = from.as_server() else {
-            return;
-        };
-        match msg {
-            Message::PwAck(ack) if ack.ts == self.ts => {
-                let quorum = self.params.quorum();
-                let done = match &mut self.state {
-                    WriterState::Pw { acks } => {
-                        acks.insert(server, ack.newread);
-                        acks.len() >= quorum
-                    }
-                    _ => false,
-                };
-                if done {
-                    let WriterState::Pw { acks } =
-                        std::mem::replace(&mut self.state, WriterState::Idle)
-                    else {
-                        unreachable!("checked above");
-                    };
-                    // Fig. 6 lines 7–10: freeze, adopt w, start the W round
-                    // with the frozen set on board.
-                    let frozen = self.freeze_values(&acks);
-                    self.w = self.pw.clone();
-                    let msg = Message::Write(WriteMsg {
-                        round: 2,
-                        tag: Tag::Write(self.ts),
-                        c: self.pw.clone(),
-                        frozen,
-                    });
-                    eff.broadcast(self.servers(), msg);
-                    self.state = WriterState::W { acks: BTreeSet::new() };
-                }
-            }
-            Message::WriteAck(ack) if ack.tag == Tag::Write(self.ts) && ack.round == 2 => {
-                let quorum = self.params.quorum();
-                let done = match &mut self.state {
-                    WriterState::W { acks } => {
-                        acks.insert(server);
-                        acks.len() >= quorum
-                    }
-                    _ => false,
-                };
-                if done {
-                    self.state = WriterState::Idle;
-                    // Always two rounds; never "fast" in the §2.4 sense.
-                    eff.complete(None, 2, false);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    /// `freezevalues()` (Fig. 6 lines 13–15) — identical counting rule to
-    /// the atomic variant; see [`crate::freeze`].
-    fn freeze_values(&mut self, acks: &BTreeMap<ServerId, Vec<NewRead>>) -> Vec<FrozenUpdate> {
-        crate::freeze::freeze_values(self.params.b(), &self.pw, &mut self.read_ts, acks)
-    }
-
-    fn servers(&self) -> impl Iterator<Item = ProcessId> {
-        ServerId::all(self.params.server_count()).map(ProcessId::from)
+        self.engine.on_message(from, msg, eff);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{PwAckMsg, WriteAckMsg};
+    use lucky_types::{NewRead, PwAckMsg, ServerId, Tag, TsVal, WriteAckMsg};
 
     /// t = 2, b = 1, fr = 1 → S = 7, quorum 5.
     fn writer() -> TwoRoundWriter {
@@ -185,9 +126,7 @@ mod tests {
         }
         let (sends, _, completion) = eff.into_parts();
         assert!(completion.is_none(), "no fast path even with all acks");
-        assert!(sends
-            .iter()
-            .all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
+        assert!(sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)));
 
         // W-round quorum completes the WRITE in two rounds.
         let mut eff = Effects::new();

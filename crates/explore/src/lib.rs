@@ -303,8 +303,7 @@ pub fn random_walks(scenario: &Scenario, walks: usize, max_steps: usize, seed: u
 /// "no-op forever" (acks are matched against the *current* operation's
 /// timestamp, which only ever grows).
 fn prune_noops(state: &mut State) {
-    let keys: Vec<(ProcessId, ProcessId, Message)> =
-        state.inflight.keys().cloned().collect();
+    let keys: Vec<(ProcessId, ProcessId, Message)> = state.inflight.keys().cloned().collect();
     for key in keys {
         let idx = proc_index(state, key.1);
         if delivery_is_noop(&state.procs[idx].1, key.0, &key.2) {
@@ -438,20 +437,16 @@ fn enumerate_choices(scenario: &Scenario, state: &State) -> Vec<Choice> {
 }
 
 fn all_scripts_done(scenario: &Scenario, state: &State) -> bool {
-    let writer_done =
-        state.script_pos[&ProcessId::Writer] >= scenario.writer_script.len();
-    let readers_done = scenario.reader_scripts.iter().all(|(&r, &n)| {
-        state.script_pos[&ProcessId::Reader(ReaderId(r))] >= n
-    });
+    let writer_done = state.script_pos[&ProcessId::Writer] >= scenario.writer_script.len();
+    let readers_done = scenario
+        .reader_scripts
+        .iter()
+        .all(|(&r, &n)| state.script_pos[&ProcessId::Reader(ReaderId(r))] >= n);
     writer_done && readers_done
 }
 
 fn proc_index(state: &State, pid: ProcessId) -> usize {
-    state
-        .procs
-        .iter()
-        .position(|(id, _)| *id == pid)
-        .expect("process exists")
+    state.procs.iter().position(|(id, _)| *id == pid).expect("process exists")
 }
 
 /// Apply `choice`; returns `true` iff a client operation completed.
@@ -670,12 +665,8 @@ mod tests {
 
     #[test]
     fn write_concurrent_with_read_is_atomic_everywhere() {
-        let scenario =
-            Scenario::new(small_params()).write(Value::from_u64(1)).reads(0, 1);
-        let cfg = ExploreConfig {
-            max_states: budget(250_000, 25_000),
-            ..ExploreConfig::default()
-        };
+        let scenario = Scenario::new(small_params()).write(Value::from_u64(1)).reads(0, 1);
+        let cfg = ExploreConfig { max_states: budget(250_000, 25_000), ..ExploreConfig::default() };
         let report = explore(&scenario, &cfg);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         if !cfg!(debug_assertions) {
@@ -686,10 +677,8 @@ mod tests {
 
     #[test]
     fn crashed_server_configurations_stay_atomic() {
-        let scenario = Scenario::new(small_params())
-            .write(Value::from_u64(1))
-            .reads(0, 1)
-            .crashed(0);
+        let scenario =
+            Scenario::new(small_params()).write(Value::from_u64(1)).reads(0, 1).crashed(0);
         let report = explore(&scenario, &ExploreConfig::default());
         assert!(report.violations.is_empty());
         assert!(!report.truncated);
@@ -699,10 +688,10 @@ mod tests {
     fn byzantine_forger_cannot_break_small_scope() {
         // S = 4, b = 1: one forging server, one write, one read.
         let params = Params::new(1, 1, 0, 0).unwrap();
-        let scenario = Scenario::new(params)
-            .write(Value::from_u64(1))
-            .reads(0, 1)
-            .byzantine(0, ByzKind::ForgeValue(TsVal::new(lucky_types::Seq(9), Value::from_u64(99))));
+        let scenario = Scenario::new(params).write(Value::from_u64(1)).reads(0, 1).byzantine(
+            0,
+            ByzKind::ForgeValue(TsVal::new(lucky_types::Seq(9), Value::from_u64(99))),
+        );
         let cfg = ExploreConfig { max_states: budget(400_000, 25_000), max_depth: 90 };
         let report = explore(&scenario, &cfg);
         // Bounded guarantee: no violation within the explored scope.
@@ -728,10 +717,7 @@ mod tests {
             .reads(1, 1)
             .byzantine(
                 1,
-                ByzKind::SplitBrain(vec![
-                    ProcessId::Writer,
-                    ProcessId::Reader(ReaderId(0)),
-                ]),
+                ByzKind::SplitBrain(vec![ProcessId::Writer, ProcessId::Reader(ReaderId(0))]),
             );
         let report = random_walks(&scenario, budget(50_000, 8_000), 200, 42);
         assert!(
@@ -746,16 +732,10 @@ mod tests {
         // The same adversary against the correctly-configured algorithm:
         // tens of thousands of random schedules, no violation.
         let params = Params::new(1, 1, 0, 0).unwrap();
-        let scenario = Scenario::new(params)
-            .write(Value::from_u64(1))
-            .reads(0, 1)
-            .reads(1, 1)
-            .byzantine(
+        let scenario =
+            Scenario::new(params).write(Value::from_u64(1)).reads(0, 1).reads(1, 1).byzantine(
                 1,
-                ByzKind::SplitBrain(vec![
-                    ProcessId::Writer,
-                    ProcessId::Reader(ReaderId(0)),
-                ]),
+                ByzKind::SplitBrain(vec![ProcessId::Writer, ProcessId::Reader(ReaderId(0))]),
             );
         let report = random_walks(&scenario, budget(10_000, 2_000), 200, 43);
         assert!(report.violations.is_empty(), "{:?}", report.violations);

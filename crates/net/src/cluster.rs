@@ -1,12 +1,17 @@
 //! Cluster assembly and blocking client handles.
+//!
+//! The cluster is **variant-generic**: it is built from the same
+//! [`Setup`] enum the simulator's `SimCluster` uses, and every process is
+//! constructed through the [`Setup`] factories — the atomic (§3),
+//! two-round (App. C) and regular (App. D) algorithms all run on real
+//! threads with no variant-specific code in this module.
 
 use crate::router::{run_router, Envelope, NetStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use lucky_core::atomic::{AtomicReader, AtomicServer, AtomicWriter};
 use lucky_core::runtime::{ClientCore, ServerCore};
-use lucky_core::ProtocolConfig;
+use lucky_core::{ProtocolConfig, Setup};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Op, Params, ProcessId, ReaderId, ServerId, Value};
+use lucky_types::{Message, Op, ProcessId, ReaderId, ServerId, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -23,20 +28,52 @@ pub struct NetConfig {
     pub max_latency: Duration,
     /// Router RNG seed (latency sampling).
     pub seed: u64,
-    /// Client round-1 timer. Should be at least `2 × max_latency` plus a
-    /// scheduling margin for operations to be reliably lucky.
+    /// Client round-1 timer. Must be at least `2 × max_latency` plus a
+    /// scheduling margin for operations to be reliably lucky;
+    /// [`NetConfig::for_latency`] computes exactly that.
     pub timer: Duration,
 }
 
-impl Default for NetConfig {
-    fn default() -> Self {
+impl NetConfig {
+    /// Margin added on top of the `2 × max_latency` round trip when
+    /// deriving the timer, absorbing thread-scheduling noise.
+    pub const TIMER_MARGIN: Duration = Duration::from_millis(6);
+
+    /// How many timer lengths a blocking operation may take before it
+    /// fails with [`NetError::TimedOut`]; generous so that only genuine
+    /// stalls (too many crashes, partitioned quorums) trip it, even on a
+    /// slow or heavily loaded CI machine.
+    pub const OP_DEADLINE_TIMERS: u32 = 200;
+
+    /// Lower bound on the per-operation deadline: with a very short
+    /// timer the proportional deadline would also have to cover thread
+    /// spawn and router start-up, which the timer does not model.
+    pub const OP_DEADLINE_FLOOR: Duration = Duration::from_secs(1);
+
+    /// A configuration for the given latency band, with the round-1 timer
+    /// derived as `2 × max_latency + TIMER_MARGIN`.
+    pub fn for_latency(min_latency: Duration, max_latency: Duration) -> NetConfig {
         NetConfig {
-            min_latency: Duration::from_micros(200),
-            max_latency: Duration::from_millis(2),
+            min_latency,
+            max_latency,
             seed: 0,
-            // 2 × 2ms plus a generous margin for thread scheduling noise.
-            timer: Duration::from_millis(10),
+            timer: 2 * max_latency + NetConfig::TIMER_MARGIN,
         }
+    }
+
+    /// The per-operation deadline, derived from the configured timer
+    /// (see [`NetConfig::OP_DEADLINE_TIMERS`]) and clamped to
+    /// [`NetConfig::OP_DEADLINE_FLOOR`].
+    pub fn op_deadline(&self) -> Duration {
+        (NetConfig::OP_DEADLINE_TIMERS * self.timer).max(NetConfig::OP_DEADLINE_FLOOR)
+    }
+}
+
+impl Default for NetConfig {
+    /// 200µs–2ms injected latency; the derived timer is
+    /// `2 × 2ms + 6ms = 10ms`.
+    fn default() -> Self {
+        NetConfig::for_latency(Duration::from_micros(200), Duration::from_millis(2))
     }
 }
 
@@ -74,17 +111,17 @@ pub struct NetOutcome {
 }
 
 /// Drives one client core from the calling thread.
-struct ClientDriver<C> {
+struct ClientDriver {
     id: ProcessId,
-    core: C,
+    core: Box<dyn ClientCore>,
     inbox: Receiver<(ProcessId, Message)>,
     router: Sender<Envelope>,
-    /// Per-operation deadline: generous multiple of the timer so stalled
+    /// Per-operation deadline (see [`NetConfig::op_deadline`]): stalled
     /// operations surface as errors instead of hanging forever.
     op_deadline: Duration,
 }
 
-impl<C: ClientCore> ClientDriver<C> {
+impl ClientDriver {
     fn run_op(&mut self, op: Op) -> Result<NetOutcome, NetError> {
         let start = Instant::now();
         let deadline = start + self.op_deadline;
@@ -168,9 +205,10 @@ impl<C: ClientCore> ClientDriver<C> {
     }
 }
 
-/// Blocking writer handle: owns the writer core.
+/// Blocking writer handle: owns the writer core (of whatever variant the
+/// cluster's [`Setup`] names).
 pub struct WriterHandle {
-    driver: ClientDriver<AtomicWriter>,
+    driver: ClientDriver,
 }
 
 impl fmt::Debug for WriterHandle {
@@ -190,9 +228,10 @@ impl WriterHandle {
     }
 }
 
-/// Blocking reader handle: owns one reader core.
+/// Blocking reader handle: owns one reader core (of whatever variant the
+/// cluster's [`Setup`] names).
 pub struct ReaderHandle {
-    driver: ClientDriver<AtomicReader>,
+    driver: ClientDriver,
 }
 
 impl fmt::Debug for ReaderHandle {
@@ -214,7 +253,7 @@ impl ReaderHandle {
 
 /// Builder for a threaded cluster.
 pub struct NetClusterBuilder {
-    params: Params,
+    setup: Setup,
     cfg: NetConfig,
     readers: usize,
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
@@ -224,7 +263,7 @@ pub struct NetClusterBuilder {
 impl fmt::Debug for NetClusterBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("NetClusterBuilder")
-            .field("params", &self.params)
+            .field("setup", &self.setup)
             .field("readers", &self.readers)
             .finish_non_exhaustive()
     }
@@ -273,7 +312,7 @@ impl NetClusterBuilder {
         }
 
         // Server threads.
-        for s in ServerId::all(self.params.server_count()) {
+        for s in ServerId::all(self.setup.server_count()) {
             if self.crashed.contains(&s.0) {
                 continue;
             }
@@ -282,7 +321,7 @@ impl NetClusterBuilder {
             let router = router_tx.clone();
             let mut core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
                 Some(byz) => byz,
-                None => Box::new(AtomicServer::new()),
+                None => self.setup.make_server(),
             };
             let id = ProcessId::Server(s);
             server_threads.push(
@@ -317,13 +356,14 @@ impl NetClusterBuilder {
             .spawn(move || run_router(router_rx, inboxes, latency, seed, stats_for_router))
             .expect("spawn router thread");
 
-        // Generous per-op deadline: stalls surface as TimedOut.
-        let op_deadline = 100 * self.cfg.timer.max(Duration::from_millis(10));
+        // Deadline derived from the configured timer: stalls surface as
+        // TimedOut without a magic wall-clock constant.
+        let op_deadline = self.cfg.op_deadline();
 
         let writer = WriterHandle {
             driver: ClientDriver {
                 id: ProcessId::Writer,
-                core: AtomicWriter::new(self.params, protocol),
+                core: self.setup.make_writer(protocol),
                 inbox: writer_rx,
                 router: router_tx.clone(),
                 op_deadline,
@@ -337,7 +377,7 @@ impl NetClusterBuilder {
                     ReaderHandle {
                         driver: ClientDriver {
                             id: ProcessId::Reader(r),
-                            core: AtomicReader::new(r, self.params, protocol),
+                            core: self.setup.make_reader(r, protocol),
                             inbox: rx,
                             router: router_tx.clone(),
                             op_deadline,
@@ -380,10 +420,13 @@ impl fmt::Debug for NetCluster {
 }
 
 impl NetCluster {
-    /// Start building a cluster.
-    pub fn builder(params: Params, cfg: NetConfig) -> NetClusterBuilder {
+    /// Start building a cluster of the given variant. Accepts a [`Setup`]
+    /// directly, or anything converting into one (`Params` selects the
+    /// atomic algorithm, `TwoRoundParams` the two-round one; build
+    /// [`Setup::Regular`] explicitly for the regular variant).
+    pub fn builder(setup: impl Into<Setup>, cfg: NetConfig) -> NetClusterBuilder {
         NetClusterBuilder {
-            params,
+            setup: setup.into(),
             cfg,
             readers: 1,
             byzantine: BTreeMap::new(),
@@ -429,6 +472,7 @@ impl Drop for NetCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lucky_types::Params;
 
     fn fast_cfg() -> NetConfig {
         NetConfig {
@@ -499,8 +543,7 @@ mod tests {
     #[test]
     fn concurrent_reader_threads() {
         let params = Params::new(1, 0, 0, 1).unwrap();
-        let mut cluster =
-            NetCluster::builder(params, fast_cfg()).readers(2).build();
+        let mut cluster = NetCluster::builder(params, fast_cfg()).readers(2).build();
         let mut writer = cluster.take_writer().unwrap();
         let mut r0 = cluster.take_reader(0).unwrap();
         let mut r1 = cluster.take_reader(1).unwrap();
@@ -530,10 +573,7 @@ mod tests {
         let params = Params::new(1, 0, 1, 0).unwrap();
         let mut cfg = fast_cfg();
         cfg.timer = Duration::from_millis(1);
-        let mut cluster = NetCluster::builder(params, cfg)
-            .crashed(0)
-            .crashed(1)
-            .build();
+        let mut cluster = NetCluster::builder(params, cfg).crashed(0).crashed(1).build();
         let mut writer = cluster.take_writer().unwrap();
         assert_eq!(writer.write(Value::from_u64(1)).unwrap_err(), NetError::TimedOut);
         cluster.shutdown();

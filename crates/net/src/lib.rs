@@ -10,6 +10,27 @@
 //! `replicated_config_store` example uses to demonstrate the library
 //! outside the simulator.
 //!
+//! The runtime is **variant-generic**: clusters are built from the same
+//! `Setup` enum the simulator uses, and every process comes out of the
+//! `Setup` factories in `lucky-core`, which in turn instantiate the
+//! shared round-engine kernel (`lucky_core::engine`) with the chosen
+//! variant's policy. The atomic (§3), two-round (App. C) and regular
+//! (App. D) algorithms therefore all run on real threads with no
+//! variant-specific code in this crate:
+//!
+//! ```
+//! use lucky_net::{NetCluster, NetConfig};
+//! use lucky_types::TwoRoundParams;
+//! # use lucky_types::Value;
+//!
+//! let params = TwoRoundParams::new(1, 0, 1).unwrap();
+//! let mut cluster = NetCluster::builder(params, NetConfig::default()).build();
+//! let mut writer = cluster.take_writer().expect("writer handle");
+//! let w = writer.write(Value::from_u64(1)).unwrap();
+//! assert_eq!((w.rounds, w.fast), (2, false)); // App. C: always two rounds
+//! cluster.shutdown();
+//! ```
+//!
 //! ```
 //! use lucky_net::{NetCluster, NetConfig};
 //! use lucky_types::{Params, Value};

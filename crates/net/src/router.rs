@@ -105,9 +105,7 @@ pub(crate) fn run_router(
             Some(Envelope::Deliver { from, to, msg }) => {
                 let (min, max) = latency;
                 let delay = if max > min {
-                    min + Duration::from_micros(
-                        rng.gen_range(0..=(max - min).as_micros() as u64),
-                    )
+                    min + Duration::from_micros(rng.gen_range(0..=(max - min).as_micros() as u64))
                 } else {
                     min
                 };

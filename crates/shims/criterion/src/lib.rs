@@ -1,0 +1,194 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses:
+//! groups, `bench_function`, `bench_with_input`, `Bencher::{iter,
+//! iter_batched_ref}` and the `criterion_group!`/`criterion_main!`
+//! macros. Reports mean wall-clock time per iteration on stdout — no
+//! statistics, plots or baselines. See `crates/shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a batched bench sizes its batches (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// A parameterised benchmark id.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+/// Target wall-clock budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { nanos_per_iter: f64::NAN }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Time `routine` against fresh state from `setup` each iteration.
+    pub fn iter_batched_ref<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> O,
+        _size: BatchSize,
+    ) {
+        let mut state = setup();
+        black_box(routine(&mut state));
+        let start = Instant::now();
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            let mut state = setup();
+            let t = Instant::now();
+            black_box(routine(&mut state));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.nanos_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(label: &str, nanos: f64) {
+    if nanos >= 1_000_000.0 {
+        println!("{label:<50} {:>12.3} ms/iter", nanos / 1_000_000.0);
+    } else if nanos >= 1_000.0 {
+        println!("{label:<50} {:>12.3} µs/iter", nanos / 1_000.0);
+    } else {
+        println!("{label:<50} {nanos:>12.1} ns/iter");
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Run `f`'s timing loop and report it under this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.nanos_per_iter);
+        self
+    }
+
+    /// Like [`BenchmarkGroup::bench_function`], threading `input` through.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.nanos_per_iter);
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&id.to_string(), b.nanos_per_iter);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loops_produce_finite_means() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched_ref(Vec::<u64>::new, |v| v.push(1), BatchSize::SmallInput)
+        });
+    }
+}

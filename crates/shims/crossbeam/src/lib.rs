@@ -1,0 +1,46 @@
+//! Offline stand-in for the `crossbeam::channel` surface this workspace
+//! uses, backed by `std::sync::mpsc` (whose `Sender` is `Clone` and whose
+//! `RecvTimeoutError` variants match crossbeam's). See
+//! `crates/shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            channel::RecvTimeoutError::Timeout
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            channel::RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap()).join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

@@ -1,0 +1,508 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Differences from upstream, by design (see `crates/shims/README.md`):
+//!
+//! * test cases are **sampled deterministically** from a seed derived
+//!   from the test's name — reruns explore the same inputs;
+//! * there is **no shrinking**: a failure reports the sampled inputs
+//!   verbatim;
+//! * only the strategy combinators the workspace uses exist: integer
+//!   ranges, [`strategy::Just`], `prop_map`, tuples, [`collection::vec`],
+//!   [`arbitrary::any`], [`sample::Index`] and the [`prop_oneof!`] macro.
+//!
+//! The macro surface (`proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`) matches upstream closely enough that the property
+//! tests compile unchanged against either implementation.
+
+#![forbid(unsafe_code)]
+
+/// The deterministic generator behind every sampled value.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from `seed` (SplitMix64).
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// One raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        self.next_u64() % bound
+    }
+}
+
+/// Test configuration and the per-case error type.
+pub mod test_runner {
+    /// How many cases to run per property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; this shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case's inputs were rejected by `prop_assume!`.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// A stable per-test seed derived from the test's name, so every run
+    /// explores the same inputs.
+    pub fn seed_for(name: &str) -> u64 {
+        // FNV-1a.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Strategies: value generators composable with `prop_map` and friends.
+pub mod strategy {
+    use crate::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every sampled value with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),+) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut TestRng) -> $ty {
+                        assert!(self.start < self.end, "empty range strategy");
+                        self.start + rng.below((self.end - self.start) as u64) as $ty
+                    }
+                }
+                impl Strategy for RangeInclusive<$ty> {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut TestRng) -> $ty {
+                        let (s, e) = (*self.start(), *self.end());
+                        assert!(s <= e, "empty range strategy");
+                        let span = (e - s) as u128 + 1;
+                        s + ((rng.next_u64() as u128 % span) as $ty)
+                    }
+                }
+            )+
+        };
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    #[allow(non_snake_case)]
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.sample(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+    /// A sampler erased to a closure — the element type of
+    /// [`OneOf`], produced by [`boxed`].
+    pub type BoxedSample<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Erase a strategy to a boxed sampling closure (used by
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedSample<S::Value> {
+        Box::new(move |rng| s.sample(rng))
+    }
+
+    /// A weighted choice among erased strategies.
+    pub struct OneOf<V> {
+        arms: Vec<(u32, BoxedSample<V>)>,
+        total: u64,
+    }
+
+    impl<V> std::fmt::Debug for OneOf<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("OneOf").field("arms", &self.arms.len()).finish()
+        }
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from `(weight, sampler)` arms.
+        pub fn new(arms: Vec<(u32, BoxedSample<V>)>) -> OneOf<V> {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, sampler) in &self.arms {
+                if pick < *w as u64 {
+                    return sampler(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `Arbitrary` and the `any::<T>()` entry point.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample a canonical value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),+) => {
+            $(impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            })+
+        };
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// The result of [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Index sampling (`prop::sample::Index`).
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::TestRng;
+
+    /// A position into a collection whose size is only known later.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A weighted (or unweighted) choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn` samples its `name in strategy`
+/// parameters and runs its body for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::new($crate::test_runner::seed_for(stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            msg,
+                            inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 0u64..10,
+            pair in (0u8..3, any::<bool>()),
+            v in prop::collection::vec(0usize..5, 1..4),
+            pick in any::<prop::sample::Index>(),
+            stepped in prop_oneof![2 => Just(100u64), 1 => (0u64..10).prop_map(|n| n * 2)],
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 3);
+            prop_assert!(!v.is_empty() && v.len() < 4 && v.iter().all(|&e| e < 5));
+            prop_assert!(pick.index(v.len()) < v.len());
+            prop_assert!(stepped == 100 || (stepped < 20 && stepped % 2 == 0));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(flag in any::<bool>()) {
+            prop_assume!(flag);
+            prop_assert!(flag);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(crate::test_runner::seed_for("abc"), crate::test_runner::seed_for("abc"));
+        assert_ne!(crate::test_runner::seed_for("abc"), crate::test_runner::seed_for("abd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..3) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the slice of `rand` 0.8 this workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::{gen, gen_range}`](Rng).
+//!
+//! The generator is SplitMix64 — deterministic per seed (the property the
+//! simulator, router and tests rely on) but its streams do not match
+//! upstream `SmallRng`. See `crates/shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Derive a value from one raw 64-bit draw.
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),+) => {
+        $(impl Standard for $ty {
+            fn from_u64(raw: u64) -> $ty {
+                raw as $ty
+            }
+        })+
+    };
+}
+impl_standard_int!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),+) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end - start) as u128 + 1;
+                    start + ((rng.next_u64() as u128 % span) as $ty)
+                }
+            }
+        )+
+    };
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The subset of rand's `Rng` the workspace uses.
+pub trait Rng {
+    /// One raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable generator (SplitMix64).
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = r.gen_range(5..10);
+            assert!((5..10).contains(&x));
+            let y: usize = r.gen_range(0..3);
+            assert!(y < 3);
+            let z: u64 = r.gen_range(2..=4);
+            assert!((2..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_covers_both_bools() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let draws: Vec<bool> = (0..64).map(|_| r.gen()).collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+}

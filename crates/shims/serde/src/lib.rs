@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! See `crates/shims/README.md` for the swap-back story.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline build.
+//!
+//! The workspace only uses serde's derives to mark types as
+//! serializable; nothing in the build serializes at runtime, so emitting
+//! no code preserves behaviour. See `crates/shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; the real implementation lives in upstream serde.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; the real implementation lives in upstream serde.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

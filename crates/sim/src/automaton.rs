@@ -85,9 +85,7 @@ impl<M> Effects<M> {
     /// Decompose into `(sends, timers, completion)` — used by protocol
     /// unit tests and alternative drivers (e.g. the threaded runtime).
     #[allow(clippy::type_complexity)]
-    pub fn into_parts(
-        self,
-    ) -> (Vec<(ProcessId, M)>, Vec<(TimerId, u64)>, Option<Completion>) {
+    pub fn into_parts(self) -> (Vec<(ProcessId, M)>, Vec<(TimerId, u64)>, Option<Completion>) {
         (self.sends, self.timers, self.completion)
     }
 }

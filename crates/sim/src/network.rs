@@ -168,11 +168,7 @@ mod tests {
     fn max_delay_considers_overrides() {
         let mut net = NetworkModel::uniform(1, 50);
         assert_eq!(net.max_delay(), 50);
-        net.set_link(
-            ProcessId::Writer,
-            ProcessId::Server(ServerId(0)),
-            Delay::Constant(500),
-        );
+        net.set_link(ProcessId::Writer, ProcessId::Server(ServerId(0)), Delay::Constant(500));
         assert_eq!(net.max_delay(), 500);
     }
 

@@ -235,8 +235,7 @@ impl<M: Payload> World<M> {
 
     /// Stop holding every link out of `p`, delivering held messages.
     pub fn release_all_from(&mut self, p: ProcessId) {
-        let links: Vec<_> =
-            self.gates.iter().copied().filter(|&(f, _)| f == p).collect();
+        let links: Vec<_> = self.gates.iter().copied().filter(|&(f, _)| f == p).collect();
         for (f, t) in links {
             self.release(f, t);
         }
@@ -621,9 +620,8 @@ mod tests {
         w.hold_all_from(ProcessId::Writer);
         let op = w.invoke(ProcessId::Writer, Op::Read);
         assert!(w.run_until_complete(op).is_err());
-        let total: usize = (0..3)
-            .map(|i| w.held_count(ProcessId::Writer, ProcessId::Server(ServerId(i))))
-            .sum();
+        let total: usize =
+            (0..3).map(|i| w.held_count(ProcessId::Writer, ProcessId::Server(ServerId(i)))).sum();
         assert_eq!(total, 3);
         w.release_all_from(ProcessId::Writer);
         assert!(w.run_until_complete(op).is_ok());

@@ -60,9 +60,7 @@ impl fmt::Display for ReaderId {
 ///
 /// The ordering (writer < readers < servers) is arbitrary but total, which
 /// the deterministic simulator relies on for reproducible scheduling.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum ProcessId {
     /// The singleton writer `w`.
     Writer,

@@ -247,12 +247,8 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_frozen_entries() {
-        let base = Message::Pw(PwMsg {
-            ts: Seq(1),
-            pw: pair(1, 1),
-            w: TsVal::initial(),
-            frozen: vec![],
-        });
+        let base =
+            Message::Pw(PwMsg { ts: Seq(1), pw: pair(1, 1), w: TsVal::initial(), frozen: vec![] });
         let with_frozen = Message::Pw(PwMsg {
             ts: Seq(1),
             pw: pair(1, 1),

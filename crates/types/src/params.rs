@@ -349,10 +349,7 @@ mod tests {
 
     #[test]
     fn rejects_b_above_t() {
-        assert_eq!(
-            Params::new(1, 2, 0, 0),
-            Err(ParamsError::ByzantineExceedsTotal { t: 1, b: 2 })
-        );
+        assert_eq!(Params::new(1, 2, 0, 0), Err(ParamsError::ByzantineExceedsTotal { t: 1, b: 2 }));
     }
 
     #[test]
@@ -370,10 +367,7 @@ mod tests {
     #[test]
     fn rejects_beyond_tight_bound() {
         // t - b = 1, fw + fr = 2.
-        assert!(matches!(
-            Params::new(2, 1, 1, 1),
-            Err(ParamsError::BeyondTightBound { .. })
-        ));
+        assert!(matches!(Params::new(2, 1, 1, 1), Err(ParamsError::BeyondTightBound { .. })));
         // b = t forces fw = fr = 0.
         assert!(matches!(Params::new(2, 2, 1, 0), Err(ParamsError::BeyondTightBound { .. })));
         assert!(Params::new(2, 2, 0, 0).is_ok());

@@ -36,9 +36,7 @@ impl Time {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn since(self, earlier: Time) -> u64 {
-        self.0
-            .checked_sub(earlier.0)
-            .expect("`earlier` must not be later than `self`")
+        self.0.checked_sub(earlier.0).expect("`earlier` must not be later than `self`")
     }
 }
 

@@ -151,9 +151,7 @@ impl From<&[u8]> for Value {
 /// tiebreak merely makes the order total, which keeps candidate selection
 /// deterministic even against equivocating Byzantine servers that send two
 /// different values with one timestamp.
-#[derive(
-    Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
 pub struct TsVal {
     /// Write timestamp.
     pub ts: Seq,

@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = cluster.invoke_read(ReaderId(0));
     cluster.run_until_complete(w)?;
     let read = cluster.run_until_complete(r)?;
-    println!(
-        "contended READ returned {}: rounds={} fast={}",
-        read.value, read.rounds, read.fast
-    );
+    println!("contended READ returned {}: rounds={} fast={}", read.value, read.rounds, read.fast);
     cluster.check_atomicity()?;
     println!("atomicity holds under contention ✓\n");
 

@@ -33,9 +33,7 @@ fn attack(name: &str, make: impl Fn() -> Box<dyn ServerCore>) {
 
 fn main() {
     println!("Byzantine attack sweep (t=2, b=1, S=6, one malicious server):");
-    attack("forge-value", || {
-        Box::new(ForgeValue::new(TsVal::new(Seq(40), Value::from_u64(666))))
-    });
+    attack("forge-value", || Box::new(ForgeValue::new(TsVal::new(Seq(40), Value::from_u64(666)))));
     attack("inflate-ts", || Box::new(InflateTs::new(1_000)));
     attack("stale-echo", || Box::new(StaleEcho::new()));
     attack("mute", || Box::new(Mute::new()));

@@ -28,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A lucky read: one round-trip, no write-back.
     let r = cluster.read(ReaderId(0));
-    println!(
-        "READ() = {}: rounds={} fast={} latency={}µs",
-        r.value, r.rounds, r.fast, r.latency
-    );
+    println!("READ() = {}: rounds={} fast={} latency={}µs", r.value, r.rounds, r.fast, r.latency);
     assert!(r.fast);
     assert_eq!(r.value.as_u64(), Some(1));
 

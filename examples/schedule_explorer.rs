@@ -39,10 +39,7 @@ fn main() {
         .write(Value::from_u64(1))
         .reads(0, 1)
         .reads(1, 1)
-        .byzantine(
-            1,
-            ByzKind::SplitBrain(vec![ProcessId::Writer, ProcessId::Reader(ReaderId(0))]),
-        );
+        .byzantine(1, ByzKind::SplitBrain(vec![ProcessId::Writer, ProcessId::Reader(ReaderId(0))]));
     println!("\nhunting a violating schedule for fw = 1 > t − b = 0 …");
     let report = random_walks(&scenario, 50_000, 200, 42);
     let trace = report.violations.first().expect("Proposition 2 says this must exist");

@@ -42,10 +42,8 @@ fn run_fig4_schedule(
     params: Params,
     naive_fastpw: Option<usize>,
 ) -> Result<(), lucky_atomic::checker::Violations> {
-    let protocol = ProtocolConfig {
-        fastpw_override: naive_fastpw,
-        ..ProtocolConfig::for_sync_bound(100)
-    };
+    let protocol =
+        ProtocolConfig { fastpw_override: naive_fastpw, ..ProtocolConfig::for_sync_bound(100) };
     let cfg = ClusterConfig::synchronous(params).with_protocol(protocol);
     let mut c = SimCluster::new(cfg, 2);
 
@@ -210,18 +208,14 @@ fn randomized_adversary_never_breaks_correct_configs() {
     use lucky_atomic::types::{Seq, TsVal};
     for seed in 0..30u64 {
         let params = Params::new(2, 1, 1, 0).unwrap();
-        let mut c =
-            SimCluster::new(ClusterConfig::asynchronous(params).with_seed(seed), 2);
+        let mut c = SimCluster::new(ClusterConfig::asynchronous(params).with_seed(seed), 2);
         match seed % 3 {
             0 => c.install_byzantine(
                 (seed % 6) as u16,
                 Box::new(ForgeValue::new(TsVal::new(Seq(77), Value::from_u64(777)))),
             ),
             1 => c.install_byzantine((seed % 6) as u16, Box::new(InflateTs::new(seed))),
-            _ => c.install_byzantine(
-                (seed % 6) as u16,
-                Box::new(RandomNoise::new(seed, 200)),
-            ),
+            _ => c.install_byzantine((seed % 6) as u16, Box::new(RandomNoise::new(seed, 200))),
         }
         // One crash on top (within t = 2 together with the Byzantine).
         c.crash_server(((seed + 1) % 6) as u16);

@@ -102,10 +102,7 @@ fn theorem4_lucky_reads_fast_after_slow_writes_too() {
                 c.crash_server(i as u16);
             }
             let r = c.read(ReaderId(0));
-            assert!(
-                r.fast,
-                "{params}: lucky read after slow write, {crashes} ≤ fr crashes"
-            );
+            assert!(r.fast, "{params}: lucky read after slow write, {crashes} ≤ fr crashes");
             assert_eq!(r.value.as_u64(), Some(1));
         }
         c.check_atomicity().unwrap();
@@ -129,8 +126,7 @@ fn reads_under_contention_are_not_guaranteed_fast_but_stay_atomic() {
 fn asynchrony_unlucks_operations_but_preserves_atomicity() {
     for seed in 0..20 {
         let params = Params::new(2, 1, 1, 0).unwrap();
-        let mut c =
-            SimCluster::new(ClusterConfig::asynchronous(params).with_seed(seed), 2);
+        let mut c = SimCluster::new(ClusterConfig::asynchronous(params).with_seed(seed), 2);
         for i in 1..=10u64 {
             c.write(Value::from_u64(i));
             let r = c.read(ReaderId((i % 2) as u16));

@@ -22,8 +22,7 @@ fn storm_cluster(freezing: bool, cap: u32, seed: u64) -> SimCluster {
         max_read_rounds: Some(cap),
         ..ProtocolConfig::for_sync_bound(100)
     };
-    let mut cfg =
-        ClusterConfig::synchronous(params).with_protocol(protocol).with_seed(seed);
+    let mut cfg = ClusterConfig::synchronous(params).with_protocol(protocol).with_seed(seed);
     for i in 0..params.server_count() as u16 {
         cfg.net.set_link(
             ProcessId::Reader(ReaderId(0)),
@@ -75,10 +74,7 @@ fn ablation_without_freezing_the_read_starves() {
     let mut c = storm_cluster(false, 25, 1);
     let (read_op, writes) = run_storm(&mut c, 400);
     let rec = c.history().get(read_op).unwrap();
-    assert!(
-        !rec.is_complete(),
-        "without freezing the read must starve ({writes} writes ran)"
-    );
+    assert!(!rec.is_complete(), "without freezing the read must starve ({writes} writes ran)");
 }
 
 #[test]
@@ -130,10 +126,8 @@ fn two_concurrent_slow_readers_both_terminate() {
     // Freezing is per-reader: two starving readers each get their own
     // frozen slot and both terminate.
     let params = Params::new(2, 1, 1, 0).unwrap();
-    let protocol = ProtocolConfig {
-        max_read_rounds: Some(80),
-        ..ProtocolConfig::for_sync_bound(100)
-    };
+    let protocol =
+        ProtocolConfig { max_read_rounds: Some(80), ..ProtocolConfig::for_sync_bound(100) };
     let mut cfg = ClusterConfig::synchronous(params).with_protocol(protocol);
     for r in 0..2u16 {
         for i in 0..params.server_count() as u16 {

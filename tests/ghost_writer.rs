@@ -45,10 +45,7 @@ fn at_most_three_slow_reads_after_pw_phase_crash() {
     for pw_reach in 0..=params.server_count() {
         let mut c = ghost_cluster(params, pw_reach, 7);
         let slow = count_slow_reads(&mut c, ReaderId(0), 8);
-        assert!(
-            slow <= 3,
-            "pw_reach={pw_reach}: {slow} slow reads exceed Theorem 13's bound of 3"
-        );
+        assert!(slow <= 3, "pw_reach={pw_reach}: {slow} slow reads exceed Theorem 13's bound of 3");
         c.check_atomicity().unwrap();
     }
 }

@@ -127,10 +127,7 @@ fn regularity_allows_new_old_inversion_but_never_phantoms() {
     // last complete write.
     let params = Params::trading_reads(2, 1).unwrap();
     for seed in 0..20u64 {
-        let mut c = SimCluster::new(
-            ClusterConfig::synchronous_regular(params).with_seed(seed),
-            2,
-        );
+        let mut c = SimCluster::new(ClusterConfig::synchronous_regular(params).with_seed(seed), 2);
         c.write(Value::from_u64(1));
         for i in 2..=8u64 {
             let w = c.invoke_write(Value::from_u64(i));

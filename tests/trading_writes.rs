@@ -9,10 +9,7 @@ fn slow_writes_cluster(t: usize, b: usize) -> SimCluster {
     // fw is irrelevant once the fast path is off; keep fr = t - b for the
     // Params constructor and disable fast writes in the protocol config.
     let params = Params::new(t, b, 0, t - b).unwrap();
-    let protocol = ProtocolConfig {
-        fast_writes: false,
-        ..ProtocolConfig::for_sync_bound(100)
-    };
+    let protocol = ProtocolConfig { fast_writes: false, ..ProtocolConfig::for_sync_bound(100) };
     SimCluster::new(ClusterConfig::synchronous(params).with_protocol(protocol), 1)
 }
 
@@ -73,12 +70,8 @@ fn trade_is_real_writes_never_fast() {
 fn byzantine_server_does_not_spoil_the_trade() {
     use lucky_atomic::core::byz::InflateTs;
     let params = Params::new(2, 1, 0, 1).unwrap();
-    let protocol = ProtocolConfig {
-        fast_writes: false,
-        ..ProtocolConfig::for_sync_bound(100)
-    };
-    let mut c =
-        SimCluster::new(ClusterConfig::synchronous(params).with_protocol(protocol), 1);
+    let protocol = ProtocolConfig { fast_writes: false, ..ProtocolConfig::for_sync_bound(100) };
+    let mut c = SimCluster::new(ClusterConfig::synchronous(params).with_protocol(protocol), 1);
     c.install_byzantine(3, Box::new(InflateTs::new(50)));
     c.crash_server(4); // full budget: 1 Byzantine + 1 crash = t
     for i in 1..=6u64 {

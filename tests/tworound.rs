@@ -8,9 +8,7 @@
 use lucky_atomic::checker::Violation;
 use lucky_atomic::core::byz::{ForgeState, SplitBrain};
 use lucky_atomic::core::{ClusterConfig, SimCluster};
-use lucky_atomic::types::{
-    ProcessId, ReaderId, Seq, ServerId, Time, TsVal, TwoRoundParams, Value,
-};
+use lucky_atomic::types::{ProcessId, ReaderId, Seq, ServerId, Time, TsVal, TwoRoundParams, Value};
 
 fn server(i: u16) -> ProcessId {
     ProcessId::Server(ServerId(i))
@@ -55,10 +53,7 @@ fn proposition6_lucky_reads_fast_despite_fr_failures() {
                 c.crash_server(i as u16);
             }
             let r = c.read(ReaderId(0));
-            assert!(
-                r.fast,
-                "t={t} b={b} fr={fr} crashes={crashes}: lucky read must be fast"
-            );
+            assert!(r.fast, "t={t} b={b} fr={fr} crashes={crashes}: lucky read must be fast");
             assert_eq!(r.value.as_u64(), Some(1));
             c.check_atomicity().unwrap();
         }
@@ -175,7 +170,10 @@ fn forged_prewrite_alone_cannot_fool_a_reader() {
     // cannot reach the b + 1 = 2 safe threshold at full S.
     let params = TwoRoundParams::new(1, 1, 1).unwrap();
     let mut c = SimCluster::new(ClusterConfig::synchronous_two_round(params), 1);
-    c.install_byzantine(0, Box::new(ForgeState::prewritten(TsVal::new(Seq(1), Value::from_u64(666)))));
+    c.install_byzantine(
+        0,
+        Box::new(ForgeState::prewritten(TsVal::new(Seq(1), Value::from_u64(666)))),
+    );
     let r = c.read(ReaderId(0));
     assert!(r.value.is_bot(), "the forged value must not be returned");
     c.check_atomicity().unwrap();
@@ -188,12 +186,9 @@ fn freezing_works_in_the_two_round_variant_too() {
     use lucky_atomic::core::ProtocolConfig;
     use lucky_atomic::sim::Delay;
     let params = TwoRoundParams::new(2, 1, 1).unwrap();
-    let protocol = ProtocolConfig {
-        max_read_rounds: Some(40),
-        ..ProtocolConfig::for_sync_bound(100)
-    };
-    let mut cfg =
-        ClusterConfig::synchronous_two_round(params).with_protocol(protocol);
+    let protocol =
+        ProtocolConfig { max_read_rounds: Some(40), ..ProtocolConfig::for_sync_bound(100) };
+    let mut cfg = ClusterConfig::synchronous_two_round(params).with_protocol(protocol);
     for i in 0..params.server_count() as u16 {
         cfg.net.set_link(
             ProcessId::Reader(ReaderId(0)),
