@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lucky_sim::{Automaton, Effects, NetworkModel, World};
 use lucky_types::{
-    FrozenSlot, Message, Op, ProcessId, PwMsg, ReadAckMsg, ReadSeq, Seq, ServerId, TsVal, Value,
+    FrozenSlot, Message, Op, ProcessId, PwMsg, ReadAckMsg, ReadSeq, RegisterId, Seq, ServerId,
+    TsVal, Value,
 };
 
 /// Ping-pong pair used to measure raw event-loop throughput: Pong echoes
@@ -48,12 +49,14 @@ fn bench_event_loop(c: &mut Criterion) {
 
 fn bench_wire_size(c: &mut Criterion) {
     let pw = Message::Pw(PwMsg {
+        reg: RegisterId::DEFAULT,
         ts: Seq(42),
         pw: TsVal::new(Seq(42), Value::from_u64(42)),
         w: TsVal::new(Seq(41), Value::from_u64(41)),
         frozen: vec![],
     });
     let ack = Message::ReadAck(ReadAckMsg {
+        reg: RegisterId::DEFAULT,
         tsr: ReadSeq(7),
         rnd: 2,
         pw: TsVal::new(Seq(42), Value::from_u64(42)),

@@ -5,7 +5,8 @@
 use lucky_bench::{pct, print_table};
 use lucky_core::{ClusterConfig, SimCluster};
 use lucky_types::{
-    Message, Params, ProcessId, ReadSeq, ReaderId, Seq, ServerId, Tag, TsVal, Value, WriteMsg,
+    Message, Params, ProcessId, ReadSeq, ReaderId, RegisterId, Seq, ServerId, Tag, TsVal, Value,
+    WriteMsg,
 };
 
 fn fast_rate_table() {
@@ -63,6 +64,7 @@ fn poison(c: &mut SimCluster) {
                 ProcessId::Reader(ReaderId(9)),
                 ProcessId::Server(ServerId(i)),
                 Message::Write(WriteMsg {
+                    reg: RegisterId::DEFAULT,
                     round,
                     tag: Tag::WriteBack(ReadSeq(1)),
                     c: forged.clone(),

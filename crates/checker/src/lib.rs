@@ -22,8 +22,9 @@
 //! use lucky_types::{History, Op, OpId, OpRecord, ProcessId, ReaderId, Time, Value};
 //!
 //! # fn rec(id: u64, client: ProcessId, op: Op, inv: u64, comp: u64, res: Option<Value>) -> OpRecord {
-//! #     OpRecord { id: OpId(id), client, op, invoked_at: Time(inv),
-//! #         completed_at: Some(Time(comp)), result: res, rounds: 1, fast: true, msgs: 0, bytes: 0 }
+//! #     OpRecord { id: OpId(id), reg: lucky_types::RegisterId::DEFAULT, client, op,
+//! #         invoked_at: Time(inv), completed_at: Some(Time(comp)), result: res, rounds: 1,
+//! #         fast: true, msgs: 0, bytes: 0 }
 //! # }
 //! let history = History {
 //!     ops: vec![
@@ -238,6 +239,61 @@ fn check_read_read_order(history: &History, index: &BTreeMap<Value, u64>, v: &mu
     }
 }
 
+/// Check a multi-register history: partition by [`lucky_types::RegisterId`]
+/// and check each register's sub-history independently with `check`.
+///
+/// Registers are independent objects, so the correctness conditions apply
+/// per register: a value written to register `x` may never satisfy a READ
+/// of register `y` (the per-register no-creation condition catches such
+/// cross-register leaks), and the same value written to two *different*
+/// registers is not a duplicate.
+///
+/// # Errors
+///
+/// Returns the violations of every register, in register-id order, each
+/// wrapped in [`Violation::InRegister`] naming the register it occurred
+/// in.
+pub fn check_per_register<F>(history: &History, mut check: F) -> Result<(), Vec<Violation>>
+where
+    F: FnMut(&History) -> Result<(), Vec<Violation>>,
+{
+    let mut all = Vec::new();
+    for (reg, part) in history.partition_by_register() {
+        if let Err(violations) = check(&part) {
+            all.extend(
+                violations
+                    .into_iter()
+                    .map(|v| Violation::InRegister { reg, violation: Box::new(v) }),
+            );
+        }
+    }
+    if all.is_empty() {
+        Ok(())
+    } else {
+        Err(all)
+    }
+}
+
+/// Check every register of a multi-register history against the atomicity
+/// conditions of §2.2 (see [`check_per_register`]).
+///
+/// # Errors
+///
+/// Returns the concatenated per-register violations.
+pub fn check_atomicity_per_register(history: &History) -> Result<(), Vec<Violation>> {
+    check_per_register(history, check_atomicity)
+}
+
+/// Check every register of a multi-register history against the
+/// regularity conditions of Appendix D (see [`check_per_register`]).
+///
+/// # Errors
+///
+/// Returns the concatenated per-register violations.
+pub fn check_regularity_per_register(history: &History) -> Result<(), Vec<Violation>> {
+    check_per_register(history, check_regularity)
+}
+
 /// Convenience: run `check_atomicity` and wrap failures in [`Violations`].
 ///
 /// # Errors
@@ -245,6 +301,26 @@ fn check_read_read_order(history: &History, index: &BTreeMap<Value, u64>, v: &mu
 /// See [`check_atomicity`].
 pub fn assert_atomic(history: &History) -> Result<(), Violations> {
     check_atomicity(history).map_err(Violations)
+}
+
+/// Convenience: run [`check_atomicity_per_register`] and wrap failures in
+/// [`Violations`].
+///
+/// # Errors
+///
+/// See [`check_atomicity_per_register`].
+pub fn assert_atomic_per_register(history: &History) -> Result<(), Violations> {
+    check_atomicity_per_register(history).map_err(Violations)
+}
+
+/// Convenience: run [`check_regularity_per_register`] and wrap failures
+/// in [`Violations`].
+///
+/// # Errors
+///
+/// See [`check_regularity_per_register`].
+pub fn assert_regular_per_register(history: &History) -> Result<(), Violations> {
+    check_regularity_per_register(history).map_err(Violations)
 }
 
 /// Convenience: run `check_regularity` and wrap failures in [`Violations`].
@@ -269,6 +345,7 @@ mod tests {
     fn w(id: u64, v: u64, inv: u64, comp: Option<u64>) -> OpRecord {
         OpRecord {
             id: OpId(id),
+            reg: lucky_types::RegisterId::DEFAULT,
             client: ProcessId::Writer,
             op: Op::Write(Value::from_u64(v)),
             invoked_at: Time(inv),
@@ -284,6 +361,7 @@ mod tests {
     fn r(id: u64, reader: u16, ret: Option<u64>, inv: u64, comp: u64) -> OpRecord {
         OpRecord {
             id: OpId(id),
+            reg: lucky_types::RegisterId::DEFAULT,
             client: ProcessId::Reader(ReaderId(reader)),
             op: Op::Read,
             invoked_at: Time(inv),
@@ -457,6 +535,66 @@ mod tests {
         let history =
             h(vec![w(0, 1, 0, Some(10)), w(1, 2, 20, Some(30)), r(2, 0, Some(1), 40, 50)]);
         assert!(check_safeness(&history).is_err());
+    }
+
+    #[test]
+    fn per_register_checks_partition_the_history() {
+        use lucky_types::RegisterId;
+        let on = |mut rec: OpRecord, reg: u32| {
+            rec.reg = RegisterId(reg);
+            rec
+        };
+        // Register 1 and register 2 each carry a sequential run; the same
+        // value (7) is written to both — a duplicate only if the checker
+        // wrongly flattened the registers together.
+        let history = h(vec![
+            on(w(0, 7, 0, Some(10)), 1),
+            on(w(1, 7, 5, Some(15)), 2),
+            on(r(2, 0, Some(7), 20, 30), 1),
+            on(r(3, 1, Some(7), 20, 30), 2),
+        ]);
+        assert!(check_atomicity(&history).is_err(), "flat check sees a duplicate write");
+        assert!(check_atomicity_per_register(&history).is_ok());
+        assert!(check_regularity_per_register(&history).is_ok());
+        assert!(assert_atomic_per_register(&history).is_ok());
+        assert!(assert_regular_per_register(&history).is_ok());
+    }
+
+    #[test]
+    fn per_register_checks_catch_cross_register_leaks() {
+        use lucky_types::RegisterId;
+        let on = |mut rec: OpRecord, reg: u32| {
+            rec.reg = RegisterId(reg);
+            rec
+        };
+        // The value 9 was written to register 1 only; a READ of register 2
+        // returning it is a per-register phantom even though a flat check
+        // would accept it.
+        let history = h(vec![on(w(0, 9, 0, Some(10)), 1), on(r(1, 0, Some(9), 20, 30), 2)]);
+        assert!(check_atomicity(&history).is_ok(), "flat check misses the leak");
+        let v = check_atomicity_per_register(&history).unwrap_err();
+        let Violation::InRegister { reg, ref violation } = v[0] else {
+            panic!("expected a register-attributed violation, got {:?}", v[0]);
+        };
+        assert_eq!(reg, RegisterId(2), "the violated partition is named");
+        assert!(matches!(**violation, Violation::PhantomValue { .. }));
+        assert!(v[0].to_string().starts_with("register x2:"));
+    }
+
+    #[test]
+    fn per_register_aggregates_violations_across_registers() {
+        use lucky_types::RegisterId;
+        let on = |mut rec: OpRecord, reg: u32| {
+            rec.reg = RegisterId(reg);
+            rec
+        };
+        let history = h(vec![
+            on(r(0, 0, Some(1), 0, 10), 1), // phantom in register 1
+            on(r(1, 1, Some(2), 0, 10), 2), // phantom in register 2
+        ]);
+        let v = check_atomicity_per_register(&history).unwrap_err();
+        assert_eq!(v.len(), 2);
+        assert!(assert_atomic_per_register(&history).is_err());
     }
 
     #[test]

@@ -65,6 +65,15 @@ pub enum Violation {
         /// The offending WRITE.
         write: OpId,
     },
+    /// A violation found in one register's partition of a multi-register
+    /// history — produced by the per-register checkers so multi-register
+    /// failures name the register they occurred in.
+    InRegister {
+        /// The register whose sub-history is violated.
+        reg: lucky_types::RegisterId,
+        /// The underlying violation within that register.
+        violation: Box<Violation>,
+    },
 }
 
 impl Violation {
@@ -80,6 +89,7 @@ impl Violation {
             Violation::DuplicateWrite { write, .. } | Violation::BotWritten { write } => {
                 Some(*write)
             }
+            Violation::InRegister { violation, .. } => violation.op(),
         }
     }
 }
@@ -111,6 +121,9 @@ impl fmt::Display for Violation {
             }
             Violation::BotWritten { write } => {
                 write!(f, "{write} wrote ⊥, which is not a valid input (§2.2)")
+            }
+            Violation::InRegister { reg, violation } => {
+                write!(f, "register {reg}: {violation}")
             }
         }
     }

@@ -26,6 +26,7 @@ fn legal_history(script: &[(bool, bool)]) -> History {
             write_no += 1;
             let v = Value::from_u64(write_no);
             ops.push(OpRecord {
+                reg: lucky_types::RegisterId::DEFAULT,
                 id: OpId(ops.len() as u64),
                 client: ProcessId::Writer,
                 op: Op::Write(v.clone()),
@@ -41,6 +42,7 @@ fn legal_history(script: &[(bool, bool)]) -> History {
         } else {
             reader_toggle = (reader_toggle + 1) % 2;
             ops.push(OpRecord {
+                reg: lucky_types::RegisterId::DEFAULT,
                 id: OpId(ops.len() as u64),
                 client: ProcessId::Reader(ReaderId(reader_toggle)),
                 op: Op::Read,

@@ -6,7 +6,7 @@ use crate::engine::{ReadEngine, ReadPolicy};
 use crate::predicates::{self, Thresholds};
 use crate::view::ViewTable;
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, TsVal};
+use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, RegisterId, TsVal};
 
 /// The atomic variant's READ policy: three write-back rounds and the
 /// `fast(c) = fastpw(c) ∨ fastvw(c)` round-1 gate (Fig. 2 lines 5–7).
@@ -46,14 +46,29 @@ pub struct AtomicReader {
 }
 
 impl AtomicReader {
-    /// A fresh reader with identity `id`.
+    /// A fresh reader with identity `id` (default register).
     pub fn new(id: ReaderId, params: Params, cfg: ProtocolConfig) -> AtomicReader {
+        AtomicReader::for_register(RegisterId::DEFAULT, id, params, cfg)
+    }
+
+    /// A fresh reader of register `reg` in a multi-register store.
+    pub fn for_register(
+        reg: RegisterId,
+        id: ReaderId,
+        params: Params,
+        cfg: ProtocolConfig,
+    ) -> AtomicReader {
         let mut thresholds = Thresholds::from(params);
         if let Some(fastpw) = cfg.fastpw_override {
             thresholds.fastpw = fastpw;
         }
         let policy = AtomicReadPolicy { params, thresholds, fast_reads: cfg.fast_reads };
-        AtomicReader { id, engine: ReadEngine::new(policy, cfg) }
+        AtomicReader { id, engine: ReadEngine::for_register(reg, policy, cfg) }
+    }
+
+    /// The register this reader reads.
+    pub fn register(&self) -> RegisterId {
+        self.engine.register()
     }
 
     /// This reader's identity.
@@ -122,6 +137,7 @@ mod tests {
 
     fn read_ack(tsr: u64, rnd: u32, pw: TsVal, w: TsVal, vw: TsVal) -> Message {
         Message::ReadAck(ReadAckMsg {
+            reg: RegisterId::DEFAULT,
             tsr: ReadSeq(tsr),
             rnd,
             pw,
@@ -132,7 +148,11 @@ mod tests {
     }
 
     fn wb_ack(round: u8, tsr: u64) -> Message {
-        Message::WriteAck(WriteAckMsg { round, tag: Tag::WriteBack(ReadSeq(tsr)) })
+        Message::WriteAck(WriteAckMsg {
+            reg: RegisterId::DEFAULT,
+            round,
+            tag: Tag::WriteBack(ReadSeq(tsr)),
+        })
     }
 
     fn invoke(r: &mut AtomicReader) -> Effects<Message> {

@@ -74,10 +74,11 @@ impl AtomicServer {
         match msg {
             // Fig. 3 lines 3–8.
             Message::Pw(pw_msg) => {
-                // Only the writer legitimately sends PW messages; a
-                // Byzantine *client* impersonating the writer is outside
-                // the model (the writer is correct or crash-faulty).
-                if from != ProcessId::Writer {
+                // Only this register's writer legitimately sends PW
+                // messages; a Byzantine *client* impersonating the writer
+                // is outside the model (writers are correct or
+                // crash-faulty).
+                if !from.is_writer_of(pw_msg.reg) {
                     return;
                 }
                 update(&mut self.pw, &pw_msg.pw);
@@ -100,7 +101,10 @@ impl AtomicServer {
                     })
                     .map(|(r, tsr)| NewRead { reader: *r, tsr: *tsr })
                     .collect();
-                eff.send(from, Message::PwAck(PwAckMsg { ts: pw_msg.ts, newread }));
+                eff.send(
+                    from,
+                    Message::PwAck(PwAckMsg { reg: pw_msg.reg, ts: pw_msg.ts, newread }),
+                );
             }
 
             // Fig. 3 lines 9–11.
@@ -116,6 +120,7 @@ impl AtomicServer {
                 eff.send(
                     from,
                     Message::ReadAck(ReadAckMsg {
+                        reg: read_msg.reg,
                         tsr: read_msg.tsr,
                         rnd: read_msg.rnd,
                         pw: self.pw.clone(),
@@ -141,7 +146,11 @@ impl AtomicServer {
                 }
                 eff.send(
                     from,
-                    Message::WriteAck(WriteAckMsg { round: w_msg.round, tag: w_msg.tag }),
+                    Message::WriteAck(WriteAckMsg {
+                        reg: w_msg.reg,
+                        round: w_msg.round,
+                        tag: w_msg.tag,
+                    }),
                 );
             }
 
@@ -169,14 +178,14 @@ fn update(local: &mut TsVal, new: &TsVal) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{FrozenUpdate, PwMsg, ReadMsg, Seq, Tag, Value, WriteMsg};
+    use lucky_types::{FrozenUpdate, PwMsg, ReadMsg, RegisterId, Seq, Tag, Value, WriteMsg};
 
     fn pair(ts: u64) -> TsVal {
         TsVal::new(Seq(ts), Value::from_u64(ts))
     }
 
     fn pw_msg(ts: u64, pw: TsVal, w: TsVal, frozen: Vec<FrozenUpdate>) -> Message {
-        Message::Pw(PwMsg { ts: Seq(ts), pw, w, frozen })
+        Message::Pw(PwMsg { reg: RegisterId::DEFAULT, ts: Seq(ts), pw, w, frozen })
     }
 
     fn drain(eff: &mut Effects<Message>) -> Vec<(ProcessId, Message)> {
@@ -231,7 +240,13 @@ mod tests {
         let mut s = AtomicServer::new();
         let mut eff = Effects::new();
         let w = |round| {
-            Message::Write(WriteMsg { round, tag: Tag::Write(Seq(2)), c: pair(2), frozen: vec![] })
+            Message::Write(WriteMsg {
+                reg: RegisterId::DEFAULT,
+                round,
+                tag: Tag::Write(Seq(2)),
+                c: pair(2),
+                frozen: vec![],
+            })
         };
         s.handle(ProcessId::Writer, w(2), &mut eff);
         assert_eq!((s.pw(), s.w(), s.vw()), (&pair(2), &pair(2), &TsVal::initial()));
@@ -250,6 +265,7 @@ mod tests {
         s.handle(
             ProcessId::Reader(ReaderId(1)),
             Message::Write(WriteMsg {
+                reg: RegisterId::DEFAULT,
                 round: 1,
                 tag: Tag::WriteBack(ReadSeq(1)),
                 c: pair(7),
@@ -268,13 +284,25 @@ mod tests {
         let mut eff = Effects::new();
         let r0 = ProcessId::Reader(ReaderId(0));
         // Round 1 leaves no trace (fast reads are invisible).
-        s.handle(r0, Message::Read(ReadMsg { tsr: ReadSeq(3), rnd: 1 }), &mut eff);
+        s.handle(
+            r0,
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(3), rnd: 1 }),
+            &mut eff,
+        );
         assert_eq!(s.reader_ts_for(ReaderId(0)), ReadSeq::INITIAL);
         // Round 2 records it.
-        s.handle(r0, Message::Read(ReadMsg { tsr: ReadSeq(3), rnd: 2 }), &mut eff);
+        s.handle(
+            r0,
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(3), rnd: 2 }),
+            &mut eff,
+        );
         assert_eq!(s.reader_ts_for(ReaderId(0)), ReadSeq(3));
         // An older READ cannot regress it.
-        s.handle(r0, Message::Read(ReadMsg { tsr: ReadSeq(2), rnd: 2 }), &mut eff);
+        s.handle(
+            r0,
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(2), rnd: 2 }),
+            &mut eff,
+        );
         assert_eq!(s.reader_ts_for(ReaderId(0)), ReadSeq(3));
     }
 
@@ -286,7 +314,7 @@ mod tests {
         drain(&mut eff);
         s.handle(
             ProcessId::Reader(ReaderId(0)),
-            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(1), rnd: 1 }),
             &mut eff,
         );
         let sends = drain(&mut eff);
@@ -308,7 +336,11 @@ mod tests {
         let mut eff = Effects::new();
         let r0 = ProcessId::Reader(ReaderId(0));
         // A slow READ (round 2) registers tsr = 5.
-        s.handle(r0, Message::Read(ReadMsg { tsr: ReadSeq(5), rnd: 2 }), &mut eff);
+        s.handle(
+            r0,
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(5), rnd: 2 }),
+            &mut eff,
+        );
         drain(&mut eff);
         // The next PW ack reports it.
         s.handle(ProcessId::Writer, pw_msg(2, pair(2), pair(1), vec![]), &mut eff);
@@ -326,7 +358,11 @@ mod tests {
         let mut s = AtomicServer::new();
         let mut eff = Effects::new();
         let r0 = ProcessId::Reader(ReaderId(0));
-        s.handle(r0, Message::Read(ReadMsg { tsr: ReadSeq(5), rnd: 2 }), &mut eff);
+        s.handle(
+            r0,
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(5), rnd: 2 }),
+            &mut eff,
+        );
         // Freeze addressed to an older READ (tsr 4 < stored 5): rejected.
         s.handle(
             ProcessId::Writer,
@@ -358,7 +394,11 @@ mod tests {
         let mut s = AtomicServer::new();
         let mut eff = Effects::new();
         let r0 = ProcessId::Reader(ReaderId(0));
-        s.handle(r0, Message::Read(ReadMsg { tsr: ReadSeq(5), rnd: 2 }), &mut eff);
+        s.handle(
+            r0,
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(5), rnd: 2 }),
+            &mut eff,
+        );
         s.handle(
             ProcessId::Writer,
             pw_msg(
@@ -385,7 +425,11 @@ mod tests {
         let mut eff = Effects::new();
         s.handle(
             ProcessId::Writer,
-            Message::WriteAck(WriteAckMsg { round: 2, tag: Tag::Write(Seq(1)) }),
+            Message::WriteAck(WriteAckMsg {
+                reg: RegisterId::DEFAULT,
+                round: 2,
+                tag: Tag::Write(Seq(1)),
+            }),
             &mut eff,
         );
         assert!(eff.is_empty());
@@ -395,5 +439,62 @@ mod tests {
     fn with_state_preloads_registers() {
         let s = AtomicServer::with_state(pair(9), pair(8), pair(7));
         assert_eq!((s.pw(), s.w(), s.vw()), (&pair(9), &pair(8), &pair(7)));
+    }
+
+    #[test]
+    fn acks_echo_the_request_register() {
+        let reg = RegisterId(4);
+        let mut s = AtomicServer::new();
+        let mut eff = Effects::new();
+        s.handle(
+            ProcessId::writer(reg),
+            Message::Pw(PwMsg {
+                reg,
+                ts: Seq(1),
+                pw: pair(1),
+                w: TsVal::initial(),
+                frozen: vec![],
+            }),
+            &mut eff,
+        );
+        s.handle(
+            ProcessId::Reader(ReaderId(0)),
+            Message::Read(ReadMsg { reg, tsr: ReadSeq(1), rnd: 1 }),
+            &mut eff,
+        );
+        s.handle(
+            ProcessId::writer(reg),
+            Message::Write(WriteMsg {
+                reg,
+                round: 2,
+                tag: Tag::Write(Seq(1)),
+                c: pair(1),
+                frozen: vec![],
+            }),
+            &mut eff,
+        );
+        let sends = drain(&mut eff);
+        assert_eq!(sends.len(), 3);
+        assert!(sends.iter().all(|(_, m)| m.register() == reg), "every ack echoes the register");
+    }
+
+    #[test]
+    fn pw_from_another_registers_writer_is_ignored() {
+        let mut s = AtomicServer::new();
+        let mut eff = Effects::new();
+        // The writer of register 2 sends a PW claiming register 1.
+        s.handle(
+            ProcessId::writer(RegisterId(2)),
+            Message::Pw(PwMsg {
+                reg: RegisterId(1),
+                ts: Seq(1),
+                pw: pair(1),
+                w: TsVal::initial(),
+                frozen: vec![],
+            }),
+            &mut eff,
+        );
+        assert_eq!(s.pw(), &TsVal::initial());
+        assert!(eff.is_empty());
     }
 }

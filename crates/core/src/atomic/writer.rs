@@ -4,7 +4,7 @@
 use crate::config::ProtocolConfig;
 use crate::engine::{WriteEngine, WritePolicy};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, Seq, Value};
+use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, RegisterId, Seq, Value};
 
 /// The atomic variant's WRITE policy: a timed PW phase, the `S − fw`
 /// one-round fast path (Fig. 1 line 8), a two-round W phase (rounds 2
@@ -55,11 +55,22 @@ pub struct AtomicWriter {
 }
 
 impl AtomicWriter {
-    /// A fresh writer for a cluster with the given parameters.
+    /// A fresh writer for a cluster with the given parameters (default
+    /// register).
     pub fn new(params: Params, cfg: ProtocolConfig) -> AtomicWriter {
+        AtomicWriter::for_register(RegisterId::DEFAULT, params, cfg)
+    }
+
+    /// A fresh writer serving register `reg` of a multi-register store.
+    pub fn for_register(reg: RegisterId, params: Params, cfg: ProtocolConfig) -> AtomicWriter {
         let policy =
             AtomicWritePolicy { params, fast_writes: cfg.fast_writes, freezing: cfg.freezing };
-        AtomicWriter { engine: WriteEngine::new(policy, cfg.timer_micros) }
+        AtomicWriter { engine: WriteEngine::for_register(reg, policy, cfg.timer_micros) }
+    }
+
+    /// The register this writer serves.
+    pub fn register(&self) -> RegisterId {
+        self.engine.register()
     }
 
     /// The timestamp of the last invoked WRITE.
@@ -110,11 +121,11 @@ mod tests {
     }
 
     fn pw_ack(ts: u64, newread: Vec<NewRead>) -> Message {
-        Message::PwAck(PwAckMsg { ts: Seq(ts), newread })
+        Message::PwAck(PwAckMsg { reg: RegisterId::DEFAULT, ts: Seq(ts), newread })
     }
 
     fn w_ack(round: u8, ts: u64) -> Message {
-        Message::WriteAck(WriteAckMsg { round, tag: Tag::Write(Seq(ts)) })
+        Message::WriteAck(WriteAckMsg { reg: RegisterId::DEFAULT, round, tag: Tag::Write(Seq(ts)) })
     }
 
     fn server(i: u16) -> ProcessId {

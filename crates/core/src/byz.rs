@@ -111,15 +111,19 @@ impl ServerCore for ForgeValue {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
             Message::Pw(m) => {
-                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+                eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
             }
             Message::Write(m) => {
-                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+                eff.send(
+                    from,
+                    Message::WriteAck(WriteAckMsg { reg: m.reg, round: m.round, tag: m.tag }),
+                );
             }
             Message::Read(m) => {
                 eff.send(
                     from,
                     Message::ReadAck(ReadAckMsg {
+                        reg: m.reg,
                         tsr: m.tsr,
                         rnd: m.rnd,
                         pw: self.fake.clone(),
@@ -152,10 +156,13 @@ impl ServerCore for InflateTs {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
             Message::Pw(m) => {
-                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+                eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
             }
             Message::Write(m) => {
-                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+                eff.send(
+                    from,
+                    Message::WriteAck(WriteAckMsg { reg: m.reg, round: m.round, tag: m.tag }),
+                );
             }
             Message::Read(m) => {
                 self.next += 1;
@@ -163,6 +170,7 @@ impl ServerCore for InflateTs {
                 eff.send(
                     from,
                     Message::ReadAck(ReadAckMsg {
+                        reg: m.reg,
                         tsr: m.tsr,
                         rnd: m.rnd,
                         pw: fake.clone(),
@@ -193,15 +201,19 @@ impl ServerCore for StaleEcho {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
             Message::Pw(m) => {
-                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+                eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
             }
             Message::Write(m) => {
-                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+                eff.send(
+                    from,
+                    Message::WriteAck(WriteAckMsg { reg: m.reg, round: m.round, tag: m.tag }),
+                );
             }
             Message::Read(m) => {
                 eff.send(
                     from,
                     Message::ReadAck(ReadAckMsg {
+                        reg: m.reg,
                         tsr: m.tsr,
                         rnd: m.rnd,
                         pw: TsVal::initial(),
@@ -260,15 +272,19 @@ impl ServerCore for RandomNoise {
         let fake = TsVal::new(Seq(fake_ts), Value::from_u64(self.rng.gen()));
         match msg {
             Message::Pw(m) => {
-                eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+                eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
             }
             Message::Write(m) => {
-                eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+                eff.send(
+                    from,
+                    Message::WriteAck(WriteAckMsg { reg: m.reg, round: m.round, tag: m.tag }),
+                );
             }
             Message::Read(m) => {
                 eff.send(
                     from,
                     Message::ReadAck(ReadAckMsg {
+                        reg: m.reg,
                         tsr: m.tsr,
                         rnd: m.rnd,
                         pw: fake.clone(),
@@ -286,13 +302,13 @@ impl ServerCore for RandomNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{ReadMsg, ReadSeq, ReaderId};
+    use lucky_types::{ReadMsg, ReadSeq, ReaderId, RegisterId};
 
     fn read_from(core: &mut dyn ServerCore, reader: u16) -> ReadAckMsg {
         let mut eff = Effects::new();
         core.deliver(
             ProcessId::Reader(ReaderId(reader)),
-            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(1), rnd: 1 }),
             &mut eff,
         );
         let (sends, _, _) = eff.into_parts();
@@ -323,7 +339,13 @@ mod tests {
         let mut eff = Effects::new();
         s.deliver(
             ProcessId::Writer,
-            Message::Pw(PwMsg { ts: Seq(1), pw: pair(1), w: TsVal::initial(), frozen: vec![] }),
+            Message::Pw(PwMsg {
+                reg: RegisterId::DEFAULT,
+                ts: Seq(1),
+                pw: pair(1),
+                w: TsVal::initial(),
+                frozen: vec![],
+            }),
             &mut eff,
         );
         let honest_view = read_from(&mut s, 1);
@@ -359,6 +381,7 @@ mod tests {
         s.deliver(
             ProcessId::Writer,
             Message::Write(WriteMsg {
+                reg: RegisterId::DEFAULT,
                 round: 2,
                 tag: Tag::Write(Seq(1)),
                 c: pair(1),
@@ -377,7 +400,7 @@ mod tests {
         let mut eff = Effects::new();
         s.deliver(
             ProcessId::Reader(ReaderId(0)),
-            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(1), rnd: 1 }),
             &mut eff,
         );
         assert!(eff.is_empty());

@@ -5,7 +5,9 @@ use crate::engine::quorum::AckSet;
 use crate::predicates::{self, Thresholds};
 use crate::view::{update_view, ViewTable};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, ProcessId, ReadMsg, ReadSeq, ServerId, Tag, TsVal, WriteMsg};
+use lucky_types::{
+    Message, ProcessId, ReadMsg, ReadSeq, RegisterId, ServerId, Tag, TsVal, WriteMsg,
+};
 
 /// What a protocol variant contributes to the READ loop: thresholds,
 /// quorum sizes, the round-1 fast gate and the write-back schedule.
@@ -55,20 +57,33 @@ enum ReadState {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ReadEngine<P> {
     policy: P,
+    /// The register this reader reads: stamped on every outgoing message
+    /// and required on every ack that counts.
+    reg: RegisterId,
     cfg: ProtocolConfig,
     tsr: ReadSeq,
     state: ReadState,
 }
 
 impl<P: ReadPolicy> ReadEngine<P> {
-    /// A fresh engine around `policy`.
+    /// A fresh engine around `policy`, reading the default register.
     pub fn new(policy: P, cfg: ProtocolConfig) -> ReadEngine<P> {
-        ReadEngine { policy, cfg, tsr: ReadSeq::INITIAL, state: ReadState::Idle }
+        ReadEngine::for_register(RegisterId::DEFAULT, policy, cfg)
+    }
+
+    /// A fresh engine reading register `reg` of a multi-register store.
+    pub fn for_register(reg: RegisterId, policy: P, cfg: ProtocolConfig) -> ReadEngine<P> {
+        ReadEngine { policy, reg, cfg, tsr: ReadSeq::INITIAL, state: ReadState::Idle }
     }
 
     /// The variant policy.
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// The register this reader reads.
+    pub fn register(&self) -> RegisterId {
+        self.reg
     }
 
     /// The timestamp of the last invoked READ.
@@ -109,15 +124,22 @@ impl<P: ReadPolicy> ReadEngine<P> {
             timer_expired: false,
         };
         eff.set_timer(TimerId(self.tsr.0), self.cfg.timer_micros);
-        eff.broadcast(self.servers(), Message::Read(ReadMsg { tsr: self.tsr, rnd: 1 }));
+        eff.broadcast(
+            self.servers(),
+            Message::Read(ReadMsg { reg: self.reg, tsr: self.tsr, rnd: 1 }),
+        );
     }
 
     /// Deliver a server message. Acks carrying a timestamp other than the
-    /// current `tsr` — leftovers from a previous READ — never count.
+    /// current `tsr` — leftovers from a previous READ — never count;
+    /// neither do acks addressed to another register.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         let Some(server) = from.as_server() else {
             return;
         };
+        if msg.register() != self.reg {
+            return; // another register's traffic (or a forged echo)
+        }
         match msg {
             Message::ReadAck(ack) if ack.tsr == self.tsr => {
                 if let ReadState::Reading { acks, views, .. } = &mut self.state {
@@ -219,7 +241,7 @@ impl<P: ReadPolicy> ReadEngine<P> {
                 }
                 eff.broadcast(
                     self.servers(),
-                    Message::Read(ReadMsg { tsr: self.tsr, rnd: rnd + 1 }),
+                    Message::Read(ReadMsg { reg: self.reg, tsr: self.tsr, rnd: rnd + 1 }),
                 );
             }
         }
@@ -231,6 +253,7 @@ impl<P: ReadPolicy> ReadEngine<P> {
         };
         acks.advance(round);
         let msg = Message::Write(WriteMsg {
+            reg: self.reg,
             round,
             tag: Tag::WriteBack(self.tsr),
             c: c.clone(),
@@ -316,6 +339,7 @@ mod tests {
 
     fn read_ack(tsr: u64, rnd: u32) -> Message {
         Message::ReadAck(ReadAckMsg {
+            reg: RegisterId::DEFAULT,
             tsr: ReadSeq(tsr),
             rnd,
             pw: pair(1),
@@ -326,7 +350,11 @@ mod tests {
     }
 
     fn wb_ack(round: u8, tsr: u64) -> Message {
-        Message::WriteAck(WriteAckMsg { round, tag: Tag::WriteBack(ReadSeq(tsr)) })
+        Message::WriteAck(WriteAckMsg {
+            reg: RegisterId::DEFAULT,
+            round,
+            tag: Tag::WriteBack(ReadSeq(tsr)),
+        })
     }
 
     fn quorum_of_read_acks(e: &mut ReadEngine<TestPolicy>, tsr: u64, rnd: u32) -> Effects<Message> {
@@ -366,6 +394,7 @@ mod tests {
         let mut eff = Effects::new();
         for (i, ts) in [(0u16, 2u64), (1, 3), (2, 4), (3, 5)] {
             let ack = Message::ReadAck(ReadAckMsg {
+                reg: RegisterId::DEFAULT,
                 tsr: ReadSeq(1),
                 rnd: 1,
                 pw: pair(ts),
@@ -452,6 +481,7 @@ mod tests {
         let mut eff = Effects::new();
         for (i, ts) in [(0u16, 2u64), (1, 3), (2, 4), (3, 5)] {
             let ack = Message::ReadAck(ReadAckMsg {
+                reg: RegisterId::DEFAULT,
                 tsr: ReadSeq(1),
                 rnd: 1,
                 pw: pair(ts),
@@ -498,5 +528,43 @@ mod tests {
         let mut e = engine(true);
         e.invoke(&mut Effects::new());
         e.invoke(&mut Effects::new());
+    }
+
+    #[test]
+    fn engine_stamps_its_register_and_drops_foreign_acks() {
+        let reg = RegisterId(5);
+        let mut e = ReadEngine::for_register(
+            reg,
+            TestPolicy::new(true),
+            ProtocolConfig::for_sync_bound(100),
+        );
+        assert_eq!(e.register(), reg);
+        let mut eff = Effects::new();
+        e.invoke(&mut eff);
+        let (sends, _, _) = eff.into_parts();
+        assert!(sends.iter().all(|(_, m)| m.register() == reg), "READ stamped with the register");
+        e.on_timer(TimerId(1), &mut Effects::new());
+        // A full quorum of default-register acks must not count.
+        let mut eff = Effects::new();
+        for i in 0..6 {
+            e.on_message(server(i), read_ack(1, 1), &mut eff);
+        }
+        assert!(eff.is_empty(), "foreign-register acks must not complete the READ");
+        assert_eq!(e.current_round(), Some(1));
+        // Correctly-addressed acks complete it.
+        let mut eff = Effects::new();
+        for i in 0..4 {
+            let ack = Message::ReadAck(ReadAckMsg {
+                reg,
+                tsr: ReadSeq(1),
+                rnd: 1,
+                pw: pair(1),
+                w: pair(1),
+                vw: None,
+                frozen: FrozenSlot::initial(),
+            });
+            e.on_message(server(i), ack, &mut eff);
+        }
+        assert!(eff.into_parts().2.is_some(), "same-register acks decide");
     }
 }

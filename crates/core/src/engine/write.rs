@@ -3,8 +3,8 @@
 use crate::engine::quorum::AckSet;
 use lucky_sim::{Effects, TimerId};
 use lucky_types::{
-    FrozenUpdate, Message, NewRead, ProcessId, PwMsg, ReadSeq, ReaderId, Seq, ServerId, Tag, TsVal,
-    Value, WriteMsg,
+    FrozenUpdate, Message, NewRead, ProcessId, PwMsg, ReadSeq, ReaderId, RegisterId, Seq, ServerId,
+    Tag, TsVal, Value, WriteMsg,
 };
 use std::collections::BTreeMap;
 
@@ -66,6 +66,9 @@ enum WriteState {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct WriteEngine<P> {
     policy: P,
+    /// The register this writer serves: stamped on every outgoing message
+    /// and required on every ack that counts.
+    reg: RegisterId,
     timer_micros: u64,
     ts: Seq,
     pw: TsVal,
@@ -88,6 +91,15 @@ impl<P: WritePolicy> WriteEngine<P> {
     /// frozen set that only rides W messages would be silently dropped
     /// after `freezevalues()` already advanced the read_ts watermarks.
     pub fn new(policy: P, timer_micros: u64) -> WriteEngine<P> {
+        WriteEngine::for_register(RegisterId::DEFAULT, policy, timer_micros)
+    }
+
+    /// A fresh engine writing register `reg` of a multi-register store.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`WriteEngine::new`].
+    pub fn for_register(reg: RegisterId, policy: P, timer_micros: u64) -> WriteEngine<P> {
         assert!(
             !(P::FROZEN_ON_W && policy.fast_write_acks().is_some()),
             "FROZEN_ON_W policies must disable the fast path (fast_write_acks = None): \
@@ -95,6 +107,7 @@ impl<P: WritePolicy> WriteEngine<P> {
         );
         WriteEngine {
             policy,
+            reg,
             timer_micros,
             ts: Seq::INITIAL,
             pw: TsVal::initial(),
@@ -108,6 +121,11 @@ impl<P: WritePolicy> WriteEngine<P> {
     /// The variant policy.
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// The register this writer serves.
+    pub fn register(&self) -> RegisterId {
+        self.reg
     }
 
     /// The timestamp of the last invoked WRITE.
@@ -142,6 +160,7 @@ impl<P: WritePolicy> WriteEngine<P> {
             eff.set_timer(TimerId(self.ts.0), self.timer_micros);
         }
         let msg = Message::Pw(PwMsg {
+            reg: self.reg,
             ts: self.ts,
             pw: self.pw.clone(),
             w: self.w.clone(),
@@ -153,11 +172,15 @@ impl<P: WritePolicy> WriteEngine<P> {
     }
 
     /// Deliver a server message. Acks carrying a timestamp other than the
-    /// current `ts` are invalid (§3.4) and never count.
+    /// current `ts` are invalid (§3.4) and never count; neither do acks
+    /// addressed to another register.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         let Some(server) = from.as_server() else {
             return;
         };
+        if msg.register() != self.reg {
+            return; // another register's traffic (or a forged echo)
+        }
         match msg {
             Message::PwAck(ack) if ack.ts == self.ts => {
                 if let WriteState::Pw { acks, .. } = &mut self.state {
@@ -238,6 +261,7 @@ impl<P: WritePolicy> WriteEngine<P> {
     fn start_w_round(&mut self, idx: usize, frozen: Vec<FrozenUpdate>, eff: &mut Effects<Message>) {
         let round = P::W_ROUNDS[idx];
         let msg = Message::Write(WriteMsg {
+            reg: self.reg,
             round,
             tag: Tag::Write(self.ts),
             c: self.pw.clone(),
@@ -330,11 +354,11 @@ mod tests {
     }
 
     fn pw_ack(ts: u64) -> Message {
-        Message::PwAck(PwAckMsg { ts: Seq(ts), newread: vec![] })
+        Message::PwAck(PwAckMsg { reg: RegisterId::DEFAULT, ts: Seq(ts), newread: vec![] })
     }
 
     fn w_ack(round: u8, ts: u64) -> Message {
-        Message::WriteAck(WriteAckMsg { round, tag: Tag::Write(Seq(ts)) })
+        Message::WriteAck(WriteAckMsg { reg: RegisterId::DEFAULT, round, tag: Tag::Write(Seq(ts)) })
     }
 
     #[test]
@@ -423,7 +447,11 @@ mod tests {
         for i in 0..4 {
             e.on_message(
                 server(i),
-                Message::PwAck(PwAckMsg { ts: Seq(1), newread: nr.clone() }),
+                Message::PwAck(PwAckMsg {
+                    reg: RegisterId::DEFAULT,
+                    ts: Seq(1),
+                    newread: nr.clone(),
+                }),
                 &mut eff,
             );
         }
@@ -447,7 +475,11 @@ mod tests {
         for i in 0..5 {
             e.on_message(
                 server(i),
-                Message::PwAck(PwAckMsg { ts: Seq(1), newread: nr.clone() }),
+                Message::PwAck(PwAckMsg {
+                    reg: RegisterId::DEFAULT,
+                    ts: Seq(1),
+                    newread: nr.clone(),
+                }),
                 &mut eff,
             );
         }
@@ -493,5 +525,37 @@ mod tests {
         let mut e = engine(true);
         e.invoke(Value::from_u64(1), &mut Effects::new());
         e.invoke(Value::from_u64(2), &mut Effects::new());
+    }
+
+    #[test]
+    fn engine_stamps_its_register_and_drops_foreign_acks() {
+        let reg = RegisterId(3);
+        let mut e = WriteEngine::for_register(reg, TestPolicy::new(false), 100);
+        assert_eq!(e.register(), reg);
+        let mut eff = Effects::new();
+        e.invoke(Value::from_u64(7), &mut eff);
+        let (sends, _, _) = eff.into_parts();
+        assert!(sends.iter().all(|(_, m)| m.register() == reg), "PW stamped with the register");
+        // A full quorum of acks for the *default* register must not count.
+        let mut eff = Effects::new();
+        e.on_timer(TimerId(1), &mut eff);
+        for i in 0..6 {
+            e.on_message(server(i), pw_ack(1), &mut eff);
+        }
+        assert!(eff.is_empty(), "foreign-register acks must not advance the WRITE");
+        // Correctly-addressed acks do.
+        let mut eff = Effects::new();
+        for i in 0..4 {
+            e.on_message(
+                server(i),
+                Message::PwAck(PwAckMsg { reg, ts: Seq(1), newread: vec![] }),
+                &mut eff,
+            );
+        }
+        let (sends, _, _) = eff.into_parts();
+        assert!(
+            sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.reg == reg)),
+            "W round starts, stamped with the register"
+        );
     }
 }

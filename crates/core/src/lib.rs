@@ -41,8 +41,11 @@
 //! * [`byz`] — Byzantine server behaviours (state forging, split-brain
 //!   equivocation, value forging, …) used by the bound-violation
 //!   experiments and the fault-injection tests;
-//! * [`runtime`] — `lucky-sim` adapters and [`SimCluster`], the high-level
-//!   API used by examples, tests and benchmarks.
+//! * [`runtime`] — `lucky-sim` adapters, the single-register
+//!   [`SimCluster`] API, and the multi-register store facade
+//!   ([`StoreConfig`] → [`SimStore`], with [`RegisterMux`] multiplexing
+//!   per-register server state so one cluster serves a whole register
+//!   namespace).
 //!
 //! ## Example
 //!
@@ -76,5 +79,8 @@ pub mod tworound;
 pub mod view;
 
 pub use config::{ProtocolConfig, Variant};
-pub use runtime::{ClusterConfig, OpOutcome, Setup, SimCluster, SYNC_BOUND_MICROS};
+pub use runtime::{
+    ClusterConfig, OpOutcome, RegisterMux, Setup, SimCluster, SimRegister, SimStore, StoreConfig,
+    SYNC_BOUND_MICROS,
+};
 pub use view::{ServerView, ViewTable};

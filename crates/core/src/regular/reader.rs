@@ -6,7 +6,7 @@ use crate::engine::{ReadEngine, ReadPolicy};
 use crate::predicates::Thresholds;
 use crate::view::ViewTable;
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Params, ProcessId, ReaderId, TsVal};
+use lucky_types::{Message, Params, ProcessId, ReaderId, RegisterId, TsVal};
 
 /// The regular variant's READ policy: the READ loop is the atomic
 /// reader's (rounds, candidate set `C`, freezing), but a selected value
@@ -50,11 +50,26 @@ pub struct RegularReader {
 }
 
 impl RegularReader {
-    /// A fresh reader with identity `id`. Use [`Params::trading_reads`]
-    /// for the Appendix D thresholds.
+    /// A fresh reader with identity `id` (default register). Use
+    /// [`Params::trading_reads`] for the Appendix D thresholds.
     pub fn new(id: ReaderId, params: Params, cfg: ProtocolConfig) -> RegularReader {
+        RegularReader::for_register(RegisterId::DEFAULT, id, params, cfg)
+    }
+
+    /// A fresh reader of register `reg` in a multi-register store.
+    pub fn for_register(
+        reg: RegisterId,
+        id: ReaderId,
+        params: Params,
+        cfg: ProtocolConfig,
+    ) -> RegularReader {
         let policy = RegularReadPolicy { params, thresholds: Thresholds::from(params) };
-        RegularReader { id, engine: ReadEngine::new(policy, cfg) }
+        RegularReader { id, engine: ReadEngine::for_register(reg, policy, cfg) }
+    }
+
+    /// The register this reader reads.
+    pub fn register(&self) -> RegisterId {
+        self.engine.register()
     }
 
     /// This reader's identity.
@@ -113,6 +128,7 @@ mod tests {
 
     fn read_ack(tsr: u64, rnd: u32, pw: TsVal, w: TsVal) -> Message {
         Message::ReadAck(ReadAckMsg {
+            reg: RegisterId::DEFAULT,
             tsr: ReadSeq(tsr),
             rnd,
             pw,

@@ -45,8 +45,9 @@ impl RegularServer {
     /// Handle one client message.
     pub fn handle(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         // Modification 3: reader write-backs are ignored entirely — no
-        // state change, no ack.
-        if matches!(msg, Message::Write(_)) && from != ProcessId::Writer {
+        // state change, no ack. Only the targeted register's writer may
+        // run W rounds.
+        if matches!(msg, Message::Write(_)) && !from.is_writer_of(msg.register()) {
             return;
         }
         self.inner.handle(from, msg, eff);
@@ -69,6 +70,7 @@ mod tests {
         s.handle(
             ProcessId::Reader(ReaderId(0)),
             Message::Write(WriteMsg {
+                reg: lucky_types::RegisterId::DEFAULT,
                 round: 3,
                 tag: Tag::WriteBack(ReadSeq(1)),
                 c: pair(9), // a forged value a malicious reader writes back
@@ -87,6 +89,7 @@ mod tests {
         s.handle(
             ProcessId::Writer,
             Message::Write(WriteMsg {
+                reg: lucky_types::RegisterId::DEFAULT,
                 round: 2,
                 tag: Tag::Write(Seq(1)),
                 c: pair(1),
@@ -104,7 +107,11 @@ mod tests {
         let mut eff = Effects::new();
         s.handle(
             ProcessId::Reader(ReaderId(0)),
-            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            Message::Read(ReadMsg {
+                reg: lucky_types::RegisterId::DEFAULT,
+                tsr: ReadSeq(1),
+                rnd: 1,
+            }),
             &mut eff,
         );
         assert_eq!(eff.send_count(), 1);

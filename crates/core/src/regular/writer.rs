@@ -4,7 +4,7 @@
 use crate::config::ProtocolConfig;
 use crate::engine::{WriteEngine, WritePolicy};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, Seq, Value};
+use lucky_types::{Message, Params, ProcessId, ReadSeq, ReaderId, RegisterId, Seq, Value};
 
 /// The regular variant's WRITE policy: identical to the atomic policy
 /// except the W phase is a single round (so a slow WRITE takes two
@@ -52,12 +52,22 @@ pub struct RegularWriter {
 }
 
 impl RegularWriter {
-    /// A fresh writer. Use [`Params::trading_reads`] for the Appendix D
-    /// thresholds.
+    /// A fresh writer (default register). Use [`Params::trading_reads`]
+    /// for the Appendix D thresholds.
     pub fn new(params: Params, cfg: ProtocolConfig) -> RegularWriter {
+        RegularWriter::for_register(RegisterId::DEFAULT, params, cfg)
+    }
+
+    /// A fresh writer serving register `reg` of a multi-register store.
+    pub fn for_register(reg: RegisterId, params: Params, cfg: ProtocolConfig) -> RegularWriter {
         let policy =
             RegularWritePolicy { params, fast_writes: cfg.fast_writes, freezing: cfg.freezing };
-        RegularWriter { engine: WriteEngine::new(policy, cfg.timer_micros) }
+        RegularWriter { engine: WriteEngine::for_register(reg, policy, cfg.timer_micros) }
+    }
+
+    /// The register this writer serves.
+    pub fn register(&self) -> RegisterId {
+        self.engine.register()
     }
 
     /// The timestamp of the last invoked WRITE.
@@ -111,7 +121,7 @@ mod tests {
     }
 
     fn pw_ack(ts: u64) -> Message {
-        Message::PwAck(PwAckMsg { ts: Seq(ts), newread: vec![] })
+        Message::PwAck(PwAckMsg { reg: RegisterId::DEFAULT, ts: Seq(ts), newread: vec![] })
     }
 
     #[test]
@@ -148,7 +158,11 @@ mod tests {
         for i in 0..4 {
             w.on_message(
                 server(i),
-                Message::WriteAck(WriteAckMsg { round: 2, tag: Tag::Write(Seq(1)) }),
+                Message::WriteAck(WriteAckMsg {
+                    reg: RegisterId::DEFAULT,
+                    round: 2,
+                    tag: Tag::Write(Seq(1)),
+                }),
                 &mut eff,
             );
         }

@@ -1,14 +1,15 @@
 //! `SimCluster` — the high-level simulated-cluster API.
 
-use crate::byz;
 use crate::config::{ProtocolConfig, Variant};
-use crate::runtime::adapters::{ClientAutomaton, ClientCore, ServerAutomaton, ServerCore};
+use crate::runtime::adapters::{ClientCore, ServerCore};
+use crate::runtime::mux::RegisterMux;
+use crate::runtime::store::{SimStore, StoreConfig};
 use crate::{atomic, regular, tworound};
 use lucky_checker::Violations;
 use lucky_sim::{NetworkModel, RunError, World};
 use lucky_types::{
-    History, Message, Op, OpId, OpRecord, Params, ProcessId, ReaderId, ServerId, Time,
-    TwoRoundParams, Value,
+    History, Message, OpId, OpKind, OpRecord, Params, ReaderId, RegisterId, Time, TwoRoundParams,
+    Value,
 };
 
 /// Which protocol instance a cluster runs, with its parameters.
@@ -46,31 +47,51 @@ impl Setup {
     // processes through them, so adding a variant (or swapping a policy)
     // lands in one match arm per role.
 
-    /// Build this variant's writer core.
-    pub fn make_writer(&self, protocol: ProtocolConfig) -> Box<dyn ClientCore> {
+    /// Build this variant's writer core for register `reg`.
+    pub fn make_writer(&self, reg: RegisterId, protocol: ProtocolConfig) -> Box<dyn ClientCore> {
         match *self {
-            Setup::Atomic(p) => Box::new(atomic::AtomicWriter::new(p, protocol)),
-            Setup::TwoRound(p) => Box::new(tworound::TwoRoundWriter::new(p)),
-            Setup::Regular(p) => Box::new(regular::RegularWriter::new(p, protocol)),
+            Setup::Atomic(p) => Box::new(atomic::AtomicWriter::for_register(reg, p, protocol)),
+            Setup::TwoRound(p) => Box::new(tworound::TwoRoundWriter::for_register(reg, p)),
+            Setup::Regular(p) => Box::new(regular::RegularWriter::for_register(reg, p, protocol)),
         }
     }
 
-    /// Build this variant's reader core with identity `id`.
-    pub fn make_reader(&self, id: ReaderId, protocol: ProtocolConfig) -> Box<dyn ClientCore> {
+    /// Build this variant's reader core with identity `id`, reading
+    /// register `reg`.
+    pub fn make_reader(
+        &self,
+        reg: RegisterId,
+        id: ReaderId,
+        protocol: ProtocolConfig,
+    ) -> Box<dyn ClientCore> {
         match *self {
-            Setup::Atomic(p) => Box::new(atomic::AtomicReader::new(id, p, protocol)),
-            Setup::TwoRound(p) => Box::new(tworound::TwoRoundReader::new(id, p, protocol)),
-            Setup::Regular(p) => Box::new(regular::RegularReader::new(id, p, protocol)),
+            Setup::Atomic(p) => Box::new(atomic::AtomicReader::for_register(reg, id, p, protocol)),
+            Setup::TwoRound(p) => {
+                Box::new(tworound::TwoRoundReader::for_register(reg, id, p, protocol))
+            }
+            Setup::Regular(p) => {
+                Box::new(regular::RegularReader::for_register(reg, id, p, protocol))
+            }
         }
     }
 
-    /// Build this variant's (correct) server core.
+    /// Build this variant's (correct) single-register server core — the
+    /// building block [`RegisterMux`] instantiates per register.
     pub fn make_server(&self) -> Box<dyn ServerCore> {
         match self {
             Setup::Atomic(_) => Box::new(atomic::AtomicServer::new()),
             Setup::TwoRound(_) => Box::new(tworound::TwoRoundServer::new()),
             Setup::Regular(_) => Box::new(regular::RegularServer::new()),
         }
+    }
+
+    /// Build this variant's multi-register server: a [`RegisterMux`]
+    /// keeping one [`Setup::make_server`] core per register, created
+    /// lazily on first contact. This is what every runtime deploys at a
+    /// server's address, so one server cluster serves the whole register
+    /// namespace.
+    pub fn make_server_mux(&self) -> Box<dyn ServerCore> {
+        Box::new(RegisterMux::new(*self))
     }
 }
 
@@ -175,6 +196,10 @@ impl ClusterConfig {
 pub struct OpOutcome {
     /// Operation id.
     pub id: OpId,
+    /// The register the operation targeted.
+    pub reg: RegisterId,
+    /// Whether the operation was a WRITE or a READ.
+    pub kind: OpKind,
     /// Value read (for READs) or written (for WRITEs).
     pub value: Value,
     /// Communication round-trips used.
@@ -190,14 +215,16 @@ pub struct OpOutcome {
 }
 
 impl OpOutcome {
-    fn from_record(rec: &OpRecord) -> OpOutcome {
+    pub(crate) fn from_record(rec: &OpRecord) -> OpOutcome {
         let value = match (&rec.result, &rec.op) {
             (Some(v), _) => v.clone(),
-            (None, Op::Write(v)) => v.clone(),
-            (None, Op::Read) => Value::Bot,
+            (None, lucky_types::Op::Write(v)) => v.clone(),
+            (None, lucky_types::Op::Read) => Value::Bot,
         };
         OpOutcome {
             id: rec.id,
+            reg: rec.reg,
+            kind: rec.op.kind(),
             value,
             rounds: rec.rounds,
             fast: rec.fast,
@@ -211,12 +238,15 @@ impl OpOutcome {
 /// A fully-wired simulated cluster: one writer, `R` readers, `S` servers
 /// of the configured variant, plus fault-injection and checking helpers.
 ///
+/// This is the original single-register API, kept source-compatible: it
+/// is a thin veneer over a [`SimStore`] serving exactly one register,
+/// [`RegisterId::DEFAULT`]. Multi-register workloads build a [`SimStore`]
+/// through [`StoreConfig`] instead and address registers explicitly.
+///
 /// See the crate-level docs for an end-to-end example.
 #[derive(Debug)]
 pub struct SimCluster {
-    setup: Setup,
-    world: World<Message>,
-    reader_count: usize,
+    store: SimStore,
 }
 
 impl SimCluster {
@@ -224,41 +254,33 @@ impl SimCluster {
     /// every variant are built through the [`Setup`] factories, so this
     /// constructor is variant-agnostic.
     pub fn new(cfg: ClusterConfig, readers: usize) -> SimCluster {
-        let mut world = World::new(cfg.net.clone(), cfg.seed);
-        let protocol = cfg.protocol;
-        let setup = cfg.setup;
-        world
-            .add_process(ProcessId::Writer, Box::new(ClientAutomaton(setup.make_writer(protocol))));
-        for r in ReaderId::all(readers) {
-            world.add_process(
-                ProcessId::Reader(r),
-                Box::new(ClientAutomaton(setup.make_reader(r, protocol))),
-            );
-        }
-        for s in ServerId::all(setup.server_count()) {
-            world.add_process(ProcessId::Server(s), Box::new(ServerAutomaton(setup.make_server())));
-        }
-        SimCluster { setup, world, reader_count: readers }
+        let store = StoreConfig::from(cfg).registers(1).readers_per_register(readers).build_sim();
+        SimCluster { store }
     }
 
     /// The protocol setup this cluster runs.
     pub fn setup(&self) -> Setup {
-        self.setup
+        self.store.setup()
     }
 
     /// Number of servers.
     pub fn server_count(&self) -> usize {
-        self.setup.server_count()
+        self.store.server_count()
     }
 
     /// Number of readers.
     pub fn reader_count(&self) -> usize {
-        self.reader_count
+        self.store.readers_per_register()
     }
 
     /// Current virtual time.
     pub fn now(&self) -> Time {
-        self.world.now()
+        self.store.now()
+    }
+
+    /// The underlying single-register store.
+    pub fn store_mut(&mut self) -> &mut SimStore {
+        &mut self.store
     }
 
     // ------------------------------------------------------------------
@@ -273,23 +295,23 @@ impl SimCluster {
     /// sequential workloads. Use [`SimCluster::invoke_write_at`] for
     /// exact-instant control.
     pub fn invoke_write(&mut self, v: Value) -> OpId {
-        self.world.invoke_at(self.world.now() + 1, ProcessId::Writer, Op::Write(v))
+        self.store.register(RegisterId::DEFAULT).invoke_write(v)
     }
 
     /// Invoke `WRITE(v)` at a future instant.
     pub fn invoke_write_at(&mut self, at: Time, v: Value) -> OpId {
-        self.world.invoke_at(at, ProcessId::Writer, Op::Write(v))
+        self.store.register(RegisterId::DEFAULT).invoke_write_at(at, v)
     }
 
     /// Invoke `READ()` on reader `r` (one microsecond from now; see
     /// [`SimCluster::invoke_write`]).
     pub fn invoke_read(&mut self, r: ReaderId) -> OpId {
-        self.world.invoke_at(self.world.now() + 1, ProcessId::Reader(r), Op::Read)
+        self.store.register(RegisterId::DEFAULT).invoke_read(r.0)
     }
 
     /// Invoke `READ()` on reader `r` at a future instant.
     pub fn invoke_read_at(&mut self, at: Time, r: ReaderId) -> OpId {
-        self.world.invoke_at(at, ProcessId::Reader(r), Op::Read)
+        self.store.register(RegisterId::DEFAULT).invoke_read_at(at, r.0)
     }
 
     /// Run until `op` completes.
@@ -298,7 +320,7 @@ impl SimCluster {
     ///
     /// Propagates [`RunError`] when the run stalls first.
     pub fn run_until_complete(&mut self, op: OpId) -> Result<OpOutcome, RunError> {
-        self.world.run_until_complete(op).map(OpOutcome::from_record)
+        self.store.run_until_complete(op)
     }
 
     /// `WRITE(v)` to completion.
@@ -343,28 +365,27 @@ impl SimCluster {
 
     /// The outcome of a completed (or still-pending) operation.
     pub fn outcome(&self, op: OpId) -> OpOutcome {
-        OpOutcome::from_record(self.world.record(op))
+        self.store.outcome(op)
     }
 
     /// `true` iff `op` has completed.
     pub fn is_complete(&self, op: OpId) -> bool {
-        self.world.record(op).is_complete()
+        self.store.is_complete(op)
     }
 
     /// Advance virtual time, processing everything scheduled on the way.
     pub fn run_until(&mut self, deadline: Time) {
-        self.world.run_until(deadline);
+        self.store.run_until(deadline);
     }
 
     /// Advance virtual time by `micros` from now.
     pub fn run_for(&mut self, micros: u64) {
-        let deadline = self.world.now() + micros;
-        self.world.run_until(deadline);
+        self.store.run_for(micros);
     }
 
     /// Drain the event queue (bounded); returns steps taken.
     pub fn run_until_idle(&mut self, max_steps: u64) -> u64 {
-        self.world.run_until_idle(max_steps)
+        self.store.run_until_idle(max_steps)
     }
 
     // ------------------------------------------------------------------
@@ -373,43 +394,43 @@ impl SimCluster {
 
     /// Crash server `i` immediately.
     pub fn crash_server(&mut self, i: u16) {
-        self.world.crash_now(ProcessId::Server(ServerId(i)));
+        self.store.crash_server(i);
     }
 
     /// Crash server `i` at time `at`.
     pub fn crash_server_at(&mut self, i: u16, at: Time) {
-        self.world.crash_at(ProcessId::Server(ServerId(i)), at);
+        self.store.crash_server_at(i, at);
     }
 
     /// Crash the writer immediately.
     pub fn crash_writer(&mut self) {
-        self.world.crash_now(ProcessId::Writer);
+        self.store.crash_writer(RegisterId::DEFAULT);
     }
 
     /// Crash the writer at time `at`.
     pub fn crash_writer_at(&mut self, at: Time) {
-        self.world.crash_at(ProcessId::Writer, at);
+        self.store.crash_writer_at(RegisterId::DEFAULT, at);
     }
 
-    /// Replace server `i` with a Byzantine behaviour (see [`byz`]).
+    /// Replace server `i` with a Byzantine behaviour (see [`crate::byz`]).
     pub fn install_byzantine(&mut self, i: u16, core: Box<dyn ServerCore>) {
-        self.world.add_process(ProcessId::Server(ServerId(i)), Box::new(ServerAutomaton(core)));
+        self.store.install_byzantine(i, core);
     }
 
-    /// Replace server `i` with the [`byz::ForgeValue`] behaviour — the
+    /// Replace server `i` with the [`crate::byz::ForgeValue`] behaviour — the
     /// most common attack in the test sweeps.
     pub fn install_forge_value(&mut self, i: u16, pair: lucky_types::TsVal) {
-        self.install_byzantine(i, Box::new(byz::ForgeValue::new(pair)));
+        self.store.install_forge_value(i, pair);
     }
 
     /// Full access to the underlying world (gates, custom scheduling).
     pub fn world_mut(&mut self) -> &mut World<Message> {
-        &mut self.world
+        self.store.world_mut()
     }
 
     /// Read-only access to the underlying world.
     pub fn world(&self) -> &World<Message> {
-        &self.world
+        self.store.world()
     }
 
     // ------------------------------------------------------------------
@@ -418,7 +439,7 @@ impl SimCluster {
 
     /// The operation history so far.
     pub fn history(&self) -> &History {
-        self.world.history()
+        self.store.history()
     }
 
     /// Check the history against the atomicity conditions (§2.2).
@@ -452,6 +473,7 @@ impl SimCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lucky_types::{ProcessId, ServerId};
 
     fn params() -> Params {
         Params::new(2, 1, 1, 0).unwrap()

@@ -1,14 +1,22 @@
-//! Drivers: `lucky-sim` adapters and the [`SimCluster`] high-level API.
+//! Drivers: `lucky-sim` adapters, the [`SimCluster`] single-register API
+//! and the multi-register [`SimStore`] facade.
 //!
 //! The protocol cores are sans-io; this module is where they meet an
 //! execution substrate. [`ClientCore`]/[`ServerCore`] give every variant a
 //! uniform surface, [`ClientAutomaton`]/[`ServerAutomaton`] lift them into
-//! simulator processes, and [`SimCluster`] wires a full cluster (writer,
-//! readers, servers), drives operations, injects faults and hands the
-//! resulting history to the `lucky-checker` oracles.
+//! simulator processes, [`RegisterMux`] multiplexes one server process
+//! over a namespace of registers, and [`SimStore`] (built from a
+//! [`StoreConfig`]) wires a full cluster serving many independent
+//! registers, drives operations, injects faults and hands the resulting
+//! history to the `lucky-checker` oracles. [`SimCluster`] is the original
+//! one-register API, now a veneer over a one-register store.
 
 mod adapters;
 mod cluster;
+mod mux;
+mod store;
 
 pub use adapters::{ClientAutomaton, ClientCore, ServerAutomaton, ServerCore};
 pub use cluster::{ClusterConfig, OpOutcome, Setup, SimCluster, SYNC_BOUND_MICROS};
+pub use mux::RegisterMux;
+pub use store::{SimRegister, SimStore, StoreConfig};

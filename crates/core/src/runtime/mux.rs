@@ -1,0 +1,128 @@
+//! Multiplexing one server process over many registers.
+
+use crate::runtime::adapters::ServerCore;
+use crate::runtime::cluster::Setup;
+use lucky_sim::Effects;
+use lucky_types::{Message, ProcessId, RegisterId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A server that serves a whole namespace of registers.
+///
+/// The paper's server (Fig. 3 / Fig. 8) keeps the state of *one* register:
+/// the `pw`/`w`(/`vw`) copies, the per-reader READ timestamps and the
+/// frozen slots. A production store multiplexes many independent registers
+/// over the same server processes; this adapter keeps that per-register
+/// state in a map keyed by [`RegisterId`], dispatching every incoming
+/// message on the register it names and creating register state lazily on
+/// first contact.
+///
+/// Because each entry is a full single-register server core built by the
+/// [`Setup`] factory, the per-register protocol logic is untouched —
+/// isolation between registers is structural: a message for register `x`
+/// can only ever read or write register `x`'s state.
+pub struct RegisterMux {
+    setup: Setup,
+    regs: BTreeMap<RegisterId, Box<dyn ServerCore>>,
+}
+
+impl RegisterMux {
+    /// A server of `setup`'s variant with no register state yet.
+    pub fn new(setup: Setup) -> RegisterMux {
+        RegisterMux { setup, regs: BTreeMap::new() }
+    }
+
+    /// Number of registers this server has state for.
+    pub fn register_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The registers this server has state for, in id order.
+    pub fn registers(&self) -> impl Iterator<Item = RegisterId> + '_ {
+        self.regs.keys().copied()
+    }
+}
+
+impl fmt::Debug for RegisterMux {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisterMux")
+            .field("setup", &self.setup)
+            .field("registers", &self.regs.len())
+            .finish()
+    }
+}
+
+impl ServerCore for RegisterMux {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let setup = self.setup;
+        let core = self.regs.entry(msg.register()).or_insert_with(|| setup.make_server());
+        core.deliver(from, msg, eff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{Message, Params, PwMsg, ReadMsg, ReadSeq, ReaderId, Seq, TsVal, Value};
+
+    fn pair(ts: u64) -> TsVal {
+        TsVal::new(Seq(ts), Value::from_u64(ts))
+    }
+
+    fn pw(reg: RegisterId, ts: u64) -> Message {
+        Message::Pw(PwMsg { reg, ts: Seq(ts), pw: pair(ts), w: TsVal::initial(), frozen: vec![] })
+    }
+
+    fn read(reg: RegisterId) -> Message {
+        Message::Read(ReadMsg { reg, tsr: ReadSeq(1), rnd: 1 })
+    }
+
+    #[test]
+    fn registers_are_isolated() {
+        let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+        let mut mux = RegisterMux::new(setup);
+        let mut eff = Effects::new();
+        // Write ts=5 into register 1 only.
+        let r1 = RegisterId(1);
+        let r2 = RegisterId(2);
+        mux.deliver(ProcessId::writer(r1), pw(r1, 5), &mut eff);
+        assert_eq!(mux.register_count(), 1);
+        // Register 2 still answers with the initial state.
+        let mut eff = Effects::new();
+        mux.deliver(ProcessId::Reader(ReaderId(0)), read(r2), &mut eff);
+        let (sends, _, _) = eff.into_parts();
+        match &sends[0].1 {
+            Message::ReadAck(a) => {
+                assert_eq!(a.reg, r2);
+                assert_eq!(a.pw, TsVal::initial(), "register 2 never saw the write");
+            }
+            other => panic!("expected ReadAck, got {other:?}"),
+        }
+        // Register 1 answers with the pre-written pair.
+        let mut eff = Effects::new();
+        mux.deliver(ProcessId::Reader(ReaderId(0)), read(r1), &mut eff);
+        let (sends, _, _) = eff.into_parts();
+        match &sends[0].1 {
+            Message::ReadAck(a) => {
+                assert_eq!(a.reg, r1);
+                assert_eq!(a.pw, pair(5));
+            }
+            other => panic!("expected ReadAck, got {other:?}"),
+        }
+        assert_eq!(mux.register_count(), 2);
+        assert_eq!(mux.registers().collect::<Vec<_>>(), vec![r1, r2]);
+    }
+
+    #[test]
+    fn acks_echo_the_register_through_the_mux() {
+        let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+        let mut mux = RegisterMux::new(setup);
+        for reg in RegisterId::all(4) {
+            let mut eff = Effects::new();
+            mux.deliver(ProcessId::writer(reg), pw(reg, 1), &mut eff);
+            let (sends, _, _) = eff.into_parts();
+            assert_eq!(sends.len(), 1);
+            assert_eq!(sends[0].1.register(), reg);
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The multi-register store facade over the simulator runtime.
+//!
+//! The paper emulates *one* robust register; a production store serves a
+//! whole namespace of them over a single `S = 2t + b + 1` server cluster.
+//! [`StoreConfig`] names the variant, the network regime and the register
+//! namespace; [`SimStore`] wires one simulated cluster serving all of it:
+//! every register gets its own writer process and reader processes, every
+//! server multiplexes per-register state through a
+//! [`RegisterMux`](crate::runtime::RegisterMux), and [`SimStore::register`]
+//! hands out typed [`SimRegister`] handles exposing the familiar
+//! `write`/`read`/`invoke_*` operations.
+//!
+//! ```
+//! use lucky_core::StoreConfig;
+//! use lucky_types::{Params, RegisterId, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = Params::new(1, 0, 1, 0)?;
+//! let mut store = StoreConfig::synchronous(params).registers(4).build_sim();
+//! for reg in RegisterId::all(4) {
+//!     store.register(reg).write(Value::from_u64(100 + reg.0 as u64));
+//! }
+//! let r = store.register(RegisterId(2)).read(0);
+//! assert_eq!(r.value.as_u64(), Some(102));
+//! assert_eq!(r.reg, RegisterId(2));
+//! store.check_atomicity()?; // every register independently atomic
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::byz;
+use crate::runtime::adapters::{ClientAutomaton, ServerAutomaton, ServerCore};
+use crate::runtime::cluster::{ClusterConfig, OpOutcome, Setup};
+use lucky_checker::Violations;
+use lucky_sim::{NetworkModel, RunError, World};
+use lucky_types::{
+    History, Message, Op, OpId, Params, ProcessId, ReaderId, RegisterId, ServerId, Time,
+    TwoRoundParams, Value,
+};
+
+/// Configuration of a multi-register store: a cluster configuration plus
+/// the shape of the register namespace.
+///
+/// The presets mirror [`ClusterConfig`]'s network regimes; chain
+/// [`StoreConfig::registers`] and [`StoreConfig::readers_per_register`] to
+/// size the namespace, then build a runtime with
+/// [`StoreConfig::build_sim`] (or hand the config to `lucky-net`'s
+/// `NetStore` for the threaded runtime).
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Variant, protocol tunables, network model and seed.
+    pub cluster: ClusterConfig,
+    /// Number of registers the store serves (≥ 1).
+    pub registers: usize,
+    /// Reader processes per register.
+    pub readers_per_register: usize,
+}
+
+impl From<ClusterConfig> for StoreConfig {
+    fn from(cluster: ClusterConfig) -> StoreConfig {
+        StoreConfig { cluster, registers: 1, readers_per_register: 1 }
+    }
+}
+
+impl StoreConfig {
+    /// Atomic variant on a synchronous network.
+    pub fn synchronous(params: Params) -> StoreConfig {
+        ClusterConfig::synchronous(params).into()
+    }
+
+    /// Atomic variant on an asynchronous network.
+    pub fn asynchronous(params: Params) -> StoreConfig {
+        ClusterConfig::asynchronous(params).into()
+    }
+
+    /// Two-round variant (App. C) on a synchronous network.
+    pub fn synchronous_two_round(params: TwoRoundParams) -> StoreConfig {
+        ClusterConfig::synchronous_two_round(params).into()
+    }
+
+    /// Regular variant (App. D) on a synchronous network.
+    pub fn synchronous_regular(params: Params) -> StoreConfig {
+        ClusterConfig::synchronous_regular(params).into()
+    }
+
+    /// Size the register namespace (chainable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a store serves at least one register.
+    #[must_use]
+    pub fn registers(mut self, n: usize) -> StoreConfig {
+        assert!(n >= 1, "a store serves at least one register");
+        self.registers = n;
+        self
+    }
+
+    /// Reader processes per register (chainable).
+    #[must_use]
+    pub fn readers_per_register(mut self, n: usize) -> StoreConfig {
+        self.readers_per_register = n;
+        self
+    }
+
+    /// Replace the seed (chainable).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> StoreConfig {
+        self.cluster.seed = seed;
+        self
+    }
+
+    /// Replace the network model (chainable).
+    #[must_use]
+    pub fn with_net(mut self, net: NetworkModel) -> StoreConfig {
+        self.cluster.net = net;
+        self
+    }
+
+    /// Replace the protocol tunables (chainable).
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: crate::config::ProtocolConfig) -> StoreConfig {
+        self.cluster.protocol = protocol;
+        self
+    }
+
+    /// Build a simulated store.
+    pub fn build_sim(self) -> SimStore {
+        SimStore::new(self)
+    }
+}
+
+/// A simulated multi-register store: one server cluster of the configured
+/// variant serving `registers` independent SWMR registers, each with its
+/// own writer and `readers_per_register` readers.
+///
+/// All the fault-injection and checking machinery of the single-register
+/// [`SimCluster`](crate::SimCluster) is available here; atomicity and
+/// regularity checks partition the history per register, since registers
+/// are independent objects.
+#[derive(Debug)]
+pub struct SimStore {
+    setup: Setup,
+    world: World<Message>,
+    registers: usize,
+    readers_per_register: usize,
+}
+
+impl SimStore {
+    /// Build a store from `cfg`. Every process is built through the
+    /// [`Setup`] factories, so the constructor is variant-agnostic.
+    pub fn new(cfg: StoreConfig) -> SimStore {
+        let StoreConfig { cluster, registers, readers_per_register } = cfg;
+        assert!(registers >= 1, "a store serves at least one register");
+        assert!(
+            registers * readers_per_register <= u16::MAX as usize,
+            "reader namespace exceeds the ReaderId range"
+        );
+        let mut world = World::new(cluster.net.clone(), cluster.seed);
+        let protocol = cluster.protocol;
+        let setup = cluster.setup;
+        for reg in RegisterId::all(registers) {
+            world.add_process(
+                ProcessId::writer(reg),
+                Box::new(ClientAutomaton(setup.make_writer(reg, protocol))),
+            );
+            for j in 0..readers_per_register {
+                let rid = reg.reader(readers_per_register, j as u16);
+                world.add_process(
+                    ProcessId::Reader(rid),
+                    Box::new(ClientAutomaton(setup.make_reader(reg, rid, protocol))),
+                );
+            }
+        }
+        for s in ServerId::all(setup.server_count()) {
+            world.add_process(
+                ProcessId::Server(s),
+                Box::new(ServerAutomaton(setup.make_server_mux())),
+            );
+        }
+        SimStore { setup, world, registers, readers_per_register }
+    }
+
+    /// The protocol setup this store runs.
+    pub fn setup(&self) -> Setup {
+        self.setup
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.setup.server_count()
+    }
+
+    /// Number of registers served.
+    pub fn register_count(&self) -> usize {
+        self.registers
+    }
+
+    /// Reader processes per register.
+    pub fn readers_per_register(&self) -> usize {
+        self.readers_per_register
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.world.now()
+    }
+
+    /// A handle on register `reg`, exposing `write`/`read`/`invoke_*`.
+    ///
+    /// The handle borrows the store, so use it one at a time; interleave
+    /// registers by invoking (`invoke_write`/`invoke_read`) on several
+    /// handles and then driving the world with
+    /// [`SimStore::run_until_all_complete`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is outside the configured namespace.
+    pub fn register(&mut self, reg: RegisterId) -> SimRegister<'_> {
+        assert!(
+            reg.index() < self.registers,
+            "register {reg} outside the namespace (0..{})",
+            self.registers
+        );
+        SimRegister { store: self, reg }
+    }
+
+    /// The global [`ReaderId`] of register `reg`'s `j`-th reader (see
+    /// [`RegisterId::reader`] for the allocation scheme).
+    pub fn reader_id(&self, reg: RegisterId, j: u16) -> ReaderId {
+        assert!((j as usize) < self.readers_per_register, "reader index out of range");
+        reg.reader(self.readers_per_register, j)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Run until `op` completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] when the run stalls first.
+    pub fn run_until_complete(&mut self, op: OpId) -> Result<OpOutcome, RunError> {
+        self.world.run_until_complete(op).map(OpOutcome::from_record)
+    }
+
+    /// Run until each of `ops` completes (any interleaving).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] when the run stalls first.
+    pub fn run_until_all_complete(&mut self, ops: &[OpId]) -> Result<(), RunError> {
+        self.world.run_until_all_complete(ops)
+    }
+
+    /// The outcome of a completed (or still-pending) operation.
+    pub fn outcome(&self, op: OpId) -> OpOutcome {
+        OpOutcome::from_record(self.world.record(op))
+    }
+
+    /// `true` iff `op` has completed.
+    pub fn is_complete(&self, op: OpId) -> bool {
+        self.world.record(op).is_complete()
+    }
+
+    /// Advance virtual time, processing everything scheduled on the way.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.world.run_until(deadline);
+    }
+
+    /// Advance virtual time by `micros` from now.
+    pub fn run_for(&mut self, micros: u64) {
+        let deadline = self.world.now() + micros;
+        self.world.run_until(deadline);
+    }
+
+    /// Drain the event queue (bounded); returns steps taken.
+    pub fn run_until_idle(&mut self, max_steps: u64) -> u64 {
+        self.world.run_until_idle(max_steps)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Crash server `i` immediately (it stops serving *every* register).
+    pub fn crash_server(&mut self, i: u16) {
+        self.world.crash_now(ProcessId::Server(ServerId(i)));
+    }
+
+    /// Crash server `i` at time `at`.
+    pub fn crash_server_at(&mut self, i: u16, at: Time) {
+        self.world.crash_at(ProcessId::Server(ServerId(i)), at);
+    }
+
+    /// Crash register `reg`'s writer immediately.
+    pub fn crash_writer(&mut self, reg: RegisterId) {
+        self.world.crash_now(ProcessId::writer(reg));
+    }
+
+    /// Crash register `reg`'s writer at time `at`.
+    pub fn crash_writer_at(&mut self, reg: RegisterId, at: Time) {
+        self.world.crash_at(ProcessId::writer(reg), at);
+    }
+
+    /// Replace server `i` with a Byzantine behaviour (see [`byz`]). The
+    /// behaviour answers *all* registers — a malicious server is malicious
+    /// towards the whole namespace.
+    pub fn install_byzantine(&mut self, i: u16, core: Box<dyn ServerCore>) {
+        self.world.add_process(ProcessId::Server(ServerId(i)), Box::new(ServerAutomaton(core)));
+    }
+
+    /// Replace server `i` with the [`byz::ForgeValue`] behaviour — the
+    /// most common attack in the test sweeps.
+    pub fn install_forge_value(&mut self, i: u16, pair: lucky_types::TsVal) {
+        self.install_byzantine(i, Box::new(byz::ForgeValue::new(pair)));
+    }
+
+    /// Full access to the underlying world (gates, custom scheduling).
+    pub fn world_mut(&mut self) -> &mut World<Message> {
+        &mut self.world
+    }
+
+    /// Read-only access to the underlying world.
+    pub fn world(&self) -> &World<Message> {
+        &self.world
+    }
+
+    // ------------------------------------------------------------------
+    // History and checking
+    // ------------------------------------------------------------------
+
+    /// The operation history so far (all registers interleaved; partition
+    /// with [`History::partition_by_register`]).
+    pub fn history(&self) -> &History {
+        self.world.history()
+    }
+
+    /// Check every register's sub-history against the atomicity
+    /// conditions (§2.2). Registers are independent objects, so the
+    /// conditions apply per register.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violations found, across all registers.
+    pub fn check_atomicity(&self) -> Result<(), Violations> {
+        lucky_checker::assert_atomic_per_register(self.history())
+    }
+
+    /// Check every register's sub-history against the regularity
+    /// conditions (App. D).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violations found, across all registers.
+    pub fn check_regularity(&self) -> Result<(), Violations> {
+        lucky_checker::assert_regular_per_register(self.history())
+    }
+}
+
+/// A typed handle on one register of a [`SimStore`], exposing the
+/// single-register operation surface.
+///
+/// `j` arguments index the register's *own* readers (`0 ..
+/// readers_per_register`); the handle translates to global reader ids.
+#[derive(Debug)]
+pub struct SimRegister<'a> {
+    store: &'a mut SimStore,
+    reg: RegisterId,
+}
+
+impl SimRegister<'_> {
+    /// The register this handle addresses.
+    pub fn id(&self) -> RegisterId {
+        self.reg
+    }
+
+    /// Invoke `WRITE(v)` on this register (one microsecond from now, so
+    /// back-to-back helper calls stay strictly ordered); returns the
+    /// operation id for scripting.
+    pub fn invoke_write(&mut self, v: Value) -> OpId {
+        let at = self.store.world.now() + 1;
+        self.invoke_write_at(at, v)
+    }
+
+    /// Invoke `WRITE(v)` at a future instant.
+    pub fn invoke_write_at(&mut self, at: Time, v: Value) -> OpId {
+        self.store.world.invoke_on_at(at, ProcessId::writer(self.reg), self.reg, Op::Write(v))
+    }
+
+    /// Invoke `READ()` on this register's reader `j` (one microsecond
+    /// from now).
+    pub fn invoke_read(&mut self, j: u16) -> OpId {
+        let at = self.store.world.now() + 1;
+        self.invoke_read_at(at, j)
+    }
+
+    /// Invoke `READ()` on reader `j` at a future instant.
+    pub fn invoke_read_at(&mut self, at: Time, j: u16) -> OpId {
+        let rid = self.store.reader_id(self.reg, j);
+        self.store.world.invoke_on_at(at, ProcessId::Reader(rid), self.reg, Op::Read)
+    }
+
+    /// `WRITE(v)` to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write cannot complete (too many failures / gates) —
+    /// use [`SimRegister::try_write`] to handle that case.
+    pub fn write(&mut self, v: Value) -> OpOutcome {
+        self.try_write(v).expect("WRITE stalled; use try_write for fallible runs")
+    }
+
+    /// `WRITE(v)` to completion, propagating stalls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] when the operation cannot complete.
+    pub fn try_write(&mut self, v: Value) -> Result<OpOutcome, RunError> {
+        let op = self.invoke_write(v);
+        self.store.run_until_complete(op)
+    }
+
+    /// `READ()` on reader `j` to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read cannot complete — use [`SimRegister::try_read`]
+    /// for fallible runs.
+    pub fn read(&mut self, j: u16) -> OpOutcome {
+        self.try_read(j).expect("READ stalled; use try_read for fallible runs")
+    }
+
+    /// `READ()` to completion, propagating stalls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] when the operation cannot complete.
+    pub fn try_read(&mut self, j: u16) -> Result<OpOutcome, RunError> {
+        let op = self.invoke_read(j);
+        self.store.run_until_complete(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::OpKind;
+
+    fn params() -> Params {
+        Params::new(1, 0, 1, 0).unwrap()
+    }
+
+    #[test]
+    fn eight_registers_hold_independent_values() {
+        let mut store = StoreConfig::synchronous(params()).registers(8).build_sim();
+        for reg in RegisterId::all(8) {
+            store.register(reg).write(Value::from_u64(100 + reg.0 as u64));
+        }
+        for reg in RegisterId::all(8) {
+            let r = store.register(reg).read(0);
+            assert_eq!(r.value.as_u64(), Some(100 + reg.0 as u64));
+            assert_eq!(r.reg, reg);
+            assert_eq!(r.kind, OpKind::Read);
+        }
+        store.check_atomicity().unwrap();
+    }
+
+    #[test]
+    fn interleaved_registers_stay_isolated() {
+        let mut store =
+            StoreConfig::synchronous(params()).registers(4).readers_per_register(2).build_sim();
+        // Invoke one write per register at the same instant, then one read
+        // per register while the writes are still in flight.
+        let mut ops = Vec::new();
+        for reg in RegisterId::all(4) {
+            ops.push(store.register(reg).invoke_write(Value::from_u64(10 + reg.0 as u64)));
+        }
+        for reg in RegisterId::all(4) {
+            ops.push(store.register(reg).invoke_read(1));
+        }
+        store.run_until_all_complete(&ops).unwrap();
+        store.check_atomicity().unwrap();
+        // A second, sequential read per register sees that register's value.
+        for reg in RegisterId::all(4) {
+            let r = store.register(reg).read(0);
+            assert_eq!(r.value.as_u64(), Some(10 + reg.0 as u64), "register {reg}");
+        }
+    }
+
+    #[test]
+    fn outcome_carries_register_and_kind() {
+        let mut store = StoreConfig::synchronous(params()).registers(2).build_sim();
+        let w = store.register(RegisterId(1)).write(Value::from_u64(9));
+        assert_eq!(w.reg, RegisterId(1));
+        assert_eq!(w.kind, OpKind::Write);
+        assert_eq!(w.value.as_u64(), Some(9));
+    }
+
+    #[test]
+    fn default_register_writer_is_the_classic_writer_process() {
+        let store = StoreConfig::synchronous(params()).registers(3).build_sim();
+        assert_eq!(ProcessId::writer(RegisterId::DEFAULT), ProcessId::Writer);
+        assert_eq!(store.reader_id(RegisterId(0), 0), ReaderId(0));
+        assert_eq!(store.reader_id(RegisterId(2), 0), ReaderId(2));
+    }
+
+    #[test]
+    fn two_round_and_regular_stores_serve_many_registers() {
+        let trp = TwoRoundParams::new(1, 0, 1).unwrap();
+        let mut store = StoreConfig::synchronous_two_round(trp).registers(3).build_sim();
+        for reg in RegisterId::all(3) {
+            let w = store.register(reg).write(Value::from_u64(1 + reg.0 as u64));
+            assert_eq!(w.rounds, 2, "App. C: always two rounds");
+            assert_eq!(store.register(reg).read(0).value.as_u64(), Some(1 + reg.0 as u64));
+        }
+        store.check_atomicity().unwrap();
+
+        let p = Params::trading_reads(1, 0).unwrap();
+        let mut store = StoreConfig::synchronous_regular(p).registers(3).build_sim();
+        for reg in RegisterId::all(3) {
+            store.register(reg).write(Value::from_u64(1 + reg.0 as u64));
+            assert_eq!(store.register(reg).read(0).value.as_u64(), Some(1 + reg.0 as u64));
+        }
+        store.check_regularity().unwrap();
+    }
+
+    #[test]
+    fn crashing_one_registers_writer_leaves_others_live() {
+        let mut store = StoreConfig::synchronous(params()).registers(2).build_sim();
+        store.crash_writer(RegisterId(0));
+        assert!(store.register(RegisterId(0)).try_write(Value::from_u64(1)).is_err());
+        let w = store.register(RegisterId(1)).try_write(Value::from_u64(2)).unwrap();
+        assert_eq!(w.value.as_u64(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the namespace")]
+    fn out_of_namespace_register_is_rejected() {
+        let mut store = StoreConfig::synchronous(params()).registers(2).build_sim();
+        store.register(RegisterId(2));
+    }
+}

@@ -6,7 +6,7 @@ use crate::engine::{ReadEngine, ReadPolicy};
 use crate::predicates::{self, Thresholds};
 use crate::view::ViewTable;
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, ProcessId, ReaderId, TsVal, TwoRoundParams};
+use lucky_types::{Message, ProcessId, ReaderId, RegisterId, TsVal, TwoRoundParams};
 
 /// The two-round variant's READ policy. Two deviations from the atomic
 /// policy, both dictated by Fig. 7: the fast predicate is
@@ -49,14 +49,29 @@ pub struct TwoRoundReader {
 }
 
 impl TwoRoundReader {
-    /// A fresh reader with identity `id`.
+    /// A fresh reader with identity `id` (default register).
     pub fn new(id: ReaderId, params: TwoRoundParams, cfg: ProtocolConfig) -> TwoRoundReader {
+        TwoRoundReader::for_register(RegisterId::DEFAULT, id, params, cfg)
+    }
+
+    /// A fresh reader of register `reg` in a multi-register store.
+    pub fn for_register(
+        reg: RegisterId,
+        id: ReaderId,
+        params: TwoRoundParams,
+        cfg: ProtocolConfig,
+    ) -> TwoRoundReader {
         let policy = TwoRoundReadPolicy {
             params,
             thresholds: Thresholds::from(params),
             fast_reads: cfg.fast_reads,
         };
-        TwoRoundReader { id, engine: ReadEngine::new(policy, cfg) }
+        TwoRoundReader { id, engine: ReadEngine::for_register(reg, policy, cfg) }
+    }
+
+    /// The register this reader reads.
+    pub fn register(&self) -> RegisterId {
+        self.engine.register()
     }
 
     /// This reader's identity.
@@ -115,6 +130,7 @@ mod tests {
 
     fn read_ack(tsr: u64, rnd: u32, pw: TsVal, w: TsVal) -> Message {
         Message::ReadAck(ReadAckMsg {
+            reg: RegisterId::DEFAULT,
             tsr: ReadSeq(tsr),
             rnd,
             pw,
@@ -125,7 +141,11 @@ mod tests {
     }
 
     fn wb_ack(round: u8, tsr: u64) -> Message {
-        Message::WriteAck(WriteAckMsg { round, tag: Tag::WriteBack(ReadSeq(tsr)) })
+        Message::WriteAck(WriteAckMsg {
+            reg: RegisterId::DEFAULT,
+            round,
+            tag: Tag::WriteBack(ReadSeq(tsr)),
+        })
     }
 
     #[test]

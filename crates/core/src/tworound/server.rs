@@ -57,7 +57,7 @@ impl TwoRoundServer {
         match msg {
             // Fig. 8 lines 3–6: no frozen processing here.
             Message::Pw(pw_msg) => {
-                if from != ProcessId::Writer {
+                if !from.is_writer_of(pw_msg.reg) {
                     return;
                 }
                 update(&mut self.pw, &pw_msg.pw);
@@ -70,7 +70,10 @@ impl TwoRoundServer {
                     })
                     .map(|(r, tsr)| NewRead { reader: *r, tsr: *tsr })
                     .collect();
-                eff.send(from, Message::PwAck(PwAckMsg { ts: pw_msg.ts, newread }));
+                eff.send(
+                    from,
+                    Message::PwAck(PwAckMsg { reg: pw_msg.reg, ts: pw_msg.ts, newread }),
+                );
             }
 
             // Fig. 8 lines 7–9.
@@ -84,6 +87,7 @@ impl TwoRoundServer {
                 eff.send(
                     from,
                     Message::ReadAck(ReadAckMsg {
+                        reg: read_msg.reg,
                         tsr: read_msg.tsr,
                         rnd: read_msg.rnd,
                         pw: self.pw.clone(),
@@ -103,7 +107,7 @@ impl TwoRoundServer {
                 if w_msg.round > 1 {
                     update(&mut self.w, &w_msg.c);
                 }
-                if from == ProcessId::Writer {
+                if from.is_writer_of(w_msg.reg) {
                     for fu in &w_msg.frozen {
                         if fu.tsr >= self.reader_ts_for(fu.reader) {
                             self.frozen
@@ -113,7 +117,11 @@ impl TwoRoundServer {
                 }
                 eff.send(
                     from,
-                    Message::WriteAck(WriteAckMsg { round: w_msg.round, tag: w_msg.tag }),
+                    Message::WriteAck(WriteAckMsg {
+                        reg: w_msg.reg,
+                        round: w_msg.round,
+                        tag: w_msg.tag,
+                    }),
                 );
             }
 
@@ -138,7 +146,7 @@ fn update(local: &mut TsVal, new: &TsVal) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{FrozenUpdate, PwMsg, ReadMsg, Seq, Tag, Value, WriteMsg};
+    use lucky_types::{FrozenUpdate, PwMsg, ReadMsg, RegisterId, Seq, Tag, Value, WriteMsg};
 
     fn pair(ts: u64) -> TsVal {
         TsVal::new(Seq(ts), Value::from_u64(ts))
@@ -154,7 +162,7 @@ mod tests {
         let mut eff = Effects::new();
         s.handle(
             ProcessId::Reader(ReaderId(0)),
-            Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 }),
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(1), rnd: 1 }),
             &mut eff,
         );
         let sends = drain(&mut eff);
@@ -171,13 +179,14 @@ mod tests {
         // Slow READ registers tsr = 4.
         s.handle(
             ProcessId::Reader(ReaderId(0)),
-            Message::Read(ReadMsg { tsr: ReadSeq(4), rnd: 2 }),
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(4), rnd: 2 }),
             &mut eff,
         );
         // Frozen entry arrives on the writer's W round.
         s.handle(
             ProcessId::Writer,
             Message::Write(WriteMsg {
+                reg: RegisterId::DEFAULT,
                 round: 2,
                 tag: Tag::Write(Seq(3)),
                 c: pair(3),
@@ -196,6 +205,7 @@ mod tests {
         s.handle(
             ProcessId::Reader(ReaderId(1)),
             Message::Write(WriteMsg {
+                reg: RegisterId::DEFAULT,
                 round: 2,
                 tag: Tag::WriteBack(ReadSeq(1)),
                 c: pair(3),
@@ -214,13 +224,19 @@ mod tests {
         let mut eff = Effects::new();
         s.handle(
             ProcessId::Reader(ReaderId(0)),
-            Message::Read(ReadMsg { tsr: ReadSeq(2), rnd: 3 }),
+            Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(2), rnd: 3 }),
             &mut eff,
         );
         drain(&mut eff);
         s.handle(
             ProcessId::Writer,
-            Message::Pw(PwMsg { ts: Seq(1), pw: pair(1), w: TsVal::initial(), frozen: vec![] }),
+            Message::Pw(PwMsg {
+                reg: RegisterId::DEFAULT,
+                ts: Seq(1),
+                pw: pair(1),
+                w: TsVal::initial(),
+                frozen: vec![],
+            }),
             &mut eff,
         );
         let sends = drain(&mut eff);
@@ -238,12 +254,24 @@ mod tests {
         let mut eff = Effects::new();
         s.handle(
             ProcessId::Writer,
-            Message::Pw(PwMsg { ts: Seq(5), pw: pair(5), w: pair(4), frozen: vec![] }),
+            Message::Pw(PwMsg {
+                reg: RegisterId::DEFAULT,
+                ts: Seq(5),
+                pw: pair(5),
+                w: pair(4),
+                frozen: vec![],
+            }),
             &mut eff,
         );
         s.handle(
             ProcessId::Writer,
-            Message::Pw(PwMsg { ts: Seq(2), pw: pair(2), w: pair(1), frozen: vec![] }),
+            Message::Pw(PwMsg {
+                reg: RegisterId::DEFAULT,
+                ts: Seq(2),
+                pw: pair(2),
+                w: pair(1),
+                frozen: vec![],
+            }),
             &mut eff,
         );
         assert_eq!((s.pw(), s.w()), (&pair(5), &pair(4)));

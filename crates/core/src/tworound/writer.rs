@@ -4,7 +4,7 @@
 use crate::config::ProtocolConfig;
 use crate::engine::{WriteEngine, WritePolicy};
 use lucky_sim::Effects;
-use lucky_types::{Message, ProcessId, ReadSeq, ReaderId, Seq, TwoRoundParams, Value};
+use lucky_types::{Message, ProcessId, ReadSeq, ReaderId, RegisterId, Seq, TwoRoundParams, Value};
 
 /// The two-round variant's WRITE policy. Compared with the atomic policy
 /// (Fig. 1): no timer, no fast path, a single W round, and the frozen set
@@ -51,11 +51,23 @@ pub struct TwoRoundWriter {
 }
 
 impl TwoRoundWriter {
-    /// A fresh writer.
+    /// A fresh writer (default register).
     pub fn new(params: TwoRoundParams) -> TwoRoundWriter {
+        TwoRoundWriter::for_register(RegisterId::DEFAULT, params)
+    }
+
+    /// A fresh writer serving register `reg` of a multi-register store.
+    pub fn for_register(reg: RegisterId, params: TwoRoundParams) -> TwoRoundWriter {
         // The policy has no timer; the timer length is irrelevant.
         let timer_micros = ProtocolConfig::default().timer_micros;
-        TwoRoundWriter { engine: WriteEngine::new(TwoRoundWritePolicy { params }, timer_micros) }
+        TwoRoundWriter {
+            engine: WriteEngine::for_register(reg, TwoRoundWritePolicy { params }, timer_micros),
+        }
+    }
+
+    /// The register this writer serves.
+    pub fn register(&self) -> RegisterId {
+        self.engine.register()
     }
 
     /// The timestamp of the last invoked WRITE.
@@ -103,11 +115,15 @@ mod tests {
     }
 
     fn pw_ack(ts: u64, newread: Vec<NewRead>) -> Message {
-        Message::PwAck(PwAckMsg { ts: Seq(ts), newread })
+        Message::PwAck(PwAckMsg { reg: RegisterId::DEFAULT, ts: Seq(ts), newread })
     }
 
     fn w_ack(ts: u64) -> Message {
-        Message::WriteAck(WriteAckMsg { round: 2, tag: Tag::Write(Seq(ts)) })
+        Message::WriteAck(WriteAckMsg {
+            reg: RegisterId::DEFAULT,
+            round: 2,
+            tag: Tag::Write(Seq(ts)),
+        })
     }
 
     #[test]

@@ -65,10 +65,11 @@ pub fn update_view(views: &mut ViewTable, server: ServerId, ack: &ReadAckMsg) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lucky_types::{ReadSeq, Seq, Value};
+    use lucky_types::{ReadSeq, RegisterId, Seq, Value};
 
     fn ack(rnd: u32, pw_ts: u64) -> ReadAckMsg {
         ReadAckMsg {
+            reg: RegisterId::DEFAULT,
             tsr: ReadSeq(1),
             rnd,
             pw: TsVal::new(Seq(pw_ts), Value::from_u64(pw_ts)),

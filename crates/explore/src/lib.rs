@@ -419,7 +419,9 @@ fn enumerate_choices(scenario: &Scenario, state: &State) -> Vec<Choice> {
         let quota = match pid {
             ProcessId::Writer => scenario.writer_script.len(),
             ProcessId::Reader(r) => scenario.reader_scripts.get(&r.0).copied().unwrap_or(0),
-            ProcessId::Server(_) => 0,
+            // The explorer models the paper's single-register system: no
+            // multi-register writers, and servers take no invocations.
+            ProcessId::Server(_) | ProcessId::WriterOf(_) => 0,
         };
         if !state.pending.contains(pid) && *pos < quota {
             out.push(Choice::Invoke(*pid));
@@ -546,15 +548,19 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
 fn stale_echo(from: ProcessId, msg: &Message, eff: &mut Effects<Message>) {
     match msg {
         Message::Pw(m) => {
-            eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+            eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
         }
         Message::Write(m) => {
-            eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+            eff.send(
+                from,
+                Message::WriteAck(WriteAckMsg { reg: m.reg, round: m.round, tag: m.tag }),
+            );
         }
         Message::Read(m) => {
             eff.send(
                 from,
                 Message::ReadAck(ReadAckMsg {
+                    reg: m.reg,
                     tsr: m.tsr,
                     rnd: m.rnd,
                     pw: TsVal::initial(),
@@ -571,15 +577,19 @@ fn stale_echo(from: ProcessId, msg: &Message, eff: &mut Effects<Message>) {
 fn forge_value(from: ProcessId, msg: &Message, fake: &TsVal, eff: &mut Effects<Message>) {
     match msg {
         Message::Pw(m) => {
-            eff.send(from, Message::PwAck(PwAckMsg { ts: m.ts, newread: vec![] }));
+            eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
         }
         Message::Write(m) => {
-            eff.send(from, Message::WriteAck(WriteAckMsg { round: m.round, tag: m.tag }));
+            eff.send(
+                from,
+                Message::WriteAck(WriteAckMsg { reg: m.reg, round: m.round, tag: m.tag }),
+            );
         }
         Message::Read(m) => {
             eff.send(
                 from,
                 Message::ReadAck(ReadAckMsg {
+                    reg: m.reg,
                     tsr: m.tsr,
                     rnd: m.rnd,
                     pw: fake.clone(),
@@ -608,6 +618,7 @@ fn to_history(state: &State) -> History {
                 open.insert(*proc, ops.len());
                 ops.push(OpRecord {
                     id,
+                    reg: lucky_types::RegisterId::DEFAULT,
                     client: *proc,
                     op,
                     invoked_at: Time(step as u64),

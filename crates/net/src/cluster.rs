@@ -6,12 +6,12 @@
 //! two-round (App. C) and regular (App. D) algorithms all run on real
 //! threads with no variant-specific code in this module.
 
-use crate::router::{run_router, Envelope, NetStats};
+use crate::router::{spawn_router, Envelope, NetStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lucky_core::runtime::{ClientCore, ServerCore};
 use lucky_core::{ProtocolConfig, Setup};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Op, ProcessId, ReaderId, ServerId, Value};
+use lucky_types::{Message, Op, ProcessId, ReaderId, RegisterId, ServerId, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -97,9 +97,46 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// Why a client handle could not be handed out.
+///
+/// The original API returned a bare `Option`, silently conflating "you
+/// already took this handle" with "no such process exists"; the store API
+/// distinguishes them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HandleError {
+    /// The writer handle was already taken.
+    WriterTaken,
+    /// That reader's handle was already taken.
+    ReaderTaken(ReaderId),
+    /// No reader with this id exists in the cluster.
+    UnknownReader(ReaderId),
+    /// No register with this id exists in the store.
+    UnknownRegister(RegisterId),
+    /// That register's handle was already taken.
+    RegisterTaken(RegisterId),
+}
+
+impl fmt::Display for HandleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandleError::WriterTaken => write!(f, "writer handle already taken"),
+            HandleError::ReaderTaken(r) => write!(f, "reader {r} handle already taken"),
+            HandleError::UnknownReader(r) => write!(f, "no reader {r} in this cluster"),
+            HandleError::UnknownRegister(x) => write!(f, "no register {x} in this store"),
+            HandleError::RegisterTaken(x) => write!(f, "register {x} handle already taken"),
+        }
+    }
+}
+
+impl std::error::Error for HandleError {}
+
 /// Outcome of a blocking operation on the threaded runtime.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct NetOutcome {
+    /// The register the operation targeted.
+    pub reg: RegisterId,
+    /// Whether the operation was a WRITE or a READ.
+    pub kind: lucky_types::OpKind,
     /// Value read (READs) or written (WRITEs).
     pub value: Value,
     /// Communication round-trips used.
@@ -110,19 +147,58 @@ pub struct NetOutcome {
     pub elapsed: Duration,
 }
 
-/// Drives one client core from the calling thread.
-struct ClientDriver {
+/// Spawn one server's event loop: deliver every inbox message to `core`
+/// and forward its replies to the router. Shared by `NetCluster` and
+/// `NetStore`.
+pub(crate) fn spawn_server_thread(
+    name: String,
     id: ProcessId,
-    core: Box<dyn ClientCore>,
-    inbox: Receiver<(ProcessId, Message)>,
+    mut core: Box<dyn ServerCore>,
+    rx: Receiver<(ProcessId, Message)>,
     router: Sender<Envelope>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            while let Ok((from, msg)) = rx.recv() {
+                let mut eff = Effects::new();
+                core.deliver(from, msg, &mut eff);
+                let (sends, _, _) = eff.into_parts();
+                for (to, out) in sends {
+                    if router.send(Envelope::Deliver { from: id, to, msg: out }).is_err() {
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn server thread")
+}
+
+/// Panic on a server index configured both crashed and Byzantine: the
+/// crash would silently win and the Byzantine behaviour never run.
+pub(crate) fn assert_one_fault_per_server(
+    crashed: &[u16],
+    byzantine: &BTreeMap<u16, Box<dyn ServerCore>>,
+) {
+    if let Some(i) = crashed.iter().find(|i| byzantine.contains_key(i)) {
+        panic!("server {i} configured both crashed and Byzantine — pick one fault per server");
+    }
+}
+
+/// Drives one client core from the calling thread.
+pub(crate) struct ClientDriver {
+    pub(crate) id: ProcessId,
+    pub(crate) reg: RegisterId,
+    pub(crate) core: Box<dyn ClientCore>,
+    pub(crate) inbox: Receiver<(ProcessId, Message)>,
+    pub(crate) router: Sender<Envelope>,
     /// Per-operation deadline (see [`NetConfig::op_deadline`]): stalled
     /// operations surface as errors instead of hanging forever.
-    op_deadline: Duration,
+    pub(crate) op_deadline: Duration,
 }
 
 impl ClientDriver {
-    fn run_op(&mut self, op: Op) -> Result<NetOutcome, NetError> {
+    pub(crate) fn run_op(&mut self, op: Op) -> Result<NetOutcome, NetError> {
         let start = Instant::now();
         let deadline = start + self.op_deadline;
         let mut eff = Effects::new();
@@ -196,12 +272,13 @@ impl ClientDriver {
         (value, rounds, fast): (Option<Value>, u32, bool),
         start: Instant,
     ) -> NetOutcome {
+        let kind = op.kind();
         let value = match (value, op) {
             (Some(v), _) => v,
             (None, Op::Write(v)) => v,
             (None, Op::Read) => Value::Bot,
         };
-        NetOutcome { value, rounds, fast, elapsed: start.elapsed() }
+        NetOutcome { reg: self.reg, kind, value, rounds, fast, elapsed: start.elapsed() }
     }
 }
 
@@ -292,7 +369,12 @@ impl NetClusterBuilder {
     }
 
     /// Spawn the router and server threads and hand out client handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server index is configured both crashed and Byzantine.
     pub fn build(mut self) -> NetCluster {
+        assert_one_fault_per_server(&self.crashed, &self.byzantine);
         let protocol = ProtocolConfig {
             timer_micros: self.cfg.timer.as_micros() as u64,
             ..ProtocolConfig::default()
@@ -318,43 +400,33 @@ impl NetClusterBuilder {
             }
             let (tx, rx) = unbounded::<(ProcessId, Message)>();
             inboxes.insert(ProcessId::Server(s), tx);
-            let router = router_tx.clone();
-            let mut core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
+            // Honest servers multiplex per-register state; a cluster built
+            // through this API only ever sees the default register, but the
+            // mux keeps the two runtimes structurally identical.
+            let core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
                 Some(byz) => byz,
-                None => self.setup.make_server(),
+                None => self.setup.make_server_mux(),
             };
-            let id = ProcessId::Server(s);
-            server_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("lucky-server-{}", s.0))
-                    .spawn(move || {
-                        while let Ok((from, msg)) = rx.recv() {
-                            let mut eff = Effects::new();
-                            core.deliver(from, msg, &mut eff);
-                            let (sends, _, _) = eff.into_parts();
-                            for (to, out) in sends {
-                                if router
-                                    .send(Envelope::Deliver { from: id, to, msg: out })
-                                    .is_err()
-                                {
-                                    return;
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn server thread"),
-            );
+            server_threads.push(spawn_server_thread(
+                format!("lucky-server-{}", s.0),
+                ProcessId::Server(s),
+                core,
+                rx,
+                router_tx.clone(),
+            ));
         }
 
         // Router thread.
         let stats = Arc::new(Mutex::new(NetStats::default()));
         let latency = (self.cfg.min_latency, self.cfg.max_latency);
-        let seed = self.cfg.seed;
-        let stats_for_router = Arc::clone(&stats);
-        let router_thread = std::thread::Builder::new()
-            .name("lucky-router".into())
-            .spawn(move || run_router(router_rx, inboxes, latency, seed, stats_for_router))
-            .expect("spawn router thread");
+        let router_thread = spawn_router(
+            "lucky-router",
+            router_rx,
+            inboxes,
+            latency,
+            self.cfg.seed,
+            Arc::clone(&stats),
+        );
 
         // Deadline derived from the configured timer: stalls surface as
         // TimedOut without a magic wall-clock constant.
@@ -363,12 +435,14 @@ impl NetClusterBuilder {
         let writer = WriterHandle {
             driver: ClientDriver {
                 id: ProcessId::Writer,
-                core: self.setup.make_writer(protocol),
+                reg: RegisterId::DEFAULT,
+                core: self.setup.make_writer(RegisterId::DEFAULT, protocol),
                 inbox: writer_rx,
                 router: router_tx.clone(),
                 op_deadline,
             },
         };
+        let reader_count = reader_rxs.len();
         let readers = reader_rxs
             .into_iter()
             .map(|(r, rx)| {
@@ -377,7 +451,8 @@ impl NetClusterBuilder {
                     ReaderHandle {
                         driver: ClientDriver {
                             id: ProcessId::Reader(r),
-                            core: self.setup.make_reader(r, protocol),
+                            reg: RegisterId::DEFAULT,
+                            core: self.setup.make_reader(RegisterId::DEFAULT, r, protocol),
                             inbox: rx,
                             router: router_tx.clone(),
                             op_deadline,
@@ -393,6 +468,7 @@ impl NetClusterBuilder {
             server_threads,
             writer: Some(writer),
             readers,
+            reader_count,
             stats,
         }
     }
@@ -407,6 +483,7 @@ pub struct NetCluster {
     server_threads: Vec<JoinHandle<()>>,
     writer: Option<WriterHandle>,
     readers: BTreeMap<ReaderId, ReaderHandle>,
+    reader_count: usize,
     stats: Arc<Mutex<NetStats>>,
 }
 
@@ -435,18 +512,31 @@ impl NetCluster {
     }
 
     /// Take the writer handle (once).
-    pub fn take_writer(&mut self) -> Option<WriterHandle> {
-        self.writer.take()
+    ///
+    /// # Errors
+    ///
+    /// [`HandleError::WriterTaken`] if it was already taken.
+    pub fn take_writer(&mut self) -> Result<WriterHandle, HandleError> {
+        self.writer.take().ok_or(HandleError::WriterTaken)
     }
 
     /// Take reader `i`'s handle (once each).
-    pub fn take_reader(&mut self, i: u16) -> Option<ReaderHandle> {
-        self.readers.remove(&ReaderId(i))
+    ///
+    /// # Errors
+    ///
+    /// [`HandleError::UnknownReader`] if no such reader was configured,
+    /// [`HandleError::ReaderTaken`] if its handle was already taken.
+    pub fn take_reader(&mut self, i: u16) -> Result<ReaderHandle, HandleError> {
+        let id = ReaderId(i);
+        if i as usize >= self.reader_count {
+            return Err(HandleError::UnknownReader(id));
+        }
+        self.readers.remove(&id).ok_or(HandleError::ReaderTaken(id))
     }
 
     /// Router statistics so far.
     pub fn stats(&self) -> NetStats {
-        *self.stats.lock()
+        self.stats.lock().clone()
     }
 
     /// Stop the router and server threads and wait for them.

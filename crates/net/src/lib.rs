@@ -49,14 +49,43 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Multi-register stores
+//!
+//! [`NetStore`] serves a whole namespace of independent registers over
+//! one server cluster: every server thread multiplexes per-register
+//! state, and client cores are **sharded across worker threads by
+//! register** so independent registers proceed concurrently over the
+//! shared router. Router statistics are broken down per register.
+//!
+//! ```
+//! use lucky_net::{NetConfig, NetStore};
+//! use lucky_types::{Params, RegisterId, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = Params::new(1, 0, 1, 0)?;
+//! let mut store = NetStore::builder(params, NetConfig::default()).registers(3).build();
+//!
+//! let h2 = store.register(RegisterId(2))?; // descriptive error if taken/unknown
+//! h2.write(Value::from_u64(7))?;
+//! assert_eq!(h2.read(0)?.value.as_u64(), Some(7));
+//! assert!(store.stats().register(RegisterId(2)).messages > 0);
+//! store.check_atomicity()?; // per-register linearizability oracle
+//! store.shutdown();
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod cluster;
 mod router;
+mod store;
 
 pub use cluster::{
-    NetCluster, NetClusterBuilder, NetConfig, NetError, NetOutcome, ReaderHandle, WriterHandle,
+    HandleError, NetCluster, NetClusterBuilder, NetConfig, NetError, NetOutcome, ReaderHandle,
+    WriterHandle,
 };
-pub use router::NetStats;
+pub use router::{NetStats, RegisterStats};
+pub use store::{NetRegisterHandle, NetStore, NetStoreBuilder, OpTicket};

@@ -1,7 +1,7 @@
 //! The latency-injecting router thread.
 
 use crossbeam::channel::{Receiver, Sender};
-use lucky_types::{Message, ProcessId};
+use lucky_types::{Message, ProcessId, RegisterId};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -25,8 +25,18 @@ pub(crate) enum Envelope {
     Stop,
 }
 
-/// Counters the router maintains; readable via `NetCluster::stats`.
+/// Per-register traffic counters (one entry of [`NetStats::per_register`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegisterStats {
+    /// Messages routed for this register.
+    pub messages: u64,
+    /// Estimated wire bytes routed for this register.
+    pub bytes: u64,
+}
+
+/// Counters the router maintains; readable via `NetCluster::stats` /
+/// `NetStore::stats`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct NetStats {
     /// Messages routed.
     pub messages: u64,
@@ -35,6 +45,15 @@ pub struct NetStats {
     /// Messages dropped because the recipient was unknown or its inbox
     /// closed (e.g. a crashed server).
     pub dropped: u64,
+    /// Traffic broken down by the register each message names.
+    pub per_register: BTreeMap<RegisterId, RegisterStats>,
+}
+
+impl NetStats {
+    /// The traffic counters for register `reg` (zero if never routed).
+    pub fn register(&self, reg: RegisterId) -> RegisterStats {
+        self.per_register.get(&reg).copied().unwrap_or_default()
+    }
 }
 
 struct InFlight {
@@ -61,6 +80,21 @@ impl Ord for InFlight {
         // Reversed: BinaryHeap is a max-heap, we want the earliest due.
         other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
     }
+}
+
+/// Spawn the router thread (shared by `NetCluster` and `NetStore`).
+pub(crate) fn spawn_router(
+    name: &str,
+    rx: Receiver<Envelope>,
+    inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
+    latency: (Duration, Duration),
+    seed: u64,
+    stats: Arc<Mutex<NetStats>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || run_router(rx, inboxes, latency, seed, stats))
+        .expect("spawn router thread")
 }
 
 /// Run the router loop until a [`Envelope::Stop`] arrives or every sender
@@ -111,8 +145,12 @@ pub(crate) fn run_router(
                 };
                 {
                     let mut s = stats.lock();
+                    let bytes = msg.wire_size() as u64;
                     s.messages += 1;
-                    s.bytes += msg.wire_size() as u64;
+                    s.bytes += bytes;
+                    let per = s.per_register.entry(msg.register()).or_default();
+                    per.messages += 1;
+                    per.bytes += bytes;
                 }
                 seq += 1;
                 heap.push(InFlight { due: Instant::now() + delay, seq, from, to, msg });

@@ -1,0 +1,721 @@
+//! The multi-register store over the threaded runtime.
+//!
+//! One router thread and one set of server threads (each multiplexing
+//! per-register state through `lucky-core`'s `RegisterMux`) serve a whole
+//! namespace of registers. Client cores are **sharded across worker
+//! threads by register**: a register's writer core lands on worker
+//! `hash(RegisterId)` and its reader cores on the neighbouring workers,
+//! so operations on independent registers proceed concurrently over the
+//! shared router — and a register's READs can overlap its WRITE, exactly
+//! the concurrency the SWMR model permits (one writer, many readers).
+//! Only operations on the *same core* (the single writer, or one
+//! particular reader) serialize.
+//!
+//! [`NetRegisterHandle::write`]/[`NetRegisterHandle::read`] block the
+//! caller; [`NetRegisterHandle::invoke_write`]/
+//! [`NetRegisterHandle::invoke_read`] submit the operation and return an
+//! [`OpTicket`], letting one caller thread drive many registers at once.
+
+use crate::cluster::{
+    assert_one_fault_per_server, spawn_server_thread, ClientDriver, HandleError, NetConfig,
+    NetError, NetOutcome,
+};
+use crate::router::{spawn_router, Envelope, NetStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lucky_core::runtime::ServerCore;
+use lucky_core::{ProtocolConfig, Setup, StoreConfig};
+use lucky_types::{History, Op, OpId, OpRecord, ProcessId, RegisterId, ServerId, Time, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A job submitted to a shard worker: run `op` on the client core named
+/// by `slot` and send the outcome back through `reply`.
+struct Job {
+    slot: (RegisterId, u32),
+    op: Op,
+    reply: Sender<Result<NetOutcome, NetError>>,
+}
+
+/// Key of a register's writer core within its worker (readers are `j+1`).
+const WRITER_SLOT: u32 = 0;
+
+/// Builder for a threaded multi-register store.
+pub struct NetStoreBuilder {
+    setup: Setup,
+    cfg: NetConfig,
+    registers: usize,
+    readers_per_register: usize,
+    shards: Option<usize>,
+    protocol: ProtocolConfig,
+    byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
+    crashed: Vec<u16>,
+}
+
+impl fmt::Debug for NetStoreBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetStoreBuilder")
+            .field("setup", &self.setup)
+            .field("registers", &self.registers)
+            .field("readers_per_register", &self.readers_per_register)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetStoreBuilder {
+    /// Size the register namespace (chainable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a store serves at least one register.
+    #[must_use]
+    pub fn registers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a store serves at least one register");
+        self.registers = n;
+        self
+    }
+
+    /// Reader handles per register (chainable, default 1).
+    #[must_use]
+    pub fn readers_per_register(mut self, n: usize) -> Self {
+        self.readers_per_register = n;
+        self
+    }
+
+    /// Number of shard worker threads hosting the client cores
+    /// (chainable). Defaults to `min(registers, 4)`. A register's writer
+    /// core maps to worker `hash(RegisterId) mod shards` and its readers
+    /// to the following workers, so two registers on different workers
+    /// never contend for a thread and a register's reads can overlap its
+    /// write.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one shard worker");
+        self.shards = Some(n);
+        self
+    }
+
+    /// Protocol tunables (fast paths, freezing, round caps) for every
+    /// client core (chainable). The round-1 timer is always re-derived
+    /// from the [`NetConfig`] — wall-clock latencies, not the
+    /// simulator's microsecond synchrony bound, size it.
+    #[must_use]
+    pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Install a Byzantine behaviour at server `i` (it answers *all*
+    /// registers — a malicious server is malicious towards the whole
+    /// namespace).
+    #[must_use]
+    pub fn byzantine(mut self, i: u16, core: Box<dyn ServerCore>) -> Self {
+        self.byzantine.insert(i, core);
+        self
+    }
+
+    /// Start server `i` crashed (it is simply never spawned).
+    #[must_use]
+    pub fn crashed(mut self, i: u16) -> Self {
+        self.crashed.push(i);
+        self
+    }
+
+    /// Spawn the router, server and shard-worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader namespace exceeds the `ReaderId` range, or
+    /// if a server index is configured both crashed and Byzantine.
+    pub fn build(mut self) -> NetStore {
+        assert!(
+            self.registers * self.readers_per_register <= u16::MAX as usize,
+            "reader namespace exceeds the ReaderId range"
+        );
+        assert_one_fault_per_server(&self.crashed, &self.byzantine);
+        let protocol =
+            ProtocolConfig { timer_micros: self.cfg.timer.as_micros() as u64, ..self.protocol };
+        let (router_tx, router_rx) = unbounded::<Envelope>();
+        let mut inboxes = BTreeMap::new();
+        let mut server_threads = Vec::new();
+
+        // One driver per client core, grouped by shard worker.
+        let shard_count = self.shards.unwrap_or_else(|| self.registers.min(4)).max(1);
+        let op_deadline = self.cfg.op_deadline();
+        let mut shard_drivers: Vec<BTreeMap<(RegisterId, u32), ClientDriver>> =
+            (0..shard_count).map(|_| BTreeMap::new()).collect();
+        for reg in RegisterId::all(self.registers) {
+            let (tx, rx) = unbounded();
+            inboxes.insert(ProcessId::writer(reg), tx);
+            shard_drivers[shard_for(reg, WRITER_SLOT, shard_count)].insert(
+                (reg, WRITER_SLOT),
+                ClientDriver {
+                    id: ProcessId::writer(reg),
+                    reg,
+                    core: self.setup.make_writer(reg, protocol),
+                    inbox: rx,
+                    router: router_tx.clone(),
+                    op_deadline,
+                },
+            );
+            for j in 0..self.readers_per_register as u16 {
+                let rid = reg.reader(self.readers_per_register, j);
+                let (tx, rx) = unbounded();
+                inboxes.insert(ProcessId::Reader(rid), tx);
+                let slot = j as u32 + 1;
+                shard_drivers[shard_for(reg, slot, shard_count)].insert(
+                    (reg, slot),
+                    ClientDriver {
+                        id: ProcessId::Reader(rid),
+                        reg,
+                        core: self.setup.make_reader(reg, rid, protocol),
+                        inbox: rx,
+                        router: router_tx.clone(),
+                        op_deadline,
+                    },
+                );
+            }
+        }
+
+        // Server threads: every honest server multiplexes all registers.
+        for s in ServerId::all(self.setup.server_count()) {
+            if self.crashed.contains(&s.0) {
+                continue;
+            }
+            let (tx, rx) = unbounded::<(ProcessId, lucky_types::Message)>();
+            inboxes.insert(ProcessId::Server(s), tx);
+            let core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
+                Some(byz) => byz,
+                None => self.setup.make_server_mux(),
+            };
+            server_threads.push(spawn_server_thread(
+                format!("lucky-store-server-{}", s.0),
+                ProcessId::Server(s),
+                core,
+                rx,
+                router_tx.clone(),
+            ));
+        }
+
+        // Router thread.
+        let stats = Arc::new(Mutex::new(NetStats::default()));
+        let latency = (self.cfg.min_latency, self.cfg.max_latency);
+        let router_thread = spawn_router(
+            "lucky-store-router",
+            router_rx,
+            inboxes,
+            latency,
+            self.cfg.seed,
+            Arc::clone(&stats),
+        );
+
+        // Shard workers: each owns its registers' drivers and a shared
+        // history it appends completed operations to.
+        let epoch = Instant::now();
+        let history = Arc::new(Mutex::new(History::new()));
+        let mut workers = Vec::new();
+        let mut worker_txs = Vec::new();
+        for (w, drivers) in shard_drivers.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<Job>();
+            worker_txs.push(tx);
+            let history = Arc::clone(&history);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("lucky-store-shard-{w}"))
+                    .spawn(move || run_worker(drivers, rx, history, epoch))
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let handles = RegisterId::all(self.registers)
+            .map(|reg| {
+                // One sender per client core, following the same
+                // placement as the drivers above.
+                let slots = (0..=self.readers_per_register as u32)
+                    .map(|slot| worker_txs[shard_for(reg, slot, shard_count)].clone())
+                    .collect();
+                (reg, NetRegisterHandle { reg, readers: self.readers_per_register, slots })
+            })
+            .collect();
+
+        NetStore {
+            router_tx,
+            router_thread: Some(router_thread),
+            server_threads,
+            _workers: workers,
+            handles,
+            registers: self.registers,
+            readers_per_register: self.readers_per_register,
+            shard_count,
+            stats,
+            history,
+        }
+    }
+}
+
+/// Drive one shard worker: run jobs to completion on the drivers this
+/// worker owns, appending every finished operation to the shared history.
+fn run_worker(
+    mut drivers: BTreeMap<(RegisterId, u32), ClientDriver>,
+    jobs: Receiver<Job>,
+    history: Arc<Mutex<History>>,
+    epoch: Instant,
+) {
+    while let Ok(job) = jobs.recv() {
+        let Some(driver) = drivers.get_mut(&job.slot) else {
+            // Unknown slot: handle construction prevents this; drop the
+            // reply channel so the caller sees a disconnect.
+            continue;
+        };
+        let invoked_at = Time(epoch.elapsed().as_micros() as u64);
+        let result = driver.run_op(job.op.clone());
+        let completed_at = Time(epoch.elapsed().as_micros() as u64);
+        {
+            let mut h = history.lock();
+            let id = OpId(h.ops.len() as u64);
+            let (completed, result_value, rounds, fast) = match &result {
+                Ok(out) => (
+                    Some(completed_at),
+                    match job.op {
+                        Op::Read => Some(out.value.clone()),
+                        Op::Write(_) => None,
+                    },
+                    out.rounds,
+                    out.fast,
+                ),
+                Err(_) => (None, None, 0, false),
+            };
+            h.ops.push(OpRecord {
+                id,
+                reg: driver.reg,
+                client: driver.id,
+                op: job.op,
+                invoked_at,
+                completed_at: completed,
+                result: result_value,
+                rounds,
+                fast,
+                msgs: 0,
+                bytes: 0,
+            });
+        }
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Shard placement: a register's writer (`slot` 0) lands on worker
+/// `hash(RegisterId) mod shards` (register ids are already uniformly
+/// assignable, so the hash is the id itself); its readers land on the
+/// following workers, so a register's reads can overlap its write while
+/// independent registers still spread across the pool.
+fn shard_for(reg: RegisterId, slot: u32, shards: usize) -> usize {
+    (reg.index() + slot as usize) % shards
+}
+
+/// A pending operation on a [`NetRegisterHandle`]: wait for its outcome
+/// with [`OpTicket::wait`].
+#[derive(Debug)]
+pub struct OpTicket {
+    rx: Receiver<Result<NetOutcome, NetError>>,
+}
+
+impl OpTicket {
+    /// Block until the operation completes (or fails).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the operation stalled past its deadline or the
+    /// store shut down mid-operation.
+    pub fn wait(self) -> Result<NetOutcome, NetError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(NetError::Disconnected),
+        }
+    }
+}
+
+/// A typed handle on one register of a [`NetStore`], taken once via
+/// [`NetStore::register`]. Handles are `Send`: move them to whatever
+/// thread should drive that register.
+pub struct NetRegisterHandle {
+    reg: RegisterId,
+    readers: usize,
+    /// One job sender per client core: index 0 is the writer, `j + 1`
+    /// reader `j`. Cores may live on different shard workers.
+    slots: Vec<Sender<Job>>,
+}
+
+impl fmt::Debug for NetRegisterHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetRegisterHandle")
+            .field("reg", &self.reg)
+            .field("readers", &self.readers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetRegisterHandle {
+    /// The register this handle addresses.
+    pub fn id(&self) -> RegisterId {
+        self.reg
+    }
+
+    /// Reader cores available to [`NetRegisterHandle::read`].
+    pub fn reader_count(&self) -> usize {
+        self.readers
+    }
+
+    fn submit(&self, slot: u32, op: Op) -> OpTicket {
+        let (reply, rx) = unbounded();
+        // A send failure means the store shut down; the dropped reply
+        // sender surfaces as `Disconnected` from `wait`.
+        let _ = self.slots[slot as usize].send(Job { slot: (self.reg, slot), op, reply });
+        OpTicket { rx }
+    }
+
+    /// Submit `WRITE(v)` and return a ticket to wait on. Writes on the
+    /// same register run in submission order (single writer); reads on
+    /// this register and operations on registers hosted by other shard
+    /// workers run concurrently.
+    pub fn invoke_write(&self, v: Value) -> OpTicket {
+        self.submit(WRITER_SLOT, Op::Write(v))
+    }
+
+    /// Submit `READ()` on this register's reader `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is outside `0..reader_count()`.
+    pub fn invoke_read(&self, j: u16) -> OpTicket {
+        assert!(
+            (j as usize) < self.readers,
+            "reader {j} outside 0..{} for register {}",
+            self.readers,
+            self.reg
+        );
+        self.submit(j as u32 + 1, Op::Read)
+    }
+
+    /// `WRITE(v)`, blocking until it completes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the store shut down or the operation stalled.
+    pub fn write(&self, v: Value) -> Result<NetOutcome, NetError> {
+        self.invoke_write(v).wait()
+    }
+
+    /// `READ()` on reader `j`, blocking until it completes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the store shut down or the operation stalled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is outside `0..reader_count()`.
+    pub fn read(&self, j: u16) -> Result<NetOutcome, NetError> {
+        self.invoke_read(j).wait()
+    }
+}
+
+/// A running threaded multi-register store: one server cluster serving
+/// `registers` independent registers, client cores sharded across worker
+/// threads by register.
+///
+/// Build one with [`NetStore::builder`] (or [`NetStore::from_config`] to
+/// reuse a simulator-side [`StoreConfig`]); take per-register handles
+/// with [`NetStore::register`]; call [`NetStore::shutdown`] when done.
+pub struct NetStore {
+    router_tx: Sender<Envelope>,
+    router_thread: Option<JoinHandle<()>>,
+    server_threads: Vec<JoinHandle<()>>,
+    /// Worker threads exit when every job sender (the untaken handles
+    /// below plus whatever the caller took) is dropped.
+    _workers: Vec<JoinHandle<()>>,
+    handles: BTreeMap<RegisterId, NetRegisterHandle>,
+    registers: usize,
+    readers_per_register: usize,
+    shard_count: usize,
+    stats: Arc<Mutex<NetStats>>,
+    history: Arc<Mutex<History>>,
+}
+
+impl fmt::Debug for NetStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetStore")
+            .field("registers", &self.registers)
+            .field("readers_per_register", &self.readers_per_register)
+            .field("shards", &self.shard_count)
+            .field("servers", &self.server_threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetStore {
+    /// Start building a store of the given variant. Accepts a [`Setup`]
+    /// directly, or anything converting into one (`Params` selects the
+    /// atomic algorithm, `TwoRoundParams` the two-round one).
+    pub fn builder(setup: impl Into<Setup>, cfg: NetConfig) -> NetStoreBuilder {
+        NetStoreBuilder {
+            setup: setup.into(),
+            cfg,
+            registers: 1,
+            readers_per_register: 1,
+            shards: None,
+            protocol: ProtocolConfig::default(),
+            byzantine: BTreeMap::new(),
+            crashed: Vec::new(),
+        }
+    }
+
+    /// Build a store from a simulator-side [`StoreConfig`] (variant,
+    /// namespace shape and protocol tunables) and a threaded-runtime
+    /// [`NetConfig`] (latency band and timer). The config's protocol
+    /// tunables carry over except the round-1 timer, which is re-derived
+    /// from `net` (wall-clock latencies, not the simulator's synchrony
+    /// bound, size it).
+    pub fn from_config(cfg: StoreConfig, net: NetConfig) -> NetStore {
+        NetStore::builder(cfg.cluster.setup, net)
+            .registers(cfg.registers)
+            .readers_per_register(cfg.readers_per_register)
+            .protocol(cfg.cluster.protocol)
+            .build()
+    }
+
+    /// Number of registers served.
+    pub fn register_count(&self) -> usize {
+        self.registers
+    }
+
+    /// Reader cores per register.
+    pub fn readers_per_register(&self) -> usize {
+        self.readers_per_register
+    }
+
+    /// Number of shard worker threads hosting client cores.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Take register `reg`'s handle (once).
+    ///
+    /// # Errors
+    ///
+    /// [`HandleError::UnknownRegister`] if `reg` is outside the
+    /// namespace, [`HandleError::RegisterTaken`] if the handle was
+    /// already taken.
+    pub fn register(&mut self, reg: RegisterId) -> Result<NetRegisterHandle, HandleError> {
+        if reg.index() >= self.registers {
+            return Err(HandleError::UnknownRegister(reg));
+        }
+        self.handles.remove(&reg).ok_or(HandleError::RegisterTaken(reg))
+    }
+
+    /// Router statistics so far, including the per-register breakdown.
+    pub fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+
+    /// A snapshot of the operation history so far (all registers
+    /// interleaved; partition with `History::partition_by_register`).
+    /// Wall-clock instants are microseconds since the store started.
+    pub fn history(&self) -> History {
+        self.history.lock().clone()
+    }
+
+    /// Check every register's sub-history against the atomicity
+    /// conditions (§2.2), partitioned per register.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violations found, across all registers.
+    pub fn check_atomicity(&self) -> Result<(), lucky_checker::Violations> {
+        lucky_checker::assert_atomic_per_register(&self.history())
+    }
+
+    /// Check every register's sub-history against the regularity
+    /// conditions (App. D), partitioned per register.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violations found, across all registers.
+    pub fn check_regularity(&self) -> Result<(), lucky_checker::Violations> {
+        lucky_checker::assert_regular_per_register(&self.history())
+    }
+
+    /// Stop the router and server threads and wait for them. Shard
+    /// workers exit once every register handle is dropped; pending
+    /// operations fail with [`NetError`].
+    pub fn shutdown(&mut self) {
+        self.handles.clear();
+        let _ = self.router_tx.send(Envelope::Stop);
+        if let Some(t) = self.router_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.server_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetStore {
+    fn drop(&mut self) {
+        // Non-blocking: signal stop; threads unwind on channel disconnect.
+        let _ = self.router_tx.send(Envelope::Stop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucky_types::{OpKind, Params};
+    use std::time::Duration;
+
+    fn fast_cfg() -> NetConfig {
+        NetConfig {
+            min_latency: Duration::from_micros(50),
+            max_latency: Duration::from_micros(200),
+            seed: 1,
+            timer: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn eight_registers_hold_independent_values() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg()).registers(8).build();
+        let handles: Vec<_> = RegisterId::all(8).map(|reg| store.register(reg).unwrap()).collect();
+        // Interleave: submit every write, then wait for all of them.
+        let tickets: Vec<_> = handles
+            .iter()
+            .map(|h| h.invoke_write(Value::from_u64(100 + h.id().0 as u64)))
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        for h in &handles {
+            let r = h.read(0).unwrap();
+            assert_eq!(r.value.as_u64(), Some(100 + h.id().0 as u64), "register {}", h.id());
+            assert_eq!(r.reg, h.id());
+            assert_eq!(r.kind, OpKind::Read);
+        }
+        store.check_atomicity().unwrap();
+        let stats = store.stats();
+        assert!(stats.per_register.len() >= 8, "per-register stats recorded");
+        assert!(stats.register(RegisterId(0)).messages > 0);
+        store.shutdown();
+    }
+
+    #[test]
+    fn register_handles_are_take_once_with_descriptive_errors() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg()).registers(2).build();
+        let h = store.register(RegisterId(1)).unwrap();
+        assert_eq!(
+            store.register(RegisterId(1)).unwrap_err(),
+            HandleError::RegisterTaken(RegisterId(1))
+        );
+        assert_eq!(
+            store.register(RegisterId(9)).unwrap_err(),
+            HandleError::UnknownRegister(RegisterId(9))
+        );
+        drop(h);
+        store.shutdown();
+    }
+
+    #[test]
+    fn history_partitions_per_register() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg()).registers(3).build();
+        for reg in RegisterId::all(3) {
+            let h = store.register(reg).unwrap();
+            h.write(Value::from_u64(7)).unwrap(); // same value in every register
+            h.read(0).unwrap();
+        }
+        let history = store.history();
+        assert_eq!(history.registers().len(), 3);
+        assert_eq!(history.ops.len(), 6);
+        // The same value written to three different registers is not a
+        // duplicate under per-register checking.
+        store.check_atomicity().unwrap();
+        store.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "both crashed and Byzantine")]
+    fn crashed_and_byzantine_on_one_server_is_rejected() {
+        use lucky_core::byz::Mute;
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let _ = NetStore::builder(params, fast_cfg())
+            .crashed(1)
+            .byzantine(1, Box::new(Mute::new()))
+            .build();
+    }
+
+    #[test]
+    fn from_config_carries_protocol_tunables() {
+        use lucky_core::StoreConfig;
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        // Disable the fast paths through the StoreConfig: the threaded
+        // store must honour them (a fast one-round write would otherwise
+        // be overwhelmingly likely at this latency band).
+        let cfg = StoreConfig::synchronous(params)
+            .registers(2)
+            .with_protocol(lucky_core::ProtocolConfig::slow_only(100));
+        let mut store = NetStore::from_config(cfg, fast_cfg());
+        let h = store.register(RegisterId(0)).unwrap();
+        for i in 1..=3u64 {
+            let out = h.write(Value::from_u64(i)).unwrap();
+            assert!(!out.fast, "fast path disabled via StoreConfig");
+            assert!(out.rounds > 1);
+        }
+        drop(h);
+        store.shutdown();
+    }
+
+    #[test]
+    fn reads_overlap_writes_on_the_same_register() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg())
+            .registers(1)
+            .readers_per_register(2)
+            .shards(3)
+            .build();
+        let h = store.register(RegisterId(0)).unwrap();
+        h.write(Value::from_u64(1)).unwrap();
+        // Submit a write and two reads without waiting: the reader cores
+        // live on different shard workers, so the reads run while the
+        // write is still in flight.
+        let w = h.invoke_write(Value::from_u64(2));
+        let r0 = h.invoke_read(0);
+        let r1 = h.invoke_read(1);
+        for t in [r0, r1] {
+            let out = t.wait().unwrap();
+            let v = out.value.as_u64().unwrap();
+            assert!(v == 1 || v == 2, "concurrent read sees old or new value, got {v}");
+        }
+        w.wait().unwrap();
+        store.check_atomicity().unwrap();
+        store.shutdown();
+    }
+
+    #[test]
+    fn shards_distribute_registers() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg()).registers(6).shards(3).build();
+        assert_eq!(store.shard_count(), 3);
+        let tickets: Vec<_> = RegisterId::all(6)
+            .map(|reg| store.register(reg).unwrap())
+            .map(|h| h.invoke_write(Value::from_u64(1 + h.id().0 as u64)))
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        store.check_atomicity().unwrap();
+        store.shutdown();
+    }
+}

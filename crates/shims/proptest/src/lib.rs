@@ -239,7 +239,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -2,7 +2,7 @@
 
 use crate::automaton::{Automaton, Completion, Effects, Payload, TimerId};
 use crate::network::NetworkModel;
-use lucky_types::{History, Op, OpId, OpRecord, ProcessId, Time};
+use lucky_types::{History, Op, OpId, OpRecord, ProcessId, RegisterId, Time};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -274,17 +274,31 @@ impl<M: Payload> World<M> {
     // Invocations
     // ------------------------------------------------------------------
 
-    /// Invoke `op` on `client` now. Returns the operation id.
+    /// Invoke `op` on `client` now (on the default register). Returns the
+    /// operation id.
     pub fn invoke(&mut self, client: ProcessId, op: Op) -> OpId {
         self.invoke_at(self.now, client, op)
     }
 
-    /// Invoke `op` on `client` at time `at` (≥ now).
+    /// Invoke `op` on `client` at time `at` (≥ now), on the default
+    /// register. Multi-register stores use [`World::invoke_on_at`].
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the past or `client` is unknown.
     pub fn invoke_at(&mut self, at: Time, client: ProcessId, op: Op) -> OpId {
+        self.invoke_on_at(at, client, RegisterId::DEFAULT, op)
+    }
+
+    /// Invoke `op` on `client` at time `at` (≥ now), recording it against
+    /// register `reg`. The register is bookkeeping only — the client core
+    /// itself decides which register its messages target — but it lets
+    /// per-register checkers partition the resulting history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `client` is unknown.
+    pub fn invoke_on_at(&mut self, at: Time, client: ProcessId, reg: RegisterId, op: Op) -> OpId {
         assert!(at >= self.now, "cannot invoke in the past");
         assert!(self.procs.contains_key(&client), "unknown client {client}");
         let id = OpId(self.next_op);
@@ -292,6 +306,7 @@ impl<M: Payload> World<M> {
         self.op_index.insert(id, self.history.ops.len());
         self.history.ops.push(OpRecord {
             id,
+            reg,
             client,
             op: op.clone(),
             invoked_at: at,
@@ -745,7 +760,7 @@ mod trace_tests {
     fn protocol_messages_have_labels() {
         use crate::automaton::Payload;
         use lucky_types::{Message, ReadMsg, ReadSeq};
-        let m = Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 });
+        let m = Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(1), rnd: 1 });
         assert_eq!(Payload::label(&m), "READ");
         assert_eq!(Payload::label(&42u32), "msg");
     }

@@ -7,7 +7,7 @@
 //! trips, messages). Histories are produced by the simulator and consumed
 //! by the `lucky-checker` oracles and the benchmark tables.
 
-use crate::{ProcessId, Time, Value};
+use crate::{ProcessId, RegisterId, Time, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -35,6 +35,33 @@ impl Op {
     pub fn is_write(&self) -> bool {
         matches!(self, Op::Write(_))
     }
+
+    /// The kind of this operation, without its payload.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Write(_) => OpKind::Write,
+            Op::Read => OpKind::Read,
+        }
+    }
+}
+
+/// The kind of an operation, detached from its payload — carried by
+/// outcome types so consumers need not infer it from call-site context.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A `WRITE(v)`.
+    Write,
+    /// A `READ()`.
+    Read,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Write => write!(f, "WRITE"),
+            OpKind::Read => write!(f, "READ"),
+        }
+    }
 }
 
 /// The record of one operation in a run.
@@ -42,6 +69,8 @@ impl Op {
 pub struct OpRecord {
     /// Operation id (unique within the run).
     pub id: OpId,
+    /// The register the operation targets.
+    pub reg: RegisterId,
     /// The invoking client.
     pub client: ProcessId,
     /// What was invoked.
@@ -122,6 +151,30 @@ impl History {
     pub fn get(&self, id: OpId) -> Option<&OpRecord> {
         self.ops.iter().find(|r| r.id == id)
     }
+
+    /// The distinct registers this history touches, in id order.
+    pub fn registers(&self) -> Vec<RegisterId> {
+        let set: std::collections::BTreeSet<RegisterId> = self.ops.iter().map(|r| r.reg).collect();
+        set.into_iter().collect()
+    }
+
+    /// The sub-history of operations on register `reg`, preserving order.
+    pub fn for_register(&self, reg: RegisterId) -> History {
+        History { ops: self.ops.iter().filter(|r| r.reg == reg).cloned().collect() }
+    }
+
+    /// Partition into per-register sub-histories, preserving order within
+    /// each register. Registers are independent objects, so correctness
+    /// conditions (atomicity, regularity, safeness) apply to each
+    /// partition separately.
+    pub fn partition_by_register(&self) -> std::collections::BTreeMap<RegisterId, History> {
+        let mut parts: std::collections::BTreeMap<RegisterId, History> =
+            std::collections::BTreeMap::new();
+        for rec in &self.ops {
+            parts.entry(rec.reg).or_default().ops.push(rec.clone());
+        }
+        parts
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +184,7 @@ mod tests {
     fn rec(id: u64, client: ProcessId, op: Op, inv: u64, comp: Option<u64>) -> OpRecord {
         OpRecord {
             id: OpId(id),
+            reg: RegisterId::DEFAULT,
             client,
             op,
             invoked_at: Time(inv),
@@ -187,5 +241,33 @@ mod tests {
         assert_eq!(h.complete_reads().count(), 1);
         assert!(h.get(OpId(2)).is_some());
         assert!(h.get(OpId(9)).is_none());
+    }
+
+    #[test]
+    fn op_kinds() {
+        assert_eq!(Op::Write(Value::from_u64(1)).kind(), OpKind::Write);
+        assert_eq!(Op::Read.kind(), OpKind::Read);
+        assert_eq!(OpKind::Write.to_string(), "WRITE");
+        assert_eq!(OpKind::Read.to_string(), "READ");
+    }
+
+    #[test]
+    fn partition_by_register_preserves_order_and_separates() {
+        let mut a = rec(0, ProcessId::Writer, Op::Write(Value::from_u64(1)), 0, Some(1));
+        a.reg = RegisterId(1);
+        let mut b = rec(1, ProcessId::Writer, Op::Write(Value::from_u64(2)), 2, Some(3));
+        b.reg = RegisterId(2);
+        let mut c = rec(2, ProcessId::Writer, Op::Write(Value::from_u64(3)), 4, Some(5));
+        c.reg = RegisterId(1);
+        let h = History { ops: vec![a, b, c] };
+        assert_eq!(h.registers(), vec![RegisterId(1), RegisterId(2)]);
+        let parts = h.partition_by_register();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[&RegisterId(1)].ops.len(), 2);
+        assert_eq!(parts[&RegisterId(1)].ops[0].id, OpId(0));
+        assert_eq!(parts[&RegisterId(1)].ops[1].id, OpId(2));
+        assert_eq!(parts[&RegisterId(2)].ops.len(), 1);
+        assert_eq!(h.for_register(RegisterId(2)).ops[0].id, OpId(1));
+        assert!(h.for_register(RegisterId(9)).ops.is_empty());
     }
 }

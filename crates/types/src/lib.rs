@@ -36,8 +36,8 @@ mod params;
 mod time;
 mod value;
 
-pub use history::{History, Op, OpId, OpRecord};
-pub use id::{ProcessId, ReaderId, ServerId};
+pub use history::{History, Op, OpId, OpKind, OpRecord};
+pub use id::{ProcessId, ReaderId, RegisterId, ServerId};
 pub use msg::{
     FrozenSlot, FrozenUpdate, Message, NewRead, PwAckMsg, PwMsg, ReadAckMsg, ReadMsg, Tag,
     WriteAckMsg, WriteMsg,

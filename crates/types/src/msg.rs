@@ -8,7 +8,7 @@
 //! Field names follow the paper's pseudocode (Figs 1–3 and 6–8) so the
 //! implementation can be audited line by line against it.
 
-use crate::{ReadSeq, ReaderId, Seq, TsVal};
+use crate::{ReadSeq, ReaderId, RegisterId, Seq, TsVal};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -84,6 +84,8 @@ impl fmt::Display for Tag {
 /// (Fig. 1 line 4; Fig. 6 line 5 sends it without `frozen`).
 #[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct PwMsg {
+    /// The register the WRITE targets.
+    pub reg: RegisterId,
     /// Timestamp of the WRITE this message belongs to.
     pub ts: Seq,
     /// The new pre-written pair `⟨ts, v⟩`.
@@ -97,6 +99,9 @@ pub struct PwMsg {
 /// `PW_ACK⟨ts, newread⟩` — server reply to [`PwMsg`] (Fig. 3 line 8).
 #[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct PwAckMsg {
+    /// Echo of the register (validity check — the writer of register
+    /// `reg` only counts acks for `reg`).
+    pub reg: RegisterId,
     /// Echo of the WRITE timestamp (validity check, §3.4).
     pub ts: Seq,
     /// Ongoing slow READs this server knows about.
@@ -108,6 +113,8 @@ pub struct PwAckMsg {
 /// writer additionally carries `frozen` here (Fig. 6 line 9).
 #[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct WriteMsg {
+    /// The register the round targets.
+    pub reg: RegisterId,
     /// Round number within the operation (write-back rounds start at 1).
     pub round: u8,
     /// Ack-matching tag (write timestamp or READ timestamp).
@@ -121,6 +128,8 @@ pub struct WriteMsg {
 /// `WRITE_ACK⟨round, tag⟩` — server reply to [`WriteMsg`] (Fig. 3 line 16).
 #[derive(Clone, Copy, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct WriteAckMsg {
+    /// Echo of the register.
+    pub reg: RegisterId,
     /// Echo of the round number.
     pub round: u8,
     /// Echo of the tag.
@@ -130,6 +139,8 @@ pub struct WriteAckMsg {
 /// `READ⟨tsr, rnd⟩` — one round of a READ (Fig. 2 line 16).
 #[derive(Clone, Copy, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct ReadMsg {
+    /// The register the READ targets.
+    pub reg: RegisterId,
     /// The READ's timestamp.
     pub tsr: ReadSeq,
     /// Round number, starting at 1.
@@ -140,6 +151,8 @@ pub struct ReadMsg {
 /// (Fig. 3 line 11).
 #[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct ReadAckMsg {
+    /// Echo of the register.
+    pub reg: RegisterId,
     /// Echo of the READ timestamp.
     pub tsr: ReadSeq,
     /// Echo of the round number.
@@ -174,12 +187,31 @@ pub enum Message {
 }
 
 impl Message {
+    /// The register this message belongs to.
+    ///
+    /// Every request names the register it targets, and every ack echoes
+    /// it back, so multi-register servers can dispatch on it and clients
+    /// can discard acks addressed to another register — the same
+    /// stale-filtering discipline the timestamps already provide within
+    /// one register (§3.4), lifted to the register dimension.
+    pub fn register(&self) -> RegisterId {
+        match self {
+            Message::Pw(m) => m.reg,
+            Message::PwAck(m) => m.reg,
+            Message::Write(m) => m.reg,
+            Message::WriteAck(m) => m.reg,
+            Message::Read(m) => m.reg,
+            Message::ReadAck(m) => m.reg,
+        }
+    }
+
     /// Rough wire size in bytes: fixed header plus payload fields. Used by
     /// the benchmarks to report the byte complexity of each operation; the
     /// estimate is intentionally simple (8 bytes per scalar, payload length
     /// for values) and identical across variants so comparisons are fair.
     pub fn wire_size(&self) -> usize {
-        const HDR: usize = 8;
+        // Message kind + register id.
+        const HDR: usize = 12;
         match self {
             Message::Pw(m) => {
                 HDR + 8
@@ -247,9 +279,15 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_frozen_entries() {
-        let base =
-            Message::Pw(PwMsg { ts: Seq(1), pw: pair(1, 1), w: TsVal::initial(), frozen: vec![] });
+        let base = Message::Pw(PwMsg {
+            reg: RegisterId::DEFAULT,
+            ts: Seq(1),
+            pw: pair(1, 1),
+            w: TsVal::initial(),
+            frozen: vec![],
+        });
         let with_frozen = Message::Pw(PwMsg {
+            reg: RegisterId::DEFAULT,
             ts: Seq(1),
             pw: pair(1, 1),
             w: TsVal::initial(),
@@ -261,6 +299,7 @@ mod tests {
     #[test]
     fn wire_size_read_ack_counts_optional_vw() {
         let without = Message::ReadAck(ReadAckMsg {
+            reg: RegisterId::DEFAULT,
             tsr: ReadSeq(1),
             rnd: 1,
             pw: pair(1, 1),
@@ -269,6 +308,7 @@ mod tests {
             frozen: FrozenSlot::initial(),
         });
         let with = Message::ReadAck(ReadAckMsg {
+            reg: RegisterId::DEFAULT,
             tsr: ReadSeq(1),
             rnd: 1,
             pw: pair(1, 1),
@@ -281,9 +321,45 @@ mod tests {
 
     #[test]
     fn kind_labels() {
-        let m = Message::Read(ReadMsg { tsr: ReadSeq(1), rnd: 1 });
+        let m = Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(1), rnd: 1 });
         assert_eq!(m.kind(), "READ");
-        let m = Message::PwAck(PwAckMsg { ts: Seq(1), newread: vec![] });
+        let m = Message::PwAck(PwAckMsg { reg: RegisterId::DEFAULT, ts: Seq(1), newread: vec![] });
         assert_eq!(m.kind(), "PW_ACK");
+    }
+
+    #[test]
+    fn every_message_reports_its_register() {
+        let reg = RegisterId(7);
+        let msgs = vec![
+            Message::Pw(PwMsg {
+                reg,
+                ts: Seq(1),
+                pw: pair(1, 1),
+                w: TsVal::initial(),
+                frozen: vec![],
+            }),
+            Message::PwAck(PwAckMsg { reg, ts: Seq(1), newread: vec![] }),
+            Message::Write(WriteMsg {
+                reg,
+                round: 2,
+                tag: Tag::Write(Seq(1)),
+                c: pair(1, 1),
+                frozen: vec![],
+            }),
+            Message::WriteAck(WriteAckMsg { reg, round: 2, tag: Tag::Write(Seq(1)) }),
+            Message::Read(ReadMsg { reg, tsr: ReadSeq(1), rnd: 1 }),
+            Message::ReadAck(ReadAckMsg {
+                reg,
+                tsr: ReadSeq(1),
+                rnd: 1,
+                pw: pair(1, 1),
+                w: pair(1, 1),
+                vw: None,
+                frozen: FrozenSlot::initial(),
+            }),
+        ];
+        for m in msgs {
+            assert_eq!(m.register(), reg, "{} must echo its register", m.kind());
+        }
     }
 }

@@ -100,9 +100,10 @@ proptest! {
     /// Wire sizes are positive and monotone in the payload.
     #[test]
     fn wire_size_monotone_in_payload(len_a in 0usize..256, len_b in 0usize..256) {
-        use lucky_types::{Message, PwMsg};
+        use lucky_types::{Message, PwMsg, RegisterId};
         let mk = |len: usize| {
             Message::Pw(PwMsg {
+                reg: RegisterId::DEFAULT,
                 ts: Seq(1),
                 pw: TsVal::new(Seq(1), Value::from_bytes(vec![7u8; len])),
                 w: TsVal::initial(),

@@ -6,7 +6,8 @@
 use lucky_atomic::checker::Violation;
 use lucky_atomic::core::{ClusterConfig, SimCluster};
 use lucky_atomic::types::{
-    Message, Params, ProcessId, ReadSeq, ReaderId, Seq, ServerId, Tag, TsVal, Value, WriteMsg,
+    Message, Params, ProcessId, ReadSeq, ReaderId, RegisterId, Seq, ServerId, Tag, TsVal, Value,
+    WriteMsg,
 };
 
 fn server(i: u16) -> ProcessId {
@@ -76,6 +77,7 @@ fn poison_with_forged_writeback(c: &mut SimCluster) {
                 evil_reader,
                 server(i),
                 Message::Write(WriteMsg {
+                    reg: RegisterId::DEFAULT,
                     round,
                     tag: Tag::WriteBack(ReadSeq(1)),
                     c: forged.clone(),
