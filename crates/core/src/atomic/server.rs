@@ -69,9 +69,17 @@ impl AtomicServer {
     }
 
     /// Handle one client message, replying immediately (the definition of
-    /// a *fast*-compatible server, §2.4 point 2).
+    /// a *fast*-compatible server, §2.4 point 2). A [`Message::Batch`] is
+    /// unwrapped and its parts handled in order, each exactly as if it
+    /// had arrived alone.
     pub fn handle(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
+            Message::Batch(parts) => {
+                // Flatten iteratively so hostile nesting cannot recurse.
+                for part in Message::Batch(parts).flatten() {
+                    self.handle(from, part, eff);
+                }
+            }
             // Fig. 3 lines 3–8.
             Message::Pw(pw_msg) => {
                 // Only this register's writer legitimately sends PW
@@ -475,7 +483,10 @@ mod tests {
         );
         let sends = drain(&mut eff);
         assert_eq!(sends.len(), 3);
-        assert!(sends.iter().all(|(_, m)| m.register() == reg), "every ack echoes the register");
+        assert!(
+            sends.iter().all(|(_, m)| m.register() == Some(reg)),
+            "every ack echoes the register"
+        );
     }
 
     #[test]

@@ -22,10 +22,18 @@
 //! * [`Mute`] — receives everything, answers nothing (distinct from a
 //!   crash only in that it burns a *malicious* fault slot);
 //! * [`RandomNoise`] — seeded random mixture of honest and forged
-//!   replies, for property tests.
+//!   replies, for property tests;
+//! * [`MangleBatch`] — serves every register honestly but weaponizes the
+//!   batching layer: replies arrive as batches that replay stale acks,
+//!   duplicate fresh ones, reorder rounds and mix registers.
+//!
+//! The scripted behaviours ([`ForgeValue`], [`InflateTs`], [`StaleEcho`],
+//! [`RandomNoise`]) unwrap incoming [`Message::Batch`] envelopes and
+//! answer every part — a batched request gives the adversary strictly
+//! more requests to lie about, never fewer.
 
 use crate::atomic::AtomicServer;
-use crate::runtime::ServerCore;
+use crate::runtime::{RegisterMux, ServerCore, Setup};
 use lucky_sim::Effects;
 use lucky_types::{
     FrozenSlot, Message, ProcessId, PwAckMsg, ReadAckMsg, Seq, TsVal, Value, WriteAckMsg,
@@ -110,6 +118,11 @@ impl ForgeValue {
 impl ServerCore for ForgeValue {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
+            Message::Batch(parts) => {
+                for part in Message::Batch(parts).flatten() {
+                    self.deliver(from, part, eff);
+                }
+            }
             Message::Pw(m) => {
                 eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
             }
@@ -155,6 +168,11 @@ impl InflateTs {
 impl ServerCore for InflateTs {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
+            Message::Batch(parts) => {
+                for part in Message::Batch(parts).flatten() {
+                    self.deliver(from, part, eff);
+                }
+            }
             Message::Pw(m) => {
                 eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
             }
@@ -200,6 +218,11 @@ impl StaleEcho {
 impl ServerCore for StaleEcho {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
+            Message::Batch(parts) => {
+                for part in Message::Batch(parts).flatten() {
+                    self.deliver(from, part, eff);
+                }
+            }
             Message::Pw(m) => {
                 eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
             }
@@ -263,6 +286,13 @@ impl RandomNoise {
 
 impl ServerCore for RandomNoise {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        if matches!(msg, Message::Batch(_)) {
+            // Per-part forgery decisions: a batch is a run of deliveries.
+            for part in msg.flatten() {
+                self.deliver(from, part, eff);
+            }
+            return;
+        }
         let forge = self.rng.gen::<u8>() < self.p_forge;
         if !forge {
             self.inner.handle(from, msg, eff);
@@ -295,6 +325,73 @@ impl ServerCore for RandomNoise {
                 );
             }
             _ => {}
+        }
+    }
+}
+
+/// A batching-layer adversary: computes the *honest* reply to every
+/// request (it keeps real per-register state through a [`RegisterMux`]),
+/// but ships its replies as maximally confusing batches — the fresh acks
+/// reversed, the first one duplicated, and a replay of stale acks from
+/// earlier requests (possibly other registers and rounds) prepended.
+///
+/// This is the worst a malicious server can do *through the batch
+/// envelope alone*: every part it sends is a message it was entitled to
+/// send at some point, just at the wrong time, in the wrong order, in the
+/// wrong company. Clients that unwrap batches part-by-part and re-apply
+/// the ordinary stale-ack filters (§3.4) are immune; per-register
+/// linearizability and the liveness of non-target registers must survive
+/// it with no extra fault budget beyond the one Byzantine slot it burns.
+pub struct MangleBatch {
+    inner: RegisterMux,
+    /// Bounded replay pool of acks this server previously sent.
+    stash: Vec<Message>,
+}
+
+/// How many past acks [`MangleBatch`] keeps for replay.
+const MANGLE_STASH: usize = 16;
+
+/// How many stale acks [`MangleBatch`] prepends to each reply batch.
+const MANGLE_REPLAY: usize = 3;
+
+impl MangleBatch {
+    /// A batch-mangling server of `setup`'s variant.
+    pub fn new(setup: Setup) -> MangleBatch {
+        MangleBatch { inner: RegisterMux::new(setup), stash: Vec::new() }
+    }
+}
+
+impl std::fmt::Debug for MangleBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MangleBatch").field("stash", &self.stash.len()).finish_non_exhaustive()
+    }
+}
+
+impl ServerCore for MangleBatch {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let mut honest = Effects::new();
+        self.inner.deliver(from, msg, &mut honest);
+        let (sends, _, _) = honest.into_parts();
+        // The acks an honest server would send to `from`, flattened.
+        let mut fresh: Vec<Message> = Vec::new();
+        for (_, m) in sends {
+            fresh.extend(m.flatten());
+        }
+        // Mangled reply: stale replays first (newest stashed first, so
+        // cross-register and cross-round mixes are likely), then the
+        // first fresh ack twice, then the fresh acks in reverse order.
+        let mut out: Vec<Message> = self.stash.iter().rev().take(MANGLE_REPLAY).cloned().collect();
+        if let Some(first) = fresh.first() {
+            out.push(first.clone());
+        }
+        out.extend(fresh.iter().rev().cloned());
+        self.stash.extend(fresh);
+        if self.stash.len() > MANGLE_STASH {
+            let excess = self.stash.len() - MANGLE_STASH;
+            self.stash.drain(..excess);
+        }
+        if !out.is_empty() {
+            eff.send(from, Message::batch(out));
         }
     }
 }
@@ -404,6 +501,52 @@ mod tests {
             &mut eff,
         );
         assert!(eff.is_empty());
+    }
+
+    #[test]
+    fn mangle_batch_replays_duplicates_and_mixes_registers() {
+        use lucky_types::Params;
+        let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+        let mut s = MangleBatch::new(setup);
+        let reader = ProcessId::Reader(ReaderId(0));
+        let read = |reg: u32, tsr: u64| {
+            Message::Read(ReadMsg { reg: RegisterId(reg), tsr: ReadSeq(tsr), rnd: 1 })
+        };
+        // First request: one fresh ack, duplicated inside a batch.
+        let mut eff = Effects::new();
+        s.deliver(reader, read(0, 1), &mut eff);
+        let (sends, _, _) = eff.into_parts();
+        assert_eq!(sends.len(), 1);
+        let parts = sends[0].1.clone().flatten();
+        assert_eq!(parts.len(), 2, "fresh ack duplicated");
+        assert_eq!(parts[0], parts[1]);
+        // Second request for another register: the reply batch replays
+        // register 0's stale ack alongside register 1's fresh one.
+        let mut eff = Effects::new();
+        s.deliver(reader, read(1, 2), &mut eff);
+        let (sends, _, _) = eff.into_parts();
+        let parts = sends[0].1.clone().flatten();
+        let regs: BTreeSet<_> = parts.iter().filter_map(Message::register).collect();
+        assert!(
+            regs.contains(&RegisterId(0)) && regs.contains(&RegisterId(1)),
+            "one batch mixes acks of two registers: {parts:?}"
+        );
+    }
+
+    #[test]
+    fn scripted_behaviours_answer_every_part_of_a_batch() {
+        let mut forge = ForgeValue::new(pair(9));
+        let batch = Message::batch(vec![
+            Message::Read(ReadMsg { reg: RegisterId(0), tsr: ReadSeq(1), rnd: 1 }),
+            Message::Read(ReadMsg { reg: RegisterId(1), tsr: ReadSeq(1), rnd: 1 }),
+        ]);
+        let mut eff = Effects::new();
+        forge.deliver(ProcessId::Reader(ReaderId(0)), batch.clone(), &mut eff);
+        assert_eq!(eff.send_count(), 2, "one forged ack per part");
+        let mut stale = StaleEcho::new();
+        let mut eff = Effects::new();
+        stale.deliver(ProcessId::Reader(ReaderId(0)), batch, &mut eff);
+        assert_eq!(eff.send_count(), 2);
     }
 
     #[test]

@@ -124,20 +124,35 @@ impl<P: ReadPolicy> ReadEngine<P> {
             timer_expired: false,
         };
         eff.set_timer(TimerId(self.tsr.0), self.cfg.timer_micros);
-        eff.broadcast(
+        // Rounds go through the staging buffer: any step that ever emits
+        // several messages to one destination batches them for free.
+        eff.stage_broadcast(
             self.servers(),
             Message::Read(ReadMsg { reg: self.reg, tsr: self.tsr, rnd: 1 }),
         );
+        eff.flush();
     }
 
     /// Deliver a server message. Acks carrying a timestamp other than the
     /// current `tsr` — leftovers from a previous READ — never count;
-    /// neither do acks addressed to another register.
+    /// neither do acks addressed to another register. A
+    /// [`Message::Batch`] is unwrapped here — parts are processed in
+    /// order, each re-validated exactly as if it had arrived alone, so a
+    /// batch (even a Byzantine one mixing registers and rounds) can never
+    /// do more than its parts could.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         let Some(server) = from.as_server() else {
             return;
         };
-        if msg.register() != self.reg {
+        if matches!(msg, Message::Batch(_)) {
+            // Flatten first (iteratively): hostile nesting cannot drive
+            // per-level recursion, and the parts below are always plain.
+            for part in msg.flatten() {
+                self.on_message(from, part, eff);
+            }
+            return;
+        }
+        if msg.register() != Some(self.reg) {
             return; // another register's traffic (or a forged echo)
         }
         match msg {
@@ -239,10 +254,11 @@ impl<P: ReadPolicy> ReadEngine<P> {
                 if let ReadState::Reading { acks, .. } = &mut self.state {
                     acks.advance(rnd + 1);
                 }
-                eff.broadcast(
+                eff.stage_broadcast(
                     self.servers(),
                     Message::Read(ReadMsg { reg: self.reg, tsr: self.tsr, rnd: rnd + 1 }),
                 );
+                eff.flush();
             }
         }
     }
@@ -259,7 +275,8 @@ impl<P: ReadPolicy> ReadEngine<P> {
             c: c.clone(),
             frozen: vec![],
         });
-        eff.broadcast(self.servers(), msg);
+        eff.stage_broadcast(self.servers(), msg);
+        eff.flush();
     }
 
     fn servers(&self) -> impl Iterator<Item = ProcessId> {
@@ -523,6 +540,22 @@ mod tests {
     }
 
     #[test]
+    fn batched_acks_decide_like_individual_acks() {
+        let mut e = engine(true);
+        e.invoke(&mut Effects::new());
+        e.on_timer(TimerId(1), &mut Effects::new());
+        let mut eff = Effects::new();
+        for i in 0..4 {
+            // Each ack arrives batched with a stale-tsr straggler; only
+            // the current-READ part counts towards the quorum.
+            let batch = Message::batch(vec![read_ack(9, 1), read_ack(1, 1)]);
+            e.on_message(server(i), batch, &mut eff);
+        }
+        let c = eff.into_parts().2.expect("batched quorum completes the READ");
+        assert_eq!((c.rounds, c.fast), (1, true));
+    }
+
+    #[test]
     #[should_panic(expected = "in progress")]
     fn concurrent_reads_rejected() {
         let mut e = engine(true);
@@ -542,7 +575,10 @@ mod tests {
         let mut eff = Effects::new();
         e.invoke(&mut eff);
         let (sends, _, _) = eff.into_parts();
-        assert!(sends.iter().all(|(_, m)| m.register() == reg), "READ stamped with the register");
+        assert!(
+            sends.iter().all(|(_, m)| m.register() == Some(reg)),
+            "READ stamped with the register"
+        );
         e.on_timer(TimerId(1), &mut Effects::new());
         // A full quorum of default-register acks must not count.
         let mut eff = Effects::new();

@@ -166,19 +166,33 @@ impl<P: WritePolicy> WriteEngine<P> {
             w: self.w.clone(),
             frozen: if P::FROZEN_ON_W { Vec::new() } else { self.frozen.clone() },
         });
-        eff.broadcast(self.servers(), msg);
+        // Rounds go through the staging buffer: any step that ever emits
+        // several messages to one destination batches them for free.
+        eff.stage_broadcast(self.servers(), msg);
+        eff.flush();
         // With no timer the phase is gated on the quorum alone.
         self.state = WriteState::Pw { acks: BTreeMap::new(), timer_expired: !P::PW_TIMER };
     }
 
     /// Deliver a server message. Acks carrying a timestamp other than the
     /// current `ts` are invalid (§3.4) and never count; neither do acks
-    /// addressed to another register.
+    /// addressed to another register. A [`Message::Batch`] is unwrapped
+    /// here — parts are processed in order, each re-validated exactly as
+    /// if it had arrived alone, so a batch (even a Byzantine one mixing
+    /// registers and rounds) can never do more than its parts could.
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         let Some(server) = from.as_server() else {
             return;
         };
-        if msg.register() != self.reg {
+        if matches!(msg, Message::Batch(_)) {
+            // Flatten first (iteratively): hostile nesting cannot drive
+            // per-level recursion, and the parts below are always plain.
+            for part in msg.flatten() {
+                self.on_message(from, part, eff);
+            }
+            return;
+        }
+        if msg.register() != Some(self.reg) {
             return; // another register's traffic (or a forged echo)
         }
         match msg {
@@ -267,7 +281,8 @@ impl<P: WritePolicy> WriteEngine<P> {
             c: self.pw.clone(),
             frozen,
         });
-        eff.broadcast(self.servers(), msg);
+        eff.stage_broadcast(self.servers(), msg);
+        eff.flush();
         self.state = WriteState::W { idx, acks: AckSet::new(round) };
     }
 
@@ -513,6 +528,30 @@ mod tests {
     }
 
     #[test]
+    fn batched_acks_count_like_individual_acks() {
+        let mut e = engine(false);
+        e.invoke(Value::from_u64(7), &mut Effects::new());
+        let mut eff = Effects::new();
+        e.on_timer(TimerId(1), &mut eff);
+        // Each server's PW ack arrives wrapped in a batch together with a
+        // stale ack and a foreign-register ack: only the valid part counts.
+        for i in 0..4 {
+            let batch = Message::batch(vec![
+                pw_ack(9), // stale ts: never counts
+                Message::PwAck(PwAckMsg { reg: RegisterId(5), ts: Seq(1), newread: vec![] }),
+                pw_ack(1), // the real ack
+            ]);
+            e.on_message(server(i), batch, &mut eff);
+        }
+        let (sends, _, completion) = eff.into_parts();
+        assert!(completion.is_none());
+        assert!(
+            sends.iter().all(|(_, m)| matches!(m, Message::Write(wm) if wm.round == 2)),
+            "the quorum of batched acks starts the W schedule"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "not a valid WRITE input")]
     fn bot_rejected() {
         let mut e = engine(true);
@@ -535,7 +574,10 @@ mod tests {
         let mut eff = Effects::new();
         e.invoke(Value::from_u64(7), &mut eff);
         let (sends, _, _) = eff.into_parts();
-        assert!(sends.iter().all(|(_, m)| m.register() == reg), "PW stamped with the register");
+        assert!(
+            sends.iter().all(|(_, m)| m.register() == Some(reg)),
+            "PW stamped with the register"
+        );
         // A full quorum of acks for the *default* register must not count.
         let mut eff = Effects::new();
         e.on_timer(TimerId(1), &mut eff);

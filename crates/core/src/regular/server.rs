@@ -42,13 +42,24 @@ impl RegularServer {
         self.inner.reader_ts_for(reader)
     }
 
-    /// Handle one client message.
+    /// Handle one client message. A [`Message::Batch`] is unwrapped and
+    /// its parts handled in order, so the write-back filter below applies
+    /// to every part individually.
     pub fn handle(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        if matches!(msg, Message::Batch(_)) {
+            // Flatten iteratively so hostile nesting cannot recurse.
+            for part in msg.flatten() {
+                self.handle(from, part, eff);
+            }
+            return;
+        }
         // Modification 3: reader write-backs are ignored entirely — no
         // state change, no ack. Only the targeted register's writer may
         // run W rounds.
-        if matches!(msg, Message::Write(_)) && !from.is_writer_of(msg.register()) {
-            return;
+        if let Message::Write(w_msg) = &msg {
+            if !from.is_writer_of(w_msg.reg) {
+                return;
+            }
         }
         self.inner.handle(from, msg, eff);
     }

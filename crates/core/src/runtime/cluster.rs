@@ -93,6 +93,13 @@ impl Setup {
     pub fn make_server_mux(&self) -> Box<dyn ServerCore> {
         Box::new(RegisterMux::new(*self))
     }
+
+    /// Like [`Setup::make_server_mux`], with an ack-batching policy: a
+    /// batch of `k` requests is answered with one batched ack message
+    /// instead of `k` individual ones (when `batch.enabled`).
+    pub fn make_server_mux_batched(&self, batch: lucky_types::BatchConfig) -> Box<dyn ServerCore> {
+        Box::new(RegisterMux::with_batch(*self, batch))
+    }
 }
 
 /// `Params` defaults to the main atomic algorithm (§3); build

@@ -34,8 +34,8 @@ use crate::runtime::cluster::{ClusterConfig, OpOutcome, Setup};
 use lucky_checker::Violations;
 use lucky_sim::{NetworkModel, RunError, World};
 use lucky_types::{
-    History, Message, Op, OpId, Params, ProcessId, ReaderId, RegisterId, ServerId, Time,
-    TwoRoundParams, Value,
+    BatchConfig, History, Message, Op, OpId, Params, ProcessId, ReaderId, RegisterId, ServerId,
+    Time, TwoRoundParams, Value,
 };
 
 /// Configuration of a multi-register store: a cluster configuration plus
@@ -54,11 +54,20 @@ pub struct StoreConfig {
     pub registers: usize,
     /// Reader processes per register.
     pub readers_per_register: usize,
+    /// Wire-message batching policy (off by default): when enabled, the
+    /// world delivers same-destination messages as single batch events
+    /// and servers re-batch their acks per sender.
+    pub batch: BatchConfig,
 }
 
 impl From<ClusterConfig> for StoreConfig {
     fn from(cluster: ClusterConfig) -> StoreConfig {
-        StoreConfig { cluster, registers: 1, readers_per_register: 1 }
+        StoreConfig {
+            cluster,
+            registers: 1,
+            readers_per_register: 1,
+            batch: BatchConfig::disabled(),
+        }
     }
 }
 
@@ -123,6 +132,13 @@ impl StoreConfig {
         self
     }
 
+    /// Replace the wire-message batching policy (chainable).
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> StoreConfig {
+        self.batch = batch;
+        self
+    }
+
     /// Build a simulated store.
     pub fn build_sim(self) -> SimStore {
         SimStore::new(self)
@@ -149,13 +165,14 @@ impl SimStore {
     /// Build a store from `cfg`. Every process is built through the
     /// [`Setup`] factories, so the constructor is variant-agnostic.
     pub fn new(cfg: StoreConfig) -> SimStore {
-        let StoreConfig { cluster, registers, readers_per_register } = cfg;
+        let StoreConfig { cluster, registers, readers_per_register, batch } = cfg;
         assert!(registers >= 1, "a store serves at least one register");
         assert!(
             registers * readers_per_register <= u16::MAX as usize,
             "reader namespace exceeds the ReaderId range"
         );
         let mut world = World::new(cluster.net.clone(), cluster.seed);
+        world.set_batch(batch);
         let protocol = cluster.protocol;
         let setup = cluster.setup;
         for reg in RegisterId::all(registers) {
@@ -174,7 +191,7 @@ impl SimStore {
         for s in ServerId::all(setup.server_count()) {
             world.add_process(
                 ProcessId::Server(s),
-                Box::new(ServerAutomaton(setup.make_server_mux())),
+                Box::new(ServerAutomaton(setup.make_server_mux_batched(batch))),
             );
         }
         SimStore { setup, world, registers, readers_per_register }

@@ -52,9 +52,17 @@ impl TwoRoundServer {
         self.reader_ts.get(&reader).copied().unwrap_or(ReadSeq::INITIAL)
     }
 
-    /// Handle one client message, replying immediately.
+    /// Handle one client message, replying immediately. A
+    /// [`Message::Batch`] is unwrapped and its parts handled in order,
+    /// each exactly as if it had arrived alone.
     pub fn handle(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         match msg {
+            Message::Batch(parts) => {
+                // Flatten iteratively so hostile nesting cannot recurse.
+                for part in Message::Batch(parts).flatten() {
+                    self.handle(from, part, eff);
+                }
+            }
             // Fig. 8 lines 3–6: no frozen processing here.
             Message::Pw(pw_msg) => {
                 if !from.is_writer_of(pw_msg.reg) {

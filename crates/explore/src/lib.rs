@@ -67,6 +67,10 @@ pub enum ByzKind {
     /// Runs the honest protocol towards the listed processes; towards
     /// everyone else pretends it never heard from them (run r4's B2).
     SplitBrain(Vec<ProcessId>),
+    /// Answers honestly but ships its replies as mangled batches: stale
+    /// acks replayed, fresh acks duplicated and reordered — the
+    /// batching-layer adversary.
+    MangleBatch,
 }
 
 /// One process in the explored system.
@@ -80,6 +84,7 @@ enum Proc {
     StaleEcho,
     ForgeValue(TsVal),
     SplitBrain { honest_to: Vec<ProcessId>, faithful: AtomicServer, amnesiac: AtomicServer },
+    MangleBatch { inner: AtomicServer, stash: Vec<Message> },
 }
 
 /// What to run and under which faults.
@@ -91,6 +96,7 @@ pub struct Scenario {
     reader_scripts: BTreeMap<u16, usize>,
     byzantine: BTreeMap<u16, ByzKind>,
     crashed: BTreeSet<u16>,
+    batching: bool,
 }
 
 impl Scenario {
@@ -104,7 +110,19 @@ impl Scenario {
             reader_scripts: BTreeMap::new(),
             byzantine: BTreeMap::new(),
             crashed: BTreeSet::new(),
+            batching: false,
         }
+    }
+
+    /// Let the scheduler coalesce a link's in-flight messages into one
+    /// atomically-delivered [`Message::Batch`] (an extra nondeterministic
+    /// choice per non-empty link). This is how batch-delivery
+    /// interleavings — the schedules the batching runtimes actually
+    /// produce — enter the explored/walked schedule space.
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Scenario {
+        self.batching = batching;
+        self
     }
 
     /// Replace the protocol configuration (e.g. to install the naive
@@ -339,6 +357,9 @@ fn delivery_is_noop(proc_: &Proc, from: ProcessId, msg: &Message) -> bool {
                 amnesiac.handle(from, msg.clone(), &mut eff);
             }
         }
+        Proc::MangleBatch { inner, stash } => {
+            mangle_deliver(inner, stash, from, msg.clone(), &mut eff)
+        }
     }
     eff.is_empty() && clone == *proc_
 }
@@ -386,6 +407,9 @@ fn initial_state(scenario: &Scenario) -> State {
                     faithful: AtomicServer::new(),
                     amnesiac: AtomicServer::new(),
                 },
+                Some(ByzKind::MangleBatch) => {
+                    Proc::MangleBatch { inner: AtomicServer::new(), stash: Vec::new() }
+                }
             }
         };
         procs.push((id, proc_));
@@ -409,6 +433,9 @@ fn initial_state(scenario: &Scenario) -> State {
 #[derive(Clone, PartialEq, Eq, Debug)]
 enum Choice {
     Deliver(ProcessId, ProcessId, Message),
+    /// Deliver the link's entire in-flight backlog as one atomic batch —
+    /// enabled by [`Scenario::with_batching`].
+    DeliverBatch(ProcessId, ProcessId),
     FireTimer(ProcessId, u64),
     Invoke(ProcessId),
 }
@@ -434,6 +461,23 @@ fn enumerate_choices(scenario: &Scenario, state: &State) -> Vec<Choice> {
         if *count > 0 {
             out.push(Choice::Deliver(*from, *to, msg.clone()));
         }
+    }
+    if scenario.batching {
+        // One batch-delivery choice per link with at least two in-flight
+        // messages (a single message batches to itself: no new schedule).
+        let mut links: Vec<(ProcessId, ProcessId)> = Vec::new();
+        for ((from, to, _), count) in &state.inflight {
+            let total: u32 = state
+                .inflight
+                .iter()
+                .filter(|((f, t, _), _)| f == from && t == to)
+                .map(|(_, c)| *c)
+                .sum();
+            if *count > 0 && total >= 2 && !links.contains(&(*from, *to)) {
+                links.push((*from, *to));
+            }
+        }
+        out.extend(links.into_iter().map(|(f, t)| Choice::DeliverBatch(f, t)));
     }
     out
 }
@@ -505,24 +549,24 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
                 state.inflight.remove(&key);
             }
             let idx = proc_index(state, *to);
-            match &mut state.procs[idx].1 {
-                Proc::Writer(w) => w.on_message(*from, msg.clone(), &mut eff),
-                Proc::Reader(r) => r.on_message(*from, msg.clone(), &mut eff),
-                Proc::Server(s) => s.handle(*from, msg.clone(), &mut eff),
-                Proc::Crashed | Proc::Mute => {}
-                Proc::StaleEcho => stale_echo(*from, msg, &mut eff),
-                Proc::ForgeValue(c) => {
-                    let fake = c.clone();
-                    forge_value(*from, msg, &fake, &mut eff);
-                }
-                Proc::SplitBrain { honest_to, faithful, amnesiac } => {
-                    if honest_to.contains(from) {
-                        faithful.handle(*from, msg.clone(), &mut eff);
-                    } else {
-                        amnesiac.handle(*from, msg.clone(), &mut eff);
-                    }
+            deliver_to_proc(&mut state.procs[idx].1, *from, msg.clone(), &mut eff);
+        }
+        Choice::DeliverBatch(from, to) => {
+            actor = *to;
+            // Drain the link's whole backlog (deterministic multiset
+            // order) and deliver it as one atomic batch.
+            let keys: Vec<(ProcessId, ProcessId, Message)> =
+                state.inflight.keys().filter(|(f, t, _)| f == from && t == to).cloned().collect();
+            let mut parts = Vec::new();
+            for key in keys {
+                let count = state.inflight.remove(&key).expect("key just listed");
+                for _ in 0..count {
+                    parts.push(key.2.clone());
                 }
             }
+            debug_assert!(parts.len() >= 2, "batch choices need a backlog");
+            let idx = proc_index(state, *to);
+            deliver_to_proc(&mut state.procs[idx].1, *from, Message::batch(parts), &mut eff);
         }
     }
     // Apply effects.
@@ -545,8 +589,73 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
     false
 }
 
+/// Deliver one message (possibly a batch) to a process of any kind.
+fn deliver_to_proc(proc_: &mut Proc, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+    match proc_ {
+        Proc::Writer(w) => w.on_message(from, msg, eff),
+        Proc::Reader(r) => r.on_message(from, msg, eff),
+        Proc::Server(s) => s.handle(from, msg, eff),
+        Proc::Crashed | Proc::Mute => {}
+        Proc::StaleEcho => stale_echo(from, &msg, eff),
+        Proc::ForgeValue(c) => {
+            let fake = c.clone();
+            forge_value(from, &msg, &fake, eff);
+        }
+        Proc::SplitBrain { honest_to, faithful, amnesiac } => {
+            if honest_to.contains(&from) {
+                faithful.handle(from, msg, eff);
+            } else {
+                amnesiac.handle(from, msg, eff);
+            }
+        }
+        Proc::MangleBatch { inner, stash } => mangle_deliver(inner, stash, from, msg, eff),
+    }
+}
+
+/// How many past acks the explorer's MangleBatch keeps for replay (small,
+/// to bound the state space).
+const MANGLE_STASH: usize = 4;
+
+/// The batching-layer adversary: honest state, mangled reply batches
+/// (stale replays first, then the first fresh ack duplicated, then the
+/// fresh acks reversed). Mirrors `lucky_core::byz::MangleBatch` for the
+/// single-register explorer.
+fn mangle_deliver(
+    inner: &mut AtomicServer,
+    stash: &mut Vec<Message>,
+    from: ProcessId,
+    msg: Message,
+    eff: &mut Effects<Message>,
+) {
+    let mut honest = Effects::new();
+    inner.handle(from, msg, &mut honest);
+    let (sends, _, _) = honest.into_parts();
+    let mut fresh: Vec<Message> = Vec::new();
+    for (_, m) in sends {
+        fresh.extend(m.flatten());
+    }
+    let mut out: Vec<Message> = stash.iter().rev().take(2).cloned().collect();
+    if let Some(first) = fresh.first() {
+        out.push(first.clone());
+    }
+    out.extend(fresh.iter().rev().cloned());
+    stash.extend(fresh);
+    if stash.len() > MANGLE_STASH {
+        let excess = stash.len() - MANGLE_STASH;
+        stash.drain(..excess);
+    }
+    if !out.is_empty() {
+        eff.send(from, Message::batch(out));
+    }
+}
+
 fn stale_echo(from: ProcessId, msg: &Message, eff: &mut Effects<Message>) {
     match msg {
+        Message::Batch(parts) => {
+            for part in parts {
+                stale_echo(from, part, eff);
+            }
+        }
         Message::Pw(m) => {
             eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
         }
@@ -576,6 +685,11 @@ fn stale_echo(from: ProcessId, msg: &Message, eff: &mut Effects<Message>) {
 
 fn forge_value(from: ProcessId, msg: &Message, fake: &TsVal, eff: &mut Effects<Message>) {
     match msg {
+        Message::Batch(parts) => {
+            for part in parts {
+                forge_value(from, part, fake, eff);
+            }
+        }
         Message::Pw(m) => {
             eff.send(from, Message::PwAck(PwAckMsg { reg: m.reg, ts: m.ts, newread: vec![] }));
         }
@@ -751,6 +865,60 @@ mod tests {
         let report = random_walks(&scenario, budget(10_000, 2_000), 200, 43);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.completed_runs > 0);
+    }
+
+    #[test]
+    fn batched_delivery_interleavings_stay_atomic() {
+        // The same write⊕read scenario, but the scheduler may coalesce
+        // any link's backlog into one atomically-delivered batch: the
+        // schedules a batching transport produces. Bounded exploration
+        // must find no atomicity violation.
+        let scenario =
+            Scenario::new(small_params()).with_batching(true).write(Value::from_u64(1)).reads(0, 1);
+        let cfg = ExploreConfig { max_states: budget(250_000, 25_000), ..ExploreConfig::default() };
+        let report = explore(&scenario, &cfg);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.completed_runs > 0, "batched schedules still complete operations");
+    }
+
+    #[test]
+    fn batching_enables_strictly_more_schedules() {
+        // Slow-path writes run the W schedule, so a W-round message can
+        // share a link with the PW still in flight to a slow server —
+        // exactly the backlog a batch-delivery choice coalesces. A
+        // fast-path-only scenario never stacks two messages on one link.
+        let base = Scenario::new(small_params())
+            .with_protocol(ProtocolConfig::slow_only(100))
+            .write(Value::from_u64(1));
+        let batched = base.clone().with_batching(true);
+        let cfg = ExploreConfig { max_states: budget(250_000, 25_000), ..ExploreConfig::default() };
+        let plain_report = explore(&base, &cfg);
+        let batched_report = explore(&batched, &cfg);
+        assert!(plain_report.violations.is_empty());
+        assert!(batched_report.violations.is_empty());
+        assert!(
+            batched_report.transitions > plain_report.transitions,
+            "batch-delivery choices add transitions ({} vs {})",
+            batched_report.transitions,
+            plain_report.transitions,
+        );
+    }
+
+    #[test]
+    fn mangle_batch_adversary_cannot_break_atomicity_in_random_walks() {
+        // S = 4, b = 1: one batch-mangling server against two writes and
+        // two readers, with the scheduler also free to batch deliveries.
+        let params = Params::new(1, 1, 0, 0).unwrap();
+        let scenario = Scenario::new(params)
+            .with_batching(true)
+            .write(Value::from_u64(1))
+            .write(Value::from_u64(2))
+            .reads(0, 1)
+            .reads(1, 1)
+            .byzantine(0, ByzKind::MangleBatch);
+        let report = random_walks(&scenario, budget(8_000, 1_500), 260, 44);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.completed_runs > 0, "mangled batches must not stall the protocol");
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! two-round (App. C) and regular (App. D) algorithms all run on real
 //! threads with no variant-specific code in this module.
 
-use crate::router::{spawn_router, Envelope, NetStats};
+use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lucky_core::runtime::{ClientCore, ServerCore};
 use lucky_core::{ProtocolConfig, Setup};
 use lucky_sim::{Effects, TimerId};
-use lucky_types::{Message, Op, ProcessId, ReaderId, RegisterId, ServerId, Value};
+use lucky_types::{BatchConfig, Message, Op, ProcessId, ReaderId, RegisterId, ServerId, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -333,6 +333,7 @@ pub struct NetClusterBuilder {
     setup: Setup,
     cfg: NetConfig,
     readers: usize,
+    batch: BatchConfig,
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
     crashed: Vec<u16>,
 }
@@ -351,6 +352,16 @@ impl NetClusterBuilder {
     #[must_use]
     pub fn readers(mut self, readers: usize) -> Self {
         self.readers = readers;
+        self
+    }
+
+    /// Wire-message batching policy (default off). Enabled, the router
+    /// coalesces messages per destination socket-slot and servers
+    /// re-batch their acks; disabled, the wire traffic is identical to
+    /// the pre-batching runtime.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -383,18 +394,26 @@ impl NetClusterBuilder {
         let mut inboxes = BTreeMap::new();
         let mut server_threads = Vec::new();
 
+        // Socket-slot map for the router's batching: each server and each
+        // client process is its own slot in this single-register runtime.
+        let server_count = self.setup.server_count();
+        let mut slots: SlotMap = SlotMap::new();
+
         // Client inboxes.
         let (writer_tx, writer_rx) = unbounded();
         inboxes.insert(ProcessId::Writer, writer_tx);
+        slots.insert(ProcessId::Writer, server_count);
         let mut reader_rxs = BTreeMap::new();
         for r in ReaderId::all(self.readers) {
             let (tx, rx) = unbounded();
             inboxes.insert(ProcessId::Reader(r), tx);
+            slots.insert(ProcessId::Reader(r), server_count + 1 + r.index());
             reader_rxs.insert(r, rx);
         }
 
         // Server threads.
-        for s in ServerId::all(self.setup.server_count()) {
+        for s in ServerId::all(server_count) {
+            slots.insert(ProcessId::Server(s), s.index());
             if self.crashed.contains(&s.0) {
                 continue;
             }
@@ -405,7 +424,7 @@ impl NetClusterBuilder {
             // mux keeps the two runtimes structurally identical.
             let core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
                 Some(byz) => byz,
-                None => self.setup.make_server_mux(),
+                None => self.setup.make_server_mux_batched(self.batch),
             };
             server_threads.push(spawn_server_thread(
                 format!("lucky-server-{}", s.0),
@@ -418,13 +437,16 @@ impl NetClusterBuilder {
 
         // Router thread.
         let stats = Arc::new(Mutex::new(NetStats::default()));
-        let latency = (self.cfg.min_latency, self.cfg.max_latency);
         let router_thread = spawn_router(
             "lucky-router",
             router_rx,
             inboxes,
-            latency,
-            self.cfg.seed,
+            RouterConfig {
+                latency: (self.cfg.min_latency, self.cfg.max_latency),
+                seed: self.cfg.seed,
+                batch: self.batch,
+                slots,
+            },
             Arc::clone(&stats),
         );
 
@@ -506,6 +528,7 @@ impl NetCluster {
             setup: setup.into(),
             cfg,
             readers: 1,
+            batch: BatchConfig::disabled(),
             byzantine: BTreeMap::new(),
             crashed: Vec::new(),
         }

@@ -56,7 +56,21 @@
 //! one server cluster: every server thread multiplexes per-register
 //! state, and client cores are **sharded across worker threads by
 //! register** so independent registers proceed concurrently over the
-//! shared router. Router statistics are broken down per register.
+//! shared router. Router statistics are broken down per register and
+//! per destination server.
+//!
+//! ## Batching
+//!
+//! With an enabled `BatchConfig` (builder method `batch`), the router
+//! coalesces messages bound for the same destination socket-slot — a
+//! server, or the shard worker hosting a group of client cores — into
+//! single `Message::Batch` wire messages (up to `max_msgs` parts,
+//! waiting at most `max_delay_micros` for co-travellers), and servers
+//! re-batch their acks per sender. [`NetStats`] reports the economics:
+//! `messages` counts wire messages (a batch once), `parts` the protocol
+//! messages carried, `batches_sent`/`msgs_per_batch` the coalescing
+//! achieved. Batching is off by default, in which case the wire traffic
+//! is identical to the pre-batching runtime.
 //!
 //! ```
 //! use lucky_net::{NetConfig, NetStore};
@@ -87,5 +101,5 @@ pub use cluster::{
     HandleError, NetCluster, NetClusterBuilder, NetConfig, NetError, NetOutcome, ReaderHandle,
     WriterHandle,
 };
-pub use router::{NetStats, RegisterStats};
+pub use router::{NetStats, RegisterStats, ServerStats};
 pub use store::{NetRegisterHandle, NetStore, NetStoreBuilder, OpTicket};

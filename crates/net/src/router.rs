@@ -1,7 +1,20 @@
 //! The latency-injecting router thread.
+//!
+//! The router models the network fabric between the client node and the
+//! server processes. Besides sampling per-message latency, it is where
+//! **wire-message batching** happens in this runtime: with an enabled
+//! [`BatchConfig`], messages bound for the same destination *socket-slot*
+//! (a server, or the shard worker hosting a group of client cores) are
+//! coalesced — up to `max_msgs` parts, waiting at most
+//! `max_delay_micros` for co-travellers — and travel as one wire message
+//! with a single sampled delay. At delivery, runs of parts that share a
+//! sender and recipient are handed to the inbox as one
+//! [`Message::Batch`]; parts from different senders are fanned out
+//! back-to-back, preserving sender identity (the channel, not the
+//! payload, authenticates the sender — a batch can never forge one).
 
 use crossbeam::channel::{Receiver, Sender};
-use lucky_types::{Message, ProcessId, RegisterId};
+use lucky_types::{BatchConfig, Message, ProcessId, RegisterId, ServerId};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -28,25 +41,62 @@ pub(crate) enum Envelope {
 /// Per-register traffic counters (one entry of [`NetStats::per_register`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RegisterStats {
-    /// Messages routed for this register.
+    /// Protocol messages routed for this register (batch parts count
+    /// individually — this is the register's share of the traffic).
     pub messages: u64,
     /// Estimated wire bytes routed for this register.
     pub bytes: u64,
+    /// Wire batches that carried at least one of this register's
+    /// messages.
+    pub batches_sent: u64,
+}
+
+/// Traffic counters for one destination server (one entry of
+/// [`NetStats::per_server`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServerStats {
+    /// Wire messages delivered to this server (a batch counts once).
+    pub messages: u64,
+    /// Protocol messages those wire messages carried.
+    pub parts: u64,
+    /// Wire messages that carried more than one part.
+    pub batches_sent: u64,
+    /// Estimated wire bytes.
+    pub bytes: u64,
+}
+
+impl ServerStats {
+    /// Mean parts per wire message to this server (1.0 when unbatched).
+    pub fn msgs_per_batch(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.parts as f64 / self.messages as f64
+        }
+    }
 }
 
 /// Counters the router maintains; readable via `NetCluster::stats` /
 /// `NetStore::stats`.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct NetStats {
-    /// Messages routed.
+    /// Wire messages routed: a batch counts **once** — this is the
+    /// message complexity the batching layer reduces.
     pub messages: u64,
+    /// Protocol messages carried (batch parts count individually);
+    /// equals `messages` when batching is disabled.
+    pub parts: u64,
+    /// Wire messages that carried more than one part.
+    pub batches_sent: u64,
     /// Estimated wire bytes routed.
     pub bytes: u64,
-    /// Messages dropped because the recipient was unknown or its inbox
-    /// closed (e.g. a crashed server).
+    /// Protocol messages dropped because the recipient was unknown or its
+    /// inbox closed (e.g. a crashed server).
     pub dropped: u64,
-    /// Traffic broken down by the register each message names.
+    /// Traffic broken down by the register each protocol message names.
     pub per_register: BTreeMap<RegisterId, RegisterStats>,
+    /// Traffic broken down by destination server.
+    pub per_server: BTreeMap<ServerId, ServerStats>,
 }
 
 impl NetStats {
@@ -54,14 +104,35 @@ impl NetStats {
     pub fn register(&self, reg: RegisterId) -> RegisterStats {
         self.per_register.get(&reg).copied().unwrap_or_default()
     }
+
+    /// The traffic counters for server `s` (zero if never routed).
+    pub fn server(&self, s: ServerId) -> ServerStats {
+        self.per_server.get(&s).copied().unwrap_or_default()
+    }
+
+    /// Mean parts per wire message (1.0 when batching is disabled).
+    pub fn msgs_per_batch(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.parts as f64 / self.messages as f64
+        }
+    }
 }
+
+/// Where wire traffic can be coalesced: the destination's socket-slot.
+/// Servers get one slot each; client processes map to the shard worker
+/// that hosts their core (so acks bound for cores on one worker share a
+/// wire). Built by the cluster/store builders.
+pub(crate) type SlotMap = BTreeMap<ProcessId, usize>;
+
+/// One part of a wire message: sender, recipient, payload.
+type Part = (ProcessId, ProcessId, Message);
 
 struct InFlight {
     due: Instant,
     seq: u64,
-    from: ProcessId,
-    to: ProcessId,
-    msg: Message,
+    parts: Vec<Part>,
 }
 
 impl PartialEq for InFlight {
@@ -82,81 +153,258 @@ impl Ord for InFlight {
     }
 }
 
+/// Messages staged for one destination slot, waiting for co-travellers.
+struct SlotBuf {
+    parts: Vec<Part>,
+    /// Flattened protocol messages across `parts` (an envelope may
+    /// itself be a pre-batched ack batch): the `max_msgs` bound is on
+    /// this count, not on envelopes.
+    part_total: usize,
+    oldest: Instant,
+}
+
+/// Everything the router needs besides its channels.
+pub(crate) struct RouterConfig {
+    pub(crate) latency: (Duration, Duration),
+    pub(crate) seed: u64,
+    pub(crate) batch: BatchConfig,
+    pub(crate) slots: SlotMap,
+}
+
 /// Spawn the router thread (shared by `NetCluster` and `NetStore`).
 pub(crate) fn spawn_router(
     name: &str,
     rx: Receiver<Envelope>,
     inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
-    latency: (Duration, Duration),
-    seed: u64,
+    cfg: RouterConfig,
     stats: Arc<Mutex<NetStats>>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name(name.into())
-        .spawn(move || run_router(rx, inboxes, latency, seed, stats))
+        .spawn(move || Router { rx, inboxes, cfg, stats }.run())
         .expect("spawn router thread")
 }
 
-/// Run the router loop until a [`Envelope::Stop`] arrives or every sender
-/// disconnects.
-pub(crate) fn run_router(
+struct Router {
     rx: Receiver<Envelope>,
     inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
-    latency: (Duration, Duration),
-    seed: u64,
+    cfg: RouterConfig,
     stats: Arc<Mutex<NetStats>>,
-) {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut heap: BinaryHeap<InFlight> = BinaryHeap::new();
-    let mut seq = 0u64;
-    loop {
-        // Deliver everything due.
-        let now = Instant::now();
-        while heap.peek().is_some_and(|m| m.due <= now) {
-            let m = heap.pop().expect("peeked above");
-            let mut s = stats.lock();
-            match inboxes.get(&m.to) {
-                Some(tx) if tx.send((m.from, m.msg)).is_ok() => {}
-                _ => s.dropped += 1,
-            }
-        }
-        // Wait for the next envelope or the next due instant.
-        let received = match heap.peek() {
-            Some(m) => {
-                let timeout = m.due.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(timeout) {
-                    Ok(env) => Some(env),
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+}
+
+impl Router {
+    /// Run the router loop until a [`Envelope::Stop`] arrives or every
+    /// sender disconnects.
+    fn run(mut self) {
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let mut heap: BinaryHeap<InFlight> = BinaryHeap::new();
+        let mut staged: BTreeMap<usize, SlotBuf> = BTreeMap::new();
+        let mut seq = 0u64;
+        let max_delay = Duration::from_micros(self.cfg.batch.max_delay_micros);
+        loop {
+            // Drain every envelope that is already queued *before*
+            // flushing any slot: messages that became ready together
+            // coalesce even with max_delay_micros = 0 (a broadcast's
+            // envelopes sit in the channel as one burst).
+            loop {
+                match self.rx.try_recv() {
+                    Ok(Envelope::Deliver { from, to, msg }) => {
+                        self.accept(from, to, msg, &mut staged, &mut rng, &mut heap, &mut seq);
+                    }
+                    Ok(Envelope::Stop) => return,
+                    Err(crossbeam::channel::TryRecvError::Empty) => break,
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => return,
                 }
             }
-            None => match rx.recv() {
-                Ok(env) => Some(env),
-                Err(_) => return,
-            },
+            // Deliver everything due.
+            let now = Instant::now();
+            while heap.peek().is_some_and(|m| m.due <= now) {
+                let m = heap.pop().expect("peeked above");
+                self.deliver(m.parts);
+            }
+            // Flush every staged slot whose oldest part has waited long
+            // enough.
+            let due_slots: Vec<usize> = staged
+                .iter()
+                .filter(|(_, buf)| buf.oldest + max_delay <= now)
+                .map(|(&slot, _)| slot)
+                .collect();
+            for slot in due_slots {
+                let buf = staged.remove(&slot).expect("listed above");
+                self.launch(buf.parts, &mut rng, &mut heap, &mut seq);
+            }
+            // Wait for the next envelope, the next due delivery, or the
+            // next slot flush deadline — whichever comes first.
+            let next_due = heap.peek().map(|m| m.due);
+            let next_flush = staged.values().map(|b| b.oldest + max_delay).min();
+            let deadline = match (next_due, next_flush) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            match deadline {
+                Some(at) => {
+                    let timeout = at.saturating_duration_since(Instant::now());
+                    match self.rx.recv_timeout(timeout) {
+                        Ok(Envelope::Deliver { from, to, msg }) => {
+                            self.accept(from, to, msg, &mut staged, &mut rng, &mut heap, &mut seq);
+                        }
+                        Ok(Envelope::Stop) => return,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(Envelope::Deliver { from, to, msg }) => {
+                        self.accept(from, to, msg, &mut staged, &mut rng, &mut heap, &mut seq);
+                    }
+                    Ok(Envelope::Stop) => return,
+                    Err(_) => return,
+                },
+            }
+        }
+    }
+
+    /// Accept one envelope: stage it on its destination slot (batching
+    /// enabled and a mapped destination) or put it straight in flight.
+    #[allow(clippy::too_many_arguments)]
+    fn accept(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: Message,
+        staged: &mut BTreeMap<usize, SlotBuf>,
+        rng: &mut SmallRng,
+        heap: &mut BinaryHeap<InFlight>,
+        seq: &mut u64,
+    ) {
+        let slot = self.cfg.slots.get(&to).copied();
+        match slot {
+            Some(slot) if self.cfg.batch.enabled => {
+                let count = msg.part_count();
+                // Strict size bound on *flattened* parts (an envelope may
+                // itself be a pre-batched ack batch): if joining would
+                // push the buffer over max_msgs, ship the buffer first.
+                if let Some(buf) = staged.get(&slot) {
+                    if buf.part_total + count > self.cfg.batch.max_msgs {
+                        let buf = staged.remove(&slot).expect("checked above");
+                        self.launch(buf.parts, rng, heap, seq);
+                    }
+                }
+                let buf = staged.entry(slot).or_insert_with(|| SlotBuf {
+                    parts: Vec::new(),
+                    part_total: 0,
+                    oldest: Instant::now(),
+                });
+                buf.parts.push((from, to, msg));
+                buf.part_total += count;
+                if buf.part_total >= self.cfg.batch.max_msgs {
+                    let buf = staged.remove(&slot).expect("just inserted");
+                    self.launch(buf.parts, rng, heap, seq);
+                }
+            }
+            // Batching disabled (or an unmapped destination): every
+            // message is its own wire message.
+            _ => self.launch(vec![(from, to, msg)], rng, heap, seq),
+        }
+    }
+
+    /// Account one wire message carrying `parts` and put it in flight
+    /// with a single sampled delay.
+    fn launch(
+        &self,
+        parts: Vec<Part>,
+        rng: &mut SmallRng,
+        heap: &mut BinaryHeap<InFlight>,
+        seq: &mut u64,
+    ) {
+        debug_assert!(!parts.is_empty());
+        let (min, max) = self.cfg.latency;
+        let delay = if max > min {
+            min + Duration::from_micros(rng.gen_range(0..=(max - min).as_micros() as u64))
+        } else {
+            min
         };
-        match received {
-            Some(Envelope::Deliver { from, to, msg }) => {
-                let (min, max) = latency;
-                let delay = if max > min {
-                    min + Duration::from_micros(rng.gen_range(0..=(max - min).as_micros() as u64))
-                } else {
-                    min
-                };
-                {
-                    let mut s = stats.lock();
-                    let bytes = msg.wire_size() as u64;
-                    s.messages += 1;
-                    s.bytes += bytes;
-                    let per = s.per_register.entry(msg.register()).or_default();
-                    per.messages += 1;
-                    per.bytes += bytes;
-                }
-                seq += 1;
-                heap.push(InFlight { due: Instant::now() + delay, seq, from, to, msg });
+        {
+            let mut s = self.stats.lock();
+            // A part may itself be a pre-batched envelope (a server's
+            // re-batched acks travel as one `Message::Batch` send):
+            // protocol-message accounting always uses the flattened view.
+            let total_parts: u64 = parts.iter().map(|(_, _, m)| m.part_count() as u64).sum();
+            let part_bytes: u64 = parts.iter().map(|(_, _, m)| m.wire_size() as u64).sum();
+            // Coalesced envelopes share one wire frame: one extra header.
+            let bytes = if parts.len() > 1 { 12 + part_bytes } else { part_bytes };
+            let batched = total_parts > 1;
+            s.messages += 1;
+            s.parts += total_parts;
+            s.bytes += bytes;
+            if batched {
+                s.batches_sent += 1;
             }
-            Some(Envelope::Stop) => return,
-            None => {}
+            let mut regs_seen: Vec<RegisterId> = Vec::new();
+            for (_, _, m) in &parts {
+                m.for_each_part(|part| {
+                    let Some(reg) = part.register() else {
+                        return;
+                    };
+                    let per = s.per_register.entry(reg).or_default();
+                    per.messages += 1;
+                    per.bytes += part.wire_size() as u64;
+                    if batched && !regs_seen.contains(&reg) {
+                        regs_seen.push(reg);
+                        per.batches_sent += 1;
+                    }
+                });
+            }
+            // Per-server breakdown: server slots hold one server only.
+            if let Some(server) = parts[0].1.as_server() {
+                if parts.iter().all(|(_, to, _)| to.as_server() == Some(server)) {
+                    let per = s.per_server.entry(server).or_default();
+                    per.messages += 1;
+                    per.parts += total_parts;
+                    per.bytes += bytes;
+                    if batched {
+                        per.batches_sent += 1;
+                    }
+                }
+            }
         }
+        *seq += 1;
+        heap.push(InFlight { due: Instant::now() + delay, seq: *seq, parts });
+    }
+
+    /// Hand a due wire message to its recipients: runs of parts sharing
+    /// one sender and one recipient arrive as a single
+    /// [`Message::Batch`]; sender changes fan out as separate inbox
+    /// sends, back-to-back.
+    fn deliver(&mut self, parts: Vec<Part>) {
+        let mut run: Vec<Message> = Vec::new();
+        let mut run_key: Option<(ProcessId, ProcessId)> = None;
+        let flush = |key: Option<(ProcessId, ProcessId)>, run: &mut Vec<Message>| {
+            let Some((from, to)) = key else {
+                return;
+            };
+            let msg = if run.len() == 1 {
+                run.pop().expect("length checked")
+            } else {
+                Message::batch(std::mem::take(run))
+            };
+            run.clear();
+            // `dropped` counts protocol messages, so a lost batch counts
+            // each of its parts.
+            let lost = msg.part_count() as u64;
+            let mut s = self.stats.lock();
+            match self.inboxes.get(&to) {
+                Some(tx) if tx.send((from, msg)).is_ok() => {}
+                _ => s.dropped += lost,
+            }
+        };
+        for (from, to, msg) in parts {
+            if run_key != Some((from, to)) {
+                flush(run_key, &mut run);
+                run_key = Some((from, to));
+            }
+            run.push(msg);
+        }
+        flush(run_key, &mut run);
     }
 }

@@ -20,11 +20,13 @@ use crate::cluster::{
     assert_one_fault_per_server, spawn_server_thread, ClientDriver, HandleError, NetConfig,
     NetError, NetOutcome,
 };
-use crate::router::{spawn_router, Envelope, NetStats};
+use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lucky_core::runtime::ServerCore;
 use lucky_core::{ProtocolConfig, Setup, StoreConfig};
-use lucky_types::{History, Op, OpId, OpRecord, ProcessId, RegisterId, ServerId, Time, Value};
+use lucky_types::{
+    BatchConfig, History, Op, OpId, OpRecord, ProcessId, RegisterId, ServerId, Time, Value,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -51,6 +53,7 @@ pub struct NetStoreBuilder {
     readers_per_register: usize,
     shards: Option<usize>,
     protocol: ProtocolConfig,
+    batch: BatchConfig,
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
     crashed: Vec<u16>,
 }
@@ -108,6 +111,19 @@ impl NetStoreBuilder {
         self
     }
 
+    /// Wire-message batching policy (default off). Enabled, the router
+    /// coalesces traffic per destination socket-slot — a server, or the
+    /// shard worker hosting a group of client cores — into single wire
+    /// messages (up to `max_msgs` parts, waiting at most
+    /// `max_delay_micros`), and servers re-batch their acks per sender.
+    /// Disabled, the wire traffic is identical to the pre-batching
+    /// runtime.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Install a Byzantine behaviour at server `i` (it answers *all*
     /// registers — a malicious server is malicious towards the whole
     /// namespace).
@@ -142,15 +158,22 @@ impl NetStoreBuilder {
         let mut inboxes = BTreeMap::new();
         let mut server_threads = Vec::new();
 
-        // One driver per client core, grouped by shard worker.
+        // One driver per client core, grouped by shard worker. The
+        // router's socket-slot map mirrors the placement: a client
+        // process's wire traffic coalesces per hosting worker (the
+        // "socket" the worker drains), servers get one slot each.
         let shard_count = self.shards.unwrap_or_else(|| self.registers.min(4)).max(1);
+        let server_count = self.setup.server_count();
+        let mut slots: SlotMap = SlotMap::new();
         let op_deadline = self.cfg.op_deadline();
         let mut shard_drivers: Vec<BTreeMap<(RegisterId, u32), ClientDriver>> =
             (0..shard_count).map(|_| BTreeMap::new()).collect();
         for reg in RegisterId::all(self.registers) {
             let (tx, rx) = unbounded();
             inboxes.insert(ProcessId::writer(reg), tx);
-            shard_drivers[shard_for(reg, WRITER_SLOT, shard_count)].insert(
+            let worker = shard_for(reg, WRITER_SLOT, shard_count);
+            slots.insert(ProcessId::writer(reg), server_count + worker);
+            shard_drivers[worker].insert(
                 (reg, WRITER_SLOT),
                 ClientDriver {
                     id: ProcessId::writer(reg),
@@ -166,7 +189,9 @@ impl NetStoreBuilder {
                 let (tx, rx) = unbounded();
                 inboxes.insert(ProcessId::Reader(rid), tx);
                 let slot = j as u32 + 1;
-                shard_drivers[shard_for(reg, slot, shard_count)].insert(
+                let worker = shard_for(reg, slot, shard_count);
+                slots.insert(ProcessId::Reader(rid), server_count + worker);
+                shard_drivers[worker].insert(
                     (reg, slot),
                     ClientDriver {
                         id: ProcessId::Reader(rid),
@@ -180,8 +205,10 @@ impl NetStoreBuilder {
             }
         }
 
-        // Server threads: every honest server multiplexes all registers.
-        for s in ServerId::all(self.setup.server_count()) {
+        // Server threads: every honest server multiplexes all registers
+        // and re-batches its acks per sender (when batching is enabled).
+        for s in ServerId::all(server_count) {
+            slots.insert(ProcessId::Server(s), s.index());
             if self.crashed.contains(&s.0) {
                 continue;
             }
@@ -189,7 +216,7 @@ impl NetStoreBuilder {
             inboxes.insert(ProcessId::Server(s), tx);
             let core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
                 Some(byz) => byz,
-                None => self.setup.make_server_mux(),
+                None => self.setup.make_server_mux_batched(self.batch),
             };
             server_threads.push(spawn_server_thread(
                 format!("lucky-store-server-{}", s.0),
@@ -202,13 +229,16 @@ impl NetStoreBuilder {
 
         // Router thread.
         let stats = Arc::new(Mutex::new(NetStats::default()));
-        let latency = (self.cfg.min_latency, self.cfg.max_latency);
         let router_thread = spawn_router(
             "lucky-store-router",
             router_rx,
             inboxes,
-            latency,
-            self.cfg.seed,
+            RouterConfig {
+                latency: (self.cfg.min_latency, self.cfg.max_latency),
+                seed: self.cfg.seed,
+                batch: self.batch,
+                slots,
+            },
             Arc::clone(&stats),
         );
 
@@ -467,6 +497,7 @@ impl NetStore {
             readers_per_register: 1,
             shards: None,
             protocol: ProtocolConfig::default(),
+            batch: BatchConfig::disabled(),
             byzantine: BTreeMap::new(),
             crashed: Vec::new(),
         }
@@ -483,6 +514,7 @@ impl NetStore {
             .registers(cfg.registers)
             .readers_per_register(cfg.readers_per_register)
             .protocol(cfg.cluster.protocol)
+            .batch(cfg.batch)
             .build()
     }
 
@@ -642,6 +674,81 @@ mod tests {
         // The same value written to three different registers is not a
         // duplicate under per-register checking.
         store.check_atomicity().unwrap();
+        store.shutdown();
+    }
+
+    #[test]
+    fn tickets_outlive_their_handle() {
+        // Submit through the ticket API, then drop the handle before
+        // waiting: the shard worker owns the driver, so the operations
+        // complete and the tickets resolve normally.
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg()).registers(2).build();
+        let h = store.register(RegisterId(0)).unwrap();
+        let w = h.invoke_write(Value::from_u64(9));
+        let r = h.invoke_read(0);
+        drop(h);
+        assert_eq!(w.wait().unwrap().kind, OpKind::Write);
+        let read = r.wait().unwrap();
+        assert_eq!(read.kind, OpKind::Read);
+        assert_eq!(read.value.as_u64(), Some(9), "ticket resolves after the handle is gone");
+        store.shutdown();
+    }
+
+    #[test]
+    fn tickets_after_shutdown_fail_with_disconnected() {
+        // A handle kept across shutdown: the op can no longer complete
+        // (router and servers are gone), and the ticket reports it as an
+        // error instead of hanging.
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut cfg = fast_cfg();
+        cfg.timer = Duration::from_millis(1); // keep the deadline short
+        let mut store = NetStore::builder(params, cfg).registers(1).build();
+        let h = store.register(RegisterId(0)).unwrap();
+        h.write(Value::from_u64(1)).unwrap();
+        store.shutdown();
+        let t = h.invoke_write(Value::from_u64(2));
+        assert!(
+            matches!(t.wait(), Err(NetError::Disconnected) | Err(NetError::TimedOut)),
+            "post-shutdown tickets must fail, not hang"
+        );
+        drop(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "reader 2 outside 0..2")]
+    fn out_of_range_reader_is_rejected_up_front() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store =
+            NetStore::builder(params, fast_cfg()).registers(1).readers_per_register(2).build();
+        let h = store.register(RegisterId(0)).unwrap();
+        let _ = h.invoke_read(2); // only readers 0 and 1 exist
+    }
+
+    #[test]
+    fn double_take_and_unknown_register_after_partial_take() {
+        // Interleave takes and failures: every combination of taken /
+        // untaken / unknown answers with the precise error.
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg()).registers(3).build();
+        let h1 = store.register(RegisterId(1)).unwrap();
+        assert_eq!(
+            store.register(RegisterId(1)).unwrap_err(),
+            HandleError::RegisterTaken(RegisterId(1))
+        );
+        // Unknown stays unknown no matter how many takes happened.
+        assert_eq!(
+            store.register(RegisterId(3)).unwrap_err(),
+            HandleError::UnknownRegister(RegisterId(3))
+        );
+        // The other registers are still takeable exactly once.
+        let h0 = store.register(RegisterId(0)).unwrap();
+        let h2 = store.register(RegisterId(2)).unwrap();
+        assert_eq!(
+            store.register(RegisterId(0)).unwrap_err(),
+            HandleError::RegisterTaken(RegisterId(0))
+        );
+        drop((h0, h1, h2));
         store.shutdown();
     }
 

@@ -7,7 +7,7 @@
 
 /// Multi-producer channels (std-backed).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
     /// An unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -34,6 +34,18 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
             channel::RecvTimeoutError::Disconnected
         );
+    }
+
+    #[test]
+    fn try_recv_drains_without_blocking() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv().unwrap_err(), channel::TryRecvError::Empty);
+        drop(tx);
+        assert_eq!(rx.try_recv().unwrap_err(), channel::TryRecvError::Disconnected);
     }
 
     #[test]

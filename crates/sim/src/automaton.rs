@@ -22,6 +22,10 @@ pub struct TimerId(pub u64);
 #[derive(Debug)]
 pub struct Effects<M> {
     pub(crate) sends: Vec<(ProcessId, M)>,
+    /// Per-destination staging buffer: messages parked by
+    /// [`Effects::stage`] until [`Effects::flush`] groups them per
+    /// destination (and merges multi-message groups into batches).
+    pub(crate) staged: Vec<(ProcessId, M)>,
     pub(crate) timers: Vec<(TimerId, u64)>,
     pub(crate) completion: Option<Completion>,
 }
@@ -41,7 +45,7 @@ pub struct Completion {
 impl<M> Effects<M> {
     /// Fresh, empty effects.
     pub fn new() -> Effects<M> {
-        Effects { sends: Vec::new(), timers: Vec::new(), completion: None }
+        Effects { sends: Vec::new(), staged: Vec::new(), timers: Vec::new(), completion: None }
     }
 
     /// Send `msg` to `to`.
@@ -59,6 +63,96 @@ impl<M> Effects<M> {
         }
     }
 
+    /// Park `msg` in the staging buffer instead of sending it right away.
+    /// [`Effects::flush`] later groups staged messages per destination;
+    /// until then the message is not part of [`Effects::send_count`].
+    ///
+    /// Drivers treat any messages still staged at
+    /// [`Effects::into_parts`] as plain sends, so a missed flush degrades
+    /// to unbatched delivery rather than losing messages.
+    pub fn stage(&mut self, to: ProcessId, msg: M) {
+        self.staged.push((to, msg));
+    }
+
+    /// Stage clones of `msg` for every destination.
+    pub fn stage_broadcast(&mut self, to: impl IntoIterator<Item = ProcessId>, msg: M)
+    where
+        M: Clone,
+    {
+        for dest in to {
+            self.staged.push((dest, msg.clone()));
+        }
+    }
+
+    /// Move everything staged into the outgoing sends, grouped per
+    /// destination (in order of each destination's first staged message,
+    /// parts in staging order). A destination with a single staged
+    /// message gets it verbatim; multi-message groups are merged through
+    /// [`Payload::batch`] — payload types without a batch envelope fall
+    /// back to individual sends.
+    ///
+    /// This is the single place batching enters the round engines: they
+    /// stage their round broadcasts and flush once per step, so any
+    /// future step that emits several messages to one destination batches
+    /// them with no per-variant code.
+    pub fn flush(&mut self)
+    where
+        M: Payload,
+    {
+        self.flush_capped(usize::MAX);
+    }
+
+    /// Like [`Effects::flush`], but no produced batch carries more than
+    /// `max_msgs` *flattened* parts (a staged message may itself be a
+    /// pre-formed batch, and merging flattens): a destination's group is
+    /// chunked before merging. Used where a
+    /// [`BatchConfig`](lucky_types::BatchConfig)'s `max_msgs` bound must
+    /// hold on the produced envelopes (e.g. server ack re-batching).
+    pub fn flush_capped(&mut self, max_msgs: usize)
+    where
+        M: Payload,
+    {
+        assert!(max_msgs >= 1, "a batch carries at least one message");
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut groups: Vec<(ProcessId, Vec<M>)> = Vec::new();
+        for (to, msg) in self.staged.drain(..) {
+            match groups.iter_mut().find(|(dest, _)| *dest == to) {
+                Some((_, parts)) => parts.push(msg),
+                None => groups.push((to, vec![msg])),
+            }
+        }
+        for (to, msgs) in groups {
+            let mut chunk: Vec<M> = Vec::new();
+            let mut chunk_parts = 0usize;
+            let emit = |chunk: &mut Vec<M>, sends: &mut Vec<(ProcessId, M)>| {
+                if chunk.len() == 1 {
+                    sends.push((to, chunk.pop().expect("length checked")));
+                } else if chunk.len() > 1 {
+                    match M::batch(std::mem::take(chunk)) {
+                        Ok(batched) => sends.push((to, batched)),
+                        Err(parts) => sends.extend(parts.into_iter().map(|m| (to, m))),
+                    }
+                }
+            };
+            for msg in msgs {
+                let parts = msg.part_count();
+                if !chunk.is_empty() && chunk_parts + parts > max_msgs {
+                    emit(&mut chunk, &mut self.sends);
+                    chunk_parts = 0;
+                }
+                chunk.push(msg);
+                chunk_parts += parts;
+                if chunk_parts >= max_msgs {
+                    emit(&mut chunk, &mut self.sends);
+                    chunk_parts = 0;
+                }
+            }
+            emit(&mut chunk, &mut self.sends);
+        }
+    }
+
     /// Start a timer that fires after `delay_micros`, echoing `id`.
     pub fn set_timer(&mut self, id: TimerId, delay_micros: u64) {
         self.timers.push((id, delay_micros));
@@ -72,20 +166,27 @@ impl<M> Effects<M> {
         self.completion = Some(Completion { value, rounds, fast });
     }
 
-    /// Number of queued sends (used by drivers for accounting).
+    /// Number of queued sends (used by drivers for accounting). Staged
+    /// messages count only after [`Effects::flush`].
     pub fn send_count(&self) -> usize {
         self.sends.len()
     }
 
-    /// `true` iff nothing was emitted.
+    /// `true` iff nothing was emitted (and nothing is staged).
     pub fn is_empty(&self) -> bool {
-        self.sends.is_empty() && self.timers.is_empty() && self.completion.is_none()
+        self.sends.is_empty()
+            && self.staged.is_empty()
+            && self.timers.is_empty()
+            && self.completion.is_none()
     }
 
     /// Decompose into `(sends, timers, completion)` — used by protocol
     /// unit tests and alternative drivers (e.g. the threaded runtime).
+    /// Messages still staged (not [`Effects::flush`]ed) are appended as
+    /// plain sends so they are never lost.
     #[allow(clippy::type_complexity)]
-    pub fn into_parts(self) -> (Vec<(ProcessId, M)>, Vec<(TimerId, u64)>, Option<Completion>) {
+    pub fn into_parts(mut self) -> (Vec<(ProcessId, M)>, Vec<(TimerId, u64)>, Option<Completion>) {
+        self.sends.append(&mut self.staged);
         (self.sends, self.timers, self.completion)
     }
 }
@@ -122,7 +223,7 @@ pub trait Automaton<M>: Send {
 }
 
 /// Message payloads the simulator can account for (wire-size metrics and
-/// trace labels).
+/// trace labels) and optionally coalesce into batches.
 pub trait Payload: Clone + std::fmt::Debug + Send {
     /// Estimated encoded size in bytes; the default is a fixed header.
     fn wire_size(&self) -> usize {
@@ -133,6 +234,25 @@ pub trait Payload: Clone + std::fmt::Debug + Send {
     fn label(&self) -> &'static str {
         "msg"
     }
+
+    /// Merge several payloads bound for one destination into a single
+    /// wire message, or give the parts back (`Err`) if this payload type
+    /// has no batch envelope. The default has none, so batching-aware
+    /// drivers degrade to individual sends for plain payloads.
+    fn batch(parts: Vec<Self>) -> Result<Self, Vec<Self>>
+    where
+        Self: Sized,
+    {
+        Err(parts)
+    }
+
+    /// Number of protocol messages this payload carries — more than 1
+    /// only for an already-batched envelope. Drivers enforcing a
+    /// `max_msgs` bound count these, not envelopes, so re-batching can
+    /// never compound past the bound.
+    fn part_count(&self) -> usize {
+        1
+    }
 }
 
 impl Payload for Message {
@@ -142,6 +262,14 @@ impl Payload for Message {
 
     fn label(&self) -> &'static str {
         self.kind()
+    }
+
+    fn batch(parts: Vec<Self>) -> Result<Self, Vec<Self>> {
+        Ok(Message::batch(parts))
+    }
+
+    fn part_count(&self) -> usize {
+        Message::part_count(self)
     }
 }
 
@@ -186,5 +314,68 @@ mod tests {
     fn default_is_empty() {
         let eff: Effects<u64> = Effects::default();
         assert!(eff.is_empty());
+    }
+
+    #[test]
+    fn staged_messages_flush_as_plain_sends_without_a_batch_envelope() {
+        // u32 has no batch form: flush degrades to individual sends.
+        let mut eff: Effects<u32> = Effects::new();
+        let dest = ProcessId::Server(ServerId(0));
+        eff.stage(dest, 1);
+        eff.stage(dest, 2);
+        assert_eq!(eff.send_count(), 0, "staged messages are not sends yet");
+        assert!(!eff.is_empty(), "…but the effects are not empty either");
+        eff.flush();
+        let (sends, _, _) = eff.into_parts();
+        assert_eq!(sends, vec![(dest, 1), (dest, 2)]);
+    }
+
+    #[test]
+    fn flush_batches_message_groups_per_destination() {
+        use lucky_types::{Message, ReadMsg, ReadSeq, RegisterId};
+        let read =
+            |reg: u32| Message::Read(ReadMsg { reg: RegisterId(reg), tsr: ReadSeq(1), rnd: 1 });
+        let mut eff: Effects<Message> = Effects::new();
+        let s0 = ProcessId::Server(ServerId(0));
+        let s1 = ProcessId::Server(ServerId(1));
+        eff.stage(s0, read(0));
+        eff.stage(s1, read(0));
+        eff.stage(s0, read(1));
+        eff.flush();
+        let (sends, _, _) = eff.into_parts();
+        assert_eq!(sends.len(), 2, "one wire message per destination");
+        // s0's two messages merged into a batch, in staging order.
+        assert_eq!(sends[0].0, s0);
+        assert_eq!(sends[0].1.clone().flatten(), vec![read(0), read(1)]);
+        // s1's singleton group stays a plain message.
+        assert_eq!(sends[1], (s1, read(0)));
+    }
+
+    #[test]
+    fn flush_capped_counts_flattened_parts_not_envelopes() {
+        use lucky_types::{Message, ReadMsg, ReadSeq, RegisterId};
+        let read =
+            |reg: u32| Message::Read(ReadMsg { reg: RegisterId(reg), tsr: ReadSeq(1), rnd: 1 });
+        let mut eff: Effects<Message> = Effects::new();
+        let dest = ProcessId::Server(ServerId(0));
+        // Stage a pre-formed 3-part batch plus two plain messages with a
+        // cap of 4: 3+1 fit in the first envelope, the last goes alone.
+        eff.stage(dest, Message::batch(vec![read(0), read(1), read(2)]));
+        eff.stage(dest, read(3));
+        eff.stage(dest, read(4));
+        eff.flush_capped(4);
+        let (sends, _, _) = eff.into_parts();
+        let sizes: Vec<usize> = sends.iter().map(|(_, m)| m.part_count()).collect();
+        assert_eq!(sizes, vec![4, 1], "the bound is on flattened parts, not envelopes");
+    }
+
+    #[test]
+    fn unflushed_staged_messages_survive_into_parts() {
+        let mut eff: Effects<u32> = Effects::new();
+        let dest = ProcessId::Server(ServerId(0));
+        eff.send(dest, 1);
+        eff.stage(dest, 2);
+        let (sends, _, _) = eff.into_parts();
+        assert_eq!(sends, vec![(dest, 1), (dest, 2)], "staged messages are never lost");
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::automaton::{Automaton, Completion, Effects, Payload, TimerId};
 use crate::network::NetworkModel;
-use lucky_types::{History, Op, OpId, OpRecord, ProcessId, RegisterId, Time};
+use lucky_types::{BatchConfig, History, Op, OpId, OpRecord, ProcessId, RegisterId, Time};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -85,6 +85,7 @@ pub struct World<M> {
     next_op: u64,
     steps: u64,
     trace: Option<Vec<TraceEntry>>,
+    batch: BatchConfig,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -117,7 +118,24 @@ impl<M: Payload> World<M> {
             next_op: 0,
             steps: 0,
             trace: None,
+            batch: BatchConfig::disabled(),
         }
+    }
+
+    /// Install a wire-message batching policy. When enabled, the messages
+    /// one process step sends to a single destination travel as one
+    /// [`Payload::batch`] wire message — one schedulable event, one
+    /// sampled network delay, atomic in-order delivery of its parts — and
+    /// [`World::release`] delivers a gated link's backlog the same way.
+    /// Disabled (the default), scheduling is exactly the pre-batching
+    /// behaviour, including the order of RNG delay draws.
+    pub fn set_batch(&mut self, batch: BatchConfig) {
+        self.batch = batch;
+    }
+
+    /// The installed batching policy.
+    pub fn batch(&self) -> BatchConfig {
+        self.batch
     }
 
     /// Start recording a message trace (every processed delivery). Useful
@@ -221,16 +239,58 @@ impl<M: Payload> World<M> {
     }
 
     /// Stop holding `from → to` and deliver every held message with a
-    /// fresh network delay from the current instant.
+    /// fresh network delay from the current instant. With batching
+    /// enabled the backlog travels as batches (up to `max_msgs` parts
+    /// each), every batch one event with one sampled delay.
     pub fn release(&mut self, from: ProcessId, to: ProcessId) {
         self.gates.remove(&(from, to));
         if let Some(msgs) = self.held.remove(&(from, to)) {
-            for msg in msgs {
+            for msg in self.coalesce(msgs) {
                 let delay = self.net.sample(from, to, &mut self.rng);
                 let at = self.now + delay;
                 self.schedule(at, to, EventKind::Deliver { from, msg });
             }
         }
+    }
+
+    /// Merge `msgs` (all bound for one destination) into wire messages
+    /// according to the batching policy: chunks of up to `max_msgs`
+    /// *flattened* parts (an input may itself be a pre-formed batch, and
+    /// merging flattens, so the bound is on protocol messages, not
+    /// envelopes), single-message chunks staying plain. Payload types
+    /// without a batch envelope pass through untouched.
+    fn coalesce(&self, msgs: Vec<M>) -> Vec<M> {
+        if !self.batch.enabled || msgs.len() <= 1 {
+            return msgs;
+        }
+        let mut out = Vec::new();
+        let mut chunk: Vec<M> = Vec::new();
+        let mut chunk_parts = 0usize;
+        let flush = |chunk: &mut Vec<M>, out: &mut Vec<M>| {
+            if chunk.len() == 1 {
+                out.append(chunk);
+            } else if chunk.len() > 1 {
+                match M::batch(std::mem::take(chunk)) {
+                    Ok(batched) => out.push(batched),
+                    Err(parts) => out.extend(parts),
+                }
+            }
+        };
+        for msg in msgs {
+            let parts = msg.part_count();
+            if !chunk.is_empty() && chunk_parts + parts > self.batch.max_msgs {
+                flush(&mut chunk, &mut out);
+                chunk_parts = 0;
+            }
+            chunk.push(msg);
+            chunk_parts += parts;
+            if chunk_parts >= self.batch.max_msgs {
+                flush(&mut chunk, &mut out);
+                chunk_parts = 0;
+            }
+        }
+        flush(&mut chunk, &mut out);
+        out
     }
 
     /// Stop holding every link out of `p`, delivering held messages.
@@ -464,8 +524,30 @@ impl<M: Payload> World<M> {
     }
 
     fn apply_effects(&mut self, from: ProcessId, eff: Effects<M>) {
-        let Effects { sends, timers, completion } = eff;
-        // Client-side message accounting.
+        let Effects { mut sends, mut staged, timers, completion } = eff;
+        // Anything left staged (un-flushed) degrades to plain sends.
+        sends.append(&mut staged);
+        // Coalesce one step's sends per destination into wire messages.
+        // Disabled, this is the identity — same messages, same RNG draw
+        // order — so unbatched runs are bit-identical to pre-batching.
+        let sends = if self.batch.enabled {
+            let mut groups: Vec<(ProcessId, Vec<M>)> = Vec::new();
+            for (to, msg) in sends {
+                match groups.iter_mut().find(|(dest, _)| *dest == to) {
+                    Some((_, parts)) => parts.push(msg),
+                    None => groups.push((to, vec![msg])),
+                }
+            }
+            let mut wire = Vec::new();
+            for (to, parts) in groups {
+                wire.extend(self.coalesce(parts).into_iter().map(|m| (to, m)));
+            }
+            wire
+        } else {
+            sends
+        };
+        // Client-side message accounting (per wire message: a batch
+        // counts once — that is the complexity the metric tracks).
         if from.is_client() {
             if let Some(&op) = self.pending.get(&from) {
                 let idx = self.op_index[&op];
@@ -702,6 +784,121 @@ mod tests {
         w.run_until_complete(op).unwrap();
         // 1 invoke + 2 delivers to servers + 2 delivers to client.
         assert_eq!(w.steps(), 5);
+    }
+
+    mod batching {
+        use super::*;
+        use lucky_types::{BatchConfig, Message, ReadMsg, ReadSeq, RegisterId};
+
+        fn read(reg: u32) -> Message {
+            Message::Read(ReadMsg { reg: RegisterId(reg), tsr: ReadSeq(1), rnd: 1 })
+        }
+
+        /// Sends `n` READs to server 0 in one step, then completes after
+        /// receiving `n` delivery events (batches count their parts).
+        struct MultiSend {
+            n: usize,
+            got: usize,
+        }
+        impl Automaton<Message> for MultiSend {
+            fn on_invoke(&mut self, _op: Op, eff: &mut Effects<Message>) {
+                for reg in 0..self.n {
+                    eff.send(ProcessId::Server(ServerId(0)), read(reg as u32));
+                }
+            }
+            fn on_message(&mut self, _from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+                self.got += msg.part_count();
+                if self.got >= self.n {
+                    eff.complete(None, 1, true);
+                }
+            }
+        }
+
+        /// Echoes every delivery straight back (batches echoed whole).
+        struct EchoBack;
+        impl Automaton<Message> for EchoBack {
+            fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+                eff.send(from, msg);
+            }
+        }
+
+        fn world(batch: BatchConfig, n: usize) -> (World<Message>, OpId) {
+            let mut w: World<Message> = World::new(NetworkModel::constant(50), 0);
+            w.set_batch(batch);
+            w.add_process(ProcessId::Server(ServerId(0)), Box::new(EchoBack));
+            w.add_process(ProcessId::Writer, Box::new(MultiSend { n, got: 0 }));
+            let op = w.invoke(ProcessId::Writer, Op::Read);
+            (w, op)
+        }
+
+        #[test]
+        fn one_steps_same_destination_sends_travel_as_one_event() {
+            let (mut w, op) = world(BatchConfig::enabled(16), 4);
+            let msgs = w.run_until_complete(op).unwrap().msgs;
+            // 1 invoke + 1 batched delivery to the server + 1 back.
+            assert_eq!(w.steps(), 3, "the four messages travel as one event each way");
+            assert_eq!(msgs, 2, "one wire message out, one back");
+            // Unbatched: 4 events each way, 8 wire messages.
+            let (mut w, op) = world(BatchConfig::disabled(), 4);
+            let msgs = w.run_until_complete(op).unwrap().msgs;
+            assert_eq!(w.steps(), 9);
+            assert_eq!(msgs, 8);
+        }
+
+        #[test]
+        fn max_msgs_caps_the_batch_size() {
+            let (mut w, op) = world(BatchConfig::enabled(3), 4);
+            w.run_until_complete(op).unwrap();
+            // 1 invoke + 2 wire messages out (3+1 parts) + 2 echoed back.
+            assert_eq!(w.steps(), 5);
+        }
+
+        #[test]
+        fn release_delivers_a_gated_backlog_as_one_batch() {
+            let (mut w, op) = world(BatchConfig::enabled(16), 3);
+            let s0 = ProcessId::Server(ServerId(0));
+            w.hold(ProcessId::Writer, s0);
+            assert!(w.run_until_complete(op).is_err(), "gated: nothing delivered");
+            assert_eq!(w.held_count(ProcessId::Writer, s0), 1, "the batch is held whole");
+            let steps_before = w.steps();
+            w.release(ProcessId::Writer, s0);
+            w.run_until_complete(op).unwrap();
+            assert_eq!(w.steps() - steps_before, 2, "one delivery each way after release");
+        }
+
+        #[test]
+        fn disabled_batching_is_the_default() {
+            let w: World<Message> = World::new(NetworkModel::constant(1), 0);
+            assert!(!w.batch().enabled);
+        }
+
+        /// Absorbs every delivery (a client with no operation pending).
+        struct Sink;
+        impl Automaton<Message> for Sink {
+            fn on_message(&mut self, _f: ProcessId, _m: Message, _e: &mut Effects<Message>) {}
+        }
+
+        #[test]
+        fn release_bounds_batches_by_flattened_parts_not_envelopes() {
+            let mut w: World<Message> = World::new(NetworkModel::constant(50), 0);
+            w.set_batch(BatchConfig::enabled(4));
+            let s0 = ProcessId::Server(ServerId(0));
+            w.add_process(s0, Box::new(EchoBack));
+            w.add_process(ProcessId::Writer, Box::new(Sink));
+            w.hold(ProcessId::Writer, s0);
+            // Two pre-formed 3-part batches held on the gated link:
+            // releasing must NOT merge them into one 6-part batch (the
+            // max_msgs = 4 bound is on protocol messages, and merging
+            // flattens nested envelopes).
+            let three = |base: u32| Message::batch((base..base + 3).map(read).collect());
+            w.send_as(ProcessId::Writer, s0, three(0));
+            w.send_as(ProcessId::Writer, s0, three(10));
+            assert_eq!(w.held_count(ProcessId::Writer, s0), 2);
+            w.release(ProcessId::Writer, s0);
+            w.run_until_idle(100);
+            // 2 deliveries to the server, echoed back whole as 2 more.
+            assert_eq!(w.steps(), 4, "3+3 parts must ship as two wire messages, not one");
+        }
     }
 }
 

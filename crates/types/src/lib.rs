@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod batch;
 mod history;
 mod id;
 mod msg;
@@ -36,6 +37,7 @@ mod params;
 mod time;
 mod value;
 
+pub use batch::BatchConfig;
 pub use history::{History, Op, OpId, OpKind, OpRecord};
 pub use id::{ProcessId, ReaderId, RegisterId, ServerId};
 pub use msg::{

@@ -168,8 +168,10 @@ pub struct ReadAckMsg {
     pub frozen: FrozenSlot,
 }
 
-/// Any protocol message. Clients send the first three variants; servers
-/// reply with the last three.
+/// Any protocol message. Clients send `Pw`/`Write`/`Read`; servers reply
+/// with the matching acks. [`Message::Batch`] is a transport envelope
+/// either side may use to ship several messages to one destination as a
+/// single wire message.
 #[derive(Clone, PartialEq, PartialOrd, Ord, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum Message {
     /// Pre-write round (writer → servers).
@@ -180,6 +182,15 @@ pub enum Message {
     Write(WriteMsg),
     /// W-phase / write-back ack (server → client).
     WriteAck(WriteAckMsg),
+    /// Several messages from one sender to one destination, travelling as
+    /// a single wire message and delivered atomically, in order.
+    ///
+    /// A batch may span registers and rounds; it has no register of its
+    /// own ([`Message::register`] is `None`). Recipients must treat the
+    /// parts exactly as if they had arrived back-to-back from the same
+    /// sender — a Byzantine sender can put *anything* in here, so no part
+    /// may be trusted further than an individually-sent message would be.
+    Batch(Vec<Message>),
     /// READ round (reader → servers).
     Read(ReadMsg),
     /// READ ack (server → reader).
@@ -187,22 +198,89 @@ pub enum Message {
 }
 
 impl Message {
-    /// The register this message belongs to.
+    /// The register this message belongs to, or `None` for a
+    /// [`Message::Batch`], whose parts may span registers.
     ///
     /// Every request names the register it targets, and every ack echoes
     /// it back, so multi-register servers can dispatch on it and clients
     /// can discard acks addressed to another register — the same
     /// stale-filtering discipline the timestamps already provide within
-    /// one register (§3.4), lifted to the register dimension.
-    pub fn register(&self) -> RegisterId {
+    /// one register (§3.4), lifted to the register dimension. A batch
+    /// deliberately reports `None` instead of picking an arbitrary part:
+    /// dispatching must happen per part, after [`Message::flatten`].
+    pub fn register(&self) -> Option<RegisterId> {
         match self {
-            Message::Pw(m) => m.reg,
-            Message::PwAck(m) => m.reg,
-            Message::Write(m) => m.reg,
-            Message::WriteAck(m) => m.reg,
-            Message::Read(m) => m.reg,
-            Message::ReadAck(m) => m.reg,
+            Message::Pw(m) => Some(m.reg),
+            Message::PwAck(m) => Some(m.reg),
+            Message::Write(m) => Some(m.reg),
+            Message::WriteAck(m) => Some(m.reg),
+            Message::Read(m) => Some(m.reg),
+            Message::ReadAck(m) => Some(m.reg),
+            Message::Batch(_) => None,
         }
+    }
+
+    /// Bundle `parts` into one wire message bound for one destination.
+    ///
+    /// Nested batches are flattened on construction, so a batch's parts
+    /// are always plain protocol messages, in their original order. A
+    /// single-part batch collapses to the part itself (its wire form is
+    /// identical to sending the message unbatched), and an empty input
+    /// yields an empty batch that every recipient ignores.
+    pub fn batch(parts: Vec<Message>) -> Message {
+        let mut flat = Vec::with_capacity(parts.len());
+        for part in parts {
+            flat.extend(part.flatten());
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("length checked")
+        } else {
+            Message::Batch(flat)
+        }
+    }
+
+    /// The plain protocol messages this message carries: a batch's parts
+    /// (flattened, in order), or the message itself.
+    ///
+    /// Iterative on purpose: a Byzantine sender can hand-nest `Batch`
+    /// envelopes arbitrarily deep, and flattening (like every other
+    /// traversal here) must not recurse once per nesting level.
+    pub fn flatten(self) -> Vec<Message> {
+        match self {
+            Message::Batch(parts) => {
+                let mut flat = Vec::with_capacity(parts.len());
+                // LIFO worklist; children pushed in reverse keep order.
+                let mut work: Vec<Message> = parts.into_iter().rev().collect();
+                while let Some(m) = work.pop() {
+                    match m {
+                        Message::Batch(inner) => work.extend(inner.into_iter().rev()),
+                        leaf => flat.push(leaf),
+                    }
+                }
+                flat
+            }
+            m => vec![m],
+        }
+    }
+
+    /// Visit every plain protocol message this message carries, in order,
+    /// without consuming or cloning anything.
+    pub fn for_each_part(&self, mut f: impl FnMut(&Message)) {
+        let mut work: Vec<&Message> = vec![self];
+        while let Some(m) = work.pop() {
+            match m {
+                Message::Batch(parts) => work.extend(parts.iter().rev()),
+                leaf => f(leaf),
+            }
+        }
+    }
+
+    /// Number of plain protocol messages this message carries (1 unless
+    /// it is a batch).
+    pub fn part_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_part(|_| n += 1);
+        n
     }
 
     /// Rough wire size in bytes: fixed header plus payload fields. Used by
@@ -237,6 +315,23 @@ impl Message {
                     + 8
                     + m.frozen.pw.wire_size()
             }
+            // One shared header per envelope plus the encoded parts: the
+            // whole point of the envelope is that the per-message framing
+            // is paid once. Iterative so hostile nesting cannot recurse.
+            Message::Batch(_) => {
+                let mut total = 0;
+                let mut work: Vec<&Message> = vec![self];
+                while let Some(m) = work.pop() {
+                    match m {
+                        Message::Batch(parts) => {
+                            total += HDR;
+                            work.extend(parts.iter());
+                        }
+                        leaf => total += leaf.wire_size(),
+                    }
+                }
+                total
+            }
         }
     }
 
@@ -249,6 +344,7 @@ impl Message {
             Message::WriteAck(_) => "W_ACK",
             Message::Read(_) => "READ",
             Message::ReadAck(_) => "READ_ACK",
+            Message::Batch(_) => "BATCH",
         }
     }
 }
@@ -359,7 +455,45 @@ mod tests {
             }),
         ];
         for m in msgs {
-            assert_eq!(m.register(), reg, "{} must echo its register", m.kind());
+            assert_eq!(m.register(), Some(reg), "{} must echo its register", m.kind());
         }
+    }
+
+    fn read(reg: u32, tsr: u64) -> Message {
+        Message::Read(ReadMsg { reg: RegisterId(reg), tsr: ReadSeq(tsr), rnd: 1 })
+    }
+
+    #[test]
+    fn batch_flattens_nested_batches_and_keeps_order() {
+        let parts = vec![read(0, 1), read(1, 2), read(2, 3)];
+        let nested = Message::batch(vec![Message::Batch(vec![read(0, 1), read(1, 2)]), read(2, 3)]);
+        assert_eq!(nested.clone().flatten(), parts);
+        assert_eq!(nested.part_count(), 3);
+        assert_eq!(nested, Message::batch(parts));
+    }
+
+    #[test]
+    fn single_part_batch_collapses_to_the_part() {
+        let m = read(4, 7);
+        assert_eq!(Message::batch(vec![m.clone()]), m);
+        assert_eq!(m.clone().flatten(), vec![m]);
+    }
+
+    #[test]
+    fn batch_has_no_register_of_its_own() {
+        let b = Message::batch(vec![read(0, 1), read(1, 1)]);
+        assert_eq!(b.register(), None, "a batch spans registers: no single register");
+        assert_eq!(b.kind(), "BATCH");
+    }
+
+    #[test]
+    fn batch_wire_size_is_one_header_plus_parts() {
+        let parts = vec![read(0, 1), read(1, 2)];
+        let part_bytes: usize = parts.iter().map(Message::wire_size).sum();
+        let b = Message::batch(parts);
+        assert_eq!(b.wire_size(), 12 + part_bytes);
+        // Cheaper than two separately-framed messages would be on a real
+        // wire, but still strictly larger than any single part.
+        assert!(b.wire_size() > read(0, 1).wire_size());
     }
 }

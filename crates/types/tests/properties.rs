@@ -126,4 +126,78 @@ proptest! {
         prop_assert_eq!((Time(s) + a) + b, Time(s) + (a + b));
         prop_assert_eq!((Time(s) + a).since(Time(s)), a);
     }
+
+    /// `Batch` split/merge round-trips: flattening a batch yields exactly
+    /// the parts it was built from (order preserved, every part keeping
+    /// its `RegisterId`), re-merging any split of the parts rebuilds the
+    /// same batch, and `register()` on a true batch is `None` rather than
+    /// an arbitrary part's register.
+    #[test]
+    fn batch_split_merge_round_trips(
+        raw in prop::collection::vec((0u8..6, 0u32..8, 1u64..50, 1u32..6), 0..12),
+        split in any::<prop::sample::Index>(),
+    ) {
+        use lucky_types::{
+            FrozenSlot, Message, PwAckMsg, PwMsg, ReadAckMsg, ReadMsg, ReadSeq, RegisterId, Tag,
+            WriteAckMsg, WriteMsg,
+        };
+        // Build one message per raw tuple, covering all six wire kinds.
+        let build = |(kind, reg, ts, rnd): &(u8, u32, u64, u32)| -> Message {
+            let reg = RegisterId(*reg);
+            let pair = TsVal::new(Seq(*ts), Value::from_u64(*ts));
+            match kind {
+                0 => Message::Pw(PwMsg {
+                    reg, ts: Seq(*ts), pw: pair.clone(), w: TsVal::initial(), frozen: vec![],
+                }),
+                1 => Message::PwAck(PwAckMsg { reg, ts: Seq(*ts), newread: vec![] }),
+                2 => Message::Write(WriteMsg {
+                    reg, round: *rnd as u8, tag: Tag::Write(Seq(*ts)), c: pair, frozen: vec![],
+                }),
+                3 => Message::WriteAck(WriteAckMsg {
+                    reg, round: *rnd as u8, tag: Tag::WriteBack(ReadSeq(*ts)),
+                }),
+                4 => Message::Read(ReadMsg { reg, tsr: ReadSeq(*ts), rnd: *rnd }),
+                _ => Message::ReadAck(ReadAckMsg {
+                    reg, tsr: ReadSeq(*ts), rnd: *rnd, pw: pair.clone(), w: pair, vw: None,
+                    frozen: FrozenSlot::initial(),
+                }),
+            }
+        };
+        let parts: Vec<Message> = raw.iter().map(build).collect();
+        let batch = Message::batch(parts.clone());
+
+        // flatten(batch) == parts, order preserved.
+        prop_assert_eq!(batch.clone().flatten(), parts.clone());
+        prop_assert_eq!(batch.part_count(), parts.len());
+
+        // Every part keeps its RegisterId through the envelope.
+        for (flat, orig) in batch.clone().flatten().iter().zip(&parts) {
+            prop_assert_eq!(flat.register(), orig.register());
+            prop_assert!(flat.register().is_some(), "leaf messages always name a register");
+        }
+
+        // register() never picks an arbitrary part: a true batch reports
+        // None; a singleton collapses to the part itself.
+        match parts.len() {
+            0 => prop_assert_eq!(batch.register(), None),
+            1 => prop_assert_eq!(batch.register(), parts[0].register()),
+            _ => prop_assert_eq!(batch.register(), None),
+        }
+
+        // Splitting the parts anywhere and merging the two sub-batches
+        // rebuilds the identical batch (nested envelopes flatten away).
+        let at = if parts.is_empty() { 0 } else { split.index(parts.len() + 1) };
+        let (left, right) = parts.split_at(at);
+        let merged = Message::batch(vec![
+            Message::Batch(left.to_vec()),
+            Message::Batch(right.to_vec()),
+        ]);
+        prop_assert_eq!(merged, batch.clone());
+
+        // The envelope never loses or invents bytes: its wire size is the
+        // parts' sizes plus at most one shared header.
+        let part_bytes: usize = parts.iter().map(Message::wire_size).sum();
+        prop_assert!(batch.wire_size() >= part_bytes);
+        prop_assert!(batch.wire_size() <= part_bytes + 12);
+    }
 }

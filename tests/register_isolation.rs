@@ -16,10 +16,13 @@
 //! directly: every read of register `x` returns `⊥` or a value written
 //! to `x`.
 
-use lucky_atomic::core::byz::ForgeValue;
+use lucky_atomic::core::byz::{ForgeValue, MangleBatch};
+use lucky_atomic::core::runtime::ServerCore;
 use lucky_atomic::core::{OpOutcome, Setup, SimStore, StoreConfig};
 use lucky_atomic::net::{NetConfig, NetStore};
-use lucky_atomic::types::{OpKind, Params, RegisterId, Seq, TsVal, TwoRoundParams, Value};
+use lucky_atomic::types::{
+    BatchConfig, OpKind, Params, RegisterId, Seq, TsVal, TwoRoundParams, Value,
+};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -63,7 +66,31 @@ fn assert_read_domain(outcomes: &[OpOutcome], written: &BTreeMap<RegisterId, Vec
     }
 }
 
+/// Which Byzantine behaviour the fault mix installs at server 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Adversary {
+    /// Forges the same fabricated pair into every register.
+    Forge,
+    /// Honest state, mangled reply batches: replays, reorders and mixes
+    /// registers inside one `Batch` envelope (the batching-layer
+    /// adversary — only meaningful with batching enabled).
+    Mangle,
+}
+
+impl Adversary {
+    fn build(self, setup: Setup) -> Box<dyn ServerCore> {
+        match self {
+            Adversary::Forge => Box::new(ForgeValue::new(forged_pair())),
+            Adversary::Mangle => Box::new(MangleBatch::new(setup)),
+        }
+    }
+}
+
 fn run_sim_store(setup: Setup, seed: u64) {
+    run_sim_store_with(setup, seed, BatchConfig::disabled(), Adversary::Forge);
+}
+
+fn run_sim_store_with(setup: Setup, seed: u64, batch: BatchConfig, adversary: Adversary) {
     let cluster = match setup {
         Setup::Atomic(p) => lucky_atomic::core::ClusterConfig::synchronous(p),
         Setup::TwoRound(p) => lucky_atomic::core::ClusterConfig::synchronous_two_round(p),
@@ -73,12 +100,13 @@ fn run_sim_store(setup: Setup, seed: u64) {
         .registers(REGISTERS)
         .readers_per_register(READERS_PER_REGISTER)
         .with_seed(seed)
+        .with_batch(batch)
         .build_sim();
 
-    // Fault mix: one crashed server, one Byzantine forger. Both answer
+    // Fault mix: one crashed server, one Byzantine server. Both answer
     // (or fail to answer) every register of the namespace.
     store.crash_server(0);
-    store.install_forge_value(1, forged_pair());
+    store.install_byzantine(1, adversary.build(setup));
 
     let mut written: BTreeMap<RegisterId, Vec<u64>> = BTreeMap::new();
     let mut outcomes = Vec::new();
@@ -128,7 +156,26 @@ fn sim_store_registers_are_independently_linearizable() {
     }
 }
 
+/// The batching-layer adversary (`ByzKind::MangleBatch` in the explorer's
+/// catalogue): a Byzantine server that replays stale acks, duplicates and
+/// reorders fresh ones, and mixes registers inside one `Batch` envelope.
+/// With batching enabled store-wide, every register must stay
+/// independently linearizable (or regular) and the non-target registers
+/// must keep completing operations.
+#[test]
+fn sim_store_survives_batch_mangling_byzantine_server() {
+    for setup in setups() {
+        for seed in [7, 21] {
+            run_sim_store_with(setup, seed, BatchConfig::enabled(16), Adversary::Mangle);
+        }
+    }
+}
+
 fn run_net_store(setup: Setup) {
+    run_net_store_with(setup, BatchConfig::disabled(), Adversary::Forge);
+}
+
+fn run_net_store_with(setup: Setup, batch: BatchConfig, adversary: Adversary) {
     let cfg = NetConfig {
         min_latency: Duration::from_micros(50),
         max_latency: Duration::from_micros(200),
@@ -139,8 +186,9 @@ fn run_net_store(setup: Setup) {
         .registers(REGISTERS)
         .readers_per_register(READERS_PER_REGISTER)
         .shards(4)
+        .batch(batch)
         .crashed(0)
-        .byzantine(1, Box::new(ForgeValue::new(forged_pair())))
+        .byzantine(1, adversary.build(setup))
         .build();
 
     let handles: Vec<_> =
@@ -193,5 +241,19 @@ fn run_net_store(setup: Setup) {
 fn net_store_registers_are_independently_linearizable() {
     for setup in setups() {
         run_net_store(setup);
+    }
+}
+
+/// The threaded runtime under the same batch-mangling adversary, with
+/// router coalescing and server ack re-batching enabled: per-register
+/// linearizability holds and no register stalls.
+#[test]
+fn net_store_survives_batch_mangling_byzantine_server() {
+    for setup in setups() {
+        run_net_store_with(
+            setup,
+            BatchConfig::enabled(16).with_max_delay_micros(200),
+            Adversary::Mangle,
+        );
     }
 }
