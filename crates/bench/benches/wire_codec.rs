@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the `lucky-wire` codec: encode and
+//! decode cost per message for the protocol's hot wire kinds, single
+//! messages vs. batch envelopes of {1, 4, 16} parts.
+//!
+//! Alongside each timing the bench prints the **bytes per message**
+//! the codec actually produces (envelope amortization included), so
+//! the perf trajectory tracks both ns/msg and bytes/msg. Divide a
+//! batch case's ns/iter by its part count for the per-message cost —
+//! the iteration encodes or decodes the whole envelope.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lucky_types::{
+    FrozenSlot, Message, PwMsg, ReadAckMsg, ReadMsg, ReadSeq, RegisterId, Seq, TsVal, Value,
+};
+use lucky_wire::{decode_message, encode_message};
+
+/// A writer's PW round message — the write path's hot encode.
+fn pw_msg() -> Message {
+    Message::Pw(PwMsg {
+        reg: RegisterId(3),
+        ts: Seq(42),
+        pw: TsVal::new(Seq(42), Value::from_u64(42)),
+        w: TsVal::new(Seq(41), Value::from_u64(41)),
+        frozen: vec![],
+    })
+}
+
+/// A server's READ_ACK — the read path's hot decode (largest leaf).
+fn read_ack_msg() -> Message {
+    Message::ReadAck(ReadAckMsg {
+        reg: RegisterId(3),
+        tsr: ReadSeq(7),
+        rnd: 2,
+        pw: TsVal::new(Seq(42), Value::from_u64(42)),
+        w: TsVal::new(Seq(41), Value::from_u64(41)),
+        vw: Some(TsVal::new(Seq(40), Value::from_u64(40))),
+        frozen: FrozenSlot::initial(),
+    })
+}
+
+/// A `batch_size`-part batch of cross-register READs — what the router
+/// actually coalesces onto one socket-slot.
+fn read_batch(batch_size: u32) -> Message {
+    Message::batch(
+        (0..batch_size)
+            .map(|i| Message::Read(ReadMsg { reg: RegisterId(i), tsr: ReadSeq(1), rnd: 1 }))
+            .collect(),
+    )
+}
+
+fn bench_case(c: &mut Criterion, name: &str, msg: &Message) {
+    let encoded = encode_message(msg);
+    let parts = msg.part_count().max(1);
+    println!(
+        "wire_codec/{name}: {} bytes/envelope, {:.1} bytes/msg ({} parts)",
+        encoded.len(),
+        encoded.len() as f64 / parts as f64,
+        parts
+    );
+    c.bench_function(format!("wire/encode_{name}"), |b| b.iter(|| encode_message(msg)));
+    c.bench_function(format!("wire/decode_{name}"), |b| {
+        b.iter(|| decode_message(&encoded).expect("valid bytes"))
+    });
+}
+
+fn bench_singles(c: &mut Criterion) {
+    bench_case(c, "pw", &pw_msg());
+    bench_case(c, "read_ack", &read_ack_msg());
+}
+
+fn bench_batches(c: &mut Criterion) {
+    for batch_size in [1u32, 4, 16] {
+        bench_case(c, &format!("read_batch_{batch_size}"), &read_batch(batch_size));
+    }
+}
+
+criterion_group!(benches, bench_singles, bench_batches);
+criterion_main!(benches);

@@ -25,7 +25,14 @@
 //!   replies, for property tests;
 //! * [`MangleBatch`] — serves every register honestly but weaponizes the
 //!   batching layer: replies arrive as batches that replay stale acks,
-//!   duplicate fresh ones, reorder rounds and mix registers.
+//!   duplicate fresh ones, reorder rounds and mix registers;
+//! * [`WireFuzz`] — serves every register honestly but attacks the
+//!   **codec layer**: each reply is encoded as a real `lucky-wire` frame
+//!   and corrupted (bit flips, truncations, oversized length prefixes,
+//!   version skew, magic smashes) before being decoded again the way a
+//!   receiver would — corrupt frames must be rejected cleanly (the
+//!   adversary asserts it) and only checksum-valid frames, including a
+//!   periodically emitted semantically-mangled batch, reach the wire.
 //!
 //! The scripted behaviours ([`ForgeValue`], [`InflateTs`], [`StaleEcho`],
 //! [`RandomNoise`]) unwrap incoming [`Message::Batch`] envelopes and
@@ -367,6 +374,107 @@ impl std::fmt::Debug for MangleBatch {
     }
 }
 
+/// A codec-level adversary: serves every register honestly (real state
+/// through a [`RegisterMux`]) but drags each reply through the byte
+/// level a malicious server actually controls. Every reply is encoded
+/// as a complete `lucky-wire` frame and then, cycling deterministically
+/// per reply, either
+///
+/// * corrupted — a bit flip at a pseudo-random position, a truncation,
+///   an oversized length prefix, a version skew or a magic smash — in
+///   which case **decode must reject it** (asserted: a corrupt frame
+///   that decoded would be a codec soundness bug) and the reply is
+///   dropped, exactly as the receive side drops undecodable frames; or
+/// * left checksum-valid: passed through intact, or re-shipped as a
+///   *semantically mangled* batch (first ack duplicated, parts
+///   reversed) that decodes perfectly and attacks the protocol layer
+///   behind the codec instead.
+///
+/// Either way, what the recipient sees has round-tripped through
+/// encode → (attack) → decode, so runs with a `WireFuzz` server
+/// exercise the real codec on live traffic. The checker verdicts must
+/// be unchanged: dropped replies cost the one fault slot the adversary
+/// burns, and mangled-but-valid batches are exactly what the batch
+/// unwrapping defenses already absorb.
+pub struct WireFuzz {
+    inner: RegisterMux,
+    rng: SmallRng,
+    step: u64,
+    rejected: u64,
+    delivered: u64,
+}
+
+impl WireFuzz {
+    /// A wire-fuzzing server of `setup`'s variant, corrupting with the
+    /// given seed.
+    pub fn new(setup: Setup, seed: u64) -> WireFuzz {
+        WireFuzz {
+            inner: RegisterMux::new(setup),
+            rng: SmallRng::seed_from_u64(seed),
+            step: 0,
+            rejected: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Corrupted frames decode rejected so far (each one a proven clean
+    /// rejection — the adversary asserts the rejection as it happens).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Replies that reached the wire (intact or semantically mangled).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl std::fmt::Debug for WireFuzz {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireFuzz")
+            .field("step", &self.step)
+            .field("rejected", &self.rejected)
+            .field("delivered", &self.delivered)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerCore for WireFuzz {
+    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        let mut honest = Effects::new();
+        self.inner.deliver(from, msg, &mut honest);
+        let (sends, _, _) = honest.into_parts();
+        for (to, reply) in sends {
+            self.step += 1;
+            let frame = lucky_wire::frame_message(&reply);
+            // The corruption cycle is lucky-wire's shared catalogue:
+            // this adversary and the explorer's attack through the same
+            // arms, drawing here from a seeded RNG.
+            let rng = &mut self.rng;
+            let mut draw = |bound: u64| rng.gen_range(0..bound);
+            let (bytes, must_decode) =
+                lucky_wire::fuzz::fuzz_frame(&reply, frame, self.step, &mut draw);
+            match lucky_wire::unframe_message(&bytes) {
+                Ok(decoded) => {
+                    assert!(
+                        must_decode,
+                        "codec soundness: a corrupted frame decoded as {}",
+                        decoded.kind()
+                    );
+                    self.delivered += 1;
+                    eff.send(to, decoded);
+                }
+                Err(_) => {
+                    assert!(!must_decode, "a clean frame failed to decode");
+                    self.rejected += 1;
+                    // The receive side drops undecodable frames; so
+                    // does the adversary's victimized reply.
+                }
+            }
+        }
+    }
+}
+
 impl ServerCore for MangleBatch {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         let mut honest = Effects::new();
@@ -547,6 +655,57 @@ mod tests {
         let mut eff = Effects::new();
         stale.deliver(ProcessId::Reader(ReaderId(0)), batch, &mut eff);
         assert_eq!(eff.send_count(), 2);
+    }
+
+    #[test]
+    fn wire_fuzz_rejects_every_corrupt_frame_and_keeps_valid_ones_decodable() {
+        use lucky_types::Params;
+        let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+        let mut s = WireFuzz::new(setup, 42);
+        let reader = ProcessId::Reader(ReaderId(0));
+        // Drive enough requests to cycle every corruption mode many
+        // times; the adversary's internal assertions prove each corrupt
+        // frame was rejected and each valid one decoded.
+        for i in 1..=120u64 {
+            let mut eff = Effects::new();
+            s.deliver(
+                reader,
+                Message::Read(ReadMsg { reg: RegisterId(i as u32 % 4), tsr: ReadSeq(i), rnd: 1 }),
+                &mut eff,
+            );
+            // Whatever survived is a message that round-tripped the
+            // codec; a dropped reply leaves the effects empty.
+            let (sends, _, _) = eff.into_parts();
+            assert!(sends.len() <= 1);
+        }
+        // Four of six modes corrupt; two keep the frame valid.
+        assert_eq!(s.rejected(), 80, "corrupting modes all rejected");
+        assert_eq!(s.delivered(), 40, "valid modes all delivered");
+    }
+
+    #[test]
+    fn wire_fuzz_semantic_mangle_is_a_valid_hostile_batch() {
+        use lucky_types::Params;
+        let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+        let mut s = WireFuzz::new(setup, 1);
+        let reader = ProcessId::Reader(ReaderId(0));
+        // The corruption mode cycles with the reply counter: the fifth
+        // reply (step % 6 == 5) takes the mangle arm.
+        let mut mangled = None;
+        for i in 1..=5u64 {
+            let mut eff = Effects::new();
+            s.deliver(
+                reader,
+                Message::Read(ReadMsg { reg: RegisterId::DEFAULT, tsr: ReadSeq(i), rnd: 1 }),
+                &mut eff,
+            );
+            let (sends, _, _) = eff.into_parts();
+            if i == 5 {
+                mangled = sends.into_iter().next().map(|(_, m)| m);
+            }
+        }
+        let mangled = mangled.expect("the mangle arm always delivers");
+        assert!(mangled.part_count() >= 2, "duplicated + reversed parts: {mangled:?}");
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub enum ByzKind {
     /// acks replayed, fresh acks duplicated and reordered — the
     /// batching-layer adversary.
     MangleBatch,
+    /// Answers honestly but drags every reply through the `lucky-wire`
+    /// byte level — the codec-layer adversary. The corruption mode
+    /// cycles deterministically per reply (so the explored state space
+    /// stays hashable): bit flips, truncations, oversized length
+    /// prefixes and version skews are rejected by decode and the reply
+    /// is dropped; every sixth reply survives as a checksum-valid but
+    /// semantically mangled batch, and pass-through replies round-trip
+    /// the real codec.
+    WireFuzz,
 }
 
 /// One process in the explored system.
@@ -85,6 +94,7 @@ enum Proc {
     ForgeValue(TsVal),
     SplitBrain { honest_to: Vec<ProcessId>, faithful: AtomicServer, amnesiac: AtomicServer },
     MangleBatch { inner: AtomicServer, stash: Vec<Message> },
+    WireFuzz { inner: AtomicServer, step: u64 },
 }
 
 /// What to run and under which faults.
@@ -360,6 +370,9 @@ fn delivery_is_noop(proc_: &Proc, from: ProcessId, msg: &Message) -> bool {
         Proc::MangleBatch { inner, stash } => {
             mangle_deliver(inner, stash, from, msg.clone(), &mut eff)
         }
+        Proc::WireFuzz { inner, step } => {
+            wire_fuzz_deliver(inner, step, from, msg.clone(), &mut eff)
+        }
     }
     eff.is_empty() && clone == *proc_
 }
@@ -410,6 +423,7 @@ fn initial_state(scenario: &Scenario) -> State {
                 Some(ByzKind::MangleBatch) => {
                     Proc::MangleBatch { inner: AtomicServer::new(), stash: Vec::new() }
                 }
+                Some(ByzKind::WireFuzz) => Proc::WireFuzz { inner: AtomicServer::new(), step: 0 },
             }
         };
         procs.push((id, proc_));
@@ -609,6 +623,7 @@ fn deliver_to_proc(proc_: &mut Proc, from: ProcessId, msg: Message, eff: &mut Ef
             }
         }
         Proc::MangleBatch { inner, stash } => mangle_deliver(inner, stash, from, msg, eff),
+        Proc::WireFuzz { inner, step } => wire_fuzz_deliver(inner, step, from, msg, eff),
     }
 }
 
@@ -646,6 +661,57 @@ fn mangle_deliver(
     }
     if !out.is_empty() {
         eff.send(from, Message::batch(out));
+    }
+}
+
+/// SplitMix64: the deterministic "randomness" behind the explorer's
+/// wire fuzzing — a pure function of the reply counter, so two states
+/// with equal counters corrupt identically and hashing stays sound.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The codec-layer adversary: every honest reply is framed by
+/// `lucky-wire`, corrupted according to the reply counter, and decoded
+/// again as the receiver would. Corrupt frames must be rejected
+/// (asserted — a decode success on a corrupted frame is a codec bug the
+/// exploration should crash on) and the reply is dropped; checksum-valid
+/// frames (pass-throughs and the every-sixth mangled batch) deliver
+/// their decoded content. Mirrors `lucky_core::byz::WireFuzz` with
+/// hashable counter state instead of an RNG.
+fn wire_fuzz_deliver(
+    inner: &mut AtomicServer,
+    step: &mut u64,
+    from: ProcessId,
+    msg: Message,
+    eff: &mut Effects<Message>,
+) {
+    let mut honest = Effects::new();
+    inner.handle(from, msg, &mut honest);
+    let (sends, _, _) = honest.into_parts();
+    for (to, reply) in sends {
+        *step += 1;
+        let frame = lucky_wire::frame_message(&reply);
+        // The corruption cycle is lucky-wire's shared catalogue; the
+        // explorer draws from a pure counter mix (not an RNG) so two
+        // states with equal counters corrupt identically.
+        let mut draw_index = 0u64;
+        let salt = *step;
+        let mut draw = |bound: u64| {
+            draw_index += 1;
+            mix64(salt.wrapping_mul(131).wrapping_add(draw_index)) % bound
+        };
+        let (bytes, must_decode) = lucky_wire::fuzz::fuzz_frame(&reply, frame, *step, &mut draw);
+        match lucky_wire::unframe_message(&bytes) {
+            Ok(decoded) => {
+                assert!(must_decode, "codec soundness: corrupted frame decoded");
+                eff.send(to, decoded);
+            }
+            Err(_) => assert!(!must_decode, "clean frame failed to decode"),
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 //! threads with no variant-specific code in this module.
 
 use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
+use crate::tcp::{build_fabric, TcpFabric, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lucky_core::runtime::{ClientCore, ServerCore};
 use lucky_core::{ProtocolConfig, Setup};
@@ -334,6 +335,7 @@ pub struct NetClusterBuilder {
     cfg: NetConfig,
     readers: usize,
     batch: BatchConfig,
+    transport: Transport,
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
     crashed: Vec<u16>,
 }
@@ -362,6 +364,15 @@ impl NetClusterBuilder {
     #[must_use]
     pub fn batch(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Wire transport (default [`Transport::Channel`]). Under
+    /// [`Transport::Tcp`] every server owns a real loopback socket and
+    /// all traffic crosses it as `lucky-wire` frames.
+    #[must_use]
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -435,8 +446,16 @@ impl NetClusterBuilder {
             ));
         }
 
-        // Router thread.
+        // Router thread — and, under TCP, the socket fabric between the
+        // router and the destination slots.
         let stats = Arc::new(Mutex::new(NetStats::default()));
+        let (fabric, sinks) = match self.transport {
+            Transport::Channel => (None, None),
+            Transport::Tcp => {
+                let (fabric, sinks) = build_fabric("lucky-cluster", &slots, &inboxes, &stats);
+                (Some(fabric), Some(sinks))
+            }
+        };
         let router_thread = spawn_router(
             "lucky-router",
             router_rx,
@@ -446,6 +465,7 @@ impl NetClusterBuilder {
                 seed: self.cfg.seed,
                 batch: self.batch,
                 slots,
+                sinks,
             },
             Arc::clone(&stats),
         );
@@ -488,6 +508,7 @@ impl NetClusterBuilder {
             router_tx,
             router_thread: Some(router_thread),
             server_threads,
+            fabric,
             writer: Some(writer),
             readers,
             reader_count,
@@ -503,6 +524,7 @@ pub struct NetCluster {
     router_tx: Sender<Envelope>,
     router_thread: Option<JoinHandle<()>>,
     server_threads: Vec<JoinHandle<()>>,
+    fabric: Option<TcpFabric>,
     writer: Option<WriterHandle>,
     readers: BTreeMap<ReaderId, ReaderHandle>,
     reader_count: usize,
@@ -529,6 +551,7 @@ impl NetCluster {
             cfg,
             readers: 1,
             batch: BatchConfig::disabled(),
+            transport: Transport::Channel,
             byzantine: BTreeMap::new(),
             crashed: Vec::new(),
         }
@@ -562,13 +585,25 @@ impl NetCluster {
         self.stats.lock().clone()
     }
 
-    /// Stop the router and server threads and wait for them.
+    /// The loopback address server `s` listens on, when the cluster
+    /// runs over [`Transport::Tcp`] (`None` under the channel transport
+    /// or for a crashed server).
+    pub fn server_addr(&self, s: ServerId) -> Option<std::net::SocketAddr> {
+        self.fabric.as_ref().and_then(|f| f.server_addrs.get(&s).copied())
+    }
+
+    /// Stop the router, fabric and server threads and wait for them.
     pub fn shutdown(&mut self) {
         let _ = self.router_tx.send(Envelope::Stop);
         if let Some(t) = self.router_thread.take() {
             let _ = t.join();
         }
-        // Router gone → server inboxes disconnect → servers exit.
+        // Router gone → its socket sinks closed → the fabric's readers
+        // see EOF and release the inbox senders as the fabric joins.
+        if let Some(mut fabric) = self.fabric.take() {
+            fabric.shutdown();
+        }
+        // All inbox senders gone → server inboxes disconnect → exit.
         for t in self.server_threads.drain(..) {
             let _ = t.join();
         }

@@ -59,6 +59,20 @@
 //! shared router. Router statistics are broken down per register and
 //! per destination server.
 //!
+//! ## Transports
+//!
+//! The router moves wire messages over one of two transports (builder
+//! method `transport`): [`Transport::Channel`] (default) hands them to
+//! in-process inboxes, while [`Transport::Tcp`] gives every server and
+//! every shard worker a real `std::net` loopback socket — each wire
+//! message is encoded by `lucky-wire`, framed with a checksum, written
+//! to the destination slot's socket and reassembled from partial reads
+//! on the far side. Under TCP, [`NetStats::wire_bytes`] reports the
+//! true framed byte count (strictly above the codec-exact payload
+//! accounting in `bytes`), [`NetStats::decode_errors`] counts rejected
+//! hostile frames, and `server_addr` exposes each server's listener
+//! for adversarial harnesses that talk raw bytes.
+//!
 //! ## Batching
 //!
 //! With an enabled `BatchConfig` (builder method `batch`), the router
@@ -96,6 +110,7 @@
 mod cluster;
 mod router;
 mod store;
+mod tcp;
 
 pub use cluster::{
     HandleError, NetCluster, NetClusterBuilder, NetConfig, NetError, NetOutcome, ReaderHandle,
@@ -103,3 +118,4 @@ pub use cluster::{
 };
 pub use router::{NetStats, RegisterStats, ServerStats};
 pub use store::{NetRegisterHandle, NetStore, NetStoreBuilder, OpTicket};
+pub use tcp::Transport;

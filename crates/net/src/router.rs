@@ -15,10 +15,13 @@
 
 use crossbeam::channel::{Receiver, Sender};
 use lucky_types::{BatchConfig, Message, ProcessId, RegisterId, ServerId};
+use lucky_wire::PacketPart;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BinaryHeap};
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -88,8 +91,35 @@ pub struct NetStats {
     pub parts: u64,
     /// Wire messages that carried more than one part.
     pub batches_sent: u64,
-    /// Estimated wire bytes routed.
+    /// Wire payload bytes routed, computed from the codec-exact
+    /// [`Message::wire_size`] (plus one notional frame header per
+    /// coalesced wire message). Under [`Transport::Tcp`] this is the
+    /// payload portion of what actually crosses the sockets;
+    /// [`NetStats::wire_bytes`] adds the framing.
+    ///
+    /// [`Transport::Tcp`]: crate::Transport::Tcp
     pub bytes: u64,
+    /// Actual framed bytes of every wire message staged for its socket
+    /// (frame headers, packet envelopes and payloads). Zero under
+    /// [`Transport::Channel`], where no bytes ever exist; under
+    /// [`Transport::Tcp`] it exceeds [`NetStats::bytes`] by exactly the
+    /// framing overhead — `examples/tcp_smoke.rs` asserts the bound.
+    ///
+    /// Counted when the frame is staged, not when the socket write
+    /// succeeds — deliberately mirroring [`NetStats::bytes`], which
+    /// also counts routed-but-undeliverable traffic (e.g. frames bound
+    /// for a crashed server's slot; those surface in
+    /// [`NetStats::dropped`]). The two counters therefore describe the
+    /// same population and their difference is pure framing overhead.
+    ///
+    /// [`Transport::Channel`]: crate::Transport::Channel
+    /// [`Transport::Tcp`]: crate::Transport::Tcp
+    pub wire_bytes: u64,
+    /// Frames rejected by the receive side (bad magic, version skew,
+    /// oversized length prefix, checksum failure, codec garbage). Only
+    /// hostile or corrupted connections produce these; each one also
+    /// drops its connection.
+    pub decode_errors: u64,
     /// Protocol messages dropped because the recipient was unknown or its
     /// inbox closed (e.g. a crashed server).
     pub dropped: u64,
@@ -118,6 +148,24 @@ impl NetStats {
             self.parts as f64 / self.messages as f64
         }
     }
+
+    /// Upper bound on the framing overhead [`NetStats::wire_bytes`]
+    /// may carry over [`NetStats::bytes`] under
+    /// [`Transport::Tcp`](crate::Transport::Tcp), derived from the
+    /// `lucky-wire` frame layout rather than hand-tuned constants: per
+    /// wire message one frame header plus the packet part-count varint,
+    /// per protocol part two encoded process ids plus a batch-envelope
+    /// share. The TCP smoke run and transport tests assert
+    /// `bytes < wire_bytes <= bytes + max_framing_overhead()`.
+    pub fn max_framing_overhead(&self) -> u64 {
+        // Per frame: the fixed header + a ≤ 5-byte part-count varint.
+        let per_message = lucky_wire::FRAME_HEADER_BYTES as u64 + 5;
+        // Per flattened part: two encoded `ProcessId`s (≤ 6 bytes
+        // each) and the per-run `Batch` envelope (tag + count varint,
+        // ≤ 6 bytes, amortized over the run's ≥ 1 parts).
+        let per_part = 18;
+        per_message * self.messages + per_part * self.parts
+    }
 }
 
 /// Where wire traffic can be coalesced: the destination's socket-slot.
@@ -129,10 +177,28 @@ pub(crate) type SlotMap = BTreeMap<ProcessId, usize>;
 /// One part of a wire message: sender, recipient, payload.
 type Part = (ProcessId, ProcessId, Message);
 
+/// What one in-flight wire message carries: the raw parts (channel
+/// transport, materialized per recipient at delivery time) or an
+/// already-encoded frame (TCP transport — the bytes are staged at
+/// launch, so encode cost and true size are paid and known when the
+/// message enters the wire, and delivery is a plain socket write).
+enum Load {
+    Parts(Vec<Part>),
+    Frame {
+        /// Destination socket-slot (indexes the router's sink map).
+        slot: usize,
+        /// The complete encoded frame.
+        bytes: Vec<u8>,
+        /// Flattened protocol messages inside — the `dropped` count if
+        /// the slot's socket is gone (e.g. a crashed server).
+        parts: u64,
+    },
+}
+
 struct InFlight {
     due: Instant,
     seq: u64,
-    parts: Vec<Part>,
+    load: Load,
 }
 
 impl PartialEq for InFlight {
@@ -169,6 +235,10 @@ pub(crate) struct RouterConfig {
     pub(crate) seed: u64,
     pub(crate) batch: BatchConfig,
     pub(crate) slots: SlotMap,
+    /// `Some` under [`Transport::Tcp`](crate::Transport::Tcp): the
+    /// write half of each destination slot's loopback socket. `None`
+    /// delivers through the in-process inboxes.
+    pub(crate) sinks: Option<BTreeMap<usize, TcpStream>>,
 }
 
 /// Spawn the router thread (shared by `NetCluster` and `NetStore`).
@@ -220,7 +290,7 @@ impl Router {
             let now = Instant::now();
             while heap.peek().is_some_and(|m| m.due <= now) {
                 let m = heap.pop().expect("peeked above");
-                self.deliver(m.parts);
+                self.deliver(m.load);
             }
             // Flush every staged slot whose oldest part has waited long
             // enough.
@@ -268,7 +338,7 @@ impl Router {
     /// enabled and a mapped destination) or put it straight in flight.
     #[allow(clippy::too_many_arguments)]
     fn accept(
-        &self,
+        &mut self,
         from: ProcessId,
         to: ProcessId,
         msg: Message,
@@ -308,10 +378,69 @@ impl Router {
         }
     }
 
-    /// Account one wire message carrying `parts` and put it in flight
-    /// with a single sampled delay.
+    /// Put one staged wire message in flight. Channel transport: as a
+    /// single wire message. TCP transport: the codec's hard caps bound
+    /// what one frame may carry, so the load is first chunked into
+    /// cap-respecting frames (one chunk in every honest configuration —
+    /// `max_msgs` sits far below the caps); a single protocol message
+    /// whose encoding cannot fit any frame at all is dropped and
+    /// counted, since no amount of splitting can put it on this wire.
     fn launch(
-        &self,
+        &mut self,
+        parts: Vec<Part>,
+        rng: &mut SmallRng,
+        heap: &mut BinaryHeap<InFlight>,
+        seq: &mut u64,
+    ) {
+        debug_assert!(!parts.is_empty());
+        if self.cfg.sinks.is_none() {
+            self.launch_one(parts, rng, heap, seq);
+            return;
+        }
+        // Conservative per-part frame cost: two encoded process ids
+        // (≤ 6 bytes each) plus the exact message payload. Grouping
+        // parts into per-run batches at encode time only ever shrinks
+        // the real cost below this bound.
+        const PART_OVERHEAD: usize = 12;
+        // Frame payload budget, with slack for the part-count varint.
+        const FRAME_BUDGET: usize = lucky_wire::MAX_FRAME_BYTES - 8;
+        let mut chunk: Vec<Part> = Vec::new();
+        let (mut chunk_cost, mut chunk_flat) = (0usize, 0usize);
+        let mut lost = 0u64;
+        for part in parts {
+            let flat = part.2.part_count();
+            let cost = PART_OVERHEAD + part.2.wire_size();
+            if cost > FRAME_BUDGET || flat > lucky_wire::MAX_PARTS {
+                // Unframeable however we split: no frame may carry it.
+                lost += flat as u64;
+                continue;
+            }
+            if !chunk.is_empty()
+                && (chunk_cost + cost > FRAME_BUDGET || chunk_flat + flat > lucky_wire::MAX_PARTS)
+            {
+                let full = std::mem::take(&mut chunk);
+                (chunk_cost, chunk_flat) = (0, 0);
+                self.launch_one(full, rng, heap, seq);
+            }
+            chunk.push(part);
+            chunk_cost += cost;
+            chunk_flat += flat;
+        }
+        if lost > 0 {
+            self.stats.lock().dropped += lost;
+        }
+        if !chunk.is_empty() {
+            self.launch_one(chunk, rng, heap, seq);
+        }
+    }
+
+    /// Account one wire message carrying `parts` and put it in flight
+    /// with a single sampled delay. Under the TCP transport the frame
+    /// is encoded here — staged as the real bytes it will cross the
+    /// socket as — and its framed size lands in `wire_bytes`. The
+    /// caller guarantees the parts fit one frame's caps.
+    fn launch_one(
+        &mut self,
         parts: Vec<Part>,
         rng: &mut SmallRng,
         heap: &mut BinaryHeap<InFlight>,
@@ -324,62 +453,142 @@ impl Router {
         } else {
             min
         };
+        // Compute every accounting delta — and, under TCP, the encoded
+        // frame — *before* touching the stats mutex, so this hot path
+        // pays exactly one acquisition per wire message (the same lock
+        // serves the fabric's reader threads and `stats()` pollers).
+        //
+        // A part may itself be a pre-batched envelope (a server's
+        // re-batched acks travel as one `Message::Batch` send):
+        // protocol-message accounting always uses the flattened view.
+        let total_parts: u64 = parts.iter().map(|(_, _, m)| m.part_count() as u64).sum();
+        let part_bytes: u64 = parts.iter().map(|(_, _, m)| m.wire_size() as u64).sum();
+        // Coalesced envelopes share one wire frame: one extra header
+        // (12 bytes — `lucky_wire::FRAME_HEADER_BYTES`).
+        let bytes = if parts.len() > 1 { 12 + part_bytes } else { part_bytes };
+        let batched = total_parts > 1;
+        // Per-register deltas, in first-seen order.
+        let mut per_register: Vec<(RegisterId, u64, u64)> = Vec::new();
+        for (_, _, m) in &parts {
+            m.for_each_part(|part| {
+                let Some(reg) = part.register() else {
+                    return;
+                };
+                let size = part.wire_size() as u64;
+                match per_register.iter_mut().find(|(r, _, _)| *r == reg) {
+                    Some((_, msgs, b)) => {
+                        *msgs += 1;
+                        *b += size;
+                    }
+                    None => per_register.push((reg, 1, size)),
+                }
+            });
+        }
+        // Per-server breakdown: server slots hold one server only.
+        let server = parts[0]
+            .1
+            .as_server()
+            .filter(|&server| parts.iter().all(|(_, to, _)| to.as_server() == Some(server)));
+        let load = if self.cfg.sinks.is_none() {
+            Some(Load::Parts(parts))
+        } else {
+            // TCP: stage the wire message as the real frame it will
+            // cross the socket as. Every part of one wire message is
+            // bound for the same slot (that is what the staging buffer
+            // coalesces on), so the first recipient names it.
+            self.cfg.slots.get(&parts[0].1).copied().map(|slot| Load::Frame {
+                slot,
+                bytes: lucky_wire::encode_packet(&group_runs(parts)),
+                parts: total_parts,
+            })
+        };
         {
             let mut s = self.stats.lock();
-            // A part may itself be a pre-batched envelope (a server's
-            // re-batched acks travel as one `Message::Batch` send):
-            // protocol-message accounting always uses the flattened view.
-            let total_parts: u64 = parts.iter().map(|(_, _, m)| m.part_count() as u64).sum();
-            let part_bytes: u64 = parts.iter().map(|(_, _, m)| m.wire_size() as u64).sum();
-            // Coalesced envelopes share one wire frame: one extra header.
-            let bytes = if parts.len() > 1 { 12 + part_bytes } else { part_bytes };
-            let batched = total_parts > 1;
             s.messages += 1;
             s.parts += total_parts;
             s.bytes += bytes;
             if batched {
                 s.batches_sent += 1;
             }
-            let mut regs_seen: Vec<RegisterId> = Vec::new();
-            for (_, _, m) in &parts {
-                m.for_each_part(|part| {
-                    let Some(reg) = part.register() else {
-                        return;
-                    };
-                    let per = s.per_register.entry(reg).or_default();
-                    per.messages += 1;
-                    per.bytes += part.wire_size() as u64;
-                    if batched && !regs_seen.contains(&reg) {
-                        regs_seen.push(reg);
-                        per.batches_sent += 1;
-                    }
-                });
+            for (reg, msgs, reg_bytes) in per_register {
+                let per = s.per_register.entry(reg).or_default();
+                per.messages += msgs;
+                per.bytes += reg_bytes;
+                if batched {
+                    per.batches_sent += 1;
+                }
             }
-            // Per-server breakdown: server slots hold one server only.
-            if let Some(server) = parts[0].1.as_server() {
-                if parts.iter().all(|(_, to, _)| to.as_server() == Some(server)) {
-                    let per = s.per_server.entry(server).or_default();
-                    per.messages += 1;
-                    per.parts += total_parts;
-                    per.bytes += bytes;
-                    if batched {
-                        per.batches_sent += 1;
+            if let Some(server) = server {
+                let per = s.per_server.entry(server).or_default();
+                per.messages += 1;
+                per.parts += total_parts;
+                per.bytes += bytes;
+                if batched {
+                    per.batches_sent += 1;
+                }
+            }
+            match &load {
+                Some(Load::Frame { bytes, .. }) => s.wire_bytes += bytes.len() as u64,
+                Some(Load::Parts(_)) => {}
+                // TCP with an unmapped destination: nothing to frame.
+                None => s.dropped += total_parts,
+            }
+        }
+        let Some(load) = load else {
+            return;
+        };
+        *seq += 1;
+        heap.push(InFlight { due: Instant::now() + delay, seq: *seq, load });
+    }
+
+    /// Hand a due wire message to its recipients.
+    ///
+    /// Channel transport: runs of parts sharing one sender and one
+    /// recipient arrive as a single [`Message::Batch`]; sender changes
+    /// fan out as separate inbox sends, back-to-back. TCP transport:
+    /// the staged frame (whose packet parts were grouped the same way
+    /// at launch) is written to the destination slot's socket; the
+    /// slot's reader threads decode and fan out on the far side.
+    fn deliver(&mut self, load: Load) {
+        match load {
+            Load::Parts(parts) => {
+                for (from, to, msg) in group_runs(parts) {
+                    // `dropped` counts protocol messages, so a lost
+                    // batch counts each of its parts.
+                    let lost = msg.part_count() as u64;
+                    match self.inboxes.get(&to) {
+                        Some(tx) if tx.send((from, msg)).is_ok() => {}
+                        _ => self.stats.lock().dropped += lost,
                     }
                 }
             }
+            Load::Frame { slot, bytes, parts } => {
+                let sink = self.cfg.sinks.as_mut().and_then(|s| s.get_mut(&slot));
+                let written = match sink {
+                    Some(stream) => stream.write_all(&bytes).is_ok(),
+                    // No socket: the slot never spawned (crashed server).
+                    None => false,
+                };
+                if !written {
+                    // The wire message is lost, parts and all.
+                    self.stats.lock().dropped += parts;
+                }
+            }
         }
-        *seq += 1;
-        heap.push(InFlight { due: Instant::now() + delay, seq: *seq, parts });
     }
+}
 
-    /// Hand a due wire message to its recipients: runs of parts sharing
-    /// one sender and one recipient arrive as a single
-    /// [`Message::Batch`]; sender changes fan out as separate inbox
-    /// sends, back-to-back.
-    fn deliver(&mut self, parts: Vec<Part>) {
-        let mut run: Vec<Message> = Vec::new();
-        let mut run_key: Option<(ProcessId, ProcessId)> = None;
-        let flush = |key: Option<(ProcessId, ProcessId)>, run: &mut Vec<Message>| {
+/// Group consecutive parts sharing one (sender, recipient) pair into
+/// single wire-payload messages: a run of length ≥ 2 merges into one
+/// [`Message::Batch`], preserving order. Both transports use this — the
+/// channel transport at delivery, the TCP transport when staging the
+/// frame — so a recipient observes identical messages either way.
+fn group_runs(parts: Vec<Part>) -> Vec<PacketPart> {
+    let mut out: Vec<PacketPart> = Vec::new();
+    let mut run: Vec<Message> = Vec::new();
+    let mut run_key: Option<(ProcessId, ProcessId)> = None;
+    let flush =
+        |key: Option<(ProcessId, ProcessId)>, run: &mut Vec<Message>, out: &mut Vec<PacketPart>| {
             let Some((from, to)) = key else {
                 return;
             };
@@ -389,22 +598,15 @@ impl Router {
                 Message::batch(std::mem::take(run))
             };
             run.clear();
-            // `dropped` counts protocol messages, so a lost batch counts
-            // each of its parts.
-            let lost = msg.part_count() as u64;
-            let mut s = self.stats.lock();
-            match self.inboxes.get(&to) {
-                Some(tx) if tx.send((from, msg)).is_ok() => {}
-                _ => s.dropped += lost,
-            }
+            out.push((from, to, msg));
         };
-        for (from, to, msg) in parts {
-            if run_key != Some((from, to)) {
-                flush(run_key, &mut run);
-                run_key = Some((from, to));
-            }
-            run.push(msg);
+    for (from, to, msg) in parts {
+        if run_key != Some((from, to)) {
+            flush(run_key, &mut run, &mut out);
+            run_key = Some((from, to));
         }
-        flush(run_key, &mut run);
+        run.push(msg);
     }
+    flush(run_key, &mut run, &mut out);
+    out
 }

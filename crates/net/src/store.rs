@@ -21,6 +21,7 @@ use crate::cluster::{
     NetError, NetOutcome,
 };
 use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
+use crate::tcp::{build_fabric, TcpFabric, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lucky_core::runtime::ServerCore;
 use lucky_core::{ProtocolConfig, Setup, StoreConfig};
@@ -54,6 +55,7 @@ pub struct NetStoreBuilder {
     shards: Option<usize>,
     protocol: ProtocolConfig,
     batch: BatchConfig,
+    transport: Transport,
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
     crashed: Vec<u16>,
 }
@@ -121,6 +123,18 @@ impl NetStoreBuilder {
     #[must_use]
     pub fn batch(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Wire transport (default [`Transport::Channel`]). Under
+    /// [`Transport::Tcp`] every server and every shard worker owns a
+    /// real loopback socket: all protocol traffic is encoded by
+    /// `lucky-wire`, framed, written to the destination slot's socket
+    /// and reassembled on the far side — and
+    /// [`NetStats::wire_bytes`] reports the true framed byte count.
+    #[must_use]
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -227,8 +241,16 @@ impl NetStoreBuilder {
             ));
         }
 
-        // Router thread.
+        // Router thread — and, under TCP, the socket fabric between the
+        // router and the destination slots (servers + shard workers).
         let stats = Arc::new(Mutex::new(NetStats::default()));
+        let (fabric, sinks) = match self.transport {
+            Transport::Channel => (None, None),
+            Transport::Tcp => {
+                let (fabric, sinks) = build_fabric("lucky-store", &slots, &inboxes, &stats);
+                (Some(fabric), Some(sinks))
+            }
+        };
         let router_thread = spawn_router(
             "lucky-store-router",
             router_rx,
@@ -238,6 +260,7 @@ impl NetStoreBuilder {
                 seed: self.cfg.seed,
                 batch: self.batch,
                 slots,
+                sinks,
             },
             Arc::clone(&stats),
         );
@@ -275,6 +298,7 @@ impl NetStoreBuilder {
             router_tx,
             router_thread: Some(router_thread),
             server_threads,
+            fabric,
             _workers: workers,
             handles,
             registers: self.registers,
@@ -463,6 +487,7 @@ pub struct NetStore {
     router_tx: Sender<Envelope>,
     router_thread: Option<JoinHandle<()>>,
     server_threads: Vec<JoinHandle<()>>,
+    fabric: Option<TcpFabric>,
     /// Worker threads exit when every job sender (the untaken handles
     /// below plus whatever the caller took) is dropped.
     _workers: Vec<JoinHandle<()>>,
@@ -498,6 +523,7 @@ impl NetStore {
             shards: None,
             protocol: ProtocolConfig::default(),
             batch: BatchConfig::disabled(),
+            transport: Transport::Channel,
             byzantine: BTreeMap::new(),
             crashed: Vec::new(),
         }
@@ -579,14 +605,26 @@ impl NetStore {
         lucky_checker::assert_regular_per_register(&self.history())
     }
 
-    /// Stop the router and server threads and wait for them. Shard
-    /// workers exit once every register handle is dropped; pending
-    /// operations fail with [`NetError`].
+    /// The loopback address server `s` listens on, when the store runs
+    /// over [`Transport::Tcp`] (`None` under the channel transport or
+    /// for a crashed server).
+    pub fn server_addr(&self, s: ServerId) -> Option<std::net::SocketAddr> {
+        self.fabric.as_ref().and_then(|f| f.server_addrs.get(&s).copied())
+    }
+
+    /// Stop the router, fabric and server threads and wait for them.
+    /// Shard workers exit once every register handle is dropped;
+    /// pending operations fail with [`NetError`].
     pub fn shutdown(&mut self) {
         self.handles.clear();
         let _ = self.router_tx.send(Envelope::Stop);
         if let Some(t) = self.router_thread.take() {
             let _ = t.join();
+        }
+        // Router gone → its socket sinks closed → the fabric's readers
+        // see EOF and release the inbox senders as the fabric joins.
+        if let Some(mut fabric) = self.fabric.take() {
+            fabric.shutdown();
         }
         for t in self.server_threads.drain(..) {
             let _ = t.join();

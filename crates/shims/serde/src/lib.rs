@@ -1,7 +1,22 @@
-//! Offline stand-in for the `serde` facade.
+//! Offline stand-in for the `serde` facade — **intentionally inert**.
 //!
 //! Re-exports the no-op derive macros so `use serde::{Deserialize,
-//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
-//! See `crates/shims/README.md` for the swap-back story.
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile
+//! unchanged. The derives generate *no code*: they exist purely so the
+//! workspace's type annotations survive an offline build and so the
+//! real `serde` can be swapped back in by editing one line of the root
+//! `Cargo.toml` (see `crates/shims/README.md`).
+//!
+//! **No runtime path encodes through this shim.** Every byte that
+//! actually crosses a wire in this workspace is produced and consumed
+//! by `lucky-wire` — the hand-rolled binary codec with its own
+//! `Encode`/`Decode` traits, varints, framing and checksums — which the
+//! TCP transport in `lucky-net`, the Byzantine codec adversaries and
+//! the benchmarks all call directly. Nothing anywhere calls a serde
+//! `serialize`/`deserialize` method (the shim does not even provide
+//! one), so there is no silent no-op encoding to mistake for real
+//! serialization: code that wants bytes *must* go through `lucky-wire`,
+//! and code that only wants the derive markers keeps compiling against
+//! either serde.
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -1,8 +1,12 @@
-//! No-op `Serialize`/`Deserialize` derives for the offline build.
+//! No-op `Serialize`/`Deserialize` derives for the offline build —
+//! **intentionally inert**.
 //!
 //! The workspace only uses serde's derives to mark types as
-//! serializable; nothing in the build serializes at runtime, so emitting
-//! no code preserves behaviour. See `crates/shims/README.md`.
+//! serializable; no runtime path calls serde to produce bytes, so
+//! emitting no code preserves behaviour. Real on-the-wire encoding is
+//! `lucky-wire`'s job (its `Encode`/`Decode` impls are hand-written,
+//! not derived), which every transport and adversary calls directly.
+//! See `crates/shims/README.md` and `crates/shims/serde/src/lib.rs`.
 
 use proc_macro::TokenStream;
 

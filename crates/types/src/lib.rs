@@ -46,4 +46,4 @@ pub use msg::{
 };
 pub use params::{Params, ParamsError, TwoRoundParams};
 pub use time::Time;
-pub use value::{ReadSeq, Seq, TsVal, Value};
+pub use value::{varint_len, ReadSeq, Seq, TsVal, Value};

@@ -8,6 +8,22 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Byte length of the canonical LEB128 varint encoding of `x` — the
+/// integer encoding `lucky-wire` puts on the wire (seven value bits per
+/// byte, one byte minimum).
+///
+/// Lives here, not in `lucky-wire`, so the wire-size arithmetic on
+/// [`Message`](crate::Message) can be *exact* without reversing the
+/// crate dependency; `lucky-wire`'s property tests pin the two crates
+/// together (`encode(m).len() == m.wire_size()`).
+pub fn varint_len(x: u64) -> usize {
+    if x == 0 {
+        1
+    } else {
+        (64 - x.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
 /// Logical write timestamp assigned by the writer (`ts` in the paper).
 ///
 /// `Seq(0)` is `ts0`, the timestamp of the initial value `⊥`; the writer
@@ -116,6 +132,16 @@ impl Value {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Exact encoded size in bytes under the `lucky-wire` codec: one
+    /// tag byte, plus (for data) the varint length prefix and the
+    /// payload itself.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Bot => 1,
+            Value::Data(b) => 1 + varint_len(b.len() as u64) + b.len(),
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -183,9 +209,10 @@ impl TsVal {
         self.ts < c.ts || (self.ts == c.ts && self.val != c.val)
     }
 
-    /// Wire-size estimate in bytes (timestamp + payload).
+    /// Exact encoded size in bytes under the `lucky-wire` codec:
+    /// varint timestamp plus the encoded value.
     pub fn wire_size(&self) -> usize {
-        8 + self.val.len()
+        varint_len(self.ts.0) + self.val.wire_size()
     }
 }
 
@@ -275,8 +302,20 @@ mod tests {
 
     #[test]
     fn wire_size_counts_payload() {
-        assert_eq!(TsVal::initial().wire_size(), 8);
-        assert_eq!(TsVal::new(Seq(1), Value::from_u64(1)).wire_size(), 16);
+        // ⟨ts0,⊥⟩: one varint byte + one Value tag byte.
+        assert_eq!(TsVal::initial().wire_size(), 2);
+        // ⟨ts1,v1⟩: varint ts (1) + tag (1) + len prefix (1) + 8 bytes.
+        assert_eq!(TsVal::new(Seq(1), Value::from_u64(1)).wire_size(), 11);
+    }
+
+    #[test]
+    fn varint_len_breakpoints() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(16_383), 2);
+        assert_eq!(varint_len(16_384), 3);
+        assert_eq!(varint_len(u64::MAX), 10);
     }
 
     #[test]

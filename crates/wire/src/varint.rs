@@ -1,0 +1,103 @@
+//! LEB128 variable-length integers.
+//!
+//! Every integer on the wire — timestamps, register and process indices,
+//! list and payload lengths — travels as an unsigned LEB128 varint:
+//! seven value bits per byte, least-significant group first, high bit
+//! set on every byte but the last. Small values (the overwhelmingly
+//! common case for round numbers and ids) cost one byte; a full `u64`
+//! costs ten.
+
+use crate::codec::{DecodeError, Reader, Writer};
+
+/// Longest canonical encoding of a `u64`: ⌈64 / 7⌉ bytes.
+pub(crate) const MAX_VARINT_BYTES: usize = 10;
+
+/// Append the varint encoding of `x`.
+pub(crate) fn write_varint(w: &mut Writer, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            w.u8(byte);
+            return;
+        }
+        w.u8(byte | 0x80);
+    }
+}
+
+/// Read one varint. Rejects encodings longer than ten bytes and
+/// ten-byte encodings whose final group overflows 64 bits, so every
+/// successful read fits a `u64` and consumes a bounded number of bytes.
+pub(crate) fn read_varint(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let mut x: u64 = 0;
+    for i in 0..MAX_VARINT_BYTES {
+        let byte = r.u8()?;
+        let group = (byte & 0x7F) as u64;
+        // The tenth byte may only carry the single remaining bit.
+        if i == MAX_VARINT_BYTES - 1 && group > 1 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        x |= group << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: u64) -> (u64, usize) {
+        let mut w = Writer::new();
+        write_varint(&mut w, x);
+        let buf = w.into_bytes();
+        let len = buf.len();
+        let mut r = Reader::new(&buf);
+        let back = read_varint(&mut r).expect("roundtrip decodes");
+        assert_eq!(r.remaining(), 0);
+        (back, len)
+    }
+
+    #[test]
+    fn roundtrips_across_the_range() {
+        for x in [0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let (back, len) = roundtrip(x);
+            assert_eq!(back, x);
+            assert_eq!(len, lucky_types::varint_len(x), "length contract for {x}");
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        assert_eq!(roundtrip(0).1, 1);
+        assert_eq!(roundtrip(127).1, 1);
+        assert_eq!(roundtrip(128).1, 2);
+    }
+
+    #[test]
+    fn ten_byte_max() {
+        assert_eq!(roundtrip(u64::MAX).1, MAX_VARINT_BYTES);
+    }
+
+    #[test]
+    fn overlong_encodings_are_rejected() {
+        // Eleven continuation bytes: more groups than a u64 can hold.
+        let buf = [0x80u8; 11];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(read_varint(&mut r), Err(DecodeError::VarintOverflow)));
+        // Ten bytes whose last group overflows bit 63.
+        let mut buf = [0x80u8; 10];
+        buf[9] = 0x02;
+        let mut r = Reader::new(&buf);
+        assert!(matches!(read_varint(&mut r), Err(DecodeError::VarintOverflow)));
+    }
+
+    #[test]
+    fn truncated_varint_is_truncated_error() {
+        let buf = [0x80u8; 3];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(read_varint(&mut r), Err(DecodeError::Truncated)));
+    }
+}

@@ -14,7 +14,10 @@
 //!   high-level API;
 //! * [`checker`] — atomicity / regularity / safeness history checkers;
 //! * [`baselines`] — the ABD crash-only register used for comparison;
-//! * [`net`] — a thread-based real-time runtime for the same cores.
+//! * [`wire`] — the hand-rolled binary codec and framing every byte on
+//!   the real wire goes through;
+//! * [`net`] — a thread-based real-time runtime for the same cores,
+//!   over in-process channels or real loopback TCP sockets.
 //!
 //! ## Quickstart
 //!
@@ -47,3 +50,4 @@ pub use lucky_explore as explore;
 pub use lucky_net as net;
 pub use lucky_sim as sim;
 pub use lucky_types as types;
+pub use lucky_wire as wire;

@@ -1,0 +1,315 @@
+//! The real wire: every protocol message crossing loopback TCP sockets
+//! as `lucky-wire` frames.
+//!
+//! Under `Transport::Tcp` each server and each shard worker owns a real
+//! `std::net` listener; the router encodes its per-destination
+//! socket-slot batches as checksummed frames and writes them to the
+//! destination's socket, where a reader thread reassembles them from
+//! whatever partial reads TCP produces. These tests pin down:
+//!
+//! * **equivalence** — all three variants complete a multi-register,
+//!   batching-enabled workload over real sockets with checker-clean
+//!   verdicts, exactly as over channels;
+//! * **byte accounting** — `NetStats::wire_bytes` (true framed bytes)
+//!   brackets `NetStats::bytes` (the codec-exact payload accounting)
+//!   within framing overhead, and honest runs decode with zero errors;
+//! * **fault tolerance** — crashes and Byzantine servers (value
+//!   forgers, codec-level `WireFuzz`) within the budget change nothing;
+//! * **hostile bytes** — raw garbage injected straight into a server's
+//!   socket is rejected cleanly (counted, connection dropped) while the
+//!   protocol sails on.
+
+use lucky_atomic::core::byz::{ForgeValue, WireFuzz};
+use lucky_atomic::core::Setup;
+use lucky_atomic::explore::{random_walks, ByzKind, Scenario};
+use lucky_atomic::net::{NetCluster, NetConfig, NetStats, NetStore, Transport};
+use lucky_atomic::types::{BatchConfig, Params, RegisterId, Seq, TsVal, TwoRoundParams, Value};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const REGISTERS: usize = 4;
+const READERS_PER_REGISTER: usize = 2;
+const ROUNDS: u64 = 4;
+
+fn net_cfg() -> NetConfig {
+    let mut cfg = NetConfig::for_latency(Duration::from_micros(50), Duration::from_micros(400));
+    cfg.seed = 11;
+    cfg
+}
+
+/// The three variant setups, sized so one crash plus one Byzantine
+/// server stays within the fault budget.
+fn setups() -> Vec<Setup> {
+    vec![
+        Setup::Atomic(Params::new(2, 1, 1, 0).unwrap()),
+        Setup::TwoRound(TwoRoundParams::new(2, 1, 1).unwrap()),
+        Setup::Regular(Params::trading_reads(2, 1).unwrap()),
+    ]
+}
+
+/// The framed-bytes bracket: actual on-the-wire bytes must exceed the
+/// payload accounting (frames add headers and envelopes, never remove
+/// payload) but only by bounded per-frame and per-part overhead — the
+/// `NetStats` audit the exact `Message::wire_size` rewrite enables.
+fn assert_wire_bytes_bracket(stats: &NetStats) {
+    assert!(stats.wire_bytes > stats.bytes, "framing adds overhead: {stats:?}");
+    let overhead_bound = stats.max_framing_overhead();
+    assert!(
+        stats.wire_bytes <= stats.bytes + overhead_bound,
+        "framing overhead out of bounds: wire {} vs payload {} (+{overhead_bound} allowed)",
+        stats.wire_bytes,
+        stats.bytes
+    );
+}
+
+/// Run the standard mixed workload over TCP and return the final stats.
+fn run_workload(
+    setup: Setup,
+    byzantine: Option<(u16, Adversary)>,
+    crashed: Option<u16>,
+) -> NetStats {
+    let mut builder = NetStore::builder(setup, net_cfg())
+        .registers(REGISTERS)
+        .readers_per_register(READERS_PER_REGISTER)
+        .shards(3)
+        .batch(BatchConfig::enabled(16).with_max_delay_micros(500))
+        .transport(Transport::Tcp);
+    if let Some((i, adversary)) = byzantine {
+        builder = builder.byzantine(
+            i,
+            match adversary {
+                Adversary::Forge => {
+                    Box::new(ForgeValue::new(TsVal::new(Seq(9_000), Value::from_u64(666))))
+                }
+                Adversary::Fuzz => Box::new(WireFuzz::new(setup, 7)),
+            },
+        );
+    }
+    if let Some(i) = crashed {
+        builder = builder.crashed(i);
+    }
+    let mut store = builder.build();
+    let handles: Vec<_> =
+        RegisterId::all(REGISTERS).map(|reg| store.register(reg).expect("fresh handle")).collect();
+    for round in 0..ROUNDS {
+        let mut tickets = Vec::new();
+        for h in &handles {
+            tickets.push(h.invoke_write(Value::from_u64(1 + h.id().0 as u64 * 1_000 + round)));
+        }
+        for h in &handles {
+            for j in 0..READERS_PER_REGISTER as u16 {
+                tickets.push(h.invoke_read(j));
+            }
+        }
+        for t in tickets {
+            t.wait().expect("operation completes over TCP");
+        }
+    }
+    match setup {
+        Setup::Regular(_) => store.check_regularity().expect("regular verdict over TCP"),
+        _ => store.check_atomicity().expect("atomic verdict over TCP"),
+    }
+    let stats = store.stats();
+    store.shutdown();
+    stats
+}
+
+#[derive(Clone, Copy)]
+enum Adversary {
+    Forge,
+    Fuzz,
+}
+
+#[test]
+fn all_variants_complete_batched_multi_register_workloads_over_tcp() {
+    for setup in setups() {
+        let stats = run_workload(setup, None, None);
+        assert!(stats.messages > 0 && stats.parts > stats.messages, "batching engaged: {stats:?}");
+        assert!(stats.batches_sent > 0, "{setup:?}");
+        assert_eq!(stats.decode_errors, 0, "honest frames all decode: {setup:?}");
+        assert_eq!(stats.dropped, 0, "no recipient ever went missing: {setup:?}");
+        assert!(stats.wire_bytes > 0, "real bytes crossed the sockets: {setup:?}");
+        assert_wire_bytes_bracket(&stats);
+    }
+}
+
+#[test]
+fn crash_plus_forging_byzantine_within_budget_over_tcp() {
+    for setup in setups() {
+        let stats = run_workload(setup, Some((1, Adversary::Forge)), Some(0));
+        // The crashed server's slot has no socket: every frame routed
+        // there is accounted as dropped parts, not silently lost.
+        assert!(stats.dropped > 0, "frames to the crashed server count as dropped");
+        assert_eq!(stats.decode_errors, 0);
+        assert_wire_bytes_bracket(&stats);
+    }
+}
+
+#[test]
+fn wire_fuzzing_byzantine_server_cannot_break_verdicts_over_tcp() {
+    // The codec-level adversary at server 1: most of its replies die in
+    // its own corrupted frames (within its fault budget — a drop is a
+    // legal Byzantine behaviour), the rest arrive as checksum-valid
+    // mangled batches. Verdicts must be unchanged; the WireFuzz-internal
+    // assertions additionally prove every corrupted frame was rejected.
+    for setup in setups() {
+        let stats = run_workload(setup, Some((1, Adversary::Fuzz)), None);
+        assert_eq!(stats.decode_errors, 0, "the adversary corrupts pre-send, not the wire");
+        assert_wire_bytes_bracket(&stats);
+    }
+}
+
+#[test]
+fn single_register_cluster_api_over_tcp() {
+    let params = Params::new(1, 0, 1, 0).unwrap();
+    let mut cluster = NetCluster::builder(params, net_cfg()).transport(Transport::Tcp).build();
+    let mut writer = cluster.take_writer().unwrap();
+    let mut reader = cluster.take_reader(0).unwrap();
+    for i in 1..=5u64 {
+        writer.write(Value::from_u64(i)).unwrap();
+        assert_eq!(reader.read().unwrap().value.as_u64(), Some(i));
+    }
+    let stats = cluster.stats();
+    assert!(stats.wire_bytes > 0);
+    assert_eq!(stats.decode_errors, 0);
+    assert_wire_bytes_bracket(&stats);
+    cluster.shutdown();
+}
+
+#[test]
+fn raw_garbage_on_a_server_socket_is_rejected_cleanly() {
+    let params = Params::new(1, 0, 1, 0).unwrap();
+    let mut cluster = NetCluster::builder(params, net_cfg()).transport(Transport::Tcp).build();
+    let addr = cluster
+        .server_addr(lucky_atomic::types::ServerId(0))
+        .expect("TCP transport exposes server addresses");
+
+    // Three hostile connections: plain garbage, a frame with a smashed
+    // checksum, and an oversized length prefix. Each must be counted
+    // and dropped without disturbing the protocol.
+    let mut garbage = TcpStream::connect(addr).unwrap();
+    garbage.write_all(b"this is definitely not a lucky-wire frame....").unwrap();
+    let mut bad_crc = TcpStream::connect(addr).unwrap();
+    let mut frame = lucky_wire::encode_frame(b"payload");
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    bad_crc.write_all(&frame).unwrap();
+    let mut oversized = TcpStream::connect(addr).unwrap();
+    let mut frame = lucky_wire::encode_frame(b"payload");
+    frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    oversized.write_all(&frame).unwrap();
+
+    // The protocol keeps working while the rejects land.
+    let mut writer = cluster.take_writer().unwrap();
+    let mut reader = cluster.take_reader(0).unwrap();
+    writer.write(Value::from_u64(7)).unwrap();
+    assert_eq!(reader.read().unwrap().value.as_u64(), Some(7));
+
+    // Rejections are asynchronous (reader threads); wait for all three.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let errors = cluster.stats().decode_errors;
+        if errors >= 3 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "only {errors} of 3 hostile frames rejected in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // And the cluster still works afterwards.
+    writer.write(Value::from_u64(8)).unwrap();
+    assert_eq!(reader.read().unwrap().value.as_u64(), Some(8));
+    drop((garbage, bad_crc, oversized));
+    cluster.shutdown();
+}
+
+#[test]
+fn channel_transport_reports_no_wire_bytes() {
+    // The estimate/actual split is explicit: without sockets there are
+    // no framed bytes and no decode errors, only the payload estimate.
+    let params = Params::new(1, 0, 1, 0).unwrap();
+    let mut cluster = NetCluster::builder(params, net_cfg()).build();
+    let mut writer = cluster.take_writer().unwrap();
+    writer.write(Value::from_u64(1)).unwrap();
+    let stats = cluster.stats();
+    assert!(stats.bytes > 0);
+    assert_eq!(stats.wire_bytes, 0);
+    assert_eq!(stats.decode_errors, 0);
+    assert!(cluster.server_addr(lucky_atomic::types::ServerId(0)).is_none());
+    cluster.shutdown();
+}
+
+#[test]
+fn values_past_the_frame_cap_fail_the_op_without_killing_the_router() {
+    // A value whose PW encoding exceeds `MAX_FRAME_BYTES` can never
+    // cross this transport: no splitting helps a single message. The
+    // router must drop it (counted) and time the operation out — not
+    // panic and take the whole store down with it.
+    let params = Params::new(1, 0, 1, 0).unwrap();
+    let mut cfg = net_cfg();
+    cfg.timer = Duration::from_millis(1); // keep the op deadline short
+    let mut store = NetStore::builder(params, cfg).registers(2).transport(Transport::Tcp).build();
+    let h0 = store.register(RegisterId(0)).unwrap();
+    let h1 = store.register(RegisterId(1)).unwrap();
+    let oversized = Value::from_bytes(vec![0u8; lucky_wire::MAX_FRAME_BYTES + 64]);
+    assert!(h0.write(oversized).is_err(), "unframeable write must fail, not hang or panic");
+    // The router survives: other registers keep operating normally.
+    h1.write(Value::from_u64(7)).unwrap();
+    assert_eq!(h1.read(0).unwrap().value.as_u64(), Some(7));
+    let stats = store.stats();
+    assert!(stats.dropped > 0, "the unframeable parts are accounted: {stats:?}");
+    store.shutdown();
+}
+
+#[test]
+fn coalesced_loads_past_the_frame_cap_split_into_multiple_frames() {
+    // Moderate values that fit a frame individually but not together:
+    // an aggressive batching window stages them onto one socket-slot,
+    // and the router must split the load across frames instead of
+    // tripping the codec caps. Everything completes and stays clean.
+    let params = Params::new(1, 0, 1, 0).unwrap();
+    let mut store = NetStore::builder(params, net_cfg())
+        .registers(8)
+        .shards(2)
+        .batch(BatchConfig::enabled(16).with_max_delay_micros(2_000))
+        .transport(Transport::Tcp)
+        .build();
+    let handles: Vec<_> =
+        RegisterId::all(8).map(|reg| store.register(reg).expect("fresh handle")).collect();
+    // 8 concurrent ~200 KiB writes: the PWs to one server can stage to
+    // ~1.6 MiB, past the 1 MiB frame cap.
+    let payload = vec![0x5Au8; 200 * 1024];
+    let tickets: Vec<_> =
+        handles.iter().map(|h| h.invoke_write(Value::from_bytes(payload.clone()))).collect();
+    for t in tickets {
+        t.wait().expect("chunked frames still deliver every write");
+    }
+    for h in &handles {
+        assert_eq!(h.read(0).unwrap().value.len(), payload.len());
+    }
+    store.check_atomicity().unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.dropped, 0, "nothing was unframeable: {stats:?}");
+    assert_eq!(stats.decode_errors, 0);
+    assert!(stats.wire_bytes > 8 * payload.len() as u64, "the payloads crossed the wire");
+    store.shutdown();
+}
+
+#[test]
+fn explore_random_walks_with_wire_fuzzing_server_stay_atomic() {
+    // The explorer's deterministic WireFuzz: every schedule of a write
+    // racing two readers against a codec-level adversary keeps the
+    // §2.2 verdicts (and the in-adversary assertions prove each
+    // corrupted frame was cleanly rejected on every explored path).
+    let params = Params::new(1, 1, 0, 0).unwrap();
+    let scenario = Scenario::new(params)
+        .write(Value::from_u64(1))
+        .write(Value::from_u64(2))
+        .reads(0, 1)
+        .reads(1, 1)
+        .byzantine(2, ByzKind::WireFuzz);
+    let report = random_walks(&scenario, 400, 260, 13);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.completed_runs > 0, "fuzzed schedules still complete the workload");
+}
