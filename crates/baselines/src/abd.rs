@@ -77,7 +77,13 @@ impl AbdServer {
 }
 
 impl Automaton<AbdMessage> for AbdServer {
-    fn on_message(&mut self, from: ProcessId, msg: AbdMessage, eff: &mut Effects<AbdMessage>) {
+    fn on_message(
+        &mut self,
+        _now: Time,
+        from: ProcessId,
+        msg: AbdMessage,
+        eff: &mut Effects<AbdMessage>,
+    ) {
         match msg {
             AbdMessage::Get { rid } => {
                 eff.send(from, AbdMessage::GetAck { rid, stored: self.stored.clone() });
@@ -123,7 +129,7 @@ impl AbdWriter {
 }
 
 impl Automaton<AbdMessage> for AbdWriter {
-    fn on_invoke(&mut self, op: Op, eff: &mut Effects<AbdMessage>) {
+    fn on_invoke(&mut self, _now: Time, op: Op, eff: &mut Effects<AbdMessage>) {
         let Op::Write(v) = op else {
             panic!("the ABD writer only invokes WRITEs");
         };
@@ -141,7 +147,13 @@ impl Automaton<AbdMessage> for AbdWriter {
         self.state = WriterState::Putting { rid, acks: BTreeSet::new() };
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: AbdMessage, eff: &mut Effects<AbdMessage>) {
+    fn on_message(
+        &mut self,
+        _now: Time,
+        from: ProcessId,
+        msg: AbdMessage,
+        eff: &mut Effects<AbdMessage>,
+    ) {
         let Some(server) = from.as_server() else { return };
         let WriterState::Putting { rid, acks } = &mut self.state else { return };
         if let AbdMessage::PutAck { rid: ack_rid } = msg {
@@ -186,7 +198,7 @@ impl AbdReader {
 }
 
 impl Automaton<AbdMessage> for AbdReader {
-    fn on_invoke(&mut self, op: Op, eff: &mut Effects<AbdMessage>) {
+    fn on_invoke(&mut self, _now: Time, op: Op, eff: &mut Effects<AbdMessage>) {
         assert!(matches!(op, Op::Read), "ABD readers only invoke READs");
         assert!(self.state == ReaderState::Idle, "READ invoked while another READ is in progress");
         self.next_rid += 1;
@@ -195,7 +207,13 @@ impl Automaton<AbdMessage> for AbdReader {
         self.state = ReaderState::Querying { rid, acks: BTreeSet::new(), best: TsVal::initial() };
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: AbdMessage, eff: &mut Effects<AbdMessage>) {
+    fn on_message(
+        &mut self,
+        _now: Time,
+        from: ProcessId,
+        msg: AbdMessage,
+        eff: &mut Effects<AbdMessage>,
+    ) {
         let Some(server) = from.as_server() else { return };
         match (&mut self.state, msg) {
             (

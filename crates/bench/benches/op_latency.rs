@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use lucky_baselines::abd::{AbdCluster, AbdConfig};
 use lucky_core::{ClusterConfig, ProtocolConfig, SimCluster};
-use lucky_types::{Params, ReaderId, TwoRoundParams, Value};
+use lucky_net::{Driver, NetConfig, NetStore, Transport};
+use lucky_types::{Params, ReaderId, RegisterId, TwoRoundParams, Value};
+use std::time::Duration;
 
 fn bench_lucky_ops(c: &mut Criterion) {
     let params = Params::new(2, 1, 1, 0).unwrap();
@@ -121,5 +123,41 @@ fn bench_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lucky_ops, bench_variants);
+/// Threaded vs polled client drivers on the real-time runtime, over real
+/// TCP sockets: wall-clock latency of a sequential write + read pair.
+/// Both drivers pump the same sans-io `ClientSession`, so the spread
+/// between them is pure driver overhead (blocking recv vs poll loop).
+fn bench_net_drivers(c: &mut Criterion) {
+    let params = Params::new(1, 0, 1, 0).unwrap();
+    let cfg = || NetConfig {
+        min_latency: Duration::from_micros(50),
+        max_latency: Duration::from_micros(200),
+        seed: 3,
+        timer: Duration::from_millis(2),
+    };
+    let mut group = c.benchmark_group("net_driver_write_read_pair_tcp");
+    for (name, driver) in [("threaded", Driver::Threaded), ("polled", Driver::Polled)] {
+        group.bench_function(name, |bencher| {
+            bencher.iter_batched_ref(
+                || {
+                    let mut store = NetStore::builder(params, cfg())
+                        .registers(1)
+                        .transport(Transport::Tcp)
+                        .driver(driver)
+                        .build();
+                    let handle = store.register(RegisterId(0)).expect("fresh handle");
+                    (store, handle)
+                },
+                |(_store, handle)| {
+                    handle.write(Value::from_u64(1)).expect("write completes");
+                    handle.read(0).expect("read completes")
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lucky_ops, bench_variants, bench_net_drivers);
 criterion_main!(benches);

@@ -8,14 +8,14 @@ use lucky_core::Setup;
 use lucky_sim::{Automaton, Effects, NetworkModel, World};
 use lucky_types::{
     BatchConfig, FrozenSlot, Message, Op, Params, ProcessId, PwMsg, ReadAckMsg, ReadMsg, ReadSeq,
-    ReaderId, RegisterId, Seq, ServerId, TsVal, Value,
+    ReaderId, RegisterId, Seq, ServerId, Time, TsVal, Value,
 };
 
 /// Ping-pong pair used to measure raw event-loop throughput: Pong echoes
 /// every message, Ping decrements until zero.
 struct Pong;
 impl Automaton<u64> for Pong {
-    fn on_message(&mut self, from: ProcessId, msg: u64, eff: &mut Effects<u64>) {
+    fn on_message(&mut self, _now: Time, from: ProcessId, msg: u64, eff: &mut Effects<u64>) {
         eff.send(from, msg);
     }
 }
@@ -24,10 +24,10 @@ struct Ping {
     peer: ProcessId,
 }
 impl Automaton<u64> for Ping {
-    fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u64>) {
+    fn on_invoke(&mut self, _now: Time, _op: Op, eff: &mut Effects<u64>) {
         eff.send(self.peer, 10_000);
     }
-    fn on_message(&mut self, from: ProcessId, msg: u64, eff: &mut Effects<u64>) {
+    fn on_message(&mut self, _now: Time, from: ProcessId, msg: u64, eff: &mut Effects<u64>) {
         if msg > 0 {
             eff.send(from, msg - 1);
         } else {

@@ -80,7 +80,8 @@ pub mod view;
 
 pub use config::{ProtocolConfig, Variant};
 pub use runtime::{
-    ClusterConfig, OpOutcome, RegisterMux, Setup, SimCluster, SimRegister, SimStore, StoreConfig,
+    ClientSession, ClusterConfig, OpOutcome, RegisterMux, SessionConfig, SessionError,
+    SessionOutcome, SessionStatus, Setup, SimCluster, SimRegister, SimStore, StoreConfig,
     SYNC_BOUND_MICROS,
 };
 pub use view::{ServerView, ViewTable};

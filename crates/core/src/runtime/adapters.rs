@@ -2,24 +2,26 @@
 
 use crate::atomic::{AtomicReader, AtomicServer, AtomicWriter};
 use crate::regular::{RegularReader, RegularServer, RegularWriter};
+use crate::runtime::session::{ClientSession, Input};
 use crate::tworound::{TwoRoundReader, TwoRoundServer, TwoRoundWriter};
 use lucky_sim::{Automaton, Effects, TimerId};
-use lucky_types::{Message, Op, ProcessId};
+use lucky_types::{Message, Op, ProcessId, Time};
 
 /// A client-side protocol core: a writer or reader of any variant.
 ///
 /// The three variants expose structurally identical surfaces (invoke,
-/// deliver, timer); this trait lets the adapters, the [`SimCluster`] and
-/// the threaded runtime treat them uniformly.
-///
-/// [`SimCluster`]: crate::SimCluster
+/// deliver, timer); this trait lets the [`ClientSession`] — and through
+/// it every runtime — treat them uniformly.
 pub trait ClientCore: Send {
     /// Invoke an operation (a WRITE with its value, or a READ).
     fn invoke(&mut self, op: Op, eff: &mut Effects<Message>);
     /// Deliver a message from `from`.
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>);
-    /// A timer fired.
-    fn timer(&mut self, id: TimerId, eff: &mut Effects<Message>);
+    /// A timer fired. Cores without timers (the two-round writer,
+    /// Fig. 6) inherit this empty default wake hook.
+    fn timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
+        let _ = (id, eff);
+    }
 }
 
 /// A server-side protocol core (honest or Byzantine).
@@ -96,20 +98,7 @@ macro_rules! impl_server_core {
 
 impl_writer_core!(AtomicWriter);
 impl_writer_core!(RegularWriter);
-impl ClientCore for TwoRoundWriter {
-    fn invoke(&mut self, op: Op, eff: &mut Effects<Message>) {
-        match op {
-            Op::Write(v) => self.invoke_write(v, eff),
-            Op::Read => panic!("the writer does not invoke READs (§2.2)"),
-        }
-    }
-    fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        self.on_message(from, msg, eff);
-    }
-    fn timer(&mut self, _id: TimerId, _eff: &mut Effects<Message>) {
-        // The two-round writer has no timers (Fig. 6).
-    }
-}
+impl_writer_core!(TwoRoundWriter);
 impl_reader_core!(AtomicReader);
 impl_reader_core!(RegularReader);
 impl_reader_core!(TwoRoundReader);
@@ -117,19 +106,73 @@ impl_server_core!(AtomicServer);
 impl_server_core!(RegularServer);
 impl_server_core!(TwoRoundServer);
 
-/// Adapter presenting any [`ClientCore`] as a simulator [`Automaton`].
+/// Adapter driving a [`ClientSession`] from the simulator's virtual
+/// clock: World events become session inputs, session outputs become
+/// `Effects`, and the session's [`next_wake`] schedule is maintained
+/// with a single simulator timer — the adapter itself keeps no timer or
+/// deadline bookkeeping.
+///
+/// [`next_wake`]: ClientSession::next_wake
 #[derive(Debug)]
-pub struct ClientAutomaton<C>(pub C);
+pub struct SessionAutomaton<C: ClientCore = Box<dyn ClientCore>> {
+    session: ClientSession<C>,
+    /// The earliest wake currently scheduled with the World, to avoid
+    /// re-scheduling one event per step. Stale (superseded) wake events
+    /// still fire; the session treats them as no-op polls.
+    scheduled_wake: Option<Time>,
+}
 
-impl<C: ClientCore> Automaton<Message> for ClientAutomaton<C> {
-    fn on_invoke(&mut self, op: Op, eff: &mut Effects<Message>) {
-        self.0.invoke(op, eff);
+/// The one simulator timer id the adapter uses: wake-ups are anonymous
+/// (the session owns the real `TimerId`s internally).
+const WAKE: TimerId = TimerId(u64::MAX);
+
+impl<C: ClientCore> SessionAutomaton<C> {
+    /// Wrap a session for simulation.
+    pub fn new(session: ClientSession<C>) -> SessionAutomaton<C> {
+        SessionAutomaton { session, scheduled_wake: None }
     }
-    fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
-        self.0.deliver(from, msg, eff);
+
+    /// The wrapped session.
+    pub fn session(&self) -> &ClientSession<C> {
+        &self.session
     }
-    fn on_timer(&mut self, id: TimerId, eff: &mut Effects<Message>) {
-        self.0.timer(id, eff);
+
+    /// Drain session outputs into `eff`, surface a completion or
+    /// failure, and keep the World's wake-up schedule current.
+    fn pump(&mut self, now: Time, eff: &mut Effects<Message>) {
+        while let Some(out) = self.session.poll_output() {
+            let (to, msg) = out.into_send();
+            eff.send(to, msg);
+        }
+        if let Some(outcome) = self.session.take_outcome() {
+            eff.complete(outcome.value, outcome.rounds, outcome.fast);
+        } else if self.session.take_failure().is_some() {
+            eff.fail_op();
+        }
+        if let Some(due) = self.session.next_wake() {
+            if self.scheduled_wake.is_none_or(|w| due < w) {
+                eff.set_timer(WAKE, due.0.saturating_sub(now.0));
+                self.scheduled_wake = Some(due);
+            }
+        }
+    }
+}
+
+impl<C: ClientCore> Automaton<Message> for SessionAutomaton<C> {
+    fn on_invoke(&mut self, now: Time, op: Op, eff: &mut Effects<Message>) {
+        self.session.begin(op, now).expect("the World enforces one operation at a time (§2.2)");
+        self.pump(now, eff);
+    }
+    fn on_message(&mut self, now: Time, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+        self.session.handle(Input::Deliver(from, msg), now);
+        self.pump(now, eff);
+    }
+    fn on_timer(&mut self, now: Time, _id: TimerId, eff: &mut Effects<Message>) {
+        // Whatever was scheduled has fired (possibly a stale duplicate);
+        // recompute from the session's own view.
+        self.scheduled_wake = None;
+        self.session.handle(Input::Wake, now);
+        self.pump(now, eff);
     }
 }
 
@@ -138,7 +181,13 @@ impl<C: ClientCore> Automaton<Message> for ClientAutomaton<C> {
 pub struct ServerAutomaton<S>(pub S);
 
 impl<S: ServerCore> Automaton<Message> for ServerAutomaton<S> {
-    fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+    fn on_message(
+        &mut self,
+        _now: Time,
+        from: ProcessId,
+        msg: Message,
+        eff: &mut Effects<Message>,
+    ) {
         self.0.deliver(from, msg, eff);
     }
 }
@@ -147,7 +196,8 @@ impl<S: ServerCore> Automaton<Message> for ServerAutomaton<S> {
 mod tests {
     use super::*;
     use crate::config::ProtocolConfig;
-    use lucky_types::{Params, ReaderId, Value};
+    use crate::runtime::session::SessionConfig;
+    use lucky_types::{Params, ReaderId, RegisterId, Value};
 
     #[test]
     #[should_panic(expected = "does not invoke READs")]
@@ -165,5 +215,52 @@ mod tests {
         let mut r = AtomicReader::new(ReaderId(0), params, ProtocolConfig::default());
         let mut eff = Effects::new();
         ClientCore::invoke(&mut r, Op::Write(Value::from_u64(1)), &mut eff);
+    }
+
+    #[test]
+    fn two_round_writer_ignores_wakes_through_the_shared_macro_path() {
+        use lucky_types::TwoRoundParams;
+        let mut w = TwoRoundWriter::new(TwoRoundParams::new(1, 0, 1).unwrap());
+        let mut eff = Effects::new();
+        ClientCore::timer(&mut w, TimerId(1), &mut eff);
+        assert!(eff.is_empty(), "the two-round writer has no timers (Fig. 6)");
+    }
+
+    #[test]
+    fn session_automaton_schedules_exactly_one_wake_per_deadline() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let setup = crate::Setup::Atomic(params);
+        let session = ClientSession::new(
+            ProcessId::Writer,
+            RegisterId::DEFAULT,
+            setup.make_writer(RegisterId::DEFAULT, ProtocolConfig::default()),
+            SessionConfig::default(),
+        );
+        let mut auto = SessionAutomaton::new(session);
+        let mut eff = Effects::new();
+        auto.on_invoke(Time(0), Op::Write(Value::from_u64(1)), &mut eff);
+        let (sends, timers, completion) = eff.into_parts();
+        assert_eq!(sends.len(), 3, "PW broadcast passes through");
+        assert_eq!(timers.len(), 1, "one wake for the round-1 timer");
+        assert_eq!(timers[0].0, WAKE);
+        assert!(completion.is_none());
+        // A second input at the same instant does not re-schedule.
+        let mut eff = Effects::new();
+        auto.on_message(
+            Time(5),
+            ProcessId::Server(lucky_types::ServerId(2)),
+            dummy_ack(),
+            &mut eff,
+        );
+        let (_, timers, _) = eff.into_parts();
+        assert!(timers.is_empty(), "wake already scheduled");
+    }
+
+    fn dummy_ack() -> Message {
+        Message::PwAck(lucky_types::PwAckMsg {
+            reg: RegisterId::DEFAULT,
+            ts: lucky_types::Seq(1),
+            newread: vec![],
+        })
     }
 }

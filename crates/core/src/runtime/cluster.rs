@@ -3,6 +3,7 @@
 use crate::config::{ProtocolConfig, Variant};
 use crate::runtime::adapters::{ClientCore, ServerCore};
 use crate::runtime::mux::RegisterMux;
+use crate::runtime::session::{ClientSession, SessionConfig};
 use crate::runtime::store::{SimStore, StoreConfig};
 use crate::{atomic, regular, tworound};
 use lucky_checker::Violations;
@@ -73,6 +74,39 @@ impl Setup {
                 Box::new(regular::RegularReader::for_register(reg, id, p, protocol))
             }
         }
+    }
+
+    /// Build this variant's writer as a ready-to-drive [`ClientSession`]
+    /// for register `reg` — the form every runtime consumes.
+    pub fn make_writer_session(
+        &self,
+        reg: RegisterId,
+        protocol: ProtocolConfig,
+        session: SessionConfig,
+    ) -> ClientSession {
+        ClientSession::new(
+            lucky_types::ProcessId::writer(reg),
+            reg,
+            self.make_writer(reg, protocol),
+            session,
+        )
+    }
+
+    /// Build this variant's reader with identity `id` as a ready-to-drive
+    /// [`ClientSession`] for register `reg`.
+    pub fn make_reader_session(
+        &self,
+        reg: RegisterId,
+        id: ReaderId,
+        protocol: ProtocolConfig,
+        session: SessionConfig,
+    ) -> ClientSession {
+        ClientSession::new(
+            lucky_types::ProcessId::Reader(id),
+            reg,
+            self.make_reader(reg, id, protocol),
+            session,
+        )
     }
 
     /// Build this variant's (correct) single-register server core — the

@@ -1,11 +1,15 @@
-//! Drivers: `lucky-sim` adapters, the [`SimCluster`] single-register API
-//! and the multi-register [`SimStore`] facade.
+//! Drivers: the sans-io [`ClientSession`], `lucky-sim` adapters, the
+//! [`SimCluster`] single-register API and the multi-register [`SimStore`]
+//! facade.
 //!
 //! The protocol cores are sans-io; this module is where they meet an
 //! execution substrate. [`ClientCore`]/[`ServerCore`] give every variant a
-//! uniform surface, [`ClientAutomaton`]/[`ServerAutomaton`] lift them into
-//! simulator processes, [`RegisterMux`] multiplexes one server process
-//! over a namespace of registers, and [`SimStore`] (built from a
+//! uniform surface; [`ClientSession`] wraps a client core in the
+//! poll-based, time-explicit operation lifecycle every runtime drives
+//! (begin → deliver/wake inputs → drained outputs → outcome);
+//! [`SessionAutomaton`]/[`ServerAutomaton`] lift sessions and server
+//! cores into simulator processes; [`RegisterMux`] multiplexes one server
+//! process over a namespace of registers; and [`SimStore`] (built from a
 //! [`StoreConfig`]) wires a full cluster serving many independent
 //! registers, drives operations, injects faults and hands the resulting
 //! history to the `lucky-checker` oracles. [`SimCluster`] is the original
@@ -14,9 +18,13 @@
 mod adapters;
 mod cluster;
 mod mux;
+mod session;
 mod store;
 
-pub use adapters::{ClientAutomaton, ClientCore, ServerAutomaton, ServerCore};
+pub use adapters::{ClientCore, ServerAutomaton, ServerCore, SessionAutomaton};
 pub use cluster::{ClusterConfig, OpOutcome, Setup, SimCluster, SYNC_BOUND_MICROS};
 pub use mux::RegisterMux;
+pub use session::{
+    ClientSession, Input, Output, SessionConfig, SessionError, SessionOutcome, SessionStatus,
+};
 pub use store::{SimRegister, SimStore, StoreConfig};

@@ -29,8 +29,9 @@
 //! ```
 
 use crate::byz;
-use crate::runtime::adapters::{ClientAutomaton, ServerAutomaton, ServerCore};
+use crate::runtime::adapters::{ServerAutomaton, ServerCore, SessionAutomaton};
 use crate::runtime::cluster::{ClusterConfig, OpOutcome, Setup};
+use crate::runtime::session::SessionConfig;
 use lucky_checker::Violations;
 use lucky_sim::{NetworkModel, RunError, World};
 use lucky_types::{
@@ -58,6 +59,12 @@ pub struct StoreConfig {
     /// world delivers same-destination messages as single batch events
     /// and servers re-batch their acks per sender.
     pub batch: BatchConfig,
+    /// Per-operation client-session deadline in virtual microseconds
+    /// (`None`, the default, never times out): an operation still
+    /// pending this long after its invocation is abandoned by its
+    /// session at exactly that tick, surfacing as
+    /// [`RunError::OpFailed`](lucky_sim::RunError::OpFailed).
+    pub op_deadline_micros: Option<u64>,
 }
 
 impl From<ClusterConfig> for StoreConfig {
@@ -67,6 +74,7 @@ impl From<ClusterConfig> for StoreConfig {
             registers: 1,
             readers_per_register: 1,
             batch: BatchConfig::disabled(),
+            op_deadline_micros: None,
         }
     }
 }
@@ -139,6 +147,13 @@ impl StoreConfig {
         self
     }
 
+    /// Give every client session a per-operation deadline (chainable).
+    #[must_use]
+    pub fn with_op_deadline(mut self, micros: u64) -> StoreConfig {
+        self.op_deadline_micros = Some(micros);
+        self
+    }
+
     /// Build a simulated store.
     pub fn build_sim(self) -> SimStore {
         SimStore::new(self)
@@ -165,7 +180,8 @@ impl SimStore {
     /// Build a store from `cfg`. Every process is built through the
     /// [`Setup`] factories, so the constructor is variant-agnostic.
     pub fn new(cfg: StoreConfig) -> SimStore {
-        let StoreConfig { cluster, registers, readers_per_register, batch } = cfg;
+        let StoreConfig { cluster, registers, readers_per_register, batch, op_deadline_micros } =
+            cfg;
         assert!(registers >= 1, "a store serves at least one register");
         assert!(
             registers * readers_per_register <= u16::MAX as usize,
@@ -174,17 +190,20 @@ impl SimStore {
         let mut world = World::new(cluster.net.clone(), cluster.seed);
         world.set_batch(batch);
         let protocol = cluster.protocol;
+        let session = SessionConfig { deadline_micros: op_deadline_micros };
         let setup = cluster.setup;
         for reg in RegisterId::all(registers) {
             world.add_process(
                 ProcessId::writer(reg),
-                Box::new(ClientAutomaton(setup.make_writer(reg, protocol))),
+                Box::new(SessionAutomaton::new(setup.make_writer_session(reg, protocol, session))),
             );
             for j in 0..readers_per_register {
                 let rid = reg.reader(readers_per_register, j as u16);
                 world.add_process(
                     ProcessId::Reader(rid),
-                    Box::new(ClientAutomaton(setup.make_reader(reg, rid, protocol))),
+                    Box::new(SessionAutomaton::new(
+                        setup.make_reader_session(reg, rid, protocol, session),
+                    )),
                 );
             }
         }

@@ -3,7 +3,7 @@
 
 use crate::config::ProtocolConfig;
 use crate::engine::{WriteEngine, WritePolicy};
-use lucky_sim::Effects;
+use lucky_sim::{Effects, TimerId};
 use lucky_types::{Message, ProcessId, ReadSeq, ReaderId, RegisterId, Seq, TwoRoundParams, Value};
 
 /// The two-round variant's WRITE policy. Compared with the atomic policy
@@ -98,6 +98,11 @@ impl TwoRoundWriter {
     pub fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         self.engine.on_message(from, msg, eff);
     }
+
+    /// Wake hook: the two-round writer starts no timers (Fig. 6 has no
+    /// fast path to guard), so every wake is a no-op. Present so the
+    /// shared `ClientCore` macro path covers all six cores uniformly.
+    pub fn on_timer(&mut self, _id: TimerId, _eff: &mut Effects<Message>) {}
 }
 
 #[cfg(test)]

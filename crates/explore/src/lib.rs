@@ -41,11 +41,12 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 use lucky_core::atomic::{AtomicReader, AtomicServer, AtomicWriter};
+use lucky_core::runtime::{ClientCore, ClientSession, Input, SessionConfig};
 use lucky_core::ProtocolConfig;
-use lucky_sim::{Effects, TimerId};
+use lucky_sim::Effects;
 use lucky_types::{
     FrozenSlot, History, Message, Op, OpId, OpRecord, Params, ProcessId, PwAckMsg, ReadAckMsg,
-    ReaderId, Time, TsVal, Value, WriteAckMsg,
+    ReaderId, RegisterId, Time, TsVal, Value, WriteAckMsg,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
@@ -82,11 +83,14 @@ pub enum ByzKind {
     WireFuzz,
 }
 
-/// One process in the explored system.
+/// One process in the explored system. Clients are explored as
+/// **sessions** — the same sans-io `ClientSession` lifecycle both real
+/// runtimes drive — with concrete (hashable) cores, so the model checker
+/// covers the production op event loop, not a parallel reimplementation.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum Proc {
-    Writer(AtomicWriter),
-    Reader(AtomicReader),
+    Writer(ClientSession<AtomicWriter>),
+    Reader(ClientSession<AtomicReader>),
     Server(AtomicServer),
     Crashed,
     Mute,
@@ -194,14 +198,14 @@ enum Ev {
     Complete { proc: ProcessId, value: Option<Value> },
 }
 
-/// A schedule prefix's full state.
+/// A schedule prefix's full state. Client timers live *inside* the
+/// sessions (surfaced only as their `next_wake`), so the state carries
+/// no separate timer set.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct State {
     procs: Vec<(ProcessId, Proc)>,
     /// Multiset of in-flight messages.
     inflight: BTreeMap<(ProcessId, ProcessId, Message), u32>,
-    /// Pending timers.
-    timers: BTreeSet<(ProcessId, u64)>,
     /// Next script position per client.
     script_pos: BTreeMap<ProcessId, usize>,
     /// Clients with an operation in flight.
@@ -322,9 +326,10 @@ pub fn random_walks(scenario: &Scenario, walks: usize, max_steps: usize, seed: u
     report
 }
 
-/// Remove in-flight messages and pending timers whose processing provably
-/// leaves the system unchanged (no state change, no output). Such events
-/// commute with everything and only multiply equivalent schedules.
+/// Remove in-flight messages and pending session timers whose processing
+/// provably leaves the system unchanged (no state change, no output).
+/// Such events commute with everything and only multiply equivalent
+/// schedules.
 ///
 /// Soundness: a no-op event's subtree is identical to its parent's minus
 /// the event, and the protocol's tag discipline makes "no-op now" imply
@@ -338,21 +343,29 @@ fn prune_noops(state: &mut State) {
             state.inflight.remove(&key);
         }
     }
-    let timers: Vec<(ProcessId, u64)> = state.timers.iter().cloned().collect();
-    for (pid, id) in timers {
-        let idx = proc_index(state, pid);
-        if timer_is_noop(&state.procs[idx].1, id) {
-            state.timers.remove(&(pid, id));
+    for (_, proc_) in state.procs.iter_mut() {
+        match proc_ {
+            Proc::Writer(s) => s.prune_stale_timers(),
+            Proc::Reader(s) => s.prune_stale_timers(),
+            _ => {}
         }
     }
 }
 
 fn delivery_is_noop(proc_: &Proc, from: ProcessId, msg: &Message) -> bool {
-    let mut clone = proc_.clone();
     let mut eff = Effects::new();
+    let mut clone = proc_.clone();
     match &mut clone {
-        Proc::Writer(w) => w.on_message(from, msg.clone(), &mut eff),
-        Proc::Reader(r) => r.on_message(from, msg.clone(), &mut eff),
+        // Sessions carry their outputs and status internally, so plain
+        // equality with the original decides no-op-ness.
+        Proc::Writer(s) => {
+            s.handle(Input::Deliver(from, msg.clone()), Time(0));
+            return *proc_ == clone;
+        }
+        Proc::Reader(s) => {
+            s.handle(Input::Deliver(from, msg.clone()), Time(0));
+            return *proc_ == clone;
+        }
         Proc::Server(s) => s.handle(from, msg.clone(), &mut eff),
         Proc::Crashed | Proc::Mute => return true,
         Proc::StaleEcho => stale_echo(from, msg, &mut eff),
@@ -377,27 +390,29 @@ fn delivery_is_noop(proc_: &Proc, from: ProcessId, msg: &Message) -> bool {
     eff.is_empty() && clone == *proc_
 }
 
-fn timer_is_noop(proc_: &Proc, id: u64) -> bool {
-    let mut clone = proc_.clone();
-    let mut eff = Effects::new();
-    match &mut clone {
-        Proc::Writer(w) => w.on_timer(TimerId(id), &mut eff),
-        Proc::Reader(r) => r.on_timer(TimerId(id), &mut eff),
-        _ => return true,
-    }
-    eff.is_empty() && clone == *proc_
-}
-
 fn initial_state(scenario: &Scenario) -> State {
+    // Explored sessions have no deadline: the scheduler itself decides
+    // when (and whether) wakes happen, which subsumes every timing.
+    let session = SessionConfig::default();
     let mut procs = Vec::new();
     procs.push((
         ProcessId::Writer,
-        Proc::Writer(AtomicWriter::new(scenario.params, scenario.protocol)),
+        Proc::Writer(ClientSession::new(
+            ProcessId::Writer,
+            RegisterId::DEFAULT,
+            AtomicWriter::new(scenario.params, scenario.protocol),
+            session,
+        )),
     ));
     for &r in scenario.reader_scripts.keys() {
         procs.push((
             ProcessId::Reader(ReaderId(r)),
-            Proc::Reader(AtomicReader::new(ReaderId(r), scenario.params, scenario.protocol)),
+            Proc::Reader(ClientSession::new(
+                ProcessId::Reader(ReaderId(r)),
+                RegisterId::DEFAULT,
+                AtomicReader::new(ReaderId(r), scenario.params, scenario.protocol),
+                session,
+            )),
         ));
     }
     for i in 0..scenario.params.server_count() as u16 {
@@ -436,7 +451,6 @@ fn initial_state(scenario: &Scenario) -> State {
     State {
         procs,
         inflight: BTreeMap::new(),
-        timers: BTreeSet::new(),
         script_pos,
         pending: BTreeSet::new(),
         events: Vec::new(),
@@ -450,7 +464,10 @@ enum Choice {
     /// Deliver the link's entire in-flight backlog as one atomic batch —
     /// enabled by [`Scenario::with_batching`].
     DeliverBatch(ProcessId, ProcessId),
-    FireTimer(ProcessId, u64),
+    /// Wake a client session (its earliest pending timer fires) — the
+    /// asynchronous-clock choice: the scheduler may interleave it
+    /// anywhere relative to deliveries.
+    Wake(ProcessId),
     Invoke(ProcessId),
 }
 
@@ -468,8 +485,15 @@ fn enumerate_choices(scenario: &Scenario, state: &State) -> Vec<Choice> {
             out.push(Choice::Invoke(*pid));
         }
     }
-    for (proc_, id) in &state.timers {
-        out.push(Choice::FireTimer(*proc_, *id));
+    for (pid, proc_) in &state.procs {
+        let has_wake = match proc_ {
+            Proc::Writer(s) => s.next_wake().is_some(),
+            Proc::Reader(s) => s.next_wake().is_some(),
+            _ => false,
+        };
+        if has_wake {
+            out.push(Choice::Wake(*pid));
+        }
     }
     for ((from, to, msg), count) in &state.inflight {
         if *count > 0 {
@@ -519,15 +543,16 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
             let pos = state.script_pos[pid];
             let idx = proc_index(state, *pid);
             match &mut state.procs[idx].1 {
-                Proc::Writer(w) => {
+                Proc::Writer(s) => {
                     if pos >= scenario.writer_script.len() {
                         return false;
                     }
                     let v = scenario.writer_script[pos].clone();
                     state.events.push(Ev::Invoke { proc: *pid, write: Some(v.clone()) });
-                    w.invoke_write(v, &mut eff);
+                    s.begin(Op::Write(v), Time(0)).expect("scripts invoke one operation at a time");
+                    drain_session(s, &mut eff);
                 }
-                Proc::Reader(r) => {
+                Proc::Reader(s) => {
                     let quota = scenario
                         .reader_scripts
                         .get(&pid.as_reader().expect("reader pid").0)
@@ -537,20 +562,30 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
                         return false;
                     }
                     state.events.push(Ev::Invoke { proc: *pid, write: None });
-                    r.invoke_read(&mut eff);
+                    s.begin(Op::Read, Time(0)).expect("scripts invoke one operation at a time");
+                    drain_session(s, &mut eff);
                 }
                 _ => return false,
             }
             *state.script_pos.get_mut(pid).expect("client") += 1;
             state.pending.insert(*pid);
         }
-        Choice::FireTimer(pid, id) => {
+        Choice::Wake(pid) => {
             actor = *pid;
-            state.timers.remove(&(*pid, *id));
             let idx = proc_index(state, *pid);
             match &mut state.procs[idx].1 {
-                Proc::Writer(w) => w.on_timer(TimerId(*id), &mut eff),
-                Proc::Reader(r) => r.on_timer(TimerId(*id), &mut eff),
+                Proc::Writer(s) => {
+                    if let Some(due) = s.next_wake() {
+                        s.handle(Input::Wake, due);
+                        drain_session(s, &mut eff);
+                    }
+                }
+                Proc::Reader(s) => {
+                    if let Some(due) = s.next_wake() {
+                        s.handle(Input::Wake, due);
+                        drain_session(s, &mut eff);
+                    }
+                }
                 _ => {}
             }
         }
@@ -583,17 +618,15 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
             deliver_to_proc(&mut state.procs[idx].1, *from, Message::batch(parts), &mut eff);
         }
     }
-    // Apply effects.
-    let (sends, timers, completion) = eff.into_parts();
+    // Apply effects. (Client timers never surface here — they live
+    // inside the sessions; server-side procs start none.)
+    let (sends, _timers, completion) = eff.into_parts();
     for (to, msg) in sends {
         // Messages to processes outside the scenario (e.g. replies to a
         // reader with no script) are dropped.
         if state.procs.iter().any(|(id, _)| *id == to) {
             *state.inflight.entry((actor, to, msg)).or_insert(0) += 1;
         }
-    }
-    for (id, _delay) in timers {
-        state.timers.insert((actor, id.0));
     }
     if let Some(c) = completion {
         state.pending.remove(&actor);
@@ -603,11 +636,29 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
     false
 }
 
+/// Drain a session's outputs (and a completed outcome) into `eff`, the
+/// common shape the scheduler applies.
+fn drain_session<C: ClientCore>(s: &mut ClientSession<C>, eff: &mut Effects<Message>) {
+    while let Some(out) = s.poll_output() {
+        let (to, msg) = out.into_send();
+        eff.send(to, msg);
+    }
+    if let Some(outcome) = s.take_outcome() {
+        eff.complete(outcome.value, outcome.rounds, outcome.fast);
+    }
+}
+
 /// Deliver one message (possibly a batch) to a process of any kind.
 fn deliver_to_proc(proc_: &mut Proc, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
     match proc_ {
-        Proc::Writer(w) => w.on_message(from, msg, eff),
-        Proc::Reader(r) => r.on_message(from, msg, eff),
+        Proc::Writer(s) => {
+            s.handle(Input::Deliver(from, msg), Time(0));
+            drain_session(s, eff);
+        }
+        Proc::Reader(s) => {
+            s.handle(Input::Deliver(from, msg), Time(0));
+            drain_session(s, eff);
+        }
         Proc::Server(s) => s.handle(from, msg, eff),
         Proc::Crashed | Proc::Mute => {}
         Proc::StaleEcho => stale_echo(from, &msg, eff),

@@ -9,10 +9,12 @@
 use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
 use crate::tcp::{build_fabric, TcpFabric, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use lucky_core::runtime::{ClientCore, ServerCore};
-use lucky_core::{ProtocolConfig, Setup};
-use lucky_sim::{Effects, TimerId};
-use lucky_types::{BatchConfig, Message, Op, ProcessId, ReaderId, RegisterId, ServerId, Value};
+use lucky_core::runtime::{ClientSession, Input, ServerCore, SessionError, SessionOutcome};
+use lucky_core::{ProtocolConfig, SessionConfig, Setup};
+use lucky_sim::Effects;
+use lucky_types::{
+    BatchConfig, Message, Op, ProcessId, ReaderId, RegisterId, ServerId, Time, Value,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -148,6 +150,23 @@ pub struct NetOutcome {
     pub elapsed: Duration,
 }
 
+impl NetOutcome {
+    /// Assemble from a completed session outcome: the invoked `op`
+    /// resolves the headline value (a WRITE reports the value written),
+    /// `elapsed` is the driver's measured wall time. Shared by the
+    /// threaded and polled drivers so the mapping lives once.
+    pub(crate) fn from_session(outcome: SessionOutcome, op: &Op, elapsed: Duration) -> NetOutcome {
+        NetOutcome {
+            reg: outcome.reg,
+            kind: outcome.kind,
+            value: outcome.value_or(op),
+            rounds: outcome.rounds,
+            fast: outcome.fast,
+            elapsed,
+        }
+    }
+}
+
 /// Spawn one server's event loop: deliver every inbox message to `core`
 /// and forward its replies to the router. Shared by `NetCluster` and
 /// `NetStore`.
@@ -186,100 +205,109 @@ pub(crate) fn assert_one_fault_per_server(
     }
 }
 
-/// Drives one client core from the calling thread.
+/// Drives one [`ClientSession`] from the calling thread: a pure
+/// channel pump. The driver owns no timer or deadline bookkeeping — it
+/// feeds the session deliveries and wake-ups and honours
+/// [`ClientSession::next_wake`], translating session time (microseconds
+/// since the driver's epoch) to wall-clock instants.
 pub(crate) struct ClientDriver {
-    pub(crate) id: ProcessId,
-    pub(crate) reg: RegisterId,
-    pub(crate) core: Box<dyn ClientCore>,
+    session: ClientSession,
+    /// Origin of the session's clock: session `Time(t)` is the wall
+    /// instant `epoch + t µs`.
+    epoch: Instant,
+    /// Latched once the inbox disconnects (cluster shut down
+    /// mid-operation): every later `run_op` fails fast with
+    /// [`NetError::Disconnected`] instead of touching the session,
+    /// whose abandoned operation can never be completed or retried.
+    disconnected: bool,
     pub(crate) inbox: Receiver<(ProcessId, Message)>,
     pub(crate) router: Sender<Envelope>,
-    /// Per-operation deadline (see [`NetConfig::op_deadline`]): stalled
-    /// operations surface as errors instead of hanging forever.
-    pub(crate) op_deadline: Duration,
 }
 
 impl ClientDriver {
+    /// Wrap a session (deadline already configured) around its channels.
+    pub(crate) fn new(
+        session: ClientSession,
+        inbox: Receiver<(ProcessId, Message)>,
+        router: Sender<Envelope>,
+    ) -> ClientDriver {
+        ClientDriver { session, epoch: Instant::now(), disconnected: false, inbox, router }
+    }
+
+    /// The register this driver's session operates on.
+    pub(crate) fn reg(&self) -> RegisterId {
+        self.session.reg()
+    }
+
+    /// The client process this driver's session drives.
+    pub(crate) fn id(&self) -> ProcessId {
+        self.session.id()
+    }
+
+    fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Translate a session instant back to the wall clock.
+    fn instant_of(&self, t: Time) -> Instant {
+        self.epoch + Duration::from_micros(t.0)
+    }
+
     pub(crate) fn run_op(&mut self, op: Op) -> Result<NetOutcome, NetError> {
+        if self.disconnected {
+            return Err(NetError::Disconnected);
+        }
         let start = Instant::now();
-        let deadline = start + self.op_deadline;
-        let mut eff = Effects::new();
-        self.core.invoke(op.clone(), &mut eff);
-        let mut timers: Vec<(TimerId, Instant)> = Vec::new();
-        if let Some(done) = self.apply(eff, &mut timers) {
-            return Ok(self.outcome(op, done, start));
-        }
+        self.session
+            .begin(op.clone(), self.now())
+            .expect("handles run one operation at a time (§2.2)");
+        self.pump();
         loop {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(NetError::TimedOut);
+            if let Some(outcome) = self.session.take_outcome() {
+                return Ok(NetOutcome::from_session(outcome, &op, start.elapsed()));
             }
-            // Fire due timers.
-            let mut fired = false;
-            let mut i = 0;
-            while i < timers.len() {
-                if timers[i].1 <= now {
-                    let (id, _) = timers.remove(i);
-                    let mut eff = Effects::new();
-                    self.core.timer(id, &mut eff);
-                    fired = true;
-                    if let Some(done) = self.apply(eff, &mut timers) {
-                        return Ok(self.outcome(op, done, start));
-                    }
-                } else {
-                    i += 1;
-                }
+            if let Some(err) = self.session.take_failure() {
+                return Err(match err {
+                    SessionError::DeadlineExceeded | SessionError::Busy => NetError::TimedOut,
+                });
             }
-            if fired {
-                continue;
-            }
-            let next_timer = timers.iter().map(|(_, at)| *at).min();
-            let wait_until = next_timer.unwrap_or(deadline).min(deadline);
-            let timeout = wait_until.saturating_duration_since(Instant::now());
-            match self.inbox.recv_timeout(timeout) {
-                Ok((from, msg)) => {
-                    let mut eff = Effects::new();
-                    self.core.deliver(from, msg, &mut eff);
-                    if let Some(done) = self.apply(eff, &mut timers) {
-                        return Ok(self.outcome(op, done, start));
+            let received = match self.session.next_wake() {
+                Some(due) => {
+                    let timeout = self.instant_of(due).saturating_duration_since(Instant::now());
+                    match self.inbox.recv_timeout(timeout) {
+                        Ok(delivery) => Some(delivery),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            self.disconnected = true;
+                            return Err(NetError::Disconnected);
+                        }
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(NetError::Disconnected);
-                }
-            }
+                // No wake needed (no timers, no deadline): block freely.
+                None => match self.inbox.recv() {
+                    Ok(delivery) => Some(delivery),
+                    Err(_) => {
+                        self.disconnected = true;
+                        return Err(NetError::Disconnected);
+                    }
+                },
+            };
+            let input = match received {
+                Some((from, msg)) => Input::Deliver(from, msg),
+                None => Input::Wake,
+            };
+            self.session.handle(input, self.now());
+            self.pump();
         }
     }
 
-    fn apply(
-        &mut self,
-        eff: Effects<Message>,
-        timers: &mut Vec<(TimerId, Instant)>,
-    ) -> Option<(Option<Value>, u32, bool)> {
-        let (sends, new_timers, completion) = eff.into_parts();
-        for (to, msg) in sends {
-            let _ = self.router.send(Envelope::Deliver { from: self.id, to, msg });
+    /// Forward everything the session wants sent to the router.
+    fn pump(&mut self) {
+        let from = self.session.id();
+        while let Some(out) = self.session.poll_output() {
+            let (to, msg) = out.into_send();
+            let _ = self.router.send(Envelope::Deliver { from, to, msg });
         }
-        let now = Instant::now();
-        for (id, delay_micros) in new_timers {
-            timers.push((id, now + Duration::from_micros(delay_micros)));
-        }
-        completion.map(|c| (c.value, c.rounds, c.fast))
-    }
-
-    fn outcome(
-        &self,
-        op: Op,
-        (value, rounds, fast): (Option<Value>, u32, bool),
-        start: Instant,
-    ) -> NetOutcome {
-        let kind = op.kind();
-        let value = match (value, op) {
-            (Some(v), _) => v,
-            (None, Op::Write(v)) => v,
-            (None, Op::Read) => Value::Bot,
-        };
-        NetOutcome { reg: self.reg, kind, value, rounds, fast, elapsed: start.elapsed() }
     }
 }
 
@@ -470,19 +498,17 @@ impl NetClusterBuilder {
             Arc::clone(&stats),
         );
 
-        // Deadline derived from the configured timer: stalls surface as
-        // TimedOut without a magic wall-clock constant.
-        let op_deadline = self.cfg.op_deadline();
+        // Deadline derived from the configured timer and handed to every
+        // session once: stalls surface as TimedOut without any deadline
+        // arithmetic in the drivers.
+        let session_cfg = SessionConfig::with_deadline(self.cfg.op_deadline().as_micros() as u64);
 
         let writer = WriterHandle {
-            driver: ClientDriver {
-                id: ProcessId::Writer,
-                reg: RegisterId::DEFAULT,
-                core: self.setup.make_writer(RegisterId::DEFAULT, protocol),
-                inbox: writer_rx,
-                router: router_tx.clone(),
-                op_deadline,
-            },
+            driver: ClientDriver::new(
+                self.setup.make_writer_session(RegisterId::DEFAULT, protocol, session_cfg),
+                writer_rx,
+                router_tx.clone(),
+            ),
         };
         let reader_count = reader_rxs.len();
         let readers = reader_rxs
@@ -491,14 +517,16 @@ impl NetClusterBuilder {
                 (
                     r,
                     ReaderHandle {
-                        driver: ClientDriver {
-                            id: ProcessId::Reader(r),
-                            reg: RegisterId::DEFAULT,
-                            core: self.setup.make_reader(RegisterId::DEFAULT, r, protocol),
-                            inbox: rx,
-                            router: router_tx.clone(),
-                            op_deadline,
-                        },
+                        driver: ClientDriver::new(
+                            self.setup.make_reader_session(
+                                RegisterId::DEFAULT,
+                                r,
+                                protocol,
+                                session_cfg,
+                            ),
+                            rx,
+                            router_tx.clone(),
+                        ),
                     },
                 )
             })
@@ -714,6 +742,19 @@ mod tests {
             assert!(pair[1] >= pair[0], "no new/old inversion: {seen:?}");
         }
         cluster.shutdown();
+    }
+
+    #[test]
+    fn operations_after_shutdown_fail_with_disconnected_idempotently() {
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut cluster = NetCluster::builder(params, fast_cfg()).build();
+        let mut writer = cluster.take_writer().unwrap();
+        writer.write(Value::from_u64(1)).unwrap();
+        cluster.shutdown();
+        // The first post-shutdown write observes the disconnect; every
+        // retry reports it again instead of panicking on a busy session.
+        assert_eq!(writer.write(Value::from_u64(2)).unwrap_err(), NetError::Disconnected);
+        assert_eq!(writer.write(Value::from_u64(3)).unwrap_err(), NetError::Disconnected);
     }
 
     #[test]

@@ -59,6 +59,23 @@
 //! shared router. Router statistics are broken down per register and
 //! per destination server.
 //!
+//! ## Drivers
+//!
+//! Client cores are wrapped in `lucky-core`'s sans-io `ClientSession`
+//! (the poll-based op lifecycle with the per-operation deadline built
+//! in) and driven one of two ways, selected per store with the builder
+//! method `driver`:
+//!
+//! * [`Driver::Threaded`] (default) — a blocking pump per job:
+//!   `recv_timeout` until the session's `next_wake`, one operation at a
+//!   time per shard worker;
+//! * [`Driver::Polled`] — a nonblocking readiness-style poll loop per
+//!   shard worker, multiplexing **all** of the shard's sessions on one
+//!   thread; under [`Transport::Tcp`] the worker accepts and reads its
+//!   own socket with `lucky-wire`'s push-based `FrameDecoder` instead
+//!   of per-connection reader threads. `tests/driver_equivalence.rs`
+//!   proves the two drivers observably interchangeable.
+//!
 //! ## Transports
 //!
 //! The router moves wire messages over one of two transports (builder
@@ -108,6 +125,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod cluster;
+mod polled;
 mod router;
 mod store;
 mod tcp;
@@ -116,6 +134,7 @@ pub use cluster::{
     HandleError, NetCluster, NetClusterBuilder, NetConfig, NetError, NetOutcome, ReaderHandle,
     WriterHandle,
 };
+pub use polled::Driver;
 pub use router::{NetStats, RegisterStats, ServerStats};
 pub use store::{NetRegisterHandle, NetStore, NetStoreBuilder, OpTicket};
 pub use tcp::Transport;

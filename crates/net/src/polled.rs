@@ -1,0 +1,387 @@
+//! The nonblocking, readiness-style polled driver.
+//!
+//! Where the threaded driver parks one OS thread per in-flight operation
+//! (`ClientDriver::run_op` blocks its caller), the polled driver
+//! multiplexes **all of a shard's client sessions on one thread**: a
+//! single loop drains the job queue, polls the shard's input source,
+//! wakes whichever sessions are due and pumps their outputs to the
+//! router. This is exactly the shape an epoll/io_uring runtime would
+//! take — the sans-io `ClientSession` already isolates all protocol and
+//! deadline logic — except the readiness notification is a short
+//! sleep-capped poll, so no OS-specific reactor is needed.
+//!
+//! Input sources per [`Transport`](crate::Transport):
+//!
+//! * **Channel** — the worker owns its client processes' inboxes and
+//!   `try_recv`s them;
+//! * **Tcp** — the worker owns its slot's loopback listener *itself*
+//!   (the fabric spawns no reader threads for polled slots): it accepts
+//!   the router's connection nonblocking, reads whatever bytes arrived,
+//!   reassembles frames with [`FrameDecoder`], decodes the packet parts
+//!   and dispatches them to sessions by recipient. One thread, zero
+//!   blocking reads — the push-based decoder from `lucky-wire` is what
+//!   makes this loop possible.
+
+use crate::cluster::{NetError, NetOutcome};
+use crate::router::{Envelope, NetStats};
+use crossbeam::channel::{Receiver, Sender};
+use lucky_core::runtime::{ClientSession, Input, SessionError};
+use lucky_types::{History, Message, Op, OpId, OpRecord, ProcessId, RegisterId, Time};
+use lucky_wire::{decode_packet, FrameDecoder};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which client-driving strategy a `NetStore` deploys on its shard
+/// workers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Driver {
+    /// One blocking driver per job: a shard worker runs its queued
+    /// operations to completion one at a time (the original runtime).
+    #[default]
+    Threaded,
+    /// One nonblocking poll loop per shard worker, multiplexing all of
+    /// the shard's client sessions: operations on different sessions of
+    /// one worker proceed concurrently.
+    Polled,
+}
+
+/// A job submitted to a shard worker (threaded or polled): run `op`
+/// on the client core/session keyed by `slot` and send the outcome back
+/// through `reply`.
+pub(crate) struct Job {
+    pub(crate) slot: (RegisterId, u32),
+    pub(crate) op: Op,
+    pub(crate) reply: Sender<Result<NetOutcome, NetError>>,
+}
+
+/// The operation currently in flight on one session.
+struct Current {
+    op: Op,
+    reply: Sender<Result<NetOutcome, NetError>>,
+    start: Instant,
+    invoked_at: Time,
+}
+
+/// One session plus its queued work.
+pub(crate) struct PolledSlot {
+    pub(crate) session: ClientSession,
+    queue: VecDeque<(Op, Sender<Result<NetOutcome, NetError>>)>,
+    current: Option<Current>,
+}
+
+impl PolledSlot {
+    pub(crate) fn new(session: ClientSession) -> PolledSlot {
+        PolledSlot { session, queue: VecDeque::new(), current: None }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+}
+
+/// Where a polled worker's inbound protocol messages come from.
+pub(crate) enum PollIo {
+    /// Channel transport: the per-process inboxes this worker hosts.
+    Channel(BTreeMap<ProcessId, Receiver<(ProcessId, Message)>>),
+    /// TCP transport: the worker's own loopback listener (nonblocking),
+    /// plus the connections accepted so far with their frame decoders.
+    Tcp { listener: TcpListener, conns: Vec<(TcpStream, FrameDecoder)> },
+}
+
+impl PollIo {
+    /// A nonblocking TCP source. The listener must already be bound;
+    /// this flips it (and every accepted connection) nonblocking.
+    pub(crate) fn tcp(listener: TcpListener) -> PollIo {
+        listener.set_nonblocking(true).expect("set listener nonblocking");
+        PollIo::Tcp { listener, conns: Vec::new() }
+    }
+}
+
+/// Upper bound on one poll-loop sleep: inputs (jobs, bytes) that arrive
+/// while the worker sleeps are picked up at worst this much later.
+const POLL_TICK: Duration = Duration::from_micros(500);
+
+/// How long an *idle* worker (no session pending, no job queued) parks
+/// on the job queue before re-checking for shutdown.
+const IDLE_PARK: Duration = Duration::from_millis(20);
+
+pub(crate) struct PolledWorker {
+    pub(crate) sessions: BTreeMap<(RegisterId, u32), PolledSlot>,
+    /// Recipient → session key, for dispatching inbound messages.
+    pub(crate) by_pid: BTreeMap<ProcessId, (RegisterId, u32)>,
+    pub(crate) jobs: Receiver<Job>,
+    pub(crate) router: Sender<Envelope>,
+    pub(crate) io: PollIo,
+    pub(crate) history: Arc<Mutex<History>>,
+    pub(crate) stats: Arc<Mutex<NetStats>>,
+    pub(crate) epoch: Instant,
+}
+
+impl PolledWorker {
+    /// Session time: microseconds since the store's epoch (shared by
+    /// every worker so history timestamps interleave correctly).
+    fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Run the poll loop until the store drops the job senders and every
+    /// session has drained its work.
+    pub(crate) fn run(mut self) {
+        let mut jobs_open = true;
+        loop {
+            // 1. Drain newly submitted jobs into their session queues.
+            while jobs_open {
+                match self.jobs.try_recv() {
+                    Ok(job) => self.enqueue(job),
+                    Err(crossbeam::channel::TryRecvError::Empty) => break,
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                        jobs_open = false;
+                        break;
+                    }
+                }
+            }
+            // 2. Poll the input source and feed deliveries to sessions.
+            self.poll_io();
+            // 3. Wake every session whose next_wake is due.
+            let now = self.now();
+            for slot in self.sessions.values_mut() {
+                if slot.session.next_wake().is_some_and(|due| due <= now) {
+                    slot.session.handle(Input::Wake, now);
+                }
+            }
+            // 4. Start queued operations, pump outputs, settle outcomes.
+            self.advance();
+            // 5. Exit once no more jobs can arrive and nothing is left.
+            let all_idle = self.sessions.values().all(PolledSlot::is_idle);
+            if !jobs_open && all_idle {
+                return;
+            }
+            // 6. Sleep until the next wake (capped) — or, fully idle,
+            //    park on the job queue so an idle store costs no CPU.
+            let busy = self.sessions.values().any(|s| !s.is_idle());
+            if busy {
+                let now = self.now();
+                let next = self
+                    .sessions
+                    .values()
+                    .filter_map(|s| s.session.next_wake())
+                    .min()
+                    .map(|due| Duration::from_micros(due.0.saturating_sub(now.0)))
+                    .unwrap_or(POLL_TICK);
+                std::thread::sleep(next.min(POLL_TICK));
+            } else if jobs_open {
+                match self.jobs.recv_timeout(IDLE_PARK) {
+                    Ok(job) => self.enqueue(job),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => jobs_open = false,
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, job: Job) {
+        // An unknown slot cannot happen (handle construction prevents
+        // it); if it did, dropping the reply sender surfaces as a
+        // disconnect to the caller.
+        if let Some(slot) = self.sessions.get_mut(&job.slot) {
+            slot.queue.push_back((job.op, job.reply));
+        }
+    }
+
+    /// Drain whatever input arrived without blocking.
+    fn poll_io(&mut self) {
+        let now = self.now();
+        match &mut self.io {
+            PollIo::Channel(inboxes) => {
+                for (pid, rx) in inboxes.iter() {
+                    let Some(&key) = self.by_pid.get(pid) else { continue };
+                    while let Ok((from, msg)) = rx.try_recv() {
+                        if let Some(slot) = self.sessions.get_mut(&key) {
+                            slot.session.handle(Input::Deliver(from, msg), now);
+                        }
+                    }
+                }
+            }
+            PollIo::Tcp { listener, conns } => {
+                // Accept whatever the router has connected.
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(true).expect("set stream nonblocking");
+                            conns.push((stream, FrameDecoder::new()));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+                // Read every connection dry, decode, dispatch.
+                let mut buf = [0u8; 16 * 1024];
+                let mut closed: Vec<usize> = Vec::new();
+                for (i, (stream, dec)) in conns.iter_mut().enumerate() {
+                    loop {
+                        match stream.read(&mut buf) {
+                            Ok(0) => {
+                                closed.push(i);
+                                break;
+                            }
+                            Ok(n) => {
+                                dec.feed(&buf[..n]);
+                                loop {
+                                    match dec.next_frame() {
+                                        Ok(Some(payload)) => match decode_packet(&payload) {
+                                            Ok(parts) => dispatch(
+                                                &parts,
+                                                &self.by_pid,
+                                                &mut self.sessions,
+                                                &self.stats,
+                                                now,
+                                            ),
+                                            Err(_) => {
+                                                self.stats.lock().decode_errors += 1;
+                                                closed.push(i);
+                                                break;
+                                            }
+                                        },
+                                        Ok(None) => break,
+                                        Err(_) => {
+                                            self.stats.lock().decode_errors += 1;
+                                            closed.push(i);
+                                            break;
+                                        }
+                                    }
+                                }
+                                if closed.last() == Some(&i) {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(_) => {
+                                closed.push(i);
+                                break;
+                            }
+                        }
+                    }
+                }
+                for i in closed.into_iter().rev() {
+                    conns.remove(i);
+                }
+            }
+        }
+    }
+
+    /// Begin queued operations on idle sessions, forward outputs to the
+    /// router, and resolve completed or failed operations.
+    fn advance(&mut self) {
+        let now = self.now();
+        for slot in self.sessions.values_mut() {
+            // Start the next queued op when the session is free.
+            if slot.current.is_none() && slot.session.is_ready() {
+                if let Some((op, reply)) = slot.queue.pop_front() {
+                    slot.session
+                        .begin(op.clone(), now)
+                        .expect("is_ready checked; sessions run one op at a time");
+                    slot.current =
+                        Some(Current { op, reply, start: Instant::now(), invoked_at: now });
+                }
+            }
+            // Pump outputs.
+            let from = slot.session.id();
+            while let Some(out) = slot.session.poll_output() {
+                let (to, msg) = out.into_send();
+                let _ = self.router.send(Envelope::Deliver { from, to, msg });
+            }
+            // Settle.
+            if let Some(outcome) = slot.session.take_outcome() {
+                let Some(cur) = slot.current.take() else { continue };
+                let net = NetOutcome::from_session(outcome, &cur.op, cur.start.elapsed());
+                append_history(
+                    &self.history,
+                    slot.session.reg(),
+                    slot.session.id(),
+                    cur.op,
+                    cur.invoked_at,
+                    Some((now, &net)),
+                );
+                let _ = cur.reply.send(Ok(net));
+            } else if let Some(err) = slot.session.take_failure() {
+                let Some(cur) = slot.current.take() else { continue };
+                append_history(
+                    &self.history,
+                    slot.session.reg(),
+                    slot.session.id(),
+                    cur.op,
+                    cur.invoked_at,
+                    None,
+                );
+                let _ = cur.reply.send(Err(match err {
+                    SessionError::DeadlineExceeded | SessionError::Busy => NetError::TimedOut,
+                }));
+            }
+        }
+    }
+}
+
+/// Hand decoded packet parts to their sessions. Parts addressed to a
+/// process this worker does not host (only hostile frames produce one)
+/// count as dropped, mirroring the fabric's accounting.
+fn dispatch(
+    parts: &[(ProcessId, ProcessId, Message)],
+    by_pid: &BTreeMap<ProcessId, (RegisterId, u32)>,
+    sessions: &mut BTreeMap<(RegisterId, u32), PolledSlot>,
+    stats: &Arc<Mutex<NetStats>>,
+    now: Time,
+) {
+    for (from, to, msg) in parts {
+        match by_pid.get(to).and_then(|key| sessions.get_mut(key)) {
+            Some(slot) => {
+                slot.session.handle(Input::Deliver(*from, msg.clone()), now);
+            }
+            None => stats.lock().dropped += msg.part_count() as u64,
+        }
+    }
+}
+
+/// Append one finished (or abandoned) operation to the shared history —
+/// the single recording path for both shard-worker kinds. `completion`
+/// is `None` for a failed operation (it stays an incomplete record, so
+/// the checkers treat it as pending, never as a bogus completion).
+pub(crate) fn append_history(
+    history: &Arc<Mutex<History>>,
+    reg: RegisterId,
+    client: ProcessId,
+    op: Op,
+    invoked_at: Time,
+    completion: Option<(Time, &NetOutcome)>,
+) {
+    let mut h = history.lock();
+    let id = OpId(h.ops.len() as u64);
+    let (completed_at, result, rounds, fast) = match completion {
+        Some((at, net)) => (
+            Some(at),
+            match op {
+                Op::Read => Some(net.value.clone()),
+                Op::Write(_) => None,
+            },
+            net.rounds,
+            net.fast,
+        ),
+        None => (None, None, 0, false),
+    };
+    h.ops.push(OpRecord {
+        id,
+        reg,
+        client,
+        op,
+        invoked_at,
+        completed_at,
+        result,
+        rounds,
+        fast,
+        msgs: 0,
+        bytes: 0,
+    });
+}

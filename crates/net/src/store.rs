@@ -20,28 +20,20 @@ use crate::cluster::{
     assert_one_fault_per_server, spawn_server_thread, ClientDriver, HandleError, NetConfig,
     NetError, NetOutcome,
 };
+use crate::polled::{append_history, Driver, Job, PollIo, PolledSlot, PolledWorker};
 use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
 use crate::tcp::{build_fabric, TcpFabric, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lucky_core::runtime::ServerCore;
-use lucky_core::{ProtocolConfig, Setup, StoreConfig};
-use lucky_types::{
-    BatchConfig, History, Op, OpId, OpRecord, ProcessId, RegisterId, ServerId, Time, Value,
-};
+use lucky_core::{ProtocolConfig, SessionConfig, Setup, StoreConfig};
+use lucky_types::{BatchConfig, History, Op, ProcessId, RegisterId, ServerId, Time, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-
-/// A job submitted to a shard worker: run `op` on the client core named
-/// by `slot` and send the outcome back through `reply`.
-struct Job {
-    slot: (RegisterId, u32),
-    op: Op,
-    reply: Sender<Result<NetOutcome, NetError>>,
-}
 
 /// Key of a register's writer core within its worker (readers are `j+1`).
 const WRITER_SLOT: u32 = 0;
@@ -56,6 +48,7 @@ pub struct NetStoreBuilder {
     protocol: ProtocolConfig,
     batch: BatchConfig,
     transport: Transport,
+    driver: Driver,
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
     crashed: Vec<u16>,
 }
@@ -138,6 +131,19 @@ impl NetStoreBuilder {
         self
     }
 
+    /// Client-driving strategy (default [`Driver::Threaded`]). Under
+    /// [`Driver::Polled`] each shard worker runs a nonblocking
+    /// readiness-style poll loop multiplexing all of its client
+    /// sessions on one thread — operations on different sessions of one
+    /// worker proceed concurrently, and under [`Transport::Tcp`] the
+    /// worker reads its own socket (no per-connection reader threads).
+    /// The handle/ticket API is identical under both drivers.
+    #[must_use]
+    pub fn driver(mut self, driver: Driver) -> Self {
+        self.driver = driver;
+        self
+    }
+
     /// Install a Byzantine behaviour at server `i` (it answers *all*
     /// registers — a malicious server is malicious towards the whole
     /// namespace).
@@ -172,49 +178,72 @@ impl NetStoreBuilder {
         let mut inboxes = BTreeMap::new();
         let mut server_threads = Vec::new();
 
-        // One driver per client core, grouped by shard worker. The
+        // One session per client core, grouped by shard worker. The
         // router's socket-slot map mirrors the placement: a client
         // process's wire traffic coalesces per hosting worker (the
-        // "socket" the worker drains), servers get one slot each.
+        // "socket" the worker drains), servers get one slot each. Both
+        // drivers share the placement and the session-configured
+        // deadline; they differ only in how the worker pumps I/O.
         let shard_count = self.shards.unwrap_or_else(|| self.registers.min(4)).max(1);
         let server_count = self.setup.server_count();
         let mut slots: SlotMap = SlotMap::new();
-        let op_deadline = self.cfg.op_deadline();
+        let session_cfg = SessionConfig::with_deadline(self.cfg.op_deadline().as_micros() as u64);
+        let polled = self.driver == Driver::Polled;
+        // Under the polled driver + TCP, client traffic lands on the
+        // worker's own socket: client processes get no channel inbox.
+        let channel_clients = !(polled && self.transport == Transport::Tcp);
         let mut shard_drivers: Vec<BTreeMap<(RegisterId, u32), ClientDriver>> =
             (0..shard_count).map(|_| BTreeMap::new()).collect();
+        let mut shard_sessions: Vec<BTreeMap<(RegisterId, u32), PolledSlot>> =
+            (0..shard_count).map(|_| BTreeMap::new()).collect();
+        let mut shard_inboxes: Vec<
+            BTreeMap<ProcessId, Receiver<(ProcessId, lucky_types::Message)>>,
+        > = (0..shard_count).map(|_| BTreeMap::new()).collect();
+        let mut shard_pids: Vec<BTreeMap<ProcessId, (RegisterId, u32)>> =
+            (0..shard_count).map(|_| BTreeMap::new()).collect();
+        let mut place = |pid: ProcessId,
+                         key: (RegisterId, u32),
+                         session: lucky_core::ClientSession,
+                         slots: &mut SlotMap,
+                         inboxes: &mut BTreeMap<
+            ProcessId,
+            Sender<(ProcessId, lucky_types::Message)>,
+        >| {
+            let worker = shard_for(key.0, key.1, shard_count);
+            slots.insert(pid, server_count + worker);
+            let rx = channel_clients.then(|| {
+                let (tx, rx) = unbounded();
+                inboxes.insert(pid, tx);
+                rx
+            });
+            if polled {
+                if let Some(rx) = rx {
+                    shard_inboxes[worker].insert(pid, rx);
+                }
+                shard_pids[worker].insert(pid, key);
+                shard_sessions[worker].insert(key, PolledSlot::new(session));
+            } else {
+                let rx = rx.expect("threaded clients always own an inbox");
+                shard_drivers[worker]
+                    .insert(key, ClientDriver::new(session, rx, router_tx.clone()));
+            }
+        };
         for reg in RegisterId::all(self.registers) {
-            let (tx, rx) = unbounded();
-            inboxes.insert(ProcessId::writer(reg), tx);
-            let worker = shard_for(reg, WRITER_SLOT, shard_count);
-            slots.insert(ProcessId::writer(reg), server_count + worker);
-            shard_drivers[worker].insert(
+            place(
+                ProcessId::writer(reg),
                 (reg, WRITER_SLOT),
-                ClientDriver {
-                    id: ProcessId::writer(reg),
-                    reg,
-                    core: self.setup.make_writer(reg, protocol),
-                    inbox: rx,
-                    router: router_tx.clone(),
-                    op_deadline,
-                },
+                self.setup.make_writer_session(reg, protocol, session_cfg),
+                &mut slots,
+                &mut inboxes,
             );
             for j in 0..self.readers_per_register as u16 {
                 let rid = reg.reader(self.readers_per_register, j);
-                let (tx, rx) = unbounded();
-                inboxes.insert(ProcessId::Reader(rid), tx);
-                let slot = j as u32 + 1;
-                let worker = shard_for(reg, slot, shard_count);
-                slots.insert(ProcessId::Reader(rid), server_count + worker);
-                shard_drivers[worker].insert(
-                    (reg, slot),
-                    ClientDriver {
-                        id: ProcessId::Reader(rid),
-                        reg,
-                        core: self.setup.make_reader(reg, rid, protocol),
-                        inbox: rx,
-                        router: router_tx.clone(),
-                        op_deadline,
-                    },
+                place(
+                    ProcessId::Reader(rid),
+                    (reg, j as u32 + 1),
+                    self.setup.make_reader_session(reg, rid, protocol, session_cfg),
+                    &mut slots,
+                    &mut inboxes,
                 );
             }
         }
@@ -241,13 +270,36 @@ impl NetStoreBuilder {
             ));
         }
 
+        // Under the polled driver + TCP, each worker owns its slot's
+        // listener (bound here so the router's sink can connect; the
+        // worker itself accepts and reads, nonblocking).
+        let mut worker_listeners: Vec<Option<TcpListener>> = (0..shard_count)
+            .map(|w| {
+                (polled && self.transport == Transport::Tcp).then(|| {
+                    let _ = w;
+                    TcpListener::bind("127.0.0.1:0").expect("bind polled-worker listener")
+                })
+            })
+            .collect();
+
         // Router thread — and, under TCP, the socket fabric between the
         // router and the destination slots (servers + shard workers).
         let stats = Arc::new(Mutex::new(NetStats::default()));
         let (fabric, sinks) = match self.transport {
             Transport::Channel => (None, None),
             Transport::Tcp => {
-                let (fabric, sinks) = build_fabric("lucky-store", &slots, &inboxes, &stats);
+                // The fabric builds receive sides only for slots hosting
+                // channel-inboxed processes; polled-worker slots read
+                // their own sockets, so only their sinks are added here.
+                let (fabric, mut sinks) = build_fabric("lucky-store", &slots, &inboxes, &stats);
+                for (w, listener) in worker_listeners.iter().enumerate() {
+                    if let Some(listener) = listener {
+                        let addr = listener.local_addr().expect("listener has an address");
+                        let sink = std::net::TcpStream::connect(addr).expect("connect worker sink");
+                        sink.set_nodelay(true).expect("set TCP_NODELAY");
+                        sinks.insert(server_count + w, sink);
+                    }
+                }
                 (Some(fabric), Some(sinks))
             }
         };
@@ -265,22 +317,53 @@ impl NetStoreBuilder {
             Arc::clone(&stats),
         );
 
-        // Shard workers: each owns its registers' drivers and a shared
-        // history it appends completed operations to.
+        // Shard workers: each owns its registers' client cores and a
+        // shared history it appends completed operations to. Threaded
+        // workers block per job; polled workers multiplex their
+        // sessions on one nonblocking loop.
         let epoch = Instant::now();
         let history = Arc::new(Mutex::new(History::new()));
         let mut workers = Vec::new();
         let mut worker_txs = Vec::new();
-        for (w, drivers) in shard_drivers.into_iter().enumerate() {
-            let (tx, rx) = unbounded::<Job>();
-            worker_txs.push(tx);
-            let history = Arc::clone(&history);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("lucky-store-shard-{w}"))
-                    .spawn(move || run_worker(drivers, rx, history, epoch))
-                    .expect("spawn shard worker"),
-            );
+        if polled {
+            let worker_parts =
+                shard_sessions.into_iter().zip(shard_inboxes).zip(shard_pids).enumerate();
+            for (w, ((sessions, inboxes), by_pid)) in worker_parts {
+                let (tx, rx) = unbounded::<Job>();
+                worker_txs.push(tx);
+                let io = match worker_listeners[w].take() {
+                    Some(listener) => PollIo::tcp(listener),
+                    None => PollIo::Channel(inboxes),
+                };
+                let worker = PolledWorker {
+                    sessions,
+                    by_pid,
+                    jobs: rx,
+                    router: router_tx.clone(),
+                    io,
+                    history: Arc::clone(&history),
+                    stats: Arc::clone(&stats),
+                    epoch,
+                };
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("lucky-store-polled-{w}"))
+                        .spawn(move || worker.run())
+                        .expect("spawn polled worker"),
+                );
+            }
+        } else {
+            for (w, drivers) in shard_drivers.into_iter().enumerate() {
+                let (tx, rx) = unbounded::<Job>();
+                worker_txs.push(tx);
+                let history = Arc::clone(&history);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("lucky-store-shard-{w}"))
+                        .spawn(move || run_worker(drivers, rx, history, epoch))
+                        .expect("spawn shard worker"),
+                );
+            }
         }
 
         let handles = RegisterId::all(self.registers)
@@ -327,35 +410,8 @@ fn run_worker(
         let invoked_at = Time(epoch.elapsed().as_micros() as u64);
         let result = driver.run_op(job.op.clone());
         let completed_at = Time(epoch.elapsed().as_micros() as u64);
-        {
-            let mut h = history.lock();
-            let id = OpId(h.ops.len() as u64);
-            let (completed, result_value, rounds, fast) = match &result {
-                Ok(out) => (
-                    Some(completed_at),
-                    match job.op {
-                        Op::Read => Some(out.value.clone()),
-                        Op::Write(_) => None,
-                    },
-                    out.rounds,
-                    out.fast,
-                ),
-                Err(_) => (None, None, 0, false),
-            };
-            h.ops.push(OpRecord {
-                id,
-                reg: driver.reg,
-                client: driver.id,
-                op: job.op,
-                invoked_at,
-                completed_at: completed,
-                result: result_value,
-                rounds,
-                fast,
-                msgs: 0,
-                bytes: 0,
-            });
-        }
+        let completion = result.as_ref().ok().map(|out| (completed_at, out));
+        append_history(&history, driver.reg(), driver.id(), job.op, invoked_at, completion);
         let _ = job.reply.send(result);
     }
 }
@@ -370,13 +426,68 @@ fn shard_for(reg: RegisterId, slot: u32, shards: usize) -> usize {
 }
 
 /// A pending operation on a [`NetRegisterHandle`]: wait for its outcome
-/// with [`OpTicket::wait`].
+/// with [`OpTicket::wait`], or poll it with [`OpTicket::is_done`] /
+/// [`OpTicket::wait_for`] without committing to a full blocking wait.
 #[derive(Debug)]
 pub struct OpTicket {
     rx: Receiver<Result<NetOutcome, NetError>>,
+    /// The settled result, once observed by any polling call — kept so
+    /// `is_done`/`wait_for`/`wait` compose in any order.
+    settled: Option<Result<NetOutcome, NetError>>,
 }
 
 impl OpTicket {
+    fn new(rx: Receiver<Result<NetOutcome, NetError>>) -> OpTicket {
+        OpTicket { rx, settled: None }
+    }
+
+    /// Try to observe the result without blocking; cache it if present.
+    fn poll(&mut self) {
+        if self.settled.is_none() {
+            match self.rx.try_recv() {
+                Ok(result) => self.settled = Some(result),
+                Err(crossbeam::channel::TryRecvError::Empty) => {}
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    self.settled = Some(Err(NetError::Disconnected));
+                }
+            }
+        }
+    }
+
+    /// `true` iff the operation has settled (completed or failed):
+    /// a subsequent [`OpTicket::wait`] will not block.
+    pub fn is_done(&mut self) -> bool {
+        self.poll();
+        self.settled.is_some()
+    }
+
+    /// Wait up to `timeout` for the operation to settle.
+    ///
+    /// Returns `Ok(Some(outcome))` when it completed, `Ok(None)` when it
+    /// is still in flight after `timeout` (call again, or [`wait`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the operation failed (deadline) or the store shut
+    /// down mid-operation.
+    ///
+    /// [`wait`]: OpTicket::wait
+    pub fn wait_for(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<NetOutcome>, NetError> {
+        if self.settled.is_none() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(result) => self.settled = Some(result),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => return Ok(None),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    self.settled = Some(Err(NetError::Disconnected));
+                }
+            }
+        }
+        self.settled.clone().expect("settled above").map(Some)
+    }
+
     /// Block until the operation completes (or fails).
     ///
     /// # Errors
@@ -384,6 +495,9 @@ impl OpTicket {
     /// [`NetError`] if the operation stalled past its deadline or the
     /// store shut down mid-operation.
     pub fn wait(self) -> Result<NetOutcome, NetError> {
+        if let Some(result) = self.settled {
+            return result;
+        }
         match self.rx.recv() {
             Ok(result) => result,
             Err(_) => Err(NetError::Disconnected),
@@ -427,7 +541,7 @@ impl NetRegisterHandle {
         // A send failure means the store shut down; the dropped reply
         // sender surfaces as `Disconnected` from `wait`.
         let _ = self.slots[slot as usize].send(Job { slot: (self.reg, slot), op, reply });
-        OpTicket { rx }
+        OpTicket::new(rx)
     }
 
     /// Submit `WRITE(v)` and return a ticket to wait on. Writes on the
@@ -524,6 +638,7 @@ impl NetStore {
             protocol: ProtocolConfig::default(),
             batch: BatchConfig::disabled(),
             transport: Transport::Channel,
+            driver: Driver::Threaded,
             byzantine: BTreeMap::new(),
             crashed: Vec::new(),
         }

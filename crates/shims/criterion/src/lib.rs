@@ -1,8 +1,10 @@
 //! Offline stand-in for the slice of `criterion` this workspace uses:
 //! groups, `bench_function`, `bench_with_input`, `Bencher::{iter,
 //! iter_batched_ref}` and the `criterion_group!`/`criterion_main!`
-//! macros. Reports mean wall-clock time per iteration on stdout — no
-//! statistics, plots or baselines. See `crates/shims/README.md`.
+//! macros. Reports **per-iteration sample statistics** on stdout —
+//! median, mean, standard deviation and the min/max envelope over
+//! warmup-trimmed samples — no plots or baselines. See
+//! `crates/shims/README.md`.
 
 #![forbid(unsafe_code)]
 
@@ -41,67 +43,133 @@ impl Display for BenchmarkId {
     }
 }
 
-/// Drives one benchmark's timing loop.
+/// Summary statistics over one benchmark's per-iteration samples
+/// (nanoseconds), computed after dropping the earliest `WARMUP_TRIM`
+/// fraction — the cache-cold, branch-predictor-cold head of the run.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median ns/iter over the trimmed samples.
+    pub median: f64,
+    /// Mean ns/iter.
+    pub mean: f64,
+    /// Population standard deviation of ns/iter.
+    pub stddev: f64,
+    /// Fastest trimmed sample.
+    pub min: f64,
+    /// Slowest trimmed sample.
+    pub max: f64,
+    /// Trimmed sample count.
+    pub samples: usize,
+}
+
+/// Fraction of the earliest samples dropped before computing statistics.
+const WARMUP_TRIM: f64 = 0.05;
+
+impl Stats {
+    fn from_samples(mut samples: Vec<f64>) -> Stats {
+        assert!(!samples.is_empty(), "at least one sample");
+        // Trim the warmup head (in arrival order), keeping at least one.
+        let drop = ((samples.len() as f64 * WARMUP_TRIM) as usize).min(samples.len() - 1);
+        samples.drain(..drop);
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+        Stats { median, mean, stddev: var.sqrt(), min: sorted[0], max: sorted[n - 1], samples: n }
+    }
+}
+
+/// Drives one benchmark's timing loop, collecting per-iteration samples.
 #[derive(Debug)]
 pub struct Bencher {
-    nanos_per_iter: f64,
+    samples: Vec<f64>,
 }
 
 /// Target wall-clock budget per benchmark.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 const MAX_ITERS: u64 = 100_000;
+/// Target duration of one timed batch: cheap routines are grouped so the
+/// `Instant` read overhead does not dominate the sample.
+const BATCH_TARGET_NANOS: u128 = 2_000;
 
 impl Bencher {
     fn new() -> Bencher {
-        Bencher { nanos_per_iter: f64::NAN }
+        Bencher { samples: Vec::new() }
     }
 
-    /// Time `routine` repeatedly.
+    /// Time `routine` repeatedly, recording ns/iter samples. Routines
+    /// cheaper than the clock read are timed in calibrated batches and
+    /// the batch mean recorded per sample.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
-        // Warm-up.
+        // Warm-up (not recorded) + batch-size calibration.
+        let cal = Instant::now();
         for _ in 0..3 {
             black_box(routine());
         }
+        let per_call = (cal.elapsed().as_nanos() / 3).max(1);
+        let batch = ((BATCH_TARGET_NANOS / per_call).clamp(1, 1_000)) as u64;
         let start = Instant::now();
         let mut iters = 0u64;
         while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
-            black_box(routine());
-            iters += 1;
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            iters += batch;
         }
-        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
     }
 
-    /// Time `routine` against fresh state from `setup` each iteration.
+    /// Time `routine` against fresh state from `setup` each iteration
+    /// (setup time excluded from the samples).
     pub fn iter_batched_ref<S, O>(
         &mut self,
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(&mut S) -> O,
         _size: BatchSize,
     ) {
+        // Warm-up (not recorded).
         let mut state = setup();
         black_box(routine(&mut state));
         let start = Instant::now();
-        let mut spent = Duration::ZERO;
         let mut iters = 0u64;
         while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
             let mut state = setup();
             let t = Instant::now();
             black_box(routine(&mut state));
-            spent += t.elapsed();
+            self.samples.push(t.elapsed().as_nanos() as f64);
             iters += 1;
         }
-        self.nanos_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    fn stats(&self) -> Stats {
+        Stats::from_samples(self.samples.clone())
     }
 }
 
-fn report(label: &str, nanos: f64) {
+fn fmt_ns(nanos: f64) -> String {
     if nanos >= 1_000_000.0 {
-        println!("{label:<50} {:>12.3} ms/iter", nanos / 1_000_000.0);
+        format!("{:.3} ms", nanos / 1_000_000.0)
     } else if nanos >= 1_000.0 {
-        println!("{label:<50} {:>12.3} µs/iter", nanos / 1_000.0);
+        format!("{:.3} µs", nanos / 1_000.0)
     } else {
-        println!("{label:<50} {nanos:>12.1} ns/iter");
+        format!("{nanos:.1} ns")
     }
+}
+
+fn report(label: &str, stats: &Stats) {
+    println!(
+        "{label:<50} median {:>10}/iter  ±{} [{} .. {}]  (mean {}, N={})",
+        fmt_ns(stats.median),
+        fmt_ns(stats.stddev),
+        fmt_ns(stats.min),
+        fmt_ns(stats.max),
+        fmt_ns(stats.mean),
+        stats.samples,
+    );
 }
 
 /// A named set of related benchmarks.
@@ -115,7 +183,7 @@ impl BenchmarkGroup {
     pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
         let mut b = Bencher::new();
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), b.nanos_per_iter);
+        report(&format!("{}/{}", self.name, id), &b.stats());
         self
     }
 
@@ -128,7 +196,7 @@ impl BenchmarkGroup {
     ) -> &mut Self {
         let mut b = Bencher::new();
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), b.nanos_per_iter);
+        report(&format!("{}/{}", self.name, id), &b.stats());
         self
     }
 
@@ -150,7 +218,7 @@ impl Criterion {
     pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
         let mut b = Bencher::new();
         f(&mut b);
-        report(&id.to_string(), b.nanos_per_iter);
+        report(&id.to_string(), &b.stats());
         self
     }
 }
@@ -181,7 +249,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn timing_loops_produce_finite_means() {
+    fn timing_loops_produce_finite_stats() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim");
         group.bench_function("iter", |b| b.iter(|| 1 + 1));
@@ -190,5 +258,29 @@ mod tests {
         c.bench_function("batched", |b| {
             b.iter_batched_ref(Vec::<u64>::new, |v| v.push(1), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn stats_are_ordered_and_trimmed() {
+        // 20 samples: the 5% trim drops exactly the first (slowest,
+        // cache-cold) one; the remaining 19 give median == mean == 10.
+        let mut samples = vec![1_000.0]; // warmup outlier, arrival order
+        samples.extend(std::iter::repeat_n(10.0, 19));
+        let s = Stats::from_samples(samples);
+        assert_eq!(s.samples, 19);
+        assert_eq!(s.median, 10.0);
+        assert_eq!(s.mean, 10.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!((s.min, s.max), (10.0, 10.0));
+    }
+
+    #[test]
+    fn median_of_even_sample_counts_interpolates() {
+        let s = Stats::from_samples(vec![10.0, 30.0]);
+        // Too few samples to trim: both kept.
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.median, 20.0);
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.stddev > 0.0);
     }
 }

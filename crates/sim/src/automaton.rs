@@ -1,6 +1,6 @@
 //! The process model: sans-io automata and their effects.
 
-use lucky_types::{Message, Op, ProcessId, Value};
+use lucky_types::{Message, Op, ProcessId, Time, Value};
 
 /// Identifier an automaton assigns to a timer it starts, echoed back when
 /// the timer fires. Automata choose their own ids (e.g. the round number),
@@ -28,6 +28,7 @@ pub struct Effects<M> {
     pub(crate) staged: Vec<(ProcessId, M)>,
     pub(crate) timers: Vec<(TimerId, u64)>,
     pub(crate) completion: Option<Completion>,
+    pub(crate) failed: bool,
 }
 
 /// Completion of a client operation, with the complexity metadata the
@@ -45,7 +46,13 @@ pub struct Completion {
 impl<M> Effects<M> {
     /// Fresh, empty effects.
     pub fn new() -> Effects<M> {
-        Effects { sends: Vec::new(), staged: Vec::new(), timers: Vec::new(), completion: None }
+        Effects {
+            sends: Vec::new(),
+            staged: Vec::new(),
+            timers: Vec::new(),
+            completion: None,
+            failed: false,
+        }
     }
 
     /// Send `msg` to `to`.
@@ -166,6 +173,21 @@ impl<M> Effects<M> {
         self.completion = Some(Completion { value, rounds, fast });
     }
 
+    /// Fail the operation in progress (e.g. a client session's deadline
+    /// passed). The driver abandons the pending operation: it never
+    /// completes, and [`World::op_failed`] records the instant.
+    ///
+    /// [`World::op_failed`]: crate::World::op_failed
+    pub fn fail_op(&mut self) {
+        debug_assert!(self.completion.is_none(), "operation both completed and failed");
+        self.failed = true;
+    }
+
+    /// `true` iff [`Effects::fail_op`] was called this step.
+    pub fn op_failed(&self) -> bool {
+        self.failed
+    }
+
     /// Number of queued sends (used by drivers for accounting). Staged
     /// messages count only after [`Effects::flush`].
     pub fn send_count(&self) -> usize {
@@ -178,6 +200,7 @@ impl<M> Effects<M> {
             && self.staged.is_empty()
             && self.timers.is_empty()
             && self.completion.is_none()
+            && !self.failed
     }
 
     /// Decompose into `(sends, timers, completion)` — used by protocol
@@ -202,23 +225,29 @@ impl<M> Default for Effects<M> {
 /// invocation scheduled by the algorithm) and atomically produces output
 /// messages.
 ///
+/// Every callback receives the driver's current time `now` — processes
+/// cannot *read* a clock (the paper's model gives them none), but a
+/// time-explicit adapter such as `lucky-core`'s session automaton needs
+/// the instant of each step to maintain its wake-up schedule.
+///
 /// Malicious processes are modelled as different implementations of this
 /// same trait — they may answer anything, but the driver guarantees they
 /// cannot tamper with channels between non-malicious processes, exactly as
 /// in the paper's fault model.
 pub trait Automaton<M>: Send {
-    /// A client operation is invoked on this process. Servers never
-    /// receive invocations; the default ignores them.
-    fn on_invoke(&mut self, op: Op, eff: &mut Effects<M>) {
-        let _ = (op, eff);
+    /// A client operation is invoked on this process at time `now`.
+    /// Servers never receive invocations; the default ignores them.
+    fn on_invoke(&mut self, now: Time, op: Op, eff: &mut Effects<M>) {
+        let _ = (now, op, eff);
     }
 
-    /// A message from `from` is delivered.
-    fn on_message(&mut self, from: ProcessId, msg: M, eff: &mut Effects<M>);
+    /// A message from `from` is delivered at time `now`.
+    fn on_message(&mut self, now: Time, from: ProcessId, msg: M, eff: &mut Effects<M>);
 
-    /// A timer previously started via [`Effects::set_timer`] fired.
-    fn on_timer(&mut self, id: TimerId, eff: &mut Effects<M>) {
-        let _ = (id, eff);
+    /// A timer previously started via [`Effects::set_timer`] fired at
+    /// time `now`.
+    fn on_timer(&mut self, now: Time, id: TimerId, eff: &mut Effects<M>) {
+        let _ = (now, id, eff);
     }
 }
 

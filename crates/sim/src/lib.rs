@@ -25,12 +25,12 @@
 //!
 //! ```
 //! use lucky_sim::{Automaton, Effects, NetworkModel, World};
-//! use lucky_types::{Op, ProcessId, ServerId, Value};
+//! use lucky_types::{Op, ProcessId, ServerId, Time, Value};
 //!
 //! /// A server that echoes every message back to its sender, plus one.
 //! struct Echo;
 //! impl Automaton<u32> for Echo {
-//!     fn on_message(&mut self, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
+//!     fn on_message(&mut self, _now: Time, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
 //!         eff.send(from, msg + 1);
 //!     }
 //! }
@@ -38,10 +38,10 @@
 //! /// A client that sends one probe and completes on the reply.
 //! struct Probe;
 //! impl Automaton<u32> for Probe {
-//!     fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u32>) {
+//!     fn on_invoke(&mut self, _now: Time, _op: Op, eff: &mut Effects<u32>) {
 //!         eff.send(ProcessId::Server(ServerId(0)), 41);
 //!     }
-//!     fn on_message(&mut self, _from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
+//!     fn on_message(&mut self, _now: Time, _from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
 //!         assert_eq!(msg, 42);
 //!         eff.complete(None, 1, true);
 //!     }

@@ -17,6 +17,14 @@ pub enum RunError {
         /// The operation that never completed.
         op: OpId,
     },
+    /// The client abandoned the operation (see [`Effects::fail_op`]) —
+    /// e.g. a session's configured deadline passed.
+    OpFailed {
+        /// The operation that failed.
+        op: OpId,
+        /// The virtual instant at which the client gave it up.
+        at: Time,
+    },
     /// The step budget was exhausted (the run may be livelocked or simply
     /// needs a larger budget).
     StepBudgetExhausted,
@@ -27,6 +35,9 @@ impl fmt::Display for RunError {
         match self {
             RunError::Stalled { op } => {
                 write!(f, "event queue drained before {op} completed")
+            }
+            RunError::OpFailed { op, at } => {
+                write!(f, "the client abandoned {op} at {at}")
             }
             RunError::StepBudgetExhausted => write!(f, "step budget exhausted"),
         }
@@ -82,6 +93,9 @@ pub struct World<M> {
     history: History,
     op_index: BTreeMap<OpId, usize>,
     pending: BTreeMap<ProcessId, OpId>,
+    /// Operations abandoned by their client (never completed), with the
+    /// instant of abandonment.
+    failed_ops: BTreeMap<OpId, Time>,
     next_op: u64,
     steps: u64,
     trace: Option<Vec<TraceEntry>>,
@@ -115,6 +129,7 @@ impl<M: Payload> World<M> {
             history: History::new(),
             op_index: BTreeMap::new(),
             pending: BTreeMap::new(),
+            failed_ops: BTreeMap::new(),
             next_op: 0,
             steps: 0,
             trace: None,
@@ -183,6 +198,12 @@ impl<M: Payload> World<M> {
     /// Panics if `op` was never invoked through this world.
     pub fn record(&self, op: OpId) -> &OpRecord {
         &self.history.ops[*self.op_index.get(&op).expect("unknown op id")]
+    }
+
+    /// The instant at which the client abandoned `op` (see
+    /// [`Effects::fail_op`]), or `None` if it was never abandoned.
+    pub fn op_failed(&self, op: OpId) -> Option<Time> {
+        self.failed_ops.get(&op).copied()
     }
 
     /// Mutable access to the network model (delay reconfiguration between
@@ -406,6 +427,7 @@ impl<M: Payload> World<M> {
             return true; // crashed processes take no steps
         }
 
+        let now = self.now;
         let mut eff = Effects::new();
         match kind {
             EventKind::Deliver { from, msg } => {
@@ -419,11 +441,11 @@ impl<M: Payload> World<M> {
                     });
                 }
                 let entry = self.procs.get_mut(&proc_id).expect("checked above");
-                entry.automaton.on_message(from, msg, &mut eff);
+                entry.automaton.on_message(now, from, msg, &mut eff);
             }
             EventKind::Timer { id } => {
                 let entry = self.procs.get_mut(&proc_id).expect("checked above");
-                entry.automaton.on_timer(id, &mut eff);
+                entry.automaton.on_timer(now, id, &mut eff);
             }
             EventKind::Invoke { op_id } => {
                 let prev = self.pending.insert(proc_id, op_id);
@@ -435,7 +457,7 @@ impl<M: Payload> World<M> {
                 let idx = self.op_index[&op_id];
                 let op = self.history.ops[idx].op.clone();
                 let entry = self.procs.get_mut(&proc_id).expect("checked above");
-                entry.automaton.on_invoke(op, &mut eff);
+                entry.automaton.on_invoke(now, op, &mut eff);
             }
             EventKind::Crash => unreachable!("handled above"),
         }
@@ -479,6 +501,9 @@ impl<M: Payload> World<M> {
         const BUDGET: u64 = 10_000_000;
         let mut taken = 0;
         while !self.record(op).is_complete() {
+            if let Some(at) = self.op_failed(op) {
+                return Err(RunError::OpFailed { op, at });
+            }
             if taken >= BUDGET {
                 return Err(RunError::StepBudgetExhausted);
             }
@@ -524,7 +549,7 @@ impl<M: Payload> World<M> {
     }
 
     fn apply_effects(&mut self, from: ProcessId, eff: Effects<M>) {
-        let Effects { mut sends, mut staged, timers, completion } = eff;
+        let Effects { mut sends, mut staged, timers, completion, failed } = eff;
         // Anything left staged (un-flushed) degrades to plain sends.
         sends.append(&mut staged);
         // Coalesce one step's sends per destination into wire messages.
@@ -581,6 +606,13 @@ impl<M: Payload> World<M> {
             rec.rounds = rounds;
             rec.fast = fast;
         }
+        if failed {
+            let op = self
+                .pending
+                .remove(&from)
+                .unwrap_or_else(|| panic!("{from} failed with no pending operation"));
+            self.failed_ops.insert(op, self.now);
+        }
     }
 }
 
@@ -592,7 +624,7 @@ mod tests {
     /// Echo server used by the engine tests: replies `msg + 1`.
     struct Echo;
     impl Automaton<u32> for Echo {
-        fn on_message(&mut self, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
+        fn on_message(&mut self, _now: Time, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
             eff.send(from, msg + 1);
         }
     }
@@ -603,12 +635,12 @@ mod tests {
         got: usize,
     }
     impl Automaton<u32> for FanOut {
-        fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u32>) {
+        fn on_invoke(&mut self, _now: Time, _op: Op, eff: &mut Effects<u32>) {
             for s in ServerId::all(self.expect) {
                 eff.send(ProcessId::Server(s), 0);
             }
         }
-        fn on_message(&mut self, _from: ProcessId, _msg: u32, eff: &mut Effects<u32>) {
+        fn on_message(&mut self, _now: Time, _from: ProcessId, _msg: u32, eff: &mut Effects<u32>) {
             self.got += 1;
             if self.got == self.expect {
                 eff.complete(Some(Value::from_u64(self.got as u64)), 1, true);
@@ -619,11 +651,12 @@ mod tests {
     /// Client that completes when its timer fires.
     struct TimerClient;
     impl Automaton<u32> for TimerClient {
-        fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u32>) {
+        fn on_invoke(&mut self, _now: Time, _op: Op, eff: &mut Effects<u32>) {
             eff.set_timer(TimerId(3), 777);
         }
-        fn on_message(&mut self, _from: ProcessId, _msg: u32, _eff: &mut Effects<u32>) {}
-        fn on_timer(&mut self, id: TimerId, eff: &mut Effects<u32>) {
+        fn on_message(&mut self, _now: Time, _from: ProcessId, _msg: u32, _eff: &mut Effects<u32>) {
+        }
+        fn on_timer(&mut self, _now: Time, id: TimerId, eff: &mut Effects<u32>) {
             assert_eq!(id, TimerId(3));
             eff.complete(None, 1, false);
         }
@@ -801,12 +834,18 @@ mod tests {
             got: usize,
         }
         impl Automaton<Message> for MultiSend {
-            fn on_invoke(&mut self, _op: Op, eff: &mut Effects<Message>) {
+            fn on_invoke(&mut self, _now: Time, _op: Op, eff: &mut Effects<Message>) {
                 for reg in 0..self.n {
                     eff.send(ProcessId::Server(ServerId(0)), read(reg as u32));
                 }
             }
-            fn on_message(&mut self, _from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+            fn on_message(
+                &mut self,
+                _now: Time,
+                _from: ProcessId,
+                msg: Message,
+                eff: &mut Effects<Message>,
+            ) {
                 self.got += msg.part_count();
                 if self.got >= self.n {
                     eff.complete(None, 1, true);
@@ -817,7 +856,13 @@ mod tests {
         /// Echoes every delivery straight back (batches echoed whole).
         struct EchoBack;
         impl Automaton<Message> for EchoBack {
-            fn on_message(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
+            fn on_message(
+                &mut self,
+                _now: Time,
+                from: ProcessId,
+                msg: Message,
+                eff: &mut Effects<Message>,
+            ) {
                 eff.send(from, msg);
             }
         }
@@ -875,7 +920,14 @@ mod tests {
         /// Absorbs every delivery (a client with no operation pending).
         struct Sink;
         impl Automaton<Message> for Sink {
-            fn on_message(&mut self, _f: ProcessId, _m: Message, _e: &mut Effects<Message>) {}
+            fn on_message(
+                &mut self,
+                _n: Time,
+                _f: ProcessId,
+                _m: Message,
+                _e: &mut Effects<Message>,
+            ) {
+            }
         }
 
         #[test]
@@ -910,16 +962,16 @@ mod trace_tests {
 
     struct Echo;
     impl Automaton<u32> for Echo {
-        fn on_message(&mut self, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
+        fn on_message(&mut self, _now: Time, from: ProcessId, msg: u32, eff: &mut Effects<u32>) {
             eff.send(from, msg + 1);
         }
     }
     struct Probe;
     impl Automaton<u32> for Probe {
-        fn on_invoke(&mut self, _op: Op, eff: &mut Effects<u32>) {
+        fn on_invoke(&mut self, _now: Time, _op: Op, eff: &mut Effects<u32>) {
             eff.send(ProcessId::Server(ServerId(0)), 1);
         }
-        fn on_message(&mut self, _from: ProcessId, _msg: u32, eff: &mut Effects<u32>) {
+        fn on_message(&mut self, _now: Time, _from: ProcessId, _msg: u32, eff: &mut Effects<u32>) {
             eff.complete(None, 1, true);
         }
     }

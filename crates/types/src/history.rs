@@ -22,7 +22,7 @@ impl fmt::Display for OpId {
 }
 
 /// An operation a client may invoke on the storage.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum Op {
     /// `WRITE(v)` — only the writer invokes these.
     Write(Value),

@@ -1,0 +1,203 @@
+//! Differential harness for the client-driving strategies: the
+//! **threaded** driver (one blocking `ClientDriver` per job) and the
+//! **polled** driver (one nonblocking readiness loop multiplexing each
+//! shard's sessions) must be observably interchangeable.
+//!
+//! Both drivers consume the same sans-io `ClientSession`, so for a
+//! deterministic (sequential-per-register) workload they must produce
+//! **identical `OpOutcome` streams** — register, kind and value, for all
+//! three protocol variants — and identical checker verdicts; for a
+//! concurrent workload, where wall-clock interleavings legitimately
+//! differ, the per-register linearizability/regularity oracles must pass
+//! under both. Fault tolerance must be driver-independent too: a crash +
+//! Byzantine run over real TCP sockets (`Transport::Tcp`) completes
+//! checker-clean under both drivers.
+
+use lucky_atomic::core::byz::ForgeValue;
+use lucky_atomic::core::Setup;
+use lucky_atomic::net::{Driver, NetConfig, NetStore, NetStoreBuilder, Transport};
+use lucky_atomic::types::{OpKind, Params, RegisterId, Seq, TsVal, TwoRoundParams, Value};
+use std::time::Duration;
+
+const REGISTERS: usize = 4;
+const READERS_PER_REGISTER: usize = 2;
+const ROUNDS: u64 = 3;
+
+fn setups() -> Vec<Setup> {
+    vec![
+        Setup::Atomic(Params::new(2, 1, 1, 0).unwrap()),
+        Setup::TwoRound(TwoRoundParams::new(2, 1, 1).unwrap()),
+        Setup::Regular(Params::trading_reads(2, 1).unwrap()),
+    ]
+}
+
+fn net_cfg(timer_millis: u64) -> NetConfig {
+    NetConfig {
+        min_latency: Duration::from_micros(50),
+        max_latency: Duration::from_micros(300),
+        seed: 11,
+        timer: Duration::from_millis(timer_millis),
+    }
+}
+
+fn value_for(reg: RegisterId, round: u64) -> u64 {
+    1 + reg.0 as u64 * 1_000 + round
+}
+
+fn builder(setup: Setup, driver: Driver, transport: Transport, faulty: bool) -> NetStoreBuilder {
+    let timer = if transport == Transport::Tcp { 8 } else { 4 };
+    let mut b = NetStore::builder(setup, net_cfg(timer))
+        .registers(REGISTERS)
+        .readers_per_register(READERS_PER_REGISTER)
+        .shards(3)
+        .transport(transport)
+        .driver(driver);
+    if faulty {
+        // One crashed server plus one value-forging Byzantine server:
+        // within every variant's fault budget (t = 2, b = 1).
+        b = b
+            .crashed(0)
+            .byzantine(1, Box::new(ForgeValue::new(TsVal::new(Seq(77), Value::from_u64(666)))));
+    }
+    b
+}
+
+/// One deterministic outcome-stream entry: the fields that must match
+/// across drivers exactly (wall-clock metrics like `elapsed` and the
+/// fast/slow split legitimately vary between runs).
+type Outcome = (RegisterId, OpKind, Option<u64>);
+
+/// The sequential workload: per round, every register writes then both
+/// its readers read, each operation waited to completion before the
+/// next. Values read are fully determined, so the stream is comparable
+/// element for element.
+fn run_sequential(
+    setup: Setup,
+    driver: Driver,
+    transport: Transport,
+    faulty: bool,
+) -> Vec<Outcome> {
+    let mut store = builder(setup, driver, transport, faulty).build();
+    let handles: Vec<_> =
+        RegisterId::all(REGISTERS).map(|reg| store.register(reg).expect("fresh handle")).collect();
+    let mut stream = Vec::new();
+    for round in 0..ROUNDS {
+        for h in &handles {
+            let v = value_for(h.id(), round);
+            let out = h.write(Value::from_u64(v)).expect("write completes");
+            assert_eq!(out.kind, OpKind::Write);
+            stream.push((out.reg, out.kind, out.value.as_u64()));
+            for j in 0..READERS_PER_REGISTER as u16 {
+                let out = h.read(j).expect("read completes");
+                assert_eq!(
+                    out.value.as_u64(),
+                    Some(v),
+                    "sequential read returns the last written value ({setup:?}, {driver:?})"
+                );
+                stream.push((out.reg, out.kind, out.value.as_u64()));
+            }
+        }
+    }
+    match setup {
+        Setup::Regular(_) => store.check_regularity().expect("regularity holds"),
+        _ => store.check_atomicity().expect("atomicity holds"),
+    }
+    store.shutdown();
+    stream
+}
+
+/// The concurrent workload: every register's write and reads submitted
+/// before anything is waited on, so sessions genuinely overlap (on the
+/// polled driver, several ops multiplex one worker thread). Values read
+/// are timing-dependent; the oracle is the checker.
+fn run_concurrent(setup: Setup, driver: Driver, transport: Transport, faulty: bool) -> usize {
+    let mut store = builder(setup, driver, transport, faulty).build();
+    let handles: Vec<_> =
+        RegisterId::all(REGISTERS).map(|reg| store.register(reg).expect("fresh handle")).collect();
+    let mut completed = 0;
+    for round in 0..ROUNDS {
+        let mut tickets = Vec::new();
+        for h in &handles {
+            tickets.push(h.invoke_write(Value::from_u64(value_for(h.id(), round))));
+            for j in 0..READERS_PER_REGISTER as u16 {
+                tickets.push(h.invoke_read(j));
+            }
+        }
+        for t in tickets {
+            t.wait().expect("concurrent operation completes");
+            completed += 1;
+        }
+    }
+    match setup {
+        Setup::Regular(_) => store.check_regularity().expect("regularity holds"),
+        _ => store.check_atomicity().expect("atomicity holds"),
+    }
+    store.shutdown();
+    completed
+}
+
+#[test]
+fn sequential_outcome_streams_are_identical_across_drivers() {
+    for setup in setups() {
+        let threaded = run_sequential(setup, Driver::Threaded, Transport::Channel, false);
+        let polled = run_sequential(setup, Driver::Polled, Transport::Channel, false);
+        assert_eq!(
+            threaded, polled,
+            "threaded and polled drivers diverged on the deterministic workload ({setup:?})"
+        );
+        assert_eq!(threaded.len(), (ROUNDS as usize) * REGISTERS * (1 + READERS_PER_REGISTER));
+    }
+}
+
+#[test]
+fn concurrent_workloads_stay_checker_clean_under_both_drivers() {
+    for setup in setups() {
+        for driver in [Driver::Threaded, Driver::Polled] {
+            let completed = run_concurrent(setup, driver, Transport::Channel, false);
+            assert_eq!(
+                completed,
+                (ROUNDS as usize) * REGISTERS * (1 + READERS_PER_REGISTER),
+                "({setup:?}, {driver:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_plus_byzantine_over_tcp_is_driver_independent() {
+    // The acceptance run: a crashed server and a value-forging Byzantine
+    // server over real sockets, all three variants, both drivers —
+    // identical deterministic streams and clean checker verdicts.
+    for setup in setups() {
+        let threaded = run_sequential(setup, Driver::Threaded, Transport::Tcp, true);
+        let polled = run_sequential(setup, Driver::Polled, Transport::Tcp, true);
+        assert_eq!(threaded, polled, "drivers diverged under faults over TCP ({setup:?})");
+    }
+}
+
+#[test]
+fn polled_driver_multiplexes_registers_on_one_worker() {
+    // Force every session onto a single worker: concurrency must come
+    // purely from the poll loop's multiplexing, not thread counts.
+    let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+    let mut store = NetStore::builder(setup, net_cfg(4))
+        .registers(REGISTERS)
+        .shards(1)
+        .driver(Driver::Polled)
+        .build();
+    let handles: Vec<_> =
+        RegisterId::all(REGISTERS).map(|reg| store.register(reg).expect("fresh handle")).collect();
+    // Submit every register's write before waiting on any: with a
+    // blocking one-job-at-a-time worker this would serialize; the polled
+    // worker runs them concurrently and all complete.
+    let tickets: Vec<_> =
+        handles.iter().map(|h| h.invoke_write(Value::from_u64(100 + h.id().0 as u64))).collect();
+    for t in tickets {
+        t.wait().expect("multiplexed write completes");
+    }
+    for h in &handles {
+        assert_eq!(h.read(0).unwrap().value.as_u64(), Some(100 + h.id().0 as u64));
+    }
+    store.check_atomicity().unwrap();
+    store.shutdown();
+}
