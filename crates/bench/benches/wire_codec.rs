@@ -7,12 +7,27 @@
 //! the perf trajectory tracks both ns/msg and bytes/msg. Divide a
 //! batch case's ns/iter by its part count for the per-message cost —
 //! the iteration encodes or decodes the whole envelope.
+//!
+//! Two sweeps track the receive path's two optimizations across value
+//! sizes from a tag byte to 64 KiB:
+//!
+//! * `wire/decode_packet_b16_v*` — the zero-copy packet decode: a
+//!   16-part packet of writes whose values are sliced out of the
+//!   shared frame payload, never copied. The per-iteration cost should
+//!   be flat in value size (the bytes are only CRC'd, not moved).
+//! * `wire/crc32_*` vs `wire/crc32_bytewise_*` — the slice-by-8
+//!   checksum against the one-table-lookup-per-byte classic, same
+//!   buffers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lucky_types::{
-    FrozenSlot, Message, PwMsg, ReadAckMsg, ReadMsg, ReadSeq, RegisterId, Seq, TsVal, Value,
+    FrozenSlot, Message, ProcessId, PwMsg, ReadAckMsg, ReadMsg, ReadSeq, RegisterId, Seq, ServerId,
+    Tag, TsVal, Value, WriteMsg,
 };
-use lucky_wire::{decode_message, encode_message};
+use lucky_wire::{
+    crc32, crc32_bytewise, decode_message, decode_packet, encode_message, encode_packet,
+    FrameDecoder, PacketPart,
+};
 
 /// A writer's PW round message — the write path's hot encode.
 fn pw_msg() -> Message {
@@ -74,5 +89,62 @@ fn bench_batches(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_singles, bench_batches);
+/// Value payload sizes swept by the zero-copy and checksum benches:
+/// tag-sized, cache-line-ish, and up through a 64 KiB blob.
+const VALUE_SIZES: [usize; 5] = [8, 64, 512, 4096, 65536];
+
+/// A `parts`-part packet of writes carrying `value_bytes`-byte values —
+/// the shape the router's socket batching actually produces on the
+/// write path, and the case the zero-copy decode exists for.
+fn write_packet(parts: u64, value_bytes: usize) -> Vec<PacketPart> {
+    (0..parts)
+        .map(|i| {
+            let val = Value::from_bytes(vec![i as u8; value_bytes]);
+            let msg = Message::Write(WriteMsg {
+                reg: RegisterId(i as u32),
+                round: 1,
+                tag: Tag::Write(Seq(i + 1)),
+                c: TsVal::new(Seq(i + 1), val),
+                frozen: vec![],
+            });
+            (ProcessId::Writer, ProcessId::Server(ServerId(i as u16)), msg)
+        })
+        .collect()
+}
+
+fn bench_zero_copy_packet_decode(c: &mut Criterion) {
+    for size in VALUE_SIZES {
+        // 16 parts, except where that would overflow the 1 MiB frame
+        // cap (16 × 64 KiB): the top size runs with 8 parts.
+        let parts: u64 = if size >= 65536 { 8 } else { 16 };
+        // `encode_packet` emits a complete frame; reassemble it through
+        // the decoder exactly as the transport's read loop does, so the
+        // benched payload is the same shared buffer production slices.
+        let frame = encode_packet(&write_packet(parts, size));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let payload = dec.next_frame().expect("clean frame").expect("complete frame");
+        c.bench_function(format!("wire/decode_packet_b{parts}_v{size}"), |b| {
+            b.iter(|| decode_packet(&payload).expect("valid packet"))
+        });
+    }
+}
+
+fn bench_checksums(c: &mut Criterion) {
+    for size in VALUE_SIZES {
+        let buf: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+        c.bench_function(format!("wire/crc32_{size}"), |b| b.iter(|| crc32(&buf)));
+        c.bench_function(format!("wire/crc32_bytewise_{size}"), |b| {
+            b.iter(|| crc32_bytewise(&buf))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_singles,
+    bench_batches,
+    bench_zero_copy_packet_decode,
+    bench_checksums
+);
 criterion_main!(benches);

@@ -14,7 +14,7 @@
 
 use crate::view::ViewTable;
 use lucky_types::{Params, ReadSeq, TsVal, TwoRoundParams};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The numeric thresholds the predicates compare against.
 ///
@@ -131,6 +131,10 @@ pub fn invalidpw(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
 
 /// All distinct pairs occurring in any responded server's `pw`/`w` —
 /// the domain over which `highCand` quantifies.
+///
+/// Clones every pair into the set; part of the **naive oracle** path
+/// ([`candidates_naive`]) — the specialized [`candidates`] borrows the
+/// pairs out of the table instead.
 pub fn live_pairs(views: &ViewTable) -> BTreeSet<TsVal> {
     let mut out = BTreeSet::new();
     for v in views.values() {
@@ -150,8 +154,12 @@ pub fn high_cand(views: &ViewTable, c: &TsVal, thr: &Thresholds) -> bool {
 }
 
 /// The candidate set `C = {c : (safe(c) ∧ highCand(c)) ∨ safeFrozen(c)}`
-/// (Fig. 2 line 18).
-pub fn candidates(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> BTreeSet<TsVal> {
+/// (Fig. 2 line 18), **as literally written in the paper**: for every
+/// live pair, re-scan all views per competing pair —
+/// O(pairs² · views). This is the *spec oracle*: trivially auditable
+/// against Fig. 2, kept for the differential tests and the benchmark
+/// baseline. Production readers call [`candidates`].
+pub fn candidates_naive(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> BTreeSet<TsVal> {
     let mut c_set = BTreeSet::new();
     for c in live_pairs(views) {
         if safe(views, &c, thr) && high_cand(views, &c, thr) {
@@ -167,8 +175,137 @@ pub fn candidates(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> BTreeSet
     c_set
 }
 
+/// `csel` over [`candidates_naive`] — the spec-oracle twin of
+/// [`select`], pinned equal to it by differential proptests.
+pub fn select_naive(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> Option<TsVal> {
+    candidates_naive(views, tsr, thr).into_iter().next_back()
+}
+
+/// Per-pair counters accumulated in the single pass over the views.
+#[derive(Default)]
+struct PairStat {
+    /// `|{i : pw_i = c}|`.
+    pw: usize,
+    /// `|{i : w_i = c}|`.
+    w: usize,
+    /// `|{i : pw_i = w_i = c}|` (vouches once, not twice).
+    both: usize,
+    /// `|{i : w_i = c ∧ pw_i.ts > w_i.ts}|` — servers whose `w` is `c`
+    /// but whose `pw` has already moved past `c.ts`.
+    w_newer_pw: usize,
+    /// `|{i : pw_i = c ∧ w_i.ts > pw_i.ts}|` — the mirror image.
+    pw_newer_w: usize,
+}
+
+/// `|{x ∈ sorted : x ≤ t}|` for an ascending-sorted slice.
+fn count_le(sorted: &[u64], t: u64) -> usize {
+    sorted.partition_point(|&x| x <= t)
+}
+
+/// The candidate set `C = {c : (safe(c) ∧ highCand(c)) ∨ safeFrozen(c)}`
+/// (Fig. 2 line 18) — the **specialized linear path** both runtimes run.
+///
+/// One pass over the views builds per-pair count tables (borrowing the
+/// pairs, never cloning them) plus two sorted timestamp arrays; each
+/// predicate then becomes a table lookup:
+///
+/// * `invalidpw(c)` counts servers whose `pw` is older-or-conflicting:
+///   exactly `|{i : pw_i.ts ≤ c.ts}| − |{i : pw_i = c}|`.
+/// * `invalidw(c)` counts servers whose `pw` **or** `w` is
+///   older-or-conflicting; a server does *not* count iff each register
+///   is newer than `c.ts` or equals `c` exactly, which splits into four
+///   disjoint table-counted cases (both newer; `w = c` with newer `pw`;
+///   `pw = c` with newer `w`; `pw = w = c`).
+/// * `highCand(c)` holds iff no live pair with `ts ≥ c.ts` other than
+///   `c` survives refutation — a suffix scan over the pairs in
+///   ascending `(ts, val)` order.
+///
+/// Total cost O(S log S + P log P) for S responders and P ≤ 2S distinct
+/// pairs, versus O(P² · S) for [`candidates_naive`]; the differential
+/// proptests pin the two equal on arbitrary (including Byzantine
+/// equivocating and frozen) view tables.
+pub fn candidates(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> BTreeSet<TsVal> {
+    let n = views.len();
+    // --- one pass: per-pair counters + timestamp arrays + frozen tallies.
+    let mut stats: BTreeMap<&TsVal, PairStat> = BTreeMap::new();
+    let mut min_ts: Vec<u64> = Vec::with_capacity(n);
+    let mut pw_ts: Vec<u64> = Vec::with_capacity(n);
+    let mut frozen: BTreeMap<&TsVal, usize> = BTreeMap::new();
+    for v in views.values() {
+        stats.entry(&v.pw).or_default().pw += 1;
+        stats.entry(&v.w).or_default().w += 1;
+        if v.pw == v.w {
+            stats.entry(&v.pw).or_default().both += 1;
+        } else if v.pw.ts > v.w.ts {
+            stats.entry(&v.w).or_default().w_newer_pw += 1;
+        } else if v.w.ts > v.pw.ts {
+            stats.entry(&v.pw).or_default().pw_newer_w += 1;
+        }
+        min_ts.push(v.pw.ts.0.min(v.w.ts.0));
+        pw_ts.push(v.pw.ts.0);
+        if v.frozen.tsr == tsr {
+            *frozen.entry(&v.frozen.pw).or_default() += 1;
+        }
+    }
+    min_ts.sort_unstable();
+    pw_ts.sort_unstable();
+
+    // --- per-pair verdicts, in ascending (ts, val) order.
+    // A server's pair invalidates c iff its ts ≤ c.ts and it differs
+    // from c (`TsVal::invalidates`), so:
+    //   invalidpw(c) = |pw.ts ≤ c.ts| − |pw = c|
+    //   invalidw(c)  = n − (A + B + C + D), the four disjoint ways a
+    //                  server can fail to invalidate c on both registers.
+    let verdicts: Vec<(&TsVal, bool, bool)> = stats
+        .iter()
+        .map(|(c, s)| {
+            let t = c.ts.0;
+            let invalidpw_count = count_le(&pw_ts, t) - s.pw;
+            let unrefuting = (n - count_le(&min_ts, t)) // A: both registers newer
+                + s.w_newer_pw // B: w = c, pw newer
+                + s.pw_newer_w // C: pw = c, w newer
+                + s.both; // D: pw = w = c
+            let invalidw_count = n - unrefuting;
+            let refuted = invalidw_count >= thr.invalidw && invalidpw_count >= thr.invalidpw;
+            let safe = s.pw + s.w - s.both >= thr.safe;
+            (*c, safe, refuted)
+        })
+        .collect();
+
+    // --- highCand via one suffix scan over timestamp groups.
+    let mut c_set = BTreeSet::new();
+    let mut unref_higher = 0usize; // unrefuted pairs with strictly higher ts
+    let mut i = verdicts.len();
+    while i > 0 {
+        // The group [j, i) shares one timestamp.
+        let ts = verdicts[i - 1].0.ts;
+        let mut j = i;
+        while j > 0 && verdicts[j - 1].0.ts == ts {
+            j -= 1;
+        }
+        let unref_in_group = verdicts[j..i].iter().filter(|(_, _, refuted)| !refuted).count();
+        for (c, safe, refuted) in &verdicts[j..i] {
+            let others_unref = unref_in_group - usize::from(!refuted);
+            if *safe && unref_higher == 0 && others_unref == 0 {
+                c_set.insert((*c).clone());
+            }
+        }
+        unref_higher += unref_in_group;
+        i = j;
+    }
+
+    // --- frozen candidates: safeFrozen(c) is a straight tally.
+    for (c, count) in frozen {
+        if count >= thr.safe {
+            c_set.insert(c.clone());
+        }
+    }
+    c_set
+}
+
 /// `csel` (Fig. 2 line 20): the candidate with the highest timestamp
 /// (value order breaks exact-tie equivocations deterministically).
+/// Runs the specialized linear [`candidates`] path.
 pub fn select(views: &ViewTable, tsr: ReadSeq, thr: &Thresholds) -> Option<TsVal> {
     candidates(views, tsr, thr).into_iter().next_back()
 }

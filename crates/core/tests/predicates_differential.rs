@@ -1,0 +1,117 @@
+//! Differential pin: the specialized linear candidate selection
+//! (`predicates::candidates` / `select`) agrees **exactly** with the
+//! quadratic spec oracle (`candidates_naive` / `select_naive`) — the
+//! paper's Fig. 2 predicates as literally written — on arbitrary view
+//! tables.
+//!
+//! The generator is deliberately hostile: timestamps and values are
+//! drawn from tiny pools so the same timestamp routinely appears with
+//! *different* values (a Byzantine server equivocating a pair), `pw`
+//! and `w` collide and diverge in every combination, and frozen slots
+//! sometimes match the read's `tsr` and sometimes belong to a stale
+//! READ. Every structural corner of the fast path — the four disjoint
+//! `invalidw` cases, the same-timestamp `highCand` group scan, the
+//! frozen tally — is reachable from this distribution.
+
+use lucky_core::predicates::{self, Thresholds};
+use lucky_core::view::{ServerView, ViewTable};
+use lucky_types::{FrozenSlot, Params, ReadSeq, Seq, ServerId, TsVal, Value};
+use proptest::prelude::*;
+
+/// A pair from the tiny (ts, val) pool. `val` is drawn independently of
+/// `ts`, so two servers can vouch for the same timestamp with different
+/// values — exactly what an equivocating Byzantine server produces.
+fn pool_pair(ts: u64, val: u64) -> TsVal {
+    if ts == 0 {
+        TsVal::initial()
+    } else {
+        TsVal::new(Seq(ts), Value::from_u64(val))
+    }
+}
+
+/// Threshold sets under test: the S = 6 atomic instance used across the
+/// unit tests, and a larger S = 12 instance with more Byzantine slack.
+fn threshold_sets() -> Vec<Thresholds> {
+    vec![
+        Thresholds::from(Params::new(2, 1, 1, 0).unwrap()),
+        Thresholds::from(Params::new(5, 1, 2, 2).unwrap()),
+    ]
+}
+
+proptest! {
+    /// `candidates == candidates_naive` and `select == select_naive`
+    /// for every sampled view table, under both threshold sets, at both
+    /// a matching and a mismatching read sequence number.
+    #[test]
+    fn fast_candidates_match_the_spec_oracle(
+        servers in prop::collection::vec(
+            // (pw_ts, pw_val, w_ts, w_val, frozen_ts, frozen_val, frozen_tsr)
+            (0u64..6, 0u64..3, 0u64..6, 0u64..3, 0u64..6, 0u64..3, 0u64..4),
+            0..13,
+        ),
+        tsr in 0u64..4,
+    ) {
+        let views: ViewTable = servers
+            .iter()
+            .enumerate()
+            .map(|(i, &(pw_ts, pw_val, w_ts, w_val, fz_ts, fz_val, fz_tsr))| {
+                let v = ServerView {
+                    rnd: 1,
+                    pw: pool_pair(pw_ts, pw_val),
+                    w: pool_pair(w_ts, w_val),
+                    vw: None,
+                    frozen: FrozenSlot { pw: pool_pair(fz_ts, fz_val), tsr: ReadSeq(fz_tsr) },
+                };
+                (ServerId(i as u16), v)
+            })
+            .collect();
+        for thr in threshold_sets() {
+            for tsr in [ReadSeq(tsr), ReadSeq(tsr + 100)] {
+                prop_assert_eq!(
+                    predicates::candidates(&views, tsr, &thr),
+                    predicates::candidates_naive(&views, tsr, &thr)
+                );
+                prop_assert_eq!(
+                    predicates::select(&views, tsr, &thr),
+                    predicates::select_naive(&views, tsr, &thr)
+                );
+            }
+        }
+    }
+
+    /// Unanimous honest tables (the common case) still agree — and both
+    /// paths select the unanimous pair, pinning the fast path's sign
+    /// conventions (a regression here would be a silent liveness bug,
+    /// not just a mismatch).
+    #[test]
+    fn unanimous_tables_select_the_unanimous_pair(
+        ts in 1u64..50,
+        n in 2usize..13,
+    ) {
+        let pair = TsVal::new(Seq(ts), Value::from_u64(ts));
+        let views: ViewTable = (0..n)
+            .map(|i| {
+                let v = ServerView {
+                    rnd: 1,
+                    pw: pair.clone(),
+                    w: pair.clone(),
+                    vw: Some(pair.clone()),
+                    frozen: FrozenSlot::initial(),
+                };
+                (ServerId(i as u16), v)
+            })
+            .collect();
+        for thr in threshold_sets() {
+            if n >= thr.safe {
+                prop_assert_eq!(
+                    predicates::select(&views, ReadSeq(1), &thr),
+                    Some(pair.clone())
+                );
+            }
+            prop_assert_eq!(
+                predicates::select(&views, ReadSeq(1), &thr),
+                predicates::select_naive(&views, ReadSeq(1), &thr)
+            );
+        }
+    }
+}

@@ -1,14 +1,29 @@
 //! Offline stand-in for `bytes::Bytes`: an immutable, cheaply-cloneable
-//! byte buffer backed by `Arc<[u8]>`. See `crates/shims/README.md`.
+//! byte buffer backed by `Arc<[u8]>`, with zero-copy subrange views.
+//! See `crates/shims/README.md`.
+//!
+//! A [`Bytes`] is a *window* `(offset, len)` into a shared allocation.
+//! [`Bytes::slice`] and [`Bytes::slice_ref`] narrow the window without
+//! touching the bytes — the child shares the parent's `Arc`, which is
+//! what lets `lucky-wire` decode a whole batch of values out of one
+//! received frame payload without copying any of them. Equality,
+//! ordering and hashing see only the window's contents, never the
+//! backing allocation, so two windows over different allocations with
+//! the same bytes are equal and hash identically.
 
 #![forbid(unsafe_code)]
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Bytes(Arc<[u8]>);
+/// An immutable, reference-counted byte buffer (a window into a shared
+/// allocation).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
 
 impl Bytes {
     /// An empty buffer.
@@ -18,42 +33,131 @@ impl Bytes {
 
     /// Copy `data` into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
-    /// Number of bytes.
+    fn from_arc(data: Arc<[u8]>) -> Bytes {
+        let len = data.len();
+        Bytes { data, off: 0, len }
+    }
+
+    /// Number of bytes in the window.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
-    /// `true` iff the buffer is empty.
+    /// `true` iff the window is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy subrange view: the returned `Bytes` shares this
+    /// buffer's allocation and merely narrows the window. O(1), no
+    /// bytes are moved or copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, mirroring
+    /// upstream `bytes`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n.checked_add(1).expect("slice start overflows"),
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("slice end overflows"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len, "slice end {end} out of bounds (len {})", self.len);
+        Bytes { data: Arc::clone(&self.data), off: self.off + start, len: end - start }
+    }
+
+    /// A zero-copy view of `subset`, which must lie inside this
+    /// buffer's window (compared by address, as in upstream `bytes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` is not contained in `self`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let window = self.as_ref().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= window && sub + subset.len() <= window + self.len,
+            "slice_ref subset is not inside the buffer"
+        );
+        let start = sub - window;
+        self.slice(start..start + subset.len())
+    }
+
+    /// `true` iff `self` and `other` are windows over the **same
+    /// allocation** — the pointer-identity hook the zero-copy tests use
+    /// to assert that slicing never copies (`Arc::ptr_eq` on the
+    /// backing buffers).
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "b{:?}", &self.0)
+        write!(f, "b{:?}", self.as_ref())
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Arc::from(v))
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -72,12 +176,14 @@ impl From<&str> for Bytes {
 #[cfg(test)]
 mod tests {
     use super::Bytes;
+    use proptest::prelude::*;
 
     #[test]
     fn round_trip_and_cheap_clone() {
         let b = Bytes::copy_from_slice(&[1, 2, 3]);
         let c = b.clone();
         assert_eq!(b, c);
+        assert!(b.shares_allocation(&c));
         assert_eq!(b.as_ref(), &[1, 2, 3]);
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
@@ -89,5 +195,110 @@ mod tests {
         assert!(Bytes::copy_from_slice(&[1, 2]) < Bytes::copy_from_slice(&[2]));
         let v: Bytes = vec![9u8].into();
         assert_eq!(v.as_ref(), &[9]);
+    }
+
+    #[test]
+    fn from_str_copies_the_utf8_bytes() {
+        let b = Bytes::from("lucky");
+        assert_eq!(b.as_ref(), b"lucky");
+    }
+
+    #[test]
+    fn slice_forms_are_window_narrowing() {
+        let b = Bytes::copy_from_slice(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(1..4).as_ref(), &[1, 2, 3]);
+        assert_eq!(b.slice(..2).as_ref(), &[0, 1]);
+        assert_eq!(b.slice(4..).as_ref(), &[4, 5]);
+        assert_eq!(b.slice(..).as_ref(), b.as_ref());
+        assert_eq!(b.slice(1..=2).as_ref(), &[1, 2]);
+        assert!(b.slice(3..3).is_empty());
+        // Slices of slices compose: offsets are relative to the window.
+        let mid = b.slice(1..5);
+        assert_eq!(mid.slice(1..3).as_ref(), &[2, 3]);
+        assert!(mid.slice(1..3).shares_allocation(&b));
+    }
+
+    #[test]
+    fn slice_never_copies() {
+        let b = Bytes::copy_from_slice(&[7; 32]);
+        let s = b.slice(4..20);
+        assert!(s.shares_allocation(&b), "slice must alias the parent allocation");
+        // Equal contents in a different allocation are equal but do not alias.
+        let copy = Bytes::copy_from_slice(s.as_ref());
+        assert_eq!(copy, s);
+        assert!(!copy.shares_allocation(&s));
+    }
+
+    #[test]
+    fn slice_ref_recovers_the_window() {
+        let b = Bytes::copy_from_slice(&[0, 1, 2, 3, 4, 5]);
+        let sub = &b.as_ref()[2..5];
+        let s = b.slice_ref(sub);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert!(s.shares_allocation(&b));
+        // The empty subset is always "inside".
+        assert!(b.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_the_end_panics() {
+        let _ = Bytes::copy_from_slice(&[1, 2]).slice(1..3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not inside")]
+    fn slice_ref_of_foreign_bytes_panics() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        let foreign = [1u8, 2];
+        let _ = b.slice_ref(&foreign);
+    }
+
+    #[test]
+    fn eq_ord_hash_see_the_window_only() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let parent = Bytes::copy_from_slice(&[9, 1, 2, 3, 9]);
+        let window = parent.slice(1..4);
+        let fresh = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(window, fresh);
+        assert_eq!(window.cmp(&fresh), std::cmp::Ordering::Equal);
+        let hash = |b: &Bytes| {
+            let mut h = DefaultHasher::new();
+            b.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&window), hash(&fresh));
+    }
+
+    proptest! {
+        /// Every in-bounds slice aliases the parent allocation (never
+        /// copies) and shows exactly the parent's subrange.
+        #[test]
+        fn prop_slices_alias_and_match(
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            a in 0usize..80,
+            b in 0usize..80,
+        ) {
+            let parent = Bytes::copy_from_slice(&data);
+            let (start, end) = (a.min(b) % (data.len() + 1), a.max(b) % (data.len() + 1));
+            let (start, end) = (start.min(end), end);
+            let s = parent.slice(start..end);
+            prop_assert_eq!(s.as_ref(), &data[start..end]);
+            prop_assert!(s.shares_allocation(&parent), "slice copied its bytes");
+            // Re-slicing the slice still aliases the original allocation.
+            if !s.is_empty() {
+                let inner = s.slice(..s.len() - 1);
+                prop_assert!(inner.shares_allocation(&parent));
+                prop_assert_eq!(inner.as_ref(), &data[start..end - 1]);
+            }
+            // slice_ref roundtrips the window (empty subsets detach by
+            // design, as in upstream `bytes`).
+            let back = parent.slice_ref(s.as_ref());
+            prop_assert_eq!(&back, &s);
+            if !s.is_empty() {
+                prop_assert!(back.shares_allocation(&parent));
+            }
+        }
     }
 }

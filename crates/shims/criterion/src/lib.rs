@@ -3,13 +3,29 @@
 //! iter_batched_ref}` and the `criterion_group!`/`criterion_main!`
 //! macros. Reports **per-iteration sample statistics** on stdout —
 //! median, mean, standard deviation and the min/max envelope over
-//! warmup-trimmed samples — no plots or baselines. See
-//! `crates/shims/README.md`.
+//! warmup-trimmed samples — no plots.
+//!
+//! ## Machine-readable snapshots
+//!
+//! Every completed benchmark is also recorded in a process-wide
+//! registry. When the `BENCH_JSON` environment variable names a path,
+//! the `criterion_main!`-generated `main` writes all recorded results
+//! there as a single JSON document after the last group finishes:
+//!
+//! ```json
+//! { "benchmarks": [ { "label": "wire/decode_pw", "median_ns": 133.2,
+//!   "stddev_ns": 4.1, "mean_ns": 140.0, "min_ns": 129.0,
+//!   "max_ns": 210.5, "samples": 512 } ] }
+//! ```
+//!
+//! This is what `tools/bench_gate.rs` diffs against the committed
+//! `BENCH_*.json` snapshots in CI. See `crates/shims/README.md`.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from discarding a value.
@@ -160,6 +176,10 @@ fn fmt_ns(nanos: f64) -> String {
     }
 }
 
+/// Process-wide record of every `(label, stats)` a bench run produced,
+/// in completion order. Drained by [`export_json_if_requested`].
+static REGISTRY: Mutex<Vec<(String, Stats)>> = Mutex::new(Vec::new());
+
 fn report(label: &str, stats: &Stats) {
     println!(
         "{label:<50} median {:>10}/iter  ±{} [{} .. {}]  (mean {}, N={})",
@@ -170,6 +190,58 @@ fn report(label: &str, stats: &Stats) {
         fmt_ns(stats.mean),
         stats.samples,
     );
+    REGISTRY.lock().expect("registry lock").push((label.to_string(), *stats));
+}
+
+/// Minimal JSON string escape — bench labels only hold `/`-separated
+/// identifiers, but quoting and control bytes must never corrupt the
+/// snapshot regardless.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render every recorded result as the snapshot JSON document.
+pub fn results_json() -> String {
+    let registry = REGISTRY.lock().expect("registry lock");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (label, s)) in registry.iter().enumerate() {
+        let comma = if i + 1 < registry.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"label\": \"{}\", \"median_ns\": {:.3}, \"stddev_ns\": {:.3}, \
+             \"mean_ns\": {:.3}, \"min_ns\": {:.3}, \"max_ns\": {:.3}, \"samples\": {} }}{comma}\n",
+            json_escape(label),
+            s.median,
+            s.stddev,
+            s.mean,
+            s.min,
+            s.max,
+            s.samples,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// If `BENCH_JSON` names a path, write the snapshot JSON there. Called
+/// by the `main` that `criterion_main!` generates, after every group
+/// has run; harmless to call when the variable is unset.
+pub fn export_json_if_requested() {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if !path.is_empty() {
+            std::fs::write(&path, results_json())
+                .unwrap_or_else(|e| panic!("writing BENCH_JSON={path}: {e}"));
+            eprintln!("bench snapshot written to {path}");
+        }
+    }
 }
 
 /// A named set of related benchmarks.
@@ -240,6 +312,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::export_json_if_requested();
         }
     };
 }
@@ -272,6 +345,24 @@ mod tests {
         assert_eq!(s.mean, 10.0);
         assert_eq!(s.stddev, 0.0);
         assert_eq!((s.min, s.max), (10.0, 10.0));
+    }
+
+    #[test]
+    fn completed_benches_land_in_the_json_snapshot() {
+        let mut c = Criterion::default();
+        c.bench_function("snapshot/under_test", |b| b.iter(|| 2 + 2));
+        let json = results_json();
+        assert!(json.contains("\"label\": \"snapshot/under_test\""));
+        assert!(json.contains("\"median_ns\": "));
+        assert!(json.contains("\"stddev_ns\": "));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_labels_are_escaped() {
+        assert_eq!(json_escape("a/b"), "a/b");
+        assert_eq!(json_escape("q\"uo\\te"), "q\\\"uo\\\\te");
+        assert_eq!(json_escape("tab\tnl\n"), "tab\\u0009nl\\u000a");
     }
 
     #[test]

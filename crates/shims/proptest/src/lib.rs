@@ -179,7 +179,15 @@ pub mod strategy {
             )+
         };
     }
-    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+    impl_tuple_strategy!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+        (A, B, C, D, E, F, G),
+        (A, B, C, D, E, F, G, H)
+    );
 
     /// A sampler erased to a closure — the element type of
     /// [`OneOf`], produced by [`boxed`].

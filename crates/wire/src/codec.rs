@@ -10,6 +10,7 @@
 //! hostile length prefix cannot reserve unbounded memory.
 
 use crate::varint::{read_varint, write_varint};
+use bytes::Bytes;
 use lucky_types::{
     FrozenSlot, FrozenUpdate, NewRead, ProcessId, ReadSeq, ReaderId, RegisterId, Seq, ServerId,
     Tag, TsVal, Value,
@@ -135,16 +136,34 @@ impl Writer {
 }
 
 /// A bounds-checked read cursor over an input buffer.
+///
+/// A cursor built with [`Reader::shared`] additionally carries the
+/// [`Bytes`] handle backing the buffer, which lets variable-length
+/// payloads ([`Value`] data) decode as **zero-copy slices** of the
+/// input — every value in a decoded frame shares the frame payload's
+/// single allocation instead of copying into its own.
 #[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When present, `buf` is exactly `&backing[..]` (the constructor's
+    /// invariant), so `backing.slice(pos..pos + n)` is the zero-copy
+    /// form of `buf[pos..pos + n]`.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
-    /// A cursor at the start of `buf`.
+    /// A cursor at the start of `buf`. Value payloads decode by
+    /// copying; use [`Reader::shared`] on the receive path to make them
+    /// zero-copy.
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf, pos: 0 }
+        Reader { buf, pos: 0, backing: None }
+    }
+
+    /// A cursor over a shared payload buffer: variable-length byte
+    /// payloads decode as slices of `payload`'s allocation, not copies.
+    pub fn shared(payload: &'a Bytes) -> Reader<'a> {
+        Reader { buf: payload, pos: 0, backing: Some(payload) }
     }
 
     /// Bytes not yet consumed.
@@ -175,6 +194,26 @@ impl<'a> Reader<'a> {
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
+    }
+
+    /// Read `n` raw bytes as an owned [`Bytes`] payload. On a
+    /// [`Reader::shared`] cursor this is **zero-copy**: the result is a
+    /// subrange view of the backing allocation. On a plain cursor it
+    /// copies, exactly like [`Bytes::copy_from_slice`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if fewer than `n` bytes remain.
+    pub fn payload_bytes(&mut self, n: usize) -> Result<Bytes, DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let start = self.pos;
+        self.pos += n;
+        Ok(match self.backing {
+            Some(backing) => backing.slice(start..start + n),
+            None => Bytes::copy_from_slice(&self.buf[start..start + n]),
+        })
     }
 
     /// Read one varint.
@@ -274,7 +313,9 @@ impl Decode for Value {
             VALUE_BOT => Ok(Value::Bot),
             VALUE_DATA => {
                 let len = r.list_len(1)?;
-                Ok(Value::from_bytes(r.bytes(len)?))
+                // Zero-copy on a shared cursor: the value aliases the
+                // frame payload instead of allocating its own buffer.
+                Ok(Value::Data(r.payload_bytes(len)?))
             }
             tag => Err(DecodeError::BadTag { what: "Value", tag }),
         }

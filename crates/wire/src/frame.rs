@@ -21,6 +21,7 @@
 
 use crate::codec::DecodeError;
 use crate::crc::crc32;
+use bytes::Bytes;
 
 /// The two magic bytes opening every frame.
 pub const MAGIC: [u8; 2] = *b"LW";
@@ -159,11 +160,16 @@ impl FrameDecoder {
     /// Extract the next complete frame's verified payload, if the
     /// buffer holds one. `Ok(None)` means "feed me more bytes".
     ///
+    /// The payload comes back as one shared [`Bytes`] allocation — the
+    /// **only** allocation the receive path makes per frame: decoding
+    /// the packet with a [`Reader::shared`](crate::Reader::shared)
+    /// cursor slices every value out of this buffer instead of copying.
+    ///
     /// # Errors
     ///
     /// Any header/checksum [`DecodeError`]. The decoder is not
     /// resynchronizable after an error; drop the stream.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, DecodeError> {
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, DecodeError> {
         let pending = &self.buf[self.start..];
         if pending.len() < FRAME_HEADER_BYTES {
             return Ok(None);
@@ -175,7 +181,7 @@ impl FrameDecoder {
         }
         let payload = &rest[..len];
         check_crc(header, payload)?;
-        let out = payload.to_vec();
+        let out = Bytes::copy_from_slice(payload);
         self.start += FRAME_HEADER_BYTES + len;
         Ok(Some(out))
     }
@@ -241,7 +247,7 @@ mod tests {
         for &byte in &stream {
             dec.feed(&[byte]);
             while let Some(p) = dec.next_frame().expect("clean stream") {
-                got.push(p);
+                got.push(p.as_ref().to_vec());
             }
         }
         assert_eq!(got, vec![b"first".to_vec(), b"second frame, longer".to_vec()]);
@@ -259,7 +265,7 @@ mod tests {
             for piece in stream.chunks(chunk) {
                 dec.feed(piece);
                 while let Some(p) = dec.next_frame().expect("clean stream") {
-                    assert_eq!(p, format!("frame #{got}").as_bytes());
+                    assert_eq!(p.as_ref(), format!("frame #{got}").as_bytes());
                     got += 1;
                 }
             }
@@ -274,7 +280,7 @@ mod tests {
         dec.feed(&frame[..frame.len() - 1]);
         assert!(matches!(dec.next_frame(), Ok(None)));
         dec.feed(&frame[frame.len() - 1..]);
-        assert_eq!(dec.next_frame().unwrap().unwrap(), b"held back");
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"held back");
     }
 
     #[test]

@@ -75,11 +75,11 @@ mod msg;
 mod varint;
 
 pub use codec::{Decode, DecodeError, Encode, Reader, Writer};
-pub use crc::crc32;
+pub use crc::{crc32, crc32_bytewise};
 pub use frame::{
     decode_frame, encode_frame, FrameDecoder, FRAME_HEADER_BYTES, MAGIC, MAX_FRAME_BYTES, VERSION,
 };
 pub use msg::{
-    decode_message, decode_packet, encode_message, encode_packet, frame_message, unframe_message,
-    PacketPart, MAX_BATCH_DEPTH, MAX_PARTS,
+    decode_message, decode_message_shared, decode_packet, encode_message, encode_packet,
+    frame_message, unframe_message, PacketPart, MAX_BATCH_DEPTH, MAX_PARTS,
 };

@@ -14,6 +14,7 @@ use crate::codec::{
     NEW_READ_MIN_BYTES,
 };
 use crate::frame::{decode_frame, encode_frame};
+use bytes::Bytes;
 use lucky_types::{
     FrozenSlot, Message, ProcessId, PwAckMsg, PwMsg, ReadAckMsg, ReadMsg, ReadSeq, RegisterId, Seq,
     Tag, TsVal, WriteAckMsg, WriteMsg,
@@ -246,13 +247,32 @@ pub fn encode_message(m: &Message) -> Vec<u8> {
 }
 
 /// Decode one message from bare payload bytes, requiring exact
-/// consumption.
+/// consumption. Value payloads are copied; prefer
+/// [`decode_message_shared`] when the input is already an owned
+/// [`Bytes`] buffer.
 ///
 /// # Errors
 ///
 /// Any [`DecodeError`]; never panics, whatever the input.
 pub fn decode_message(bytes: &[u8]) -> Result<Message, DecodeError> {
     let mut r = Reader::new(bytes);
+    let m = Message::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(m)
+}
+
+/// Decode one message from a shared payload buffer, requiring exact
+/// consumption. **Zero-copy**: every `Value` in the result is a
+/// subrange view of `payload`'s allocation — decoding a batch of N
+/// data values allocates the part vectors, never the value bytes.
+///
+/// # Errors
+///
+/// Any [`DecodeError`]; never panics, whatever the input.
+pub fn decode_message_shared(payload: &Bytes) -> Result<Message, DecodeError> {
+    let mut r = Reader::shared(payload);
     let m = Message::decode(&mut r)?;
     if r.remaining() > 0 {
         return Err(DecodeError::TrailingBytes(r.remaining()));
@@ -306,17 +326,21 @@ pub fn encode_packet(parts: &[PacketPart]) -> Vec<u8> {
 }
 
 /// Decode a verified frame *payload* (as handed out by
-/// [`FrameDecoder`](crate::FrameDecoder) or
-/// [`decode_frame`](crate::decode_frame)) into its packet parts,
+/// [`FrameDecoder`](crate::FrameDecoder)) into its packet parts,
 /// requiring exact consumption. The [`MAX_PARTS`] budget is shared by
 /// the whole packet: a frame cannot smuggle more flattened protocol
 /// messages by splitting them across envelope entries.
 ///
+/// **Zero-copy values**: the payload arrives as one shared [`Bytes`]
+/// buffer and every `Value` in the decoded parts is a subrange view of
+/// it — a delivered batch of N data values costs one payload
+/// allocation, not N + 1.
+///
 /// # Errors
 ///
 /// Any [`DecodeError`]; never panics, whatever the input.
-pub fn decode_packet(payload: &[u8]) -> Result<Vec<PacketPart>, DecodeError> {
-    let mut r = Reader::new(payload);
+pub fn decode_packet(payload: &Bytes) -> Result<Vec<PacketPart>, DecodeError> {
+    let mut r = Reader::shared(payload);
     let n = r.list_len(PACKET_PART_MIN_BYTES)?;
     if n > MAX_PARTS {
         return Err(DecodeError::TooManyParts(n));
@@ -459,7 +483,10 @@ mod tests {
             to.encode(&mut w);
             msg.encode(&mut w);
         }
-        assert!(matches!(decode_packet(&w.into_bytes()), Err(DecodeError::TooManyParts(_))));
+        assert!(matches!(
+            decode_packet(&Bytes::from(w.into_bytes())),
+            Err(DecodeError::TooManyParts(_))
+        ));
     }
 
     #[test]
@@ -470,8 +497,61 @@ mod tests {
             (from, ProcessId::Reader(ReaderId(3)), read(2, 2)),
         ];
         let frame = encode_packet(&parts);
-        let payload = decode_frame(&frame).expect("valid frame");
-        assert_eq!(decode_packet(payload).expect("roundtrip"), parts);
+        let payload = Bytes::copy_from_slice(decode_frame(&frame).expect("valid frame"));
+        assert_eq!(decode_packet(&payload).expect("roundtrip"), parts);
+    }
+
+    /// The zero-copy contract: decoding a batch of N data values out of
+    /// a received frame performs exactly **one** payload allocation —
+    /// every decoded value aliases the frame payload's allocation
+    /// (asserted by pointer identity), so no per-value buffer exists.
+    #[test]
+    fn batch_decode_allocates_once_for_the_frame_payload() {
+        let n = 16;
+        let parts: Vec<PacketPart> = (0..n)
+            .map(|i| {
+                (
+                    ProcessId::Writer,
+                    ProcessId::Server(lucky_types::ServerId(0)),
+                    Message::Write(WriteMsg {
+                        reg: RegisterId(i),
+                        round: 2,
+                        tag: Tag::Write(Seq(i as u64)),
+                        c: TsVal::new(Seq(i as u64), Value::from_bytes(vec![i as u8; 64])),
+                        frozen: vec![],
+                    }),
+                )
+            })
+            .collect();
+        let frame = encode_packet(&parts);
+        // Receive path: FrameDecoder hands the payload over as one Bytes.
+        let mut dec = crate::frame::FrameDecoder::new();
+        dec.feed(&frame);
+        let payload = dec.next_frame().expect("clean").expect("complete");
+        let decoded = decode_packet(&payload).expect("roundtrip");
+        assert_eq!(decoded.len(), n as usize);
+        let mut values = 0;
+        for (_, _, msg) in &decoded {
+            let Message::Write(m) = msg else { panic!("write part expected") };
+            let Value::Data(bytes) = &m.c.val else { panic!("data value expected") };
+            assert!(
+                bytes.shares_allocation(&payload),
+                "decoded value copied instead of slicing the frame payload"
+            );
+            values += 1;
+        }
+        assert_eq!(values, n as usize);
+        // The same holds through the single-message shared decode.
+        let batch = Message::batch(parts.into_iter().map(|(_, _, m)| m).collect::<Vec<_>>());
+        let payload = Bytes::from(encode_message(&batch));
+        let Message::Batch(decoded) = decode_message_shared(&payload).expect("decodes") else {
+            panic!("batch expected")
+        };
+        for part in &decoded {
+            let Message::Write(m) = part else { panic!("write part expected") };
+            let Value::Data(bytes) = &m.c.val else { panic!("data value expected") };
+            assert!(bytes.shares_allocation(&payload));
+        }
     }
 
     #[test]

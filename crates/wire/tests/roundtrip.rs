@@ -167,6 +167,6 @@ fn checksum_valid_garbage_payloads_never_panic() {
         let frame = lucky_wire::encode_frame(&payload);
         // The frame itself is valid; only the codec can reject it now.
         let _ = unframe_message(&frame);
-        let _ = lucky_wire::decode_packet(&payload);
+        let _ = lucky_wire::decode_packet(&bytes::Bytes::from(payload));
     }
 }
