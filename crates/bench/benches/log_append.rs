@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the `lucky-log` durable backend: the
+//! two costs a durable server actually pays.
+//!
+//! * `log/append_{size}` — ns per committed record on the hot path
+//!   (encode + write + mark, no fsync: the backend's fault model is
+//!   process crash, not power loss) across snapshot payload sizes. The
+//!   log grows across iterations — it is append-only by design, so a
+//!   growing file is the steady state being measured.
+//! * `log/recover_{count}` — the cost of `RegisterLog::open` replaying
+//!   a clean `count`-record log, which is what a restarting server pays
+//!   per register before it can rejoin the quorum. Recovery is a pure
+//!   read-parse-verify pass, so each iteration reopens the same
+//!   pre-populated file.
+//!
+//! Alongside the timings the bench prints bytes/record on disk for each
+//! payload size, so the snapshot tracks space as well as time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lucky_log::{RegisterLog, TempDir};
+
+/// Server snapshot payload sizes: a bare timestamped tag, a typical
+/// small value, and a KiB-class blob.
+const SNAPSHOT_SIZES: [usize; 3] = [64, 256, 1024];
+
+/// Committed record counts for the recovery sweep — recovery cost must
+/// stay linear in log length for restart to be practical.
+const RECOVER_COUNTS: [usize; 3] = [100, 1000, 10000];
+
+fn bench_append(c: &mut Criterion) {
+    let dir = TempDir::new("bench-log-append");
+    for size in SNAPSHOT_SIZES {
+        let path = dir.path().join(format!("append-{size}.llog"));
+        let (mut log, replay) = RegisterLog::open(&path).expect("open a fresh log");
+        assert!(replay.records.is_empty(), "fresh file replays empty");
+        let payload = vec![0xA5u8; size];
+        let on_disk = log.append(&payload).expect("append");
+        println!("log_append/{size}: {on_disk} bytes/record on disk");
+        c.bench_function(format!("log/append_{size}"), |b| {
+            b.iter(|| log.append(&payload).expect("append"))
+        });
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let dir = TempDir::new("bench-log-recover");
+    for count in RECOVER_COUNTS {
+        let path = dir.path().join(format!("recover-{count}.llog"));
+        {
+            let (mut log, _) = RegisterLog::open(&path).expect("open a fresh log");
+            let payload = vec![0x5Au8; 64];
+            for _ in 0..count {
+                log.append(&payload).expect("append");
+            }
+        }
+        c.bench_function(format!("log/recover_{count}"), |b| {
+            b.iter(|| {
+                let (_, replay) = RegisterLog::open(&path).expect("reopen");
+                assert_eq!(replay.records.len(), count, "clean log replays fully");
+                assert_eq!(replay.truncated_bytes, 0, "nothing to truncate");
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_append, bench_recovery);
+criterion_main!(benches);

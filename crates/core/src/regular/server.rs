@@ -42,6 +42,22 @@ impl RegularServer {
         self.inner.reader_ts_for(reader)
     }
 
+    /// Serialize the complete server state for a durable backend —
+    /// byte-for-byte the inner atomic server's snapshot.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        self.inner.to_snapshot()
+    }
+
+    /// Rebuild a server from a [`RegularServer::to_snapshot`] image.
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`](lucky_wire::DecodeError) on any malformed
+    /// snapshot — callers fall back to a fresh server.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<RegularServer, lucky_wire::DecodeError> {
+        Ok(RegularServer { inner: AtomicServer::from_snapshot(bytes)? })
+    }
+
     /// Handle one client message. A [`Message::Batch`] is unwrapped and
     /// its parts handled in order, so the write-back filter below applies
     /// to every part individually.
@@ -126,5 +142,24 @@ mod tests {
             &mut eff,
         );
         assert_eq!(eff.send_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_inner_server() {
+        let mut s = RegularServer::new();
+        let mut eff = Effects::new();
+        s.handle(
+            ProcessId::Writer,
+            Message::Write(WriteMsg {
+                reg: lucky_types::RegisterId::DEFAULT,
+                round: 2,
+                tag: Tag::Write(Seq(3)),
+                c: pair(3),
+                frozen: vec![],
+            }),
+            &mut eff,
+        );
+        let restored = RegularServer::from_snapshot(&s.to_snapshot()).unwrap();
+        assert_eq!(restored, s);
     }
 }

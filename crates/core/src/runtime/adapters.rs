@@ -28,11 +28,23 @@ pub trait ClientCore: Send {
 pub trait ServerCore: Send {
     /// Deliver a message from `from`.
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>);
+
+    /// Serialize this core's state for a durable backend, or `None` when
+    /// the core has nothing worth persisting. The default is `None` —
+    /// Byzantine stand-ins and other synthetic cores simply stay
+    /// amnesiac across restarts. Honest variant cores return the image
+    /// their `from_snapshot` inverts.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 impl ServerCore for Box<dyn ServerCore> {
     fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
         (**self).deliver(from, msg, eff);
+    }
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        (**self).snapshot()
     }
 }
 
@@ -91,6 +103,9 @@ macro_rules! impl_server_core {
         impl ServerCore for $ty {
             fn deliver(&mut self, from: ProcessId, msg: Message, eff: &mut Effects<Message>) {
                 self.handle(from, msg, eff);
+            }
+            fn snapshot(&self) -> Option<Vec<u8>> {
+                Some(self.to_snapshot())
             }
         }
     };

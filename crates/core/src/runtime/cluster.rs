@@ -134,6 +134,38 @@ impl Setup {
     pub fn make_server_mux_batched(&self, batch: lucky_types::BatchConfig) -> Box<dyn ServerCore> {
         Box::new(RegisterMux::with_batch(*self, batch))
     }
+
+    /// Like [`Setup::make_server_mux_batched`], with a pluggable storage
+    /// backend: per-register state is reloaded from `backend` on first
+    /// contact and re-persisted after every delivered message, *before*
+    /// any reply leaves the server — so a crash-restarted server rejoins
+    /// the quorum with exactly the state its previous incarnation acked.
+    pub fn make_server_mux_durable(
+        &self,
+        batch: lucky_types::BatchConfig,
+        backend: Box<dyn lucky_log::ServerBackend>,
+    ) -> Box<dyn ServerCore> {
+        Box::new(RegisterMux::with_backend(*self, batch, backend))
+    }
+
+    /// Rebuild this variant's single-register server core from a
+    /// [`ServerCore::snapshot`] image, or `None` when the image does not
+    /// decode (callers fall back to a fresh core — the safe direction:
+    /// the log layer already discarded torn records, so a non-decoding
+    /// snapshot means an old-format or foreign-variant file).
+    pub fn restore_server(&self, snapshot: &[u8]) -> Option<Box<dyn ServerCore>> {
+        match self {
+            Setup::Atomic(_) => atomic::AtomicServer::from_snapshot(snapshot)
+                .ok()
+                .map(|s| Box::new(s) as Box<dyn ServerCore>),
+            Setup::TwoRound(_) => tworound::TwoRoundServer::from_snapshot(snapshot)
+                .ok()
+                .map(|s| Box::new(s) as Box<dyn ServerCore>),
+            Setup::Regular(_) => regular::RegularServer::from_snapshot(snapshot)
+                .ok()
+                .map(|s| Box::new(s) as Box<dyn ServerCore>),
+        }
+    }
 }
 
 /// `Params` defaults to the main atomic algorithm (§3); build

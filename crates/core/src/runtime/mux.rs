@@ -2,6 +2,7 @@
 
 use crate::runtime::adapters::ServerCore;
 use crate::runtime::cluster::Setup;
+use lucky_log::{MemoryBackend, ServerBackend};
 use lucky_sim::Effects;
 use lucky_types::{BatchConfig, Message, ProcessId, RegisterId};
 use std::collections::BTreeMap;
@@ -30,6 +31,7 @@ pub struct RegisterMux {
     setup: Setup,
     batch: BatchConfig,
     regs: BTreeMap<RegisterId, Box<dyn ServerCore>>,
+    backend: Box<dyn ServerBackend>,
 }
 
 impl RegisterMux {
@@ -42,7 +44,21 @@ impl RegisterMux {
 
     /// A server of `setup`'s variant with the given ack-batching policy.
     pub fn with_batch(setup: Setup, batch: BatchConfig) -> RegisterMux {
-        RegisterMux { setup, batch, regs: BTreeMap::new() }
+        RegisterMux::with_backend(setup, batch, Box::new(MemoryBackend))
+    }
+
+    /// A server whose per-register state lives in `backend`: each
+    /// register's core is restored from the backend on first contact
+    /// (surviving a process restart when the backend is durable) and
+    /// persisted after every delivered message, *before* the acks leave
+    /// the server — so nothing a client ever saw acknowledged can be
+    /// forgotten by a crash.
+    pub fn with_backend(
+        setup: Setup,
+        batch: BatchConfig,
+        backend: Box<dyn ServerBackend>,
+    ) -> RegisterMux {
+        RegisterMux { setup, batch, regs: BTreeMap::new(), backend }
     }
 
     /// Number of registers this server has state for.
@@ -61,8 +77,29 @@ impl RegisterMux {
             return; // empty batch remnants carry no register: ignore
         };
         let setup = self.setup;
-        let core = self.regs.entry(reg).or_insert_with(|| setup.make_server());
+        let backend = &mut self.backend;
+        let core = self.regs.entry(reg).or_insert_with(|| {
+            // First contact: replay this register from the backend (the
+            // crash-recovery path) or start fresh. A snapshot the variant
+            // cannot decode falls back to fresh — the log layer already
+            // discarded torn records, so this only fires on foreign or
+            // legacy images.
+            backend
+                .load(reg)
+                .and_then(|snap| setup.restore_server(&snap))
+                .unwrap_or_else(|| setup.make_server())
+        });
         core.deliver(from, msg, eff);
+        // Persist-before-ack: `eff` still holds the replies this message
+        // produced — they only reach the network after dispatch returns,
+        // by which point the new state is in the backend. A crash between
+        // the two can lose an *unacked* transition (allowed: the client
+        // retries) but never an acked one.
+        if backend.durable() {
+            if let Some(snap) = core.snapshot() {
+                backend.persist(reg, &snap);
+            }
+        }
     }
 }
 
@@ -295,6 +332,57 @@ mod tests {
         let (sends, _, _) = eff.into_parts();
         assert_eq!(sends.len(), 1, "the buried READ is answered normally");
         assert!(matches!(sends[0].1, Message::ReadAck(_)));
+    }
+
+    #[test]
+    fn durable_state_survives_a_mux_restart() {
+        use lucky_log::{DurableBackend, TempDir};
+        let dir = TempDir::new("mux-restart");
+        let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+        let r1 = RegisterId(1);
+        let r2 = RegisterId(2);
+
+        // First incarnation: write ts=5 into register 1, ts=3 into 2.
+        let backend = Box::new(DurableBackend::open(dir.path()).unwrap());
+        let mut mux = RegisterMux::with_backend(setup, BatchConfig::disabled(), backend);
+        let mut eff = Effects::new();
+        mux.deliver(ProcessId::writer(r1), pw(r1, 5), &mut eff);
+        mux.deliver(ProcessId::writer(r2), pw(r2, 3), &mut eff);
+        drop(mux); // the crash: all volatile state gone
+
+        // Second incarnation over the same directory: both registers
+        // answer with their pre-crash state on first contact.
+        let backend = Box::new(DurableBackend::open(dir.path()).unwrap());
+        let counters = backend.counters();
+        let mut mux = RegisterMux::with_backend(setup, BatchConfig::disabled(), backend);
+        for (reg, ts) in [(r1, 5), (r2, 3)] {
+            let mut eff = Effects::new();
+            mux.deliver(ProcessId::Reader(ReaderId(0)), read(reg), &mut eff);
+            let (sends, _, _) = eff.into_parts();
+            match &sends[0].1 {
+                Message::ReadAck(a) => assert_eq!(a.pw, pair(ts), "{reg:?} replayed"),
+                other => panic!("expected ReadAck, got {other:?}"),
+            }
+        }
+        assert_eq!(counters.recoveries(), 2, "one log replay per register");
+    }
+
+    #[test]
+    fn memory_backend_forgets_across_restarts() {
+        let setup = Setup::Atomic(Params::new(1, 0, 1, 0).unwrap());
+        let r1 = RegisterId(1);
+        let mut mux = RegisterMux::new(setup);
+        let mut eff = Effects::new();
+        mux.deliver(ProcessId::writer(r1), pw(r1, 5), &mut eff);
+        drop(mux);
+        let mut mux = RegisterMux::new(setup);
+        let mut eff = Effects::new();
+        mux.deliver(ProcessId::Reader(ReaderId(0)), read(r1), &mut eff);
+        let (sends, _, _) = eff.into_parts();
+        match &sends[0].1 {
+            Message::ReadAck(a) => assert_eq!(a.pw, TsVal::initial(), "amnesiac by design"),
+            other => panic!("expected ReadAck, got {other:?}"),
+        }
     }
 
     #[test]

@@ -92,13 +92,33 @@ enum Proc {
     Writer(ClientSession<AtomicWriter>),
     Reader(ClientSession<AtomicReader>),
     Server(AtomicServer),
+    /// A restartable server between its crash and its restart: `saved`
+    /// is the durable state a restart replays. The protocol cores
+    /// persist *before* acking (`lucky-log`'s persist-before-ack
+    /// discipline), so at any crash point the persisted state equals
+    /// the volatile state — which is why the explorer can model
+    /// recovery as "resume from the state at the crash" without
+    /// tracking a separate disk image. Deliveries while down are lost.
+    Down {
+        saved: AtomicServer,
+    },
     Crashed,
     Mute,
     StaleEcho,
     ForgeValue(TsVal),
-    SplitBrain { honest_to: Vec<ProcessId>, faithful: AtomicServer, amnesiac: AtomicServer },
-    MangleBatch { inner: AtomicServer, stash: Vec<Message> },
-    WireFuzz { inner: AtomicServer, step: u64 },
+    SplitBrain {
+        honest_to: Vec<ProcessId>,
+        faithful: AtomicServer,
+        amnesiac: AtomicServer,
+    },
+    MangleBatch {
+        inner: AtomicServer,
+        stash: Vec<Message>,
+    },
+    WireFuzz {
+        inner: AtomicServer,
+        step: u64,
+    },
 }
 
 /// What to run and under which faults.
@@ -110,6 +130,7 @@ pub struct Scenario {
     reader_scripts: BTreeMap<u16, usize>,
     byzantine: BTreeMap<u16, ByzKind>,
     crashed: BTreeSet<u16>,
+    restartable: BTreeSet<u16>,
     batching: bool,
 }
 
@@ -124,6 +145,7 @@ impl Scenario {
             reader_scripts: BTreeMap::new(),
             byzantine: BTreeMap::new(),
             crashed: BTreeSet::new(),
+            restartable: BTreeSet::new(),
             batching: false,
         }
     }
@@ -174,6 +196,20 @@ impl Scenario {
         self.crashed.insert(i);
         self
     }
+
+    /// Let the scheduler crash-and-restart server `i` **anywhere** in
+    /// the schedule (one crash–restart cycle, bounding the state
+    /// space). The restarted incarnation resumes from its durable state
+    /// — the explorer's model of a `lucky-log` replay — while messages
+    /// delivered during the outage are lost. Together with the
+    /// scheduler's freedom to hold a pre-crash message in transit until
+    /// after the restart, this walks every interleaving of recovery
+    /// against in-flight protocol traffic.
+    #[must_use]
+    pub fn restartable(mut self, i: u16) -> Scenario {
+        self.restartable.insert(i);
+        self
+    }
 }
 
 /// Exploration bounds.
@@ -210,6 +246,8 @@ struct State {
     script_pos: BTreeMap<ProcessId, usize>,
     /// Clients with an operation in flight.
     pending: BTreeSet<ProcessId>,
+    /// Remaining crash–restart cycles per restartable server.
+    restarts_left: BTreeMap<ProcessId, u8>,
     /// Observable events so far.
     events: Vec<Ev>,
 }
@@ -367,6 +405,10 @@ fn delivery_is_noop(proc_: &Proc, from: ProcessId, msg: &Message) -> bool {
             return *proc_ == clone;
         }
         Proc::Server(s) => s.handle(from, msg.clone(), &mut eff),
+        // NOT a no-op while down: the scheduler must keep both branches
+        // — lose the message now, or hold it in transit and deliver it
+        // to the restarted incarnation.
+        Proc::Down { .. } => return false,
         Proc::Crashed | Proc::Mute => return true,
         Proc::StaleEcho => stale_echo(from, msg, &mut eff),
         Proc::ForgeValue(c) => {
@@ -448,11 +490,18 @@ fn initial_state(scenario: &Scenario) -> State {
     for &r in scenario.reader_scripts.keys() {
         script_pos.insert(ProcessId::Reader(ReaderId(r)), 0);
     }
+    let restarts_left = scenario
+        .restartable
+        .iter()
+        .filter(|i| !scenario.crashed.contains(i) && !scenario.byzantine.contains_key(i))
+        .map(|&i| (ProcessId::Server(lucky_types::ServerId(i)), 1u8))
+        .collect();
     State {
         procs,
         inflight: BTreeMap::new(),
         script_pos,
         pending: BTreeSet::new(),
+        restarts_left,
         events: Vec::new(),
     }
 }
@@ -469,6 +518,13 @@ enum Choice {
     /// anywhere relative to deliveries.
     Wake(ProcessId),
     Invoke(ProcessId),
+    /// Crash a [`Scenario::restartable`] server: its volatile state is
+    /// gone, its durable state (equal, by persist-before-ack) is kept
+    /// for the restart, and deliveries until then are lost.
+    Crash(ProcessId),
+    /// Restart a crashed restartable server from its durable state —
+    /// the explorer's `lucky-log` replay.
+    Restart(ProcessId),
 }
 
 fn enumerate_choices(scenario: &Scenario, state: &State) -> Vec<Choice> {
@@ -493,6 +549,16 @@ fn enumerate_choices(scenario: &Scenario, state: &State) -> Vec<Choice> {
         };
         if has_wake {
             out.push(Choice::Wake(*pid));
+        }
+        // Crash/restart choices for restartable servers: a crash is
+        // enabled while the server is up and has budget left, a
+        // restart exactly while it is down.
+        match proc_ {
+            Proc::Server(_) if state.restarts_left.get(pid).is_some_and(|&left| left > 0) => {
+                out.push(Choice::Crash(*pid));
+            }
+            Proc::Down { .. } => out.push(Choice::Restart(*pid)),
+            _ => {}
         }
     }
     for ((from, to, msg), count) in &state.inflight {
@@ -600,6 +666,27 @@ fn apply_choice(scenario: &Scenario, state: &mut State, choice: &Choice) -> bool
             let idx = proc_index(state, *to);
             deliver_to_proc(&mut state.procs[idx].1, *from, msg.clone(), &mut eff);
         }
+        Choice::Crash(pid) => {
+            let idx = proc_index(state, *pid);
+            let slot = &mut state.procs[idx].1;
+            let Proc::Server(s) = slot else {
+                return false; // only an up restartable server can crash
+            };
+            // Persist-before-ack: the durable image at any crash point
+            // is exactly the current protocol state.
+            *slot = Proc::Down { saved: s.clone() };
+            *state.restarts_left.get_mut(pid).expect("restartable server") -= 1;
+            return false;
+        }
+        Choice::Restart(pid) => {
+            let idx = proc_index(state, *pid);
+            let slot = &mut state.procs[idx].1;
+            let Proc::Down { saved } = slot else {
+                return false; // only a down server can restart
+            };
+            *slot = Proc::Server(saved.clone()); // the log replay
+            return false;
+        }
         Choice::DeliverBatch(from, to) => {
             actor = *to;
             // Drain the link's whole backlog (deterministic multiset
@@ -660,7 +747,10 @@ fn deliver_to_proc(proc_: &mut Proc, from: ProcessId, msg: Message, eff: &mut Ef
             drain_session(s, eff);
         }
         Proc::Server(s) => s.handle(from, msg, eff),
-        Proc::Crashed | Proc::Mute => {}
+        // A down server loses the delivery (crash semantics); the
+        // scheduler separately explores keeping the message in transit
+        // until after the restart.
+        Proc::Down { .. } | Proc::Crashed | Proc::Mute => {}
         Proc::StaleEcho => stale_echo(from, &msg, eff),
         Proc::ForgeValue(c) => {
             let fake = c.clone();
@@ -1036,6 +1126,58 @@ mod tests {
         let report = random_walks(&scenario, budget(8_000, 1_500), 260, 44);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.completed_runs > 0, "mangled batches must not stall the protocol");
+    }
+
+    #[test]
+    fn restart_interleavings_stay_atomic() {
+        // S = 3, t = 1: the scheduler may crash server 0 anywhere in a
+        // write⊕read run and restart it anywhere later, with its
+        // durable state replayed and in-transit messages free to land
+        // before, during (lost) or after the outage. Bounded
+        // exploration over every such interleaving finds no atomicity
+        // violation — the recovered server never resurrects
+        // un-acked state and never forgets acked state.
+        let scenario =
+            Scenario::new(small_params()).write(Value::from_u64(1)).reads(0, 1).restartable(0);
+        let cfg = ExploreConfig { max_states: budget(400_000, 25_000), ..ExploreConfig::default() };
+        let report = explore(&scenario, &cfg);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.completed_runs > 0, "schedules complete despite the outage");
+    }
+
+    #[test]
+    fn restart_choices_strictly_enlarge_the_schedule_space() {
+        // A single write explores to completion under the default
+        // budget with and without a restartable server, so the
+        // transition counts are comparable — and the crash/restart
+        // choices must add schedules.
+        let base = Scenario::new(small_params()).write(Value::from_u64(1));
+        let plain = explore(&base, &ExploreConfig::default());
+        let restartable = explore(&base.clone().restartable(0), &ExploreConfig::default());
+        assert!(plain.violations.is_empty());
+        assert!(restartable.violations.is_empty());
+        assert!(!plain.truncated && !restartable.truncated, "both scopes fit the budget");
+        assert!(
+            restartable.transitions > plain.transitions,
+            "crash/restart choices add transitions ({} vs {})",
+            restartable.transitions,
+            plain.transitions,
+        );
+    }
+
+    #[test]
+    fn restart_random_walks_complete_and_stay_atomic() {
+        // The violation-hunting counterpart: thousands of random
+        // schedules over two writes and two readers with a restartable
+        // server in the mix.
+        let scenario = Scenario::new(small_params())
+            .write(Value::from_u64(1))
+            .write(Value::from_u64(2))
+            .reads(0, 1)
+            .restartable(1);
+        let report = random_walks(&scenario, budget(10_000, 2_000), 220, 45);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.completed_runs > 0);
     }
 
     #[test]

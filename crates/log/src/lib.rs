@@ -1,0 +1,754 @@
+//! Durable per-register server state: an append-only log with atomic
+//! commit and truncate-on-recovery.
+//!
+//! A [`RegisterLog`] holds one register's state history as a sequence
+//! of CRC-32-framed snapshot records, using the same framing
+//! discipline as `lucky-wire` (magic + version + length + checksum):
+//!
+//! ```text
+//! file    0        4          8                 16            20
+//!         +--------+----------+-----------------+-------------+=============+
+//!         | magic  | version  | committed (u64) | CRC-32 of   | records ... |
+//!         | "LLOG" | u32 LE   | LE, the *mark*  | the mark    |             |
+//!         +--------+----------+-----------------+-------------+=============+
+//!
+//! record  0        2          3         4             8             12
+//!         +--------+----------+---------+-------------+-------------+=========+
+//!         | magic  | version  | flags   | payload len | CRC-32 of   | payload |
+//!         | "LR"   | 0x01     | 0x00    | u32 LE      | payload, LE | bytes   |
+//!         +--------+----------+---------+-------------+-------------+=========+
+//! ```
+//!
+//! **Atomic commit (write-then-mark).** An [`append`](RegisterLog::append)
+//! first writes the complete record *past* the committed region, and
+//! only then advances the `committed` mark in the file header — the
+//! double-write discipline of RustDB's `atomfile.rs`. A crash between
+//! the two steps leaves a fully-written but unmarked record, which
+//! recovery discards: a record is durable exactly when the mark covers
+//! it.
+//!
+//! **Recovery-on-open.** [`RegisterLog::open`] replays the log: it
+//! verifies the mark against its own checksum (a corrupted mark could
+//! otherwise *extend* over unmarked bytes and resurrect them — an
+//! unverifiable mark recovers to the empty prefix instead), clamps it
+//! to the physical file length, walks the records it covers, and stops
+//! at the first torn or invalid one (bad magic, impossible length,
+//! checksum mismatch, or a record extending past the mark). Everything
+//! from that point on is truncated away — the log never resurrects an
+//! uncommitted or corrupted value, it only ever shortens to a clean
+//! prefix.
+//!
+//! The fault model is **process crash**: bytes handed to the OS
+//! survive (no userspace buffering is used), so no `fsync` is issued
+//! on the hot path. The torn-write injectors ([`truncate_at`],
+//! [`flip_bit`]) model the harsher cases — a kernel crash mid-append
+//! or silent media corruption — and the recovery path is tested
+//! against both at every byte offset.
+//!
+//! On top of the log sits the [`ServerBackend`] trait the server
+//! runtime plugs in: [`MemoryBackend`] (the default: nothing persists)
+//! and [`DurableBackend`] (one `RegisterLog` per register under a
+//! directory, with shared [`LogCounters`] for `recoveries`/`log_bytes`
+//! rollups).
+
+#![forbid(unsafe_code)]
+
+use lucky_types::RegisterId;
+use lucky_wire::crc32;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The four magic bytes opening every log file.
+pub const FILE_MAGIC: [u8; 4] = *b"LLOG";
+
+/// Log file format version.
+pub const FILE_VERSION: u32 = 1;
+
+/// Bytes of file header before the first record: magic (4), version
+/// (4), committed mark (8), mark checksum (4).
+pub const FILE_HEADER_BYTES: u64 = 20;
+
+/// The two magic bytes opening every record.
+pub const RECORD_MAGIC: [u8; 2] = *b"LR";
+
+/// Record format version.
+pub const RECORD_VERSION: u8 = 1;
+
+/// Bytes of record header before the payload: magic (2), version (1),
+/// flags (1), payload length (4), checksum (4) — the same 12-byte
+/// discipline as a `lucky-wire` frame.
+pub const RECORD_HEADER_BYTES: usize = 12;
+
+/// Hard cap on one record's payload. A corrupted length prefix past
+/// this is rejected from the header alone, so recovery never chases an
+/// impossible record.
+pub const MAX_RECORD_BYTES: usize = 1 << 20;
+
+/// One register's append-only durable log.
+#[derive(Debug)]
+pub struct RegisterLog {
+    file: File,
+    /// Absolute end offset of committed data (the mark, mirrored in
+    /// the file header at offset 8). Always `>= FILE_HEADER_BYTES`.
+    committed: u64,
+    path: PathBuf,
+}
+
+/// What [`RegisterLog::open`] found on disk.
+#[derive(Debug)]
+pub struct Replay {
+    /// The committed record payloads, oldest first. For a log of state
+    /// snapshots the last one is the state to restore.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes discarded past the recovered clean prefix (torn tail,
+    /// unmarked records, corruption).
+    pub truncated_bytes: u64,
+}
+
+/// Serialize one record (header + payload), ready to append.
+fn encode_record(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_RECORD_BYTES,
+        "record payload of {} bytes exceeds MAX_RECORD_BYTES ({MAX_RECORD_BYTES})",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&RECORD_MAGIC);
+    out.push(RECORD_VERSION);
+    out.push(0); // flags, reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse and validate one record at `bytes[pos..]`, all of which must
+/// lie inside the committed bound. Returns `(payload, next_pos)` or
+/// `None` at the first sign of damage.
+fn parse_record(bytes: &[u8], pos: usize, bound: usize) -> Option<(&[u8], usize)> {
+    if pos + RECORD_HEADER_BYTES > bound {
+        return None;
+    }
+    let header = &bytes[pos..pos + RECORD_HEADER_BYTES];
+    if header[0..2] != RECORD_MAGIC || header[2] != RECORD_VERSION || header[3] != 0 {
+        return None;
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let end = pos + RECORD_HEADER_BYTES + len;
+    if end > bound {
+        return None;
+    }
+    let expected = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[pos + RECORD_HEADER_BYTES..end];
+    if crc32(payload) != expected {
+        return None;
+    }
+    Some((payload, end))
+}
+
+impl RegisterLog {
+    /// Open (or create) the log at `path`, replaying whatever clean
+    /// committed prefix survives on disk and truncating the rest.
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O errors. Damage is never an error: a corrupt
+    /// header, torn record, or lying mark all recover to the longest
+    /// clean prefix (possibly empty).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(RegisterLog, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let header_ok = bytes.len() as u64 >= FILE_HEADER_BYTES
+            && bytes[0..4] == FILE_MAGIC
+            && u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) == FILE_VERSION;
+        if !header_ok {
+            // Fresh file, or a header too damaged to trust anything
+            // after it: the clean prefix is empty.
+            let truncated = bytes.len() as u64;
+            let mut log = RegisterLog { file, committed: FILE_HEADER_BYTES, path };
+            log.file.set_len(0)?;
+            log.file.seek(SeekFrom::Start(0))?;
+            log.file.write_all(&FILE_MAGIC)?;
+            log.file.write_all(&FILE_VERSION.to_le_bytes())?;
+            log.file.write_all(&FILE_HEADER_BYTES.to_le_bytes())?;
+            log.file.write_all(&crc32(&FILE_HEADER_BYTES.to_le_bytes()).to_le_bytes())?;
+            return Ok((log, Replay { records: Vec::new(), truncated_bytes: truncated }));
+        }
+
+        // The mark can lie (torn mark write, injected corruption), and
+        // a mark corrupted *upward* would cover unmarked bytes and
+        // resurrect them — so the mark carries its own checksum, and an
+        // unverifiable mark conservatively recovers the empty prefix.
+        let mark = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let mark_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        let bound = if crc32(&bytes[8..16]) == mark_crc {
+            mark.clamp(FILE_HEADER_BYTES, bytes.len() as u64) as usize
+        } else {
+            FILE_HEADER_BYTES as usize
+        };
+        let mut records = Vec::new();
+        let mut pos = FILE_HEADER_BYTES as usize;
+        while let Some((payload, next)) = parse_record(&bytes, pos, bound) {
+            records.push(payload.to_vec());
+            pos = next;
+        }
+
+        let committed = pos as u64;
+        let truncated_bytes = bytes.len() as u64 - committed;
+        let mut log = RegisterLog { file, committed, path };
+        if truncated_bytes > 0 || mark != committed {
+            // Drop the torn tail physically and repair the mark, so a
+            // later crash cannot resurrect bytes we already rejected.
+            log.file.set_len(committed)?;
+            log.write_mark()?;
+        }
+        Ok((log, Replay { records, truncated_bytes }))
+    }
+
+    /// Atomically append one committed record: write the full record
+    /// past the committed region first, advance the mark second.
+    /// Returns the on-disk bytes the record occupies.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; on error the mark is untouched, so a failed append
+    /// never becomes visible to recovery.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let record = encode_record(payload);
+        self.file.seek(SeekFrom::Start(self.committed))?;
+        self.file.write_all(&record)?;
+        // The record is fully on disk (from the process-crash model's
+        // point of view) — only now does the commit mark move.
+        self.committed += record.len() as u64;
+        self.write_mark()?;
+        Ok(record.len() as u64)
+    }
+
+    /// Fault injection: write a complete, checksum-valid record
+    /// **without** advancing the mark — the state a crash between an
+    /// append's write and mark steps leaves behind. Recovery must
+    /// discard it even though its CRC verifies.
+    pub fn append_unmarked(&mut self, payload: &[u8]) -> io::Result<()> {
+        let record = encode_record(payload);
+        self.file.seek(SeekFrom::Start(self.committed))?;
+        self.file.write_all(&record)?;
+        Ok(())
+    }
+
+    fn write_mark(&mut self) -> io::Result<()> {
+        let committed = self.committed.to_le_bytes();
+        let mut mark = [0u8; 12];
+        mark[..8].copy_from_slice(&committed);
+        mark[8..].copy_from_slice(&crc32(&committed).to_le_bytes());
+        self.file.seek(SeekFrom::Start(8))?;
+        self.file.write_all(&mark)
+    }
+
+    /// Absolute end offset of committed data (file header included).
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed
+    }
+
+    /// The log's backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Truncate the file at `path` to `len` bytes — a torn write that lost
+/// everything past `len`.
+///
+/// # Errors
+///
+/// I/O errors opening or truncating the file.
+pub fn truncate_at(path: impl AsRef<Path>, len: u64) -> io::Result<()> {
+    OpenOptions::new().write(true).open(path)?.set_len(len)
+}
+
+/// Flip bit `bit` (0–7) of the byte at `offset` — silent single-bit
+/// corruption.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidInput` if `offset` is past the end.
+pub fn flip_bit(path: impl AsRef<Path>, offset: u64, bit: u8) -> io::Result<()> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    if offset >= file.metadata()?.len() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "offset past end of file"));
+    }
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 1 << (bit & 7);
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(&byte)
+}
+
+/// Current length of the file at `path`.
+///
+/// # Errors
+///
+/// I/O errors reading the file's metadata.
+pub fn file_len(path: impl AsRef<Path>) -> io::Result<u64> {
+    Ok(std::fs::metadata(path)?.len())
+}
+
+// ---------------------------------------------------------------------------
+// Server backends
+// ---------------------------------------------------------------------------
+
+/// Shared durability counters, rolled up store-wide by the runtimes.
+#[derive(Debug, Default)]
+pub struct LogCounters {
+    /// Register logs that replayed at least one committed record on
+    /// open — i.e. actual state recoveries after a restart.
+    pub recoveries: AtomicU64,
+    /// Bytes of committed log data: everything replayed on open plus
+    /// everything appended since.
+    pub log_bytes: AtomicU64,
+}
+
+impl LogCounters {
+    /// Current recovery count.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Current committed-byte count.
+    pub fn log_bytes(&self) -> u64 {
+        self.log_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Where a server keeps its per-register state between incarnations.
+///
+/// The server runtime calls [`load`](ServerBackend::load) once per
+/// register (on first contact) and [`persist`](ServerBackend::persist)
+/// after every delivered message, *before* the step's replies leave
+/// the server — so an acked state transition is always on disk first.
+pub trait ServerBackend: Send {
+    /// The snapshot a previous incarnation persisted for `reg`, if
+    /// any — replaying the register's log.
+    fn load(&mut self, reg: RegisterId) -> Option<Vec<u8>>;
+
+    /// Persist a fresh state snapshot for `reg`. Implementations skip
+    /// the write when `snapshot` matches the last one persisted.
+    fn persist(&mut self, reg: RegisterId, snapshot: &[u8]);
+
+    /// `true` iff [`persist`](ServerBackend::persist) does anything —
+    /// lets callers skip snapshot encoding entirely for memory-only
+    /// servers.
+    fn durable(&self) -> bool {
+        false
+    }
+}
+
+/// The default backend: nothing persists, restart loses everything
+/// (crash-stop semantics, exactly the pre-durability behavior).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryBackend;
+
+impl ServerBackend for MemoryBackend {
+    fn load(&mut self, _reg: RegisterId) -> Option<Vec<u8>> {
+        None
+    }
+    fn persist(&mut self, _reg: RegisterId, _snapshot: &[u8]) {}
+}
+
+/// One [`RegisterLog`] per register under a directory, opened lazily
+/// on first contact.
+///
+/// # Panics
+///
+/// `load`/`persist` panic on real I/O errors: a server whose durable
+/// storage fails mid-protocol cannot honestly ack, and these paths are
+/// exercised under controlled directories in tests and benches.
+#[derive(Debug)]
+pub struct DurableBackend {
+    dir: PathBuf,
+    logs: BTreeMap<RegisterId, RegisterLog>,
+    /// Last persisted snapshot per register, to elide no-op appends
+    /// (most delivered messages don't change server state).
+    last: BTreeMap<RegisterId, Vec<u8>>,
+    counters: Arc<LogCounters>,
+}
+
+impl DurableBackend {
+    /// A backend storing its logs under `dir` (created if missing),
+    /// with its own fresh counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DurableBackend> {
+        DurableBackend::open_with(dir, Arc::new(LogCounters::default()))
+    }
+
+    /// Like [`DurableBackend::open`], but accounting into shared
+    /// `counters` — how a store rolls several servers' backends (and
+    /// their restarted incarnations) into one pair of numbers.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        counters: Arc<LogCounters>,
+    ) -> io::Result<DurableBackend> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DurableBackend { dir, logs: BTreeMap::new(), last: BTreeMap::new(), counters })
+    }
+
+    /// The counters this backend accounts into.
+    pub fn counters(&self) -> Arc<LogCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The log file path for `reg`.
+    pub fn log_path(&self, reg: RegisterId) -> PathBuf {
+        self.dir.join(format!("reg-{}.llog", reg.index()))
+    }
+
+    fn log_for(&mut self, reg: RegisterId) -> (&mut RegisterLog, Option<Vec<u8>>) {
+        if !self.logs.contains_key(&reg) {
+            let path = self.dir.join(format!("reg-{}.llog", reg.index()));
+            let (log, mut replay) =
+                RegisterLog::open(&path).expect("durable backend: opening a register log");
+            if !replay.records.is_empty() {
+                self.counters.recoveries.fetch_add(1, Ordering::Relaxed);
+            }
+            self.counters
+                .log_bytes
+                .fetch_add(log.committed_bytes() - FILE_HEADER_BYTES, Ordering::Relaxed);
+            let latest = replay.records.pop();
+            if let Some(snap) = &latest {
+                self.last.insert(reg, snap.clone());
+            }
+            self.logs.insert(reg, log);
+            let log = self.logs.get_mut(&reg).expect("just inserted");
+            return (log, latest);
+        }
+        (self.logs.get_mut(&reg).expect("checked"), None)
+    }
+}
+
+impl ServerBackend for DurableBackend {
+    fn load(&mut self, reg: RegisterId) -> Option<Vec<u8>> {
+        self.log_for(reg).1
+    }
+
+    fn persist(&mut self, reg: RegisterId, snapshot: &[u8]) {
+        if self.last.get(&reg).is_some_and(|prev| prev == snapshot) {
+            return;
+        }
+        let (log, _) = self.log_for(reg);
+        let written = log.append(snapshot).expect("durable backend: appending a state snapshot");
+        self.counters.log_bytes.fetch_add(written, Ordering::Relaxed);
+        self.last.insert(reg, snapshot.to_vec());
+    }
+
+    fn durable(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Temp dirs (no tempfile dependency)
+// ---------------------------------------------------------------------------
+
+/// A unique directory under the system temp dir, removed on drop.
+/// Used by tests, benches and examples that need real on-disk logs.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh `lucky-log-<pid>-<label>-<n>` directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn new(label: &str) -> TempDir {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("lucky-log-{}-{label}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("creating a temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn open(path: &Path) -> (RegisterLog, Replay) {
+        RegisterLog::open(path).expect("open")
+    }
+
+    #[test]
+    fn fresh_log_is_empty_and_reopens_clean() {
+        let dir = TempDir::new("fresh");
+        let path = dir.path().join("r.llog");
+        let (log, replay) = open(&path);
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(log.committed_bytes(), FILE_HEADER_BYTES);
+        drop(log);
+        let (_, replay) = open(&path);
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn appended_records_replay_in_order() {
+        let dir = TempDir::new("replay");
+        let path = dir.path().join("r.llog");
+        let (mut log, _) = open(&path);
+        for i in 0..5u8 {
+            log.append(&[i; 7]).expect("append");
+        }
+        drop(log);
+        let (_, replay) = open(&path);
+        assert_eq!(replay.records, (0..5u8).map(|i| vec![i; 7]).collect::<Vec<_>>());
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn empty_payload_records_roundtrip() {
+        let dir = TempDir::new("empty");
+        let path = dir.path().join("r.llog");
+        let (mut log, _) = open(&path);
+        log.append(&[]).expect("append");
+        drop(log);
+        let (_, replay) = open(&path);
+        assert_eq!(replay.records, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn unmarked_records_are_never_resurrected() {
+        // The crash-between-write-and-mark case: the record is fully on
+        // disk with a valid checksum, but the mark never moved.
+        let dir = TempDir::new("unmarked");
+        let path = dir.path().join("r.llog");
+        let (mut log, _) = open(&path);
+        log.append(b"committed").expect("append");
+        log.append_unmarked(b"uncommitted").expect("append_unmarked");
+        drop(log);
+        let (log, replay) = open(&path);
+        assert_eq!(replay.records, vec![b"committed".to_vec()]);
+        assert!(replay.truncated_bytes > 0, "the unmarked tail was discarded");
+        // And the discard is physical: a re-open finds nothing to trim.
+        drop(log);
+        let (_, replay) = open(&path);
+        assert_eq!(replay.records, vec![b"committed".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn truncation_mid_record_recovers_the_prefix() {
+        let dir = TempDir::new("trunc");
+        let path = dir.path().join("r.llog");
+        let (mut log, _) = open(&path);
+        log.append(b"first").expect("append");
+        let after_first = log.committed_bytes();
+        log.append(b"second").expect("append");
+        drop(log);
+        // Tear the second record in half.
+        truncate_at(&path, after_first + 3).expect("truncate");
+        let (log, replay) = open(&path);
+        assert_eq!(replay.records, vec![b"first".to_vec()]);
+        assert_eq!(log.committed_bytes(), after_first);
+    }
+
+    #[test]
+    fn appending_after_recovery_continues_the_log() {
+        let dir = TempDir::new("continue");
+        let path = dir.path().join("r.llog");
+        let (mut log, _) = open(&path);
+        log.append(b"one").expect("append");
+        log.append_unmarked(b"torn").expect("append_unmarked");
+        drop(log);
+        let (mut log, _) = open(&path);
+        log.append(b"two").expect("append");
+        drop(log);
+        let (_, replay) = open(&path);
+        assert_eq!(replay.records, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn a_destroyed_header_recovers_to_an_empty_log() {
+        let dir = TempDir::new("header");
+        let path = dir.path().join("r.llog");
+        let (mut log, _) = open(&path);
+        log.append(b"data").expect("append");
+        drop(log);
+        flip_bit(&path, 0, 3).expect("flip"); // break the file magic
+        let (log, replay) = open(&path);
+        assert!(replay.records.is_empty(), "an untrusted header yields the empty prefix");
+        assert!(replay.truncated_bytes > 0);
+        assert_eq!(log.committed_bytes(), FILE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn oversize_record_payloads_panic() {
+        let dir = TempDir::new("oversize");
+        let path = dir.path().join("r.llog");
+        let (mut log, _) = open(&path);
+        let huge = vec![0u8; MAX_RECORD_BYTES + 1];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = log.append(&huge);
+        }));
+        assert!(result.is_err(), "oversize payloads are a local logic error");
+    }
+
+    #[test]
+    fn durable_backend_persists_loads_and_counts() {
+        let dir = TempDir::new("backend");
+        let reg = RegisterId(0);
+        let mut b = DurableBackend::open(dir.path()).expect("open");
+        assert!(b.durable());
+        assert_eq!(b.load(reg), None, "nothing persisted yet");
+        b.persist(reg, b"state-1");
+        b.persist(reg, b"state-1"); // duplicate: elided
+        b.persist(reg, b"state-2");
+        let counters = b.counters();
+        assert_eq!(counters.recoveries(), 0, "a fresh log is not a recovery");
+        let bytes_before = counters.log_bytes();
+        assert!(bytes_before > 0);
+        drop(b);
+
+        // A new incarnation over the same directory replays the state.
+        let mut b = DurableBackend::open(dir.path()).expect("reopen");
+        assert_eq!(b.load(reg), Some(b"state-2".to_vec()));
+        assert_eq!(b.counters().recoveries(), 1);
+        assert_eq!(b.counters().log_bytes(), bytes_before, "replayed bytes are re-counted");
+        // Re-persisting the replayed state is elided too.
+        b.persist(reg, b"state-2");
+        assert_eq!(b.counters().log_bytes(), bytes_before);
+    }
+
+    #[test]
+    fn durable_backend_keeps_registers_apart() {
+        let dir = TempDir::new("regs");
+        let mut b = DurableBackend::open(dir.path()).expect("open");
+        b.persist(RegisterId(0), b"zero");
+        b.persist(RegisterId(1), b"one");
+        drop(b);
+        let mut b = DurableBackend::open(dir.path()).expect("reopen");
+        assert_eq!(b.load(RegisterId(1)), Some(b"one".to_vec()));
+        assert_eq!(b.load(RegisterId(0)), Some(b"zero".to_vec()));
+        assert_eq!(b.load(RegisterId(2)), None);
+    }
+
+    #[test]
+    fn memory_backend_is_amnesiac() {
+        let mut b = MemoryBackend;
+        assert!(!b.durable());
+        b.persist(RegisterId(0), b"state");
+        assert_eq!(b.load(RegisterId(0)), None);
+    }
+
+    /// Rebuild a reference log and return the payloads of its records.
+    fn committed_payloads(count: usize, payload_len: usize) -> Vec<Vec<u8>> {
+        (0..count).map(|i| vec![(i * 37 + 11) as u8; payload_len]).collect()
+    }
+
+    /// The torn-write sweep: damage the log at **every** byte offset
+    /// (truncation and each single-bit flip position) and verify
+    /// recovery always yields a clean prefix of the committed records
+    /// and never an uncommitted or corrupted value.
+    fn assert_recovers_clean_prefix(count: usize, payload_len: usize, with_unmarked: bool) {
+        let dir = TempDir::new("torn");
+        let path = dir.path().join("r.llog");
+        let payloads = committed_payloads(count, payload_len);
+        let build = |path: &Path| {
+            let _ = std::fs::remove_file(path);
+            let (mut log, _) = RegisterLog::open(path).expect("open");
+            for p in &payloads {
+                log.append(p).expect("append");
+            }
+            if with_unmarked {
+                log.append_unmarked(b"never-committed").expect("append_unmarked");
+            }
+        };
+        build(&path);
+        let total = file_len(&path).expect("len");
+
+        for offset in 0..=total {
+            // Truncation at every length.
+            build(&path);
+            truncate_at(&path, offset).expect("truncate");
+            let (_, replay) = RegisterLog::open(&path).expect("recover");
+            assert!(
+                payloads.starts_with(&replay.records),
+                "truncate@{offset}: recovered a non-prefix: {} records",
+                replay.records.len()
+            );
+            for r in &replay.records {
+                assert_ne!(r.as_slice(), b"never-committed", "truncate@{offset} resurrected");
+            }
+
+            // A single-bit flip at every byte.
+            if offset < total {
+                build(&path);
+                flip_bit(&path, offset, (offset % 8) as u8).expect("flip");
+                let (_, replay) = RegisterLog::open(&path).expect("recover");
+                assert!(
+                    payloads.starts_with(&replay.records),
+                    "flip@{offset}: recovered a non-prefix: {} records",
+                    replay.records.len()
+                );
+                for r in &replay.records {
+                    assert_ne!(r.as_slice(), b"never-committed", "flip@{offset} resurrected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torn_writes_at_every_offset_recover_a_clean_prefix() {
+        assert_recovers_clean_prefix(4, 9, true);
+    }
+
+    proptest! {
+        /// The same sweep over arbitrary record shapes.
+        #[test]
+        fn prop_torn_writes_recover_clean_prefixes(
+            count in 1usize..5,
+            payload_len in 0usize..24,
+            with_unmarked in any::<bool>(),
+        ) {
+            assert_recovers_clean_prefix(count, payload_len, with_unmarked);
+        }
+    }
+}

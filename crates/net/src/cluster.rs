@@ -167,27 +167,79 @@ impl NetOutcome {
     }
 }
 
+/// Control-plane commands for one server thread: the crash-recovery
+/// harness speaks to a *live thread* whose protocol core comes and goes.
+pub(crate) enum ServerCtl {
+    /// Drop the protocol core: the thread keeps draining its inbox but
+    /// every delivery is discarded, exactly as a dead process loses the
+    /// messages sent to it.
+    Crash,
+    /// Rebuild the core and resume answering. The builder runs on the
+    /// server thread *after* the old core (and its open log handles)
+    /// has been dropped, so a durable rebuild replays logs whose every
+    /// pre-crash write has completed. The second field acknowledges the
+    /// completed rebuild: the requester blocks on it so that once its
+    /// `restart_server` returns, no later message can race the
+    /// still-down window and be lost (deliveries *before* the rebuild
+    /// are lost like any message to a down server).
+    Restart(Box<dyn FnOnce() -> Box<dyn ServerCore> + Send>, Sender<()>),
+}
+
+/// How long a server thread blocks on its inbox before re-checking the
+/// control channel — bounds how stale a crash/restart command can go
+/// unnoticed while the inbox is quiet.
+const CTL_POLL: Duration = Duration::from_millis(5);
+
 /// Spawn one server's event loop: deliver every inbox message to `core`
 /// and forward its replies to the router. Shared by `NetCluster` and
-/// `NetStore`.
+/// `NetStore`. The control channel injects crash/restart transitions;
+/// pass a receiver whose sender was dropped for a plain always-up
+/// server. The thread exits when the inbox disconnects.
 pub(crate) fn spawn_server_thread(
     name: String,
     id: ProcessId,
-    mut core: Box<dyn ServerCore>,
+    core: Box<dyn ServerCore>,
     rx: Receiver<(ProcessId, Message)>,
+    ctl: Receiver<ServerCtl>,
     router: Sender<Envelope>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(name)
         .spawn(move || {
-            while let Ok((from, msg)) = rx.recv() {
-                let mut eff = Effects::new();
-                core.deliver(from, msg, &mut eff);
-                let (sends, _, _) = eff.into_parts();
-                for (to, out) in sends {
-                    if router.send(Envelope::Deliver { from: id, to, msg: out }).is_err() {
-                        return;
+            let mut core = Some(core);
+            loop {
+                // Control first: a queued crash takes effect before any
+                // queued delivery, so deliveries behind the command in
+                // wall-clock order are lost like a real crash loses them.
+                match ctl.try_recv() {
+                    Ok(ServerCtl::Crash) => core = None,
+                    Ok(ServerCtl::Restart(build, done)) => {
+                        // The old core (and its open log handles) drops
+                        // before the rebuild opens the same logs.
+                        drop(core.take());
+                        core = Some(build());
+                        let _ = done.send(());
                     }
+                    // Empty, or no controller at all (sender dropped):
+                    // behave as a plain server.
+                    Err(_) => {}
+                }
+                match rx.recv_timeout(CTL_POLL) {
+                    Ok((from, msg)) => {
+                        let Some(core) = core.as_mut() else {
+                            continue; // crashed: the delivery is lost
+                        };
+                        let mut eff = Effects::new();
+                        core.deliver(from, msg, &mut eff);
+                        let (sends, _, _) = eff.into_parts();
+                        for (to, out) in sends {
+                            if router.send(Envelope::Deliver { from: id, to, msg: out }).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                 }
             }
         })
@@ -465,11 +517,15 @@ impl NetClusterBuilder {
                 Some(byz) => byz,
                 None => self.setup.make_server_mux_batched(self.batch),
             };
+            // No control plane on the single-register cluster: the
+            // dropped sender leaves the thread a plain always-up server.
+            let (_ctl_tx, ctl_rx) = unbounded::<ServerCtl>();
             server_threads.push(spawn_server_thread(
                 format!("lucky-server-{}", s.0),
                 ProcessId::Server(s),
                 core,
                 rx,
+                ctl_rx,
                 router_tx.clone(),
             ));
         }

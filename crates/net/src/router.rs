@@ -42,6 +42,17 @@ pub(crate) enum Envelope {
         /// Payload.
         msg: Message,
     },
+    /// Swap the write half of one destination slot's socket (TCP
+    /// transport only): `Some` installs a freshly connected sink after
+    /// a slot re-binds its listener (server restart), `None` severs the
+    /// wire (server crash — frames bound for the slot count as
+    /// dropped, exactly like a never-spawned server's).
+    Sink {
+        /// Destination socket-slot whose sink changes.
+        slot: usize,
+        /// The new write stream, or `None` to sever.
+        stream: Option<TcpStream>,
+    },
     /// Tear the cluster down.
     Stop,
 }
@@ -128,6 +139,15 @@ pub struct NetStats {
     /// Protocol messages dropped because the recipient was unknown or its
     /// inbox closed (e.g. a crashed server).
     pub dropped: u64,
+    /// Register logs replayed from disk — once per non-empty per-register
+    /// log opened by a (re)starting durable server. Zero unless the store
+    /// was built with a durable backend and a server restarted. Rolled up
+    /// from the store's [`lucky_log::LogCounters`] at `stats()` time.
+    pub recoveries: u64,
+    /// Committed payload bytes across every register log the store's
+    /// servers have written or replayed. Zero without a durable backend.
+    /// Rolled up at `stats()` time, like [`NetStats::recoveries`].
+    pub log_bytes: u64,
     /// Traffic broken down by the register each protocol message names.
     pub per_register: BTreeMap<RegisterId, RegisterStats>,
     /// Traffic broken down by destination server.
@@ -286,6 +306,7 @@ impl Router {
                     Ok(Envelope::Deliver { from, to, msg }) => {
                         self.accept(from, to, msg, &mut staged, &mut rng, &mut heap, &mut seq);
                     }
+                    Ok(Envelope::Sink { slot, stream }) => self.swap_sink(slot, stream),
                     Ok(Envelope::Stop) => return,
                     Err(crossbeam::channel::TryRecvError::Empty) => break,
                     Err(crossbeam::channel::TryRecvError::Disconnected) => return,
@@ -323,6 +344,7 @@ impl Router {
                         Ok(Envelope::Deliver { from, to, msg }) => {
                             self.accept(from, to, msg, &mut staged, &mut rng, &mut heap, &mut seq);
                         }
+                        Ok(Envelope::Sink { slot, stream }) => self.swap_sink(slot, stream),
                         Ok(Envelope::Stop) => return,
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
@@ -332,9 +354,28 @@ impl Router {
                     Ok(Envelope::Deliver { from, to, msg }) => {
                         self.accept(from, to, msg, &mut staged, &mut rng, &mut heap, &mut seq);
                     }
+                    Ok(Envelope::Sink { slot, stream }) => self.swap_sink(slot, stream),
                     Ok(Envelope::Stop) => return,
                     Err(_) => return,
                 },
+            }
+        }
+    }
+
+    /// Install (or sever) one slot's socket sink. Frames already in
+    /// flight toward the slot land on whatever sink is current when
+    /// they come due — a restart therefore loses at most the traffic
+    /// the crash itself would have lost. No-op under the channel
+    /// transport, which has no sinks to swap.
+    fn swap_sink(&mut self, slot: usize, stream: Option<TcpStream>) {
+        if let Some(sinks) = self.cfg.sinks.as_mut() {
+            match stream {
+                Some(s) => {
+                    sinks.insert(slot, s);
+                }
+                None => {
+                    sinks.remove(&slot);
+                }
             }
         }
     }

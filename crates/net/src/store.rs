@@ -18,7 +18,7 @@
 
 use crate::cluster::{
     assert_one_fault_per_server, spawn_server_thread, ClientDriver, HandleError, NetConfig,
-    NetError, NetOutcome,
+    NetError, NetOutcome, ServerCtl,
 };
 use crate::polled::{append_history, Driver, Job, PollIo, PolledSlot, PolledWorker};
 use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
@@ -26,11 +26,13 @@ use crate::tcp::{build_fabric, TcpFabric, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lucky_core::runtime::ServerCore;
 use lucky_core::{ProtocolConfig, SessionConfig, Setup, StoreConfig};
+use lucky_log::{DurableBackend, LogCounters};
 use lucky_types::{BatchConfig, History, Op, ProcessId, RegisterId, ServerId, Time, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -51,6 +53,7 @@ pub struct NetStoreBuilder {
     driver: Driver,
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
     crashed: Vec<u16>,
+    durable_dir: Option<PathBuf>,
 }
 
 impl fmt::Debug for NetStoreBuilder {
@@ -160,6 +163,20 @@ impl NetStoreBuilder {
         self
     }
 
+    /// Persist every honest server's per-register state in `lucky-log`
+    /// append-only logs under `dir` (chainable; per-server subdirectory
+    /// `s<i>`). A durable server persists each state transition
+    /// *before* its replies leave the node, and a
+    /// [`NetStore::restart_server`] replays the logs — so a
+    /// crash-restarted server rejoins the quorum with everything it
+    /// ever acked. Without this, restarts are amnesiac (crash-stop
+    /// semantics).
+    #[must_use]
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
     /// Spawn the router, server and shard-worker threads.
     ///
     /// # Panics
@@ -250,6 +267,10 @@ impl NetStoreBuilder {
 
         // Server threads: every honest server multiplexes all registers
         // and re-batches its acks per sender (when batching is enabled).
+        // Each gets a control channel so the store can crash and restart
+        // it mid-run; a durable store's servers share one counter pair.
+        let counters = Arc::new(LogCounters::default());
+        let mut ctl = BTreeMap::new();
         for s in ServerId::all(server_count) {
             slots.insert(ProcessId::Server(s), s.index());
             if self.crashed.contains(&s.0) {
@@ -259,13 +280,21 @@ impl NetStoreBuilder {
             inboxes.insert(ProcessId::Server(s), tx);
             let core: Box<dyn ServerCore> = match self.byzantine.remove(&s.0) {
                 Some(byz) => byz,
-                None => self.setup.make_server_mux_batched(self.batch),
+                None => store_server_core(
+                    self.setup,
+                    self.batch,
+                    self.durable_dir.clone().map(|d| (d, Arc::clone(&counters))),
+                    s.0,
+                ),
             };
+            let (ctl_tx, ctl_rx) = unbounded::<ServerCtl>();
+            ctl.insert(s.0, ctl_tx);
             server_threads.push(spawn_server_thread(
                 format!("lucky-store-server-{}", s.0),
                 ProcessId::Server(s),
                 core,
                 rx,
+                ctl_rx,
                 router_tx.clone(),
             ));
         }
@@ -389,7 +418,31 @@ impl NetStoreBuilder {
             shard_count,
             stats,
             history,
+            ctl,
+            counters,
+            setup: self.setup,
+            batch: self.batch,
+            durable_dir: self.durable_dir,
         }
+    }
+}
+
+/// Build one server's protocol core: a durable store opens (and on a
+/// restart, replays) the server's per-register logs under `<dir>/s<i>`;
+/// a plain store serves from memory.
+fn store_server_core(
+    setup: Setup,
+    batch: BatchConfig,
+    durable: Option<(PathBuf, Arc<LogCounters>)>,
+    i: u16,
+) -> Box<dyn ServerCore> {
+    match durable {
+        Some((dir, counters)) => {
+            let backend = DurableBackend::open_with(dir.join(format!("s{i}")), counters)
+                .expect("create the server's log directory");
+            setup.make_server_mux_durable(batch, Box::new(backend))
+        }
+        None => setup.make_server_mux_batched(batch),
     }
 }
 
@@ -611,6 +664,15 @@ pub struct NetStore {
     shard_count: usize,
     stats: Arc<Mutex<NetStats>>,
     history: Arc<Mutex<History>>,
+    /// Control channel of each live server thread, by server index.
+    ctl: BTreeMap<u16, Sender<ServerCtl>>,
+    /// Durability counters shared by every server backend (and every
+    /// restarted incarnation); rolled into [`NetStats`] by `stats()`.
+    counters: Arc<LogCounters>,
+    /// What `restart_server` needs to rebuild a core.
+    setup: Setup,
+    batch: BatchConfig,
+    durable_dir: Option<PathBuf>,
 }
 
 impl fmt::Debug for NetStore {
@@ -641,6 +703,7 @@ impl NetStore {
             driver: Driver::Threaded,
             byzantine: BTreeMap::new(),
             crashed: Vec::new(),
+            durable_dir: None,
         }
     }
 
@@ -688,9 +751,65 @@ impl NetStore {
         self.handles.remove(&reg).ok_or(HandleError::RegisterTaken(reg))
     }
 
-    /// Router statistics so far, including the per-register breakdown.
+    /// Router statistics so far, including the per-register breakdown
+    /// and — for a durable store — the log recovery/byte rollup across
+    /// every server's backend.
     pub fn stats(&self) -> NetStats {
-        self.stats.lock().clone()
+        let mut s = self.stats.lock().clone();
+        s.recoveries = self.counters.recoveries();
+        s.log_bytes = self.counters.log_bytes();
+        s
+    }
+
+    /// Crash server `i` mid-run: its thread drops the protocol core and
+    /// discards every delivery until [`NetStore::restart_server`]. Under
+    /// [`Transport::Tcp`] the slot's wire is severed too, so in-flight
+    /// frames count as dropped, exactly like a never-spawned server's.
+    /// No-op for a server that was built crashed (it has no thread).
+    pub fn crash_server(&mut self, i: u16) {
+        let Some(tx) = self.ctl.get(&i) else {
+            return;
+        };
+        let _ = tx.send(ServerCtl::Crash);
+        if self.fabric.is_some() {
+            let _ = self.router_tx.send(Envelope::Sink { slot: i as usize, stream: None });
+        }
+    }
+
+    /// Restart server `i`: its thread rebuilds the protocol core — for a
+    /// durable store by replaying the server's `lucky-log` logs, so the
+    /// incarnation rejoins the quorum with everything it ever acked; for
+    /// a memory store amnesiac, with completely fresh state. Under
+    /// [`Transport::Tcp`] the server's slot re-binds its listener on a
+    /// fresh ephemeral port (see [`NetStore::server_addr`]) and the
+    /// router installs the freshly connected sink. No-op for a server
+    /// that was built crashed.
+    ///
+    /// Blocks until the server thread has performed the rebuild:
+    /// messages sent after this returns cannot race the still-down
+    /// window and be silently lost — which matters the moment the
+    /// recovered server is quorum-critical (exactly `t` others down).
+    pub fn restart_server(&mut self, i: u16) {
+        let Some(tx) = self.ctl.get(&i) else {
+            return;
+        };
+        let setup = self.setup;
+        let batch = self.batch;
+        let durable = self.durable_dir.clone().map(|d| (d, Arc::clone(&self.counters)));
+        let (done_tx, done_rx) = unbounded::<()>();
+        let _ = tx.send(ServerCtl::Restart(
+            Box::new(move || store_server_core(setup, batch, durable, i)),
+            done_tx,
+        ));
+        if let Some(fabric) = self.fabric.as_mut() {
+            if let Some(sink) = fabric.rebind_slot(i as usize) {
+                let _ =
+                    self.router_tx.send(Envelope::Sink { slot: i as usize, stream: Some(sink) });
+            }
+        }
+        // The server thread polls its control channel every CTL_POLL;
+        // the bound only guards against a thread that already exited.
+        let _ = done_rx.recv_timeout(std::time::Duration::from_secs(5));
     }
 
     /// A snapshot of the operation history so far (all registers
@@ -959,6 +1078,77 @@ mod tests {
             assert!(v == 1 || v == 2, "concurrent read sees old or new value, got {v}");
         }
         w.wait().unwrap();
+        store.check_atomicity().unwrap();
+        store.shutdown();
+    }
+
+    #[test]
+    fn durable_server_restart_replays_its_log() {
+        // 1 writer fault tolerated (t=1, S=4): crash one server, write
+        // through the remaining quorum, restart it, then crash a
+        // *different* server — the restarted one must carry the weight,
+        // which it only can if its log replayed.
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let dir = lucky_log::TempDir::new("net-restart");
+        let mut store =
+            NetStore::builder(params, fast_cfg()).registers(2).durable(dir.path()).build();
+        let h0 = store.register(RegisterId(0)).unwrap();
+        let h1 = store.register(RegisterId(1)).unwrap();
+        h0.write(Value::from_u64(10)).unwrap();
+        h1.write(Value::from_u64(20)).unwrap();
+        store.crash_server(0);
+        h0.write(Value::from_u64(11)).unwrap();
+        store.restart_server(0);
+        store.crash_server(3);
+        // The quorum now needs server 0's recovered state.
+        assert_eq!(h0.read(0).unwrap().value.as_u64(), Some(11));
+        assert_eq!(h1.read(0).unwrap().value.as_u64(), Some(20));
+        store.check_atomicity().unwrap();
+        let stats = store.stats();
+        assert!(stats.recoveries > 0, "restart replayed at least one register log");
+        assert!(stats.log_bytes > 0, "snapshots were committed to disk");
+        store.shutdown();
+    }
+
+    #[test]
+    fn tcp_restart_rebinds_the_listener_and_replays() {
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let dir = lucky_log::TempDir::new("net-tcp-restart");
+        let mut store = NetStore::builder(params, fast_cfg())
+            .transport(Transport::Tcp)
+            .durable(dir.path())
+            .build();
+        let h = store.register(RegisterId(0)).unwrap();
+        h.write(Value::from_u64(1)).unwrap();
+        let before = store.server_addr(ServerId(2)).expect("TCP store knows its addresses");
+        store.crash_server(2);
+        h.write(Value::from_u64(2)).unwrap();
+        store.restart_server(2);
+        let after = store.server_addr(ServerId(2)).expect("restarted slot re-binds");
+        assert_ne!(before, after, "the restarted server listens on a fresh port");
+        // Force the recovered server into the quorum.
+        store.crash_server(0);
+        assert_eq!(h.read(0).unwrap().value.as_u64(), Some(2));
+        store.check_atomicity().unwrap();
+        assert!(store.stats().recoveries > 0);
+        store.shutdown();
+    }
+
+    #[test]
+    fn amnesiac_restart_keeps_the_counters_at_zero() {
+        // Without `durable`, a restart is crash-stop followed by a fresh
+        // empty server: the cluster still answers (quorums cover it) and
+        // no recovery is ever counted.
+        let params = Params::new(2, 1, 1, 0).unwrap();
+        let mut store = NetStore::builder(params, fast_cfg()).build();
+        let h = store.register(RegisterId(0)).unwrap();
+        h.write(Value::from_u64(5)).unwrap();
+        store.crash_server(1);
+        store.restart_server(1);
+        assert_eq!(h.read(0).unwrap().value.as_u64(), Some(5));
+        let stats = store.stats();
+        assert_eq!(stats.recoveries, 0);
+        assert_eq!(stats.log_bytes, 0);
         store.check_atomicity().unwrap();
         store.shutdown();
     }

@@ -59,15 +59,24 @@ const READ_TIMEOUT: Duration = Duration::from_millis(100);
 /// One slot's receive side: its listener thread plus the inbox senders
 /// of exactly the processes hosted on this slot.
 struct SlotReceiver {
+    slot: usize,
     addr: SocketAddr,
     acceptor: JoinHandle<()>,
+    /// This slot's own teardown flag: fabric shutdown raises every
+    /// slot's, [`TcpFabric::rebind_slot`] raises just one — a server
+    /// restart must not stop its peers' acceptors.
+    down: Arc<AtomicBool>,
+    /// The inbox senders this slot's readers fan out to, kept so a
+    /// re-bind can rebuild the receive side for the same processes.
+    inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
 }
 
 /// The TCP substrate of one cluster/store: per-slot listeners and the
 /// router-side write streams.
 pub(crate) struct TcpFabric {
+    name: String,
+    stats: Arc<Mutex<NetStats>>,
     receivers: Vec<SlotReceiver>,
-    shutdown: Arc<AtomicBool>,
     /// Listener address of each server's slot, for tests and
     /// adversarial harnesses that talk raw bytes to a server.
     pub(crate) server_addrs: BTreeMap<ServerId, SocketAddr>,
@@ -89,7 +98,6 @@ pub(crate) fn build_fabric(
     inboxes: &BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
     stats: &Arc<Mutex<NetStats>>,
 ) -> (TcpFabric, BTreeMap<usize, TcpStream>) {
-    let shutdown = Arc::new(AtomicBool::new(false));
     // Group the live processes (those with an inbox) by slot.
     let mut by_slot: BTreeMap<usize, BTreeMap<ProcessId, Sender<(ProcessId, Message)>>> =
         BTreeMap::new();
@@ -101,26 +109,41 @@ pub(crate) fn build_fabric(
     let mut sinks = BTreeMap::new();
     let mut server_addrs = BTreeMap::new();
     for (slot, slot_inboxes) in by_slot {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
-        let addr = listener.local_addr().expect("listener has an address");
-        for pid in slot_inboxes.keys() {
+        let (receiver, sink) = bind_slot(name, slot, slot_inboxes, stats);
+        for pid in receiver.inboxes.keys() {
             if let Some(s) = pid.as_server() {
-                server_addrs.insert(s, addr);
+                server_addrs.insert(s, receiver.addr);
             }
         }
-        let acceptor = spawn_acceptor(
-            format!("{name}-slot-{slot}"),
-            listener,
-            slot_inboxes,
-            Arc::clone(stats),
-            Arc::clone(&shutdown),
-        );
-        let sink = TcpStream::connect(addr).expect("connect router sink");
-        sink.set_nodelay(true).expect("set TCP_NODELAY");
         sinks.insert(slot, sink);
-        receivers.push(SlotReceiver { addr, acceptor });
+        receivers.push(receiver);
     }
-    (TcpFabric { receivers, shutdown, server_addrs }, sinks)
+    let fabric = TcpFabric { name: name.into(), stats: Arc::clone(stats), receivers, server_addrs };
+    (fabric, sinks)
+}
+
+/// Bind one slot's receive side — a fresh ephemeral-port listener, its
+/// acceptor thread, its own teardown flag — and connect the router-side
+/// write stream. Used at build time and again on every slot re-bind.
+fn bind_slot(
+    name: &str,
+    slot: usize,
+    inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
+    stats: &Arc<Mutex<NetStats>>,
+) -> (SlotReceiver, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+    let addr = listener.local_addr().expect("listener has an address");
+    let down = Arc::new(AtomicBool::new(false));
+    let acceptor = spawn_acceptor(
+        format!("{name}-slot-{slot}"),
+        listener,
+        inboxes.clone(),
+        Arc::clone(stats),
+        Arc::clone(&down),
+    );
+    let sink = TcpStream::connect(addr).expect("connect router sink");
+    sink.set_nodelay(true).expect("set TCP_NODELAY");
+    (SlotReceiver { slot, addr, acceptor, down, inboxes }, sink)
 }
 
 impl TcpFabric {
@@ -128,8 +151,8 @@ impl TcpFabric {
     /// receive-side thread. Call after the router thread (which owns
     /// the write streams) has exited, so readers see EOF.
     pub(crate) fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
         for r in &self.receivers {
+            r.down.store(true, Ordering::SeqCst);
             // Wake the acceptor out of its blocking accept.
             let _ = TcpStream::connect(r.addr);
         }
@@ -137,15 +160,40 @@ impl TcpFabric {
             let _ = r.acceptor.join();
         }
     }
+
+    /// Re-bind one slot's receive side — the TCP half of a server
+    /// restart. The old listener, acceptor and reader threads are torn
+    /// down and joined, then the slot comes back on a **fresh ephemeral
+    /// port** with a freshly connected router sink: a restarted server
+    /// resumes at a new address, exactly as a restarted process would.
+    /// Returns the new sink for the router to install (via
+    /// `Envelope::Sink`), or `None` for a slot this fabric never bound
+    /// (e.g. a server started crashed). `server_addrs` is updated for
+    /// the slot's server so `server_addr()` keeps answering truthfully.
+    pub(crate) fn rebind_slot(&mut self, slot: usize) -> Option<TcpStream> {
+        let idx = self.receivers.iter().position(|r| r.slot == slot)?;
+        let old = self.receivers.swap_remove(idx);
+        old.down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(old.addr); // wake the blocking accept
+        let _ = old.acceptor.join();
+        let (receiver, sink) = bind_slot(&self.name, slot, old.inboxes, &self.stats);
+        for pid in receiver.inboxes.keys() {
+            if let Some(s) = pid.as_server() {
+                self.server_addrs.insert(s, receiver.addr);
+            }
+        }
+        self.receivers.push(receiver);
+        Some(sink)
+    }
 }
 
 impl Drop for TcpFabric {
     fn drop(&mut self) {
         // Non-blocking teardown path (cluster dropped without an
-        // explicit shutdown): raise the flag and wake the acceptors so
+        // explicit shutdown): raise the flags and wake the acceptors so
         // they release their inbox senders; don't join.
-        self.shutdown.store(true, Ordering::SeqCst);
         for r in &self.receivers {
+            r.down.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(r.addr);
         }
     }

@@ -67,10 +67,24 @@ impl fmt::Display for TraceEntry {
 }
 
 enum EventKind<M> {
-    Deliver { from: ProcessId, msg: M },
-    Timer { id: TimerId },
-    Invoke { op_id: OpId },
+    Deliver {
+        from: ProcessId,
+        msg: M,
+    },
+    Timer {
+        id: TimerId,
+    },
+    Invoke {
+        op_id: OpId,
+    },
     Crash,
+    /// Revive the process with the automaton `build` produces *at the
+    /// restart instant* — lazily, so a recovery builder replays whatever
+    /// the durable log holds at that point of the schedule, not at the
+    /// (earlier) instant the restart was scheduled.
+    Restart {
+        build: Box<dyn FnOnce() -> Box<dyn Automaton<M>> + Send>,
+    },
 }
 
 struct ProcEntry<M> {
@@ -230,6 +244,25 @@ impl<M: Payload> World<M> {
     pub fn crash_now(&mut self, p: ProcessId) {
         let proc_ = self.procs.get_mut(&p).expect("unknown process");
         proc_.alive = false;
+    }
+
+    /// Restart `p` at time `at`: replace its automaton with whatever
+    /// `build` produces **at that instant** and mark the process alive
+    /// again. The builder runs lazily so a durable-recovery builder
+    /// replays the log as it stands when the restart fires — events
+    /// scheduled between now and `at` (including further crashes) land
+    /// first. Messages sent to `p` while it was down stay lost, exactly
+    /// like a real process that was not listening.
+    ///
+    /// For an immediate restart use [`World::add_process`], which
+    /// replaces the automaton and revives in one call.
+    pub fn restart_at(
+        &mut self,
+        p: ProcessId,
+        at: Time,
+        build: Box<dyn FnOnce() -> Box<dyn Automaton<M>> + Send>,
+    ) {
+        self.schedule(at, p, EventKind::Restart { build });
     }
 
     /// `true` iff `p` has not crashed.
@@ -419,10 +452,19 @@ impl<M: Payload> World<M> {
             return true; // message to a process that was never installed
         };
 
-        if let EventKind::Crash = kind {
-            entry.alive = false;
-            return true;
-        }
+        let kind = match kind {
+            EventKind::Crash => {
+                entry.alive = false;
+                return true;
+            }
+            // Restarts apply to dead processes — that is their point.
+            EventKind::Restart { build } => {
+                entry.automaton = build();
+                entry.alive = true;
+                return true;
+            }
+            other => other,
+        };
         if !entry.alive {
             return true; // crashed processes take no steps
         }
@@ -459,7 +501,7 @@ impl<M: Payload> World<M> {
                 let entry = self.procs.get_mut(&proc_id).expect("checked above");
                 entry.automaton.on_invoke(now, op, &mut eff);
             }
-            EventKind::Crash => unreachable!("handled above"),
+            EventKind::Crash | EventKind::Restart { .. } => unreachable!("handled above"),
         }
         self.apply_effects(proc_id, eff);
         true
@@ -716,6 +758,31 @@ mod tests {
         let op = w.invoke(ProcessId::Writer, Op::Read);
         assert!(w.run_until_complete(op).is_err());
         assert!(!w.is_alive(ProcessId::Server(ServerId(0))));
+    }
+
+    #[test]
+    fn restart_at_revives_a_crashed_process_lazily() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let mut w = fan_out_world(1, 0);
+        let s0 = ProcessId::Server(ServerId(0));
+        w.crash_now(s0);
+        let built = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&built);
+        w.restart_at(
+            s0,
+            Time(500),
+            Box::new(move || {
+                flag.store(true, Ordering::Relaxed);
+                Box::new(Echo)
+            }),
+        );
+        assert!(!built.load(Ordering::Relaxed), "builder deferred to the restart instant");
+        w.run_until(Time(500));
+        assert!(w.is_alive(s0), "restart revives the process");
+        assert!(built.load(Ordering::Relaxed));
+        let op = w.invoke(ProcessId::Writer, Op::Read);
+        assert!(w.run_until_complete(op).is_ok(), "the revived server answers again");
     }
 
     #[test]

@@ -125,65 +125,99 @@ pub fn decode_frame(buf: &[u8]) -> Result<&[u8], DecodeError> {
 /// [`MAX_FRAME_BYTES`] plus one header — an impossible length prefix is
 /// rejected before the decoder ever buffers toward it).
 ///
+/// Payloads come back as **windows into the reassembly allocation**:
+/// bytes accumulate in a staging `Vec`, and once at least one complete
+/// frame has formed, the staged region is frozen into one shared
+/// [`Bytes`] allocation from which every frame it holds is sliced
+/// zero-copy. A read that delivered several frames pays for one
+/// freeze, not one copy per frame — the per-frame payload copy the
+/// previous decoder made is gone (asserted by the shares-allocation
+/// test below).
+///
 /// A stream that produced an error cannot be resynchronized — framing
 /// carries no self-delimiting marker robust to corruption — so callers
 /// must drop the connection on the first `Err`, which is exactly what
 /// `lucky-net`'s transport does.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
-    /// Bytes before `start` were consumed by already-returned frames.
-    start: usize,
+    /// Bytes fed but not yet frozen into a shared allocation.
+    staging: Vec<u8>,
+    /// The frozen shared allocation frames are currently sliced from.
+    frozen: Bytes,
+    /// Consume offset within `frozen`; bytes before it belong to
+    /// already-returned frames (whose windows keep the `Arc` alive).
+    pos: usize,
 }
 
 impl FrameDecoder {
     /// A decoder with an empty reassembly buffer.
     pub fn new() -> FrameDecoder {
-        FrameDecoder { buf: Vec::new(), start: 0 }
+        FrameDecoder { staging: Vec::new(), frozen: Bytes::new(), pos: 0 }
     }
 
     /// Append freshly-read stream bytes.
     pub fn feed(&mut self, bytes: &[u8]) {
-        // Reclaim consumed space before growing (amortized O(1)).
-        if self.start > 0 && (self.start >= self.buf.len() || self.start >= 4096) {
-            self.buf.drain(..self.start);
-            self.start = 0;
-        }
-        self.buf.extend_from_slice(bytes);
+        self.staging.extend_from_slice(bytes);
     }
 
     /// Bytes currently buffered and not yet consumed by a frame.
     pub fn buffered(&self) -> usize {
-        self.buf.len() - self.start
+        (self.frozen.len() - self.pos) + self.staging.len()
     }
 
     /// Extract the next complete frame's verified payload, if the
     /// buffer holds one. `Ok(None)` means "feed me more bytes".
     ///
-    /// The payload comes back as one shared [`Bytes`] allocation — the
-    /// **only** allocation the receive path makes per frame: decoding
-    /// the packet with a [`Reader::shared`](crate::Reader::shared)
-    /// cursor slices every value out of this buffer instead of copying.
+    /// The payload is a zero-copy window into the decoder's frozen
+    /// reassembly allocation (shared with every other frame from the
+    /// same freeze): decoding the packet with a
+    /// [`Reader::shared`](crate::Reader::shared) cursor then slices
+    /// every value out of the same buffer, so nothing on the receive
+    /// path copies payload bytes.
     ///
     /// # Errors
     ///
     /// Any header/checksum [`DecodeError`]. The decoder is not
     /// resynchronizable after an error; drop the stream.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, DecodeError> {
-        let pending = &self.buf[self.start..];
-        if pending.len() < FRAME_HEADER_BYTES {
+        loop {
+            // Serve from the frozen region while it holds a full frame.
+            let rem = self.frozen.len() - self.pos;
+            if rem >= FRAME_HEADER_BYTES {
+                let header = &self.frozen[self.pos..self.pos + FRAME_HEADER_BYTES];
+                let len = parse_header(header)?;
+                if rem >= FRAME_HEADER_BYTES + len {
+                    let start = self.pos + FRAME_HEADER_BYTES;
+                    check_crc(&self.frozen[self.pos..start], &self.frozen[start..start + len])?;
+                    self.pos = start + len;
+                    return Ok(Some(self.frozen.slice(start..start + len)));
+                }
+            }
+            // The frozen region is exhausted (at most a partial frame
+            // left): reclaim its tail into staging and see whether the
+            // staged bytes complete a frame.
+            if self.staging.is_empty() {
+                return Ok(None);
+            }
+            if self.pos < self.frozen.len() {
+                let mut v = self.frozen[self.pos..].to_vec();
+                v.extend_from_slice(&self.staging);
+                self.staging = v;
+            }
+            self.frozen = Bytes::new();
+            self.pos = 0;
+            if self.staging.len() >= FRAME_HEADER_BYTES {
+                let len = parse_header(&self.staging[..FRAME_HEADER_BYTES])?;
+                if self.staging.len() >= FRAME_HEADER_BYTES + len {
+                    // At least one complete frame: freeze the whole
+                    // staged region into one shared allocation and
+                    // slice from it (loop back to the fast path).
+                    self.frozen = Bytes::from(std::mem::take(&mut self.staging));
+                    continue;
+                }
+            }
             return Ok(None);
         }
-        let (header, rest) = pending.split_at(FRAME_HEADER_BYTES);
-        let len = parse_header(header)?;
-        if rest.len() < len {
-            return Ok(None);
-        }
-        let payload = &rest[..len];
-        check_crc(header, payload)?;
-        let out = Bytes::copy_from_slice(payload);
-        self.start += FRAME_HEADER_BYTES + len;
-        Ok(Some(out))
     }
 }
 
@@ -271,6 +305,33 @@ mod tests {
             }
             assert_eq!(got, frames.len(), "chunk size {chunk}");
         }
+    }
+
+    #[test]
+    fn payload_windows_share_the_reassembly_allocation() {
+        // The zero-copy pin: one read delivering several frames makes
+        // ONE allocation; every payload is a window into it. A copying
+        // decoder cannot pass this test.
+        let stream: Vec<u8> =
+            [&b"alpha"[..], b"beta", b"gamma"].iter().flat_map(|p| encode_frame(p)).collect();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let first = dec.next_frame().unwrap().expect("frame 1");
+        let second = dec.next_frame().unwrap().expect("frame 2");
+        let third = dec.next_frame().unwrap().expect("frame 3");
+        assert_eq!(
+            (first.as_ref(), second.as_ref(), third.as_ref()),
+            (&b"alpha"[..], &b"beta"[..], &b"gamma"[..])
+        );
+        assert!(
+            first.shares_allocation(&second) && second.shares_allocation(&third),
+            "payloads must be windows into one shared reassembly allocation"
+        );
+        // Windows stay valid after the decoder moves on to new bytes.
+        dec.feed(&encode_frame(b"later"));
+        let later = dec.next_frame().unwrap().expect("frame 4");
+        assert_eq!(first.as_ref(), b"alpha");
+        assert!(!later.shares_allocation(&first), "a new freeze is a new allocation");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`baselines`] — the ABD crash-only register used for comparison;
 //! * [`wire`] — the hand-rolled binary codec and framing every byte on
 //!   the real wire goes through;
+//! * [`log`] — the append-only durable per-register backend servers
+//!   persist to, with crash-recovery-on-open;
 //! * [`net`] — a thread-based real-time runtime for the same cores,
 //!   over in-process channels or real loopback TCP sockets.
 //!
@@ -47,6 +49,7 @@ pub use lucky_baselines as baselines;
 pub use lucky_checker as checker;
 pub use lucky_core as core;
 pub use lucky_explore as explore;
+pub use lucky_log as log;
 pub use lucky_net as net;
 pub use lucky_sim as sim;
 pub use lucky_types as types;
