@@ -123,10 +123,11 @@ fn bench_variants(c: &mut Criterion) {
     group.finish();
 }
 
-/// Threaded vs polled client drivers on the real-time runtime, over real
-/// TCP sockets: wall-clock latency of a sequential write + read pair.
-/// Both drivers pump the same sans-io `ClientSession`, so the spread
-/// between them is pure driver overhead (blocking recv vs poll loop).
+/// Threaded vs polled vs reactor client drivers on the real-time
+/// runtime, over real TCP sockets: wall-clock latency of a sequential
+/// write + read pair. All drivers pump the same sans-io `ClientSession`,
+/// so the spread between them is pure driver overhead (blocking recv vs
+/// sleep-capped poll loop vs epoll reactor).
 fn bench_net_drivers(c: &mut Criterion) {
     let params = Params::new(1, 0, 1, 0).unwrap();
     let cfg = || NetConfig {
@@ -135,8 +136,14 @@ fn bench_net_drivers(c: &mut Criterion) {
         seed: 3,
         timer: Duration::from_millis(2),
     };
+    let mut drivers = vec![("threaded", Driver::Threaded), ("polled", Driver::Polled)];
+    if cfg!(target_os = "linux") {
+        // Elsewhere Reactor degrades to the polled loop; benching the
+        // fallback under the reactor label would just mislead the gate.
+        drivers.push(("reactor", Driver::Reactor));
+    }
     let mut group = c.benchmark_group("net_driver_write_read_pair_tcp");
-    for (name, driver) in [("threaded", Driver::Threaded), ("polled", Driver::Polled)] {
+    for (name, driver) in drivers {
         group.bench_function(name, |bencher| {
             bencher.iter_batched_ref(
                 || {

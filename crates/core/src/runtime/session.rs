@@ -276,6 +276,14 @@ impl<C: ClientCore> ClientSession<C> {
         !self.is_pending()
     }
 
+    /// `true` iff the last begun operation has resolved — `Done` or
+    /// `Failed` — and its result is waiting in
+    /// [`ClientSession::take_outcome`] / [`ClientSession::take_failure`].
+    /// Drivers use this as the settle gate after feeding inputs.
+    pub fn is_settled(&self) -> bool {
+        matches!(self.status, SessionStatus::Done(_) | SessionStatus::Failed(_))
+    }
+
     /// Read-only access to the protocol core (used by assertions and the
     /// model checker's no-op pruning).
     pub fn core(&self) -> &C {

@@ -87,6 +87,13 @@ pub enum NetError {
     Disconnected,
     /// The operation did not complete within the deadline.
     TimedOut,
+    /// A driver bug: an operation was started on a session that already
+    /// had one in flight. Every driver serializes ops per session (the
+    /// threaded driver by construction, the polled/reactor workers via
+    /// their `is_ready` gate), so seeing this means a driver invariant
+    /// was violated — it is deliberately *not* folded into
+    /// [`NetError::TimedOut`], which reports a protocol-level deadline.
+    DriverBusy,
 }
 
 impl fmt::Display for NetError {
@@ -94,11 +101,26 @@ impl fmt::Display for NetError {
         match self {
             NetError::Disconnected => write!(f, "cluster shut down mid-operation"),
             NetError::TimedOut => write!(f, "operation did not complete within the deadline"),
+            NetError::DriverBusy => {
+                write!(f, "driver invariant violation: an operation was already in flight")
+            }
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// How session failures surface to blocking/future callers. The polled,
+/// reactor and threaded drivers all use this one mapping, so the
+/// deadline-vs-busy distinction cannot silently diverge again.
+impl From<SessionError> for NetError {
+    fn from(err: SessionError) -> NetError {
+        match err {
+            SessionError::DeadlineExceeded => NetError::TimedOut,
+            SessionError::Busy => NetError::DriverBusy,
+        }
+    }
+}
 
 /// Why a client handle could not be handed out.
 ///
@@ -274,6 +296,11 @@ pub(crate) struct ClientDriver {
     disconnected: bool,
     pub(crate) inbox: Receiver<(ProcessId, Message)>,
     pub(crate) router: Sender<Envelope>,
+    /// Wire messages sent or received while the current op was pending
+    /// (same attribution the sim world performs per `OpRecord`).
+    op_msgs: u64,
+    /// Codec-exact bytes of those messages.
+    op_bytes: u64,
 }
 
 impl ClientDriver {
@@ -283,7 +310,21 @@ impl ClientDriver {
         inbox: Receiver<(ProcessId, Message)>,
         router: Sender<Envelope>,
     ) -> ClientDriver {
-        ClientDriver { session, epoch: Instant::now(), disconnected: false, inbox, router }
+        ClientDriver {
+            session,
+            epoch: Instant::now(),
+            disconnected: false,
+            inbox,
+            router,
+            op_msgs: 0,
+            op_bytes: 0,
+        }
+    }
+
+    /// The last `run_op`'s `(msgs, bytes)` traffic attribution, for the
+    /// worker's history record.
+    pub(crate) fn op_traffic(&self) -> (u64, u64) {
+        (self.op_msgs, self.op_bytes)
     }
 
     /// The register this driver's session operates on.
@@ -310,6 +351,8 @@ impl ClientDriver {
             return Err(NetError::Disconnected);
         }
         let start = Instant::now();
+        self.op_msgs = 0;
+        self.op_bytes = 0;
         self.session
             .begin(op.clone(), self.now())
             .expect("handles run one operation at a time (§2.2)");
@@ -319,9 +362,7 @@ impl ClientDriver {
                 return Ok(NetOutcome::from_session(outcome, &op, start.elapsed()));
             }
             if let Some(err) = self.session.take_failure() {
-                return Err(match err {
-                    SessionError::DeadlineExceeded | SessionError::Busy => NetError::TimedOut,
-                });
+                return Err(err.into());
             }
             let received = match self.session.next_wake() {
                 Some(due) => {
@@ -345,7 +386,11 @@ impl ClientDriver {
                 },
             };
             let input = match received {
-                Some((from, msg)) => Input::Deliver(from, msg),
+                Some((from, msg)) => {
+                    self.op_msgs += 1;
+                    self.op_bytes += msg.wire_size() as u64;
+                    Input::Deliver(from, msg)
+                }
                 None => Input::Wake,
             };
             self.session.handle(input, self.now());
@@ -353,11 +398,14 @@ impl ClientDriver {
         }
     }
 
-    /// Forward everything the session wants sent to the router.
+    /// Forward everything the session wants sent to the router,
+    /// attributing each send to the op in flight.
     fn pump(&mut self) {
         let from = self.session.id();
         while let Some(out) = self.session.poll_output() {
             let (to, msg) = out.into_send();
+            self.op_msgs += 1;
+            self.op_bytes += msg.wire_size() as u64;
             let _ = self.router.send(Envelope::Deliver { from, to, msg });
         }
     }

@@ -1,0 +1,122 @@
+//! Futures over store operations.
+//!
+//! [`OpFuture`] is the async face of [`OpTicket`](crate::OpTicket): the
+//! reply channel stays the transport for the *result*, while an
+//! [`OpNotify`] carries the *readiness signal* back to whichever
+//! executor is polling the future. The contract:
+//!
+//! * the future registers its [`Waker`] with the shared `OpNotify`
+//!   **before** polling the ticket, so a settle that races the poll
+//!   still wakes it;
+//! * the submitting side wraps the notify in a [`NotifyGuard`] that
+//!   travels inside the job and fires on drop — the normal settle path
+//!   drops it right *after* the reply lands in the channel, and every
+//!   abnormal path (job never enqueued, worker died, store shut down)
+//!   drops it too, so a pending `OpFuture` can never be lost: its next
+//!   poll observes either the result or the channel's disconnect.
+//!
+//! Any executor works — [`crate::exec::block_on`] and
+//! [`crate::exec::Executor`] are the batteries included.
+
+use crate::cluster::{NetError, NetOutcome};
+use crate::store::OpTicket;
+use parking_lot::Mutex;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// The wake channel between one submitted op and the future awaiting
+/// it. Shared: the future holds one `Arc`, the job's [`NotifyGuard`]
+/// the other.
+pub(crate) struct OpNotify {
+    waker: Mutex<Option<Waker>>,
+}
+
+impl OpNotify {
+    pub(crate) fn new() -> Arc<OpNotify> {
+        Arc::new(OpNotify { waker: Mutex::new(None) })
+    }
+
+    /// Remember the waker of the task currently polling the future.
+    fn register(&self, waker: &Waker) {
+        let mut slot = self.waker.lock();
+        match slot.as_mut() {
+            Some(w) => w.clone_from(waker),
+            None => *slot = Some(waker.clone()),
+        }
+    }
+
+    /// Wake the registered task, if any.
+    fn notify(&self) {
+        if let Some(waker) = self.waker.lock().take() {
+            waker.wake();
+        }
+    }
+}
+
+/// Fires its [`OpNotify`] when dropped. Travels inside the job so that
+/// *every* exit — reply sent, job dropped unsent, worker panic unwind,
+/// store shutdown discarding queues — wakes the future exactly once.
+pub(crate) struct NotifyGuard(Arc<OpNotify>);
+
+impl NotifyGuard {
+    pub(crate) fn new(notify: Arc<OpNotify>) -> NotifyGuard {
+        NotifyGuard(notify)
+    }
+}
+
+impl Drop for NotifyGuard {
+    fn drop(&mut self) {
+        self.0.notify();
+    }
+}
+
+impl std::fmt::Debug for NotifyGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NotifyGuard").finish_non_exhaustive()
+    }
+}
+
+/// A pending store operation as a [`Future`], from
+/// [`NetRegisterHandle::write_future`](crate::NetRegisterHandle::write_future)
+/// / [`read_future`](crate::NetRegisterHandle::read_future) (or their
+/// `async fn` sugar [`write_async`](crate::NetRegisterHandle::write_async)
+/// / [`read_async`](crate::NetRegisterHandle::read_async)).
+///
+/// Resolves to exactly what [`OpTicket::wait`] would return. Polling
+/// after completion yields the cached result again (the future is
+/// fused). Dropping it abandons the wait, never the operation — the op
+/// still runs and lands in the store history.
+pub struct OpFuture {
+    ticket: OpTicket,
+    notify: Arc<OpNotify>,
+}
+
+impl OpFuture {
+    pub(crate) fn new(ticket: OpTicket, notify: Arc<OpNotify>) -> OpFuture {
+        OpFuture { ticket, notify }
+    }
+}
+
+impl Future for OpFuture {
+    type Output = Result<NetOutcome, NetError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // `get_mut` is fine: OpFuture is Unpin. Register before
+        // checking — a settle between the check and the register would
+        // otherwise be a lost wakeup.
+        let this = self.get_mut();
+        this.notify.register(cx.waker());
+        match this.ticket.try_settled() {
+            Some(result) => Poll::Ready(result),
+            None => Poll::Pending,
+        }
+    }
+}
+
+impl std::fmt::Debug for OpFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpFuture").field("ticket", &self.ticket).finish_non_exhaustive()
+    }
+}

@@ -73,8 +73,28 @@
 //!   shard worker, multiplexing **all** of the shard's sessions on one
 //!   thread; under [`Transport::Tcp`] the worker accepts and reads its
 //!   own socket with `lucky-wire`'s push-based `FrameDecoder` instead
-//!   of per-connection reader threads. `tests/driver_equivalence.rs`
-//!   proves the two drivers observably interchangeable.
+//!   of per-connection reader threads;
+//! * [`Driver::Reactor`] — the same multiplexing worker driven by a
+//!   real `epoll` instance (Linux; requires [`Transport::Tcp`]): the
+//!   thread sleeps in `epoll_wait` with the sessions' `next_wake`
+//!   timers folded into the timeout and wakes only for actual IO, a
+//!   timer, or a job submission (signalled via `eventfd`) — so one
+//!   thread drives thousands of concurrent in-flight sessions and an
+//!   idle store burns zero CPU. `tests/driver_equivalence.rs` proves
+//!   the drivers observably interchangeable, and `tests/reactor.rs`
+//!   pins the concurrency and idle-CPU properties.
+//!
+//! ## Futures
+//!
+//! On top of the ticket API, [`NetRegisterHandle::write_future`] /
+//! [`read_future`](NetRegisterHandle::read_future) (and their `async
+//! fn` sugar [`write_async`](NetRegisterHandle::write_async) /
+//! [`read_async`](NetRegisterHandle::read_async)) return real
+//! [`OpFuture`]s: the op is submitted immediately and the shard worker
+//! wakes the awaiting task when it settles. Any executor works; the
+//! std-only batteries in [`exec`] ([`exec::block_on`],
+//! [`exec::Executor`], [`exec::run_all`]) are enough to hold thousands
+//! of operations in flight from one caller thread.
 //!
 //! ## Transports
 //!
@@ -125,7 +145,10 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod cluster;
+pub mod exec;
+mod future;
 mod polled;
+mod reactor;
 mod router;
 mod store;
 mod tcp;
@@ -134,6 +157,7 @@ pub use cluster::{
     HandleError, NetCluster, NetClusterBuilder, NetConfig, NetError, NetOutcome, ReaderHandle,
     WriterHandle,
 };
+pub use future::OpFuture;
 pub use polled::Driver;
 pub use router::{NetStats, RegisterStats, ServerStats};
 pub use store::{NetRegisterHandle, NetStore, NetStoreBuilder, OpTicket};

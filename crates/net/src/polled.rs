@@ -5,10 +5,17 @@
 //! multiplexes **all of a shard's client sessions on one thread**: a
 //! single loop drains the job queue, polls the shard's input source,
 //! wakes whichever sessions are due and pumps their outputs to the
-//! router. This is exactly the shape an epoll/io_uring runtime would
-//! take — the sans-io `ClientSession` already isolates all protocol and
-//! deadline logic — except the readiness notification is a short
-//! sleep-capped poll, so no OS-specific reactor is needed.
+//! router. The sans-io `ClientSession` already isolates all protocol and
+//! deadline logic, so the same worker runs under two readiness sources:
+//!
+//! * [`Driver::Polled`] — this module's sleep-capped poll loop: portable
+//!   (no OS reactor), at the cost of scheduling noise up to
+//!   [`POLL_TICK`] per input;
+//! * [`Driver::Reactor`] — `crate::reactor` drives the *same*
+//!   [`PolledWorker`] state machine from a real `epoll` instance: the
+//!   thread blocks in `epoll_wait` with the session timers folded into
+//!   the timeout and wakes only for actual IO, timers or job
+//!   submissions.
 //!
 //! Input sources per [`Transport`](crate::Transport):
 //!
@@ -21,11 +28,18 @@
 //!   and dispatches them to sessions by recipient. One thread, zero
 //!   blocking reads — the push-based decoder from `lucky-wire` is what
 //!   makes this loop possible.
+//!
+//! Socket setup failures degrade instead of killing the worker: a
+//! connection that cannot be flipped nonblocking is dropped (counted in
+//! [`NetStats::io_errors`]), a listener that cannot be is abandoned —
+//! the shard's sessions then fail per-operation (deadline) rather than
+//! stranding every session the worker multiplexes.
 
 use crate::cluster::{NetError, NetOutcome};
+use crate::future::NotifyGuard;
 use crate::router::{Envelope, NetStats};
 use crossbeam::channel::{Receiver, Sender};
-use lucky_core::runtime::{ClientSession, Input, SessionError};
+use lucky_core::runtime::{ClientSession, Input};
 use lucky_types::{History, Message, Op, OpId, OpRecord, ProcessId, RegisterId, Time};
 use lucky_wire::{decode_packet, FrameDecoder};
 use parking_lot::Mutex;
@@ -47,29 +61,51 @@ pub enum Driver {
     /// the shard's client sessions: operations on different sessions of
     /// one worker proceed concurrently.
     Polled,
+    /// One `epoll` reactor per shard worker: the same multiplexing as
+    /// [`Driver::Polled`], but the thread blocks in `epoll_wait` (wake
+    /// eventfd + listener + accepted connections registered, session
+    /// timers folded into the timeout) instead of sleep-capped polling
+    /// — so one thread drives thousands of concurrent sessions and an
+    /// idle worker costs zero CPU. Requires
+    /// [`Transport::Tcp`](crate::Transport::Tcp); on platforms without
+    /// epoll the worker transparently falls back to the polled loop.
+    Reactor,
 }
 
 /// A job submitted to a shard worker (threaded or polled): run `op`
 /// on the client core/session keyed by `slot` and send the outcome back
-/// through `reply`.
+/// through `reply`. `notify` wakes the op's future (if the job came from
+/// the futures API) once the reply has been sent — or on any path that
+/// drops the job, so a future can never be lost.
 pub(crate) struct Job {
     pub(crate) slot: (RegisterId, u32),
     pub(crate) op: Op,
     pub(crate) reply: Sender<Result<NetOutcome, NetError>>,
+    pub(crate) notify: Option<NotifyGuard>,
 }
 
-/// The operation currently in flight on one session.
+/// The operation currently in flight on one session, with its per-op
+/// traffic attribution (wire messages sent/received and their
+/// codec-exact bytes while the op was pending — the same accounting the
+/// sim world's `apply_effects`/`account_delivery` perform).
 struct Current {
     op: Op,
     reply: Sender<Result<NetOutcome, NetError>>,
+    notify: Option<NotifyGuard>,
     start: Instant,
     invoked_at: Time,
+    msgs: u64,
+    bytes: u64,
 }
+
+/// A queued operation: what to run, where the outcome goes, and the
+/// optional future wakeup to fire once the reply is observable.
+type QueuedOp = (Op, Sender<Result<NetOutcome, NetError>>, Option<NotifyGuard>);
 
 /// One session plus its queued work.
 pub(crate) struct PolledSlot {
     pub(crate) session: ClientSession,
-    queue: VecDeque<(Op, Sender<Result<NetOutcome, NetError>>)>,
+    queue: VecDeque<QueuedOp>,
     current: Option<Current>,
 }
 
@@ -81,22 +117,45 @@ impl PolledSlot {
     fn is_idle(&self) -> bool {
         self.current.is_none() && self.queue.is_empty()
     }
+
+    /// Credit one delivered wire message to the pending op (if any).
+    fn credit_delivery(&mut self, msg: &Message) {
+        if let Some(cur) = self.current.as_mut() {
+            cur.msgs += 1;
+            cur.bytes += msg.wire_size() as u64;
+        }
+    }
 }
 
 /// Where a polled worker's inbound protocol messages come from.
 pub(crate) enum PollIo {
     /// Channel transport: the per-process inboxes this worker hosts.
     Channel(BTreeMap<ProcessId, Receiver<(ProcessId, Message)>>),
-    /// TCP transport: the worker's own loopback listener (nonblocking),
-    /// plus the connections accepted so far with their frame decoders.
-    Tcp { listener: TcpListener, conns: Vec<(TcpStream, FrameDecoder)> },
+    /// TCP transport: the worker's own loopback listener (nonblocking;
+    /// `None` if it could not be made so — the worker then runs without
+    /// accepting, degraded but alive), plus a slab of the connections
+    /// accepted so far with their frame decoders. Slab indices are
+    /// stable (closed connections leave a `None` hole) so the reactor's
+    /// epoll tokens stay valid across closes.
+    Tcp { listener: Option<TcpListener>, conns: Vec<Option<(TcpStream, FrameDecoder)>> },
 }
 
 impl PollIo {
     /// A nonblocking TCP source. The listener must already be bound;
-    /// this flips it (and every accepted connection) nonblocking.
-    pub(crate) fn tcp(listener: TcpListener) -> PollIo {
-        listener.set_nonblocking(true).expect("set listener nonblocking");
+    /// this flips it nonblocking. If the OS refuses, the listener is
+    /// **abandoned** (counted in [`NetStats::io_errors`]) rather than
+    /// kept blocking — a blocking `accept` would wedge the whole shard
+    /// worker, whereas a worker without a listener merely lets its
+    /// sessions fail per-operation.
+    pub(crate) fn tcp(listener: TcpListener, stats: &Arc<Mutex<NetStats>>) -> PollIo {
+        let listener = match listener.set_nonblocking(true) {
+            Ok(()) => Some(listener),
+            Err(_) => {
+                stats.lock().io_errors += 1;
+                discard_broken(listener);
+                None
+            }
+        };
         PollIo::Tcp { listener, conns: Vec::new() }
     }
 }
@@ -124,54 +183,32 @@ pub(crate) struct PolledWorker {
 impl PolledWorker {
     /// Session time: microseconds since the store's epoch (shared by
     /// every worker so history timestamps interleave correctly).
-    fn now(&self) -> Time {
+    pub(crate) fn now(&self) -> Time {
         Time(self.epoch.elapsed().as_micros() as u64)
     }
 
     /// Run the poll loop until the store drops the job senders and every
-    /// session has drained its work.
+    /// session has drained its work. Also the portable fallback the
+    /// reactor driver degrades to when no epoll instance can be had.
     pub(crate) fn run(mut self) {
         let mut jobs_open = true;
         loop {
             // 1. Drain newly submitted jobs into their session queues.
-            while jobs_open {
-                match self.jobs.try_recv() {
-                    Ok(job) => self.enqueue(job),
-                    Err(crossbeam::channel::TryRecvError::Empty) => break,
-                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                        jobs_open = false;
-                        break;
-                    }
-                }
-            }
+            self.drain_jobs(&mut jobs_open);
             // 2. Poll the input source and feed deliveries to sessions.
             self.poll_io();
             // 3. Wake every session whose next_wake is due.
-            let now = self.now();
-            for slot in self.sessions.values_mut() {
-                if slot.session.next_wake().is_some_and(|due| due <= now) {
-                    slot.session.handle(Input::Wake, now);
-                }
-            }
+            self.fire_due_wakes();
             // 4. Start queued operations, pump outputs, settle outcomes.
             self.advance();
             // 5. Exit once no more jobs can arrive and nothing is left.
-            let all_idle = self.sessions.values().all(PolledSlot::is_idle);
-            if !jobs_open && all_idle {
+            if !jobs_open && self.all_idle() {
                 return;
             }
             // 6. Sleep until the next wake (capped) — or, fully idle,
             //    park on the job queue so an idle store costs no CPU.
-            let busy = self.sessions.values().any(|s| !s.is_idle());
-            if busy {
-                let now = self.now();
-                let next = self
-                    .sessions
-                    .values()
-                    .filter_map(|s| s.session.next_wake())
-                    .min()
-                    .map(|due| Duration::from_micros(due.0.saturating_sub(now.0)))
-                    .unwrap_or(POLL_TICK);
+            if !self.all_idle() {
+                let next = self.next_wake_delay().unwrap_or(POLL_TICK);
                 std::thread::sleep(next.min(POLL_TICK));
             } else if jobs_open {
                 match self.jobs.recv_timeout(IDLE_PARK) {
@@ -183,118 +220,241 @@ impl PolledWorker {
         }
     }
 
+    /// Move every queued job into its session's queue; clears
+    /// `jobs_open` once the store has dropped the job senders.
+    pub(crate) fn drain_jobs(&mut self, jobs_open: &mut bool) {
+        while *jobs_open {
+            match self.jobs.try_recv() {
+                Ok(job) => self.enqueue(job),
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    *jobs_open = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Wake every session whose `next_wake` is due.
+    pub(crate) fn fire_due_wakes(&mut self) {
+        let now = self.now();
+        for slot in self.sessions.values_mut() {
+            if slot.session.next_wake().is_some_and(|due| due <= now) {
+                slot.session.handle(Input::Wake, now);
+            }
+        }
+    }
+
+    /// `true` iff no session has an op in flight or queued.
+    pub(crate) fn all_idle(&self) -> bool {
+        self.sessions.values().all(PolledSlot::is_idle)
+    }
+
+    /// How long until the earliest session timer is due (`None` when no
+    /// session needs waking — e.g. fully idle). The reactor uses this as
+    /// its `epoll_wait` timeout; the polled loop caps it at
+    /// [`POLL_TICK`].
+    pub(crate) fn next_wake_delay(&self) -> Option<Duration> {
+        let now = self.now();
+        self.sessions
+            .values()
+            .filter_map(|s| s.session.next_wake())
+            .min()
+            .map(|due| Duration::from_micros(due.0.saturating_sub(now.0)))
+    }
+
     fn enqueue(&mut self, job: Job) {
         // An unknown slot cannot happen (handle construction prevents
         // it); if it did, dropping the reply sender surfaces as a
-        // disconnect to the caller.
+        // disconnect to the caller (and the dropped notify guard wakes
+        // the op's future, if any).
         if let Some(slot) = self.sessions.get_mut(&job.slot) {
-            slot.queue.push_back((job.op, job.reply));
+            slot.queue.push_back((job.op, job.reply, job.notify));
         }
     }
 
     /// Drain whatever input arrived without blocking.
-    fn poll_io(&mut self) {
-        let now = self.now();
+    pub(crate) fn poll_io(&mut self) {
         match &mut self.io {
-            PollIo::Channel(inboxes) => {
-                for (pid, rx) in inboxes.iter() {
-                    let Some(&key) = self.by_pid.get(pid) else { continue };
-                    while let Ok((from, msg)) = rx.try_recv() {
-                        if let Some(slot) = self.sessions.get_mut(&key) {
-                            slot.session.handle(Input::Deliver(from, msg), now);
-                        }
-                    }
+            PollIo::Channel(_) => self.poll_channels(),
+            PollIo::Tcp { .. } => {
+                self.accept_new();
+                let PollIo::Tcp { conns, .. } = &self.io else { unreachable!() };
+                let live: Vec<usize> =
+                    conns.iter().enumerate().filter_map(|(i, c)| c.as_ref().map(|_| i)).collect();
+                for i in live {
+                    self.read_conn(i);
                 }
             }
-            PollIo::Tcp { listener, conns } => {
-                // Accept whatever the router has connected.
-                loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            stream.set_nonblocking(true).expect("set stream nonblocking");
-                            conns.push((stream, FrameDecoder::new()));
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                        Err(_) => break,
-                    }
+        }
+    }
+
+    /// Drain the channel-transport inboxes.
+    fn poll_channels(&mut self) {
+        let now = self.now();
+        let PollIo::Channel(inboxes) = &mut self.io else { return };
+        for (pid, rx) in inboxes.iter() {
+            let Some(&key) = self.by_pid.get(pid) else { continue };
+            while let Ok((from, msg)) = rx.try_recv() {
+                if let Some(slot) = self.sessions.get_mut(&key) {
+                    slot.credit_delivery(&msg);
+                    slot.session.handle(Input::Deliver(from, msg), now);
                 }
-                // Read every connection dry, decode, dispatch.
-                let mut buf = [0u8; 16 * 1024];
-                let mut closed: Vec<usize> = Vec::new();
-                for (i, (stream, dec)) in conns.iter_mut().enumerate() {
+            }
+        }
+    }
+
+    /// Accept every connection the router has established (TCP only),
+    /// returning the slab indices of the new connections so a reactor
+    /// can register them. A connection that cannot be made nonblocking
+    /// is dropped and counted — one bad socket must not kill the worker.
+    pub(crate) fn accept_new(&mut self) -> Vec<usize> {
+        let mut added = Vec::new();
+        let PollIo::Tcp { listener, conns } = &mut self.io else { return added };
+        let Some(listener) = listener.as_ref() else { return added };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        self.stats.lock().io_errors += 1;
+                        discard_broken(stream);
+                        continue;
+                    }
+                    let i = match conns.iter().position(Option::is_none) {
+                        Some(hole) => hole,
+                        None => {
+                            conns.push(None);
+                            conns.len() - 1
+                        }
+                    };
+                    conns[i] = Some((stream, FrameDecoder::new()));
+                    added.push(i);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        added
+    }
+
+    /// The worker's loopback listener, for epoll registration (`None`
+    /// for channel transport or a degraded TCP source).
+    pub(crate) fn listener(&self) -> Option<&TcpListener> {
+        match &self.io {
+            PollIo::Tcp { listener, .. } => listener.as_ref(),
+            PollIo::Channel(_) => None,
+        }
+    }
+
+    /// The accepted connection at slab index `i`, for epoll registration.
+    pub(crate) fn conn_stream(&self, i: usize) -> Option<&TcpStream> {
+        match &self.io {
+            PollIo::Tcp { conns, .. } => conns.get(i).and_then(|c| c.as_ref()).map(|(s, _)| s),
+            PollIo::Channel(_) => None,
+        }
+    }
+
+    /// Drop the accepted connection at slab index `i` (its hole is
+    /// reused by later accepts).
+    pub(crate) fn drop_conn(&mut self, i: usize) {
+        if let PollIo::Tcp { conns, .. } = &mut self.io {
+            if let Some(c) = conns.get_mut(i) {
+                *c = None;
+            }
+        }
+    }
+
+    /// Read connection `i` dry: reassemble frames, decode, dispatch to
+    /// sessions. Closes the connection on EOF, IO error or the first
+    /// malformed frame (counted — a corrupt stream has no trustworthy
+    /// framing left).
+    pub(crate) fn read_conn(&mut self, i: usize) {
+        let now = self.now();
+        let PollIo::Tcp { conns, .. } = &mut self.io else { return };
+        let Some(Some((stream, dec))) = conns.get_mut(i) else { return };
+        let mut buf = [0u8; 16 * 1024];
+        let mut close = false;
+        'conn: loop {
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    close = true;
+                    break;
+                }
+                Ok(n) => {
+                    dec.feed(&buf[..n]);
                     loop {
-                        match stream.read(&mut buf) {
-                            Ok(0) => {
-                                closed.push(i);
-                                break;
-                            }
-                            Ok(n) => {
-                                dec.feed(&buf[..n]);
-                                loop {
-                                    match dec.next_frame() {
-                                        Ok(Some(payload)) => match decode_packet(&payload) {
-                                            Ok(parts) => dispatch(
-                                                &parts,
-                                                &self.by_pid,
-                                                &mut self.sessions,
-                                                &self.stats,
-                                                now,
-                                            ),
-                                            Err(_) => {
-                                                self.stats.lock().decode_errors += 1;
-                                                closed.push(i);
-                                                break;
-                                            }
-                                        },
-                                        Ok(None) => break,
-                                        Err(_) => {
-                                            self.stats.lock().decode_errors += 1;
-                                            closed.push(i);
-                                            break;
-                                        }
-                                    }
+                        match dec.next_frame() {
+                            Ok(Some(payload)) => match decode_packet(&payload) {
+                                Ok(parts) => dispatch(
+                                    &parts,
+                                    &self.by_pid,
+                                    &mut self.sessions,
+                                    &self.stats,
+                                    now,
+                                ),
+                                Err(_) => {
+                                    self.stats.lock().decode_errors += 1;
+                                    close = true;
+                                    break 'conn;
                                 }
-                                if closed.last() == Some(&i) {
-                                    break;
-                                }
-                            }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            },
+                            Ok(None) => break,
                             Err(_) => {
-                                closed.push(i);
-                                break;
+                                self.stats.lock().decode_errors += 1;
+                                close = true;
+                                break 'conn;
                             }
                         }
                     }
                 }
-                for i in closed.into_iter().rev() {
-                    conns.remove(i);
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    close = true;
+                    break;
                 }
             }
+        }
+        if close {
+            conns[i] = None;
         }
     }
 
     /// Begin queued operations on idle sessions, forward outputs to the
     /// router, and resolve completed or failed operations.
-    fn advance(&mut self) {
+    pub(crate) fn advance(&mut self) {
         let now = self.now();
         for slot in self.sessions.values_mut() {
             // Start the next queued op when the session is free.
             if slot.current.is_none() && slot.session.is_ready() {
-                if let Some((op, reply)) = slot.queue.pop_front() {
+                if let Some((op, reply, notify)) = slot.queue.pop_front() {
                     slot.session
                         .begin(op.clone(), now)
                         .expect("is_ready checked; sessions run one op at a time");
-                    slot.current =
-                        Some(Current { op, reply, start: Instant::now(), invoked_at: now });
+                    slot.current = Some(Current {
+                        op,
+                        reply,
+                        notify,
+                        start: Instant::now(),
+                        invoked_at: now,
+                        msgs: 0,
+                        bytes: 0,
+                    });
                 }
             }
-            // Pump outputs.
+            // Pump outputs, attributing each send to the pending op.
             let from = slot.session.id();
             while let Some(out) = slot.session.poll_output() {
                 let (to, msg) = out.into_send();
+                if let Some(cur) = slot.current.as_mut() {
+                    cur.msgs += 1;
+                    cur.bytes += msg.wire_size() as u64;
+                }
                 let _ = self.router.send(Envelope::Deliver { from, to, msg });
             }
             // Settle.
+            if !slot.session.is_settled() {
+                continue;
+            }
             if let Some(outcome) = slot.session.take_outcome() {
                 let Some(cur) = slot.current.take() else { continue };
                 let net = NetOutcome::from_session(outcome, &cur.op, cur.start.elapsed());
@@ -305,8 +465,12 @@ impl PolledWorker {
                     cur.op,
                     cur.invoked_at,
                     Some((now, &net)),
+                    (cur.msgs, cur.bytes),
                 );
                 let _ = cur.reply.send(Ok(net));
+                // Wake the op's future (if any) only now, *after* the
+                // reply is observable in the channel.
+                drop(cur.notify);
             } else if let Some(err) = slot.session.take_failure() {
                 let Some(cur) = slot.current.take() else { continue };
                 append_history(
@@ -316,13 +480,25 @@ impl PolledWorker {
                     cur.op,
                     cur.invoked_at,
                     None,
+                    (cur.msgs, cur.bytes),
                 );
-                let _ = cur.reply.send(Err(match err {
-                    SessionError::DeadlineExceeded | SessionError::Busy => NetError::TimedOut,
-                }));
+                let _ = cur.reply.send(Err(err.into()));
+                drop(cur.notify);
             }
         }
     }
+}
+
+/// Dispose of a socket whose `set_nonblocking` failed. The practical
+/// failure is `EBADF` — the descriptor is already dead (closed out from
+/// under us) — and `OwnedFd`'s drop *aborts the process* on a
+/// double-close. So instead of dropping, close through the raw,
+/// EBADF-tolerant helper and forget the handle: a live descriptor is
+/// closed exactly once, a dead one is left alone, and the worker
+/// survives either way.
+fn discard_broken(socket: impl std::os::fd::AsRawFd) {
+    epoll::close_fd(socket.as_raw_fd());
+    std::mem::forget(socket);
 }
 
 /// Hand decoded packet parts to their sessions. Parts addressed to a
@@ -338,6 +514,7 @@ fn dispatch(
     for (from, to, msg) in parts {
         match by_pid.get(to).and_then(|key| sessions.get_mut(key)) {
             Some(slot) => {
+                slot.credit_delivery(msg);
                 slot.session.handle(Input::Deliver(*from, msg.clone()), now);
             }
             None => stats.lock().dropped += msg.part_count() as u64,
@@ -346,9 +523,12 @@ fn dispatch(
 }
 
 /// Append one finished (or abandoned) operation to the shared history —
-/// the single recording path for both shard-worker kinds. `completion`
+/// the single recording path for all shard-worker kinds. `completion`
 /// is `None` for a failed operation (it stays an incomplete record, so
 /// the checkers treat it as pending, never as a bogus completion).
+/// `traffic` is the op's `(msgs, bytes)` attribution, counted by the
+/// driver while the op was pending — the same population the sim world
+/// records, so sim-vs-net comparisons read real numbers.
 pub(crate) fn append_history(
     history: &Arc<Mutex<History>>,
     reg: RegisterId,
@@ -356,6 +536,7 @@ pub(crate) fn append_history(
     op: Op,
     invoked_at: Time,
     completion: Option<(Time, &NetOutcome)>,
+    traffic: (u64, u64),
 ) {
     let mut h = history.lock();
     let id = OpId(h.ops.len() as u64);
@@ -381,7 +562,97 @@ pub(crate) fn append_history(
         result,
         rounds,
         fast,
-        msgs: 0,
-        bytes: 0,
+        msgs: traffic.0,
+        bytes: traffic.1,
     });
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use lucky_core::runtime::{SessionConfig, Setup};
+    use lucky_core::ProtocolConfig;
+    use lucky_types::Params;
+    use std::os::fd::AsRawFd;
+
+    fn one_session_worker(
+        listener: TcpListener,
+        deadline_micros: u64,
+    ) -> (PolledWorker, Sender<Job>, Arc<Mutex<NetStats>>) {
+        let setup = Setup::from(Params::new(1, 0, 1, 0).unwrap());
+        let protocol = ProtocolConfig { timer_micros: 1_000, ..ProtocolConfig::default() };
+        let session = setup.make_writer_session(
+            RegisterId(0),
+            protocol,
+            SessionConfig::with_deadline(deadline_micros),
+        );
+        let pid = session.id();
+        let key = (RegisterId(0), 0u32);
+        let mut sessions = BTreeMap::new();
+        sessions.insert(key, PolledSlot::new(session));
+        let mut by_pid = BTreeMap::new();
+        by_pid.insert(pid, key);
+        let (job_tx, job_rx) = unbounded::<Job>();
+        // The router receiver drops immediately: this worker's sends go
+        // nowhere by design (advance() ignores router send errors).
+        let (router_tx, _router_rx) = unbounded::<Envelope>();
+        let stats = Arc::new(Mutex::new(NetStats::default()));
+        let worker = PolledWorker {
+            sessions,
+            by_pid,
+            jobs: job_rx,
+            router: router_tx,
+            io: PollIo::tcp(listener, &stats),
+            history: Arc::new(Mutex::new(History::new())),
+            stats: Arc::clone(&stats),
+            epoch: Instant::now(),
+        };
+        (worker, job_tx, stats)
+    }
+
+    #[test]
+    fn sabotaged_listener_degrades_instead_of_panicking() {
+        // Close the listener's descriptor out from under it: the next
+        // fcntl (set_nonblocking) fails with EBADF. The old code
+        // `.expect()`ed here and killed the whole shard worker.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        epoll::close_fd(listener.as_raw_fd());
+        let stats = Arc::new(Mutex::new(NetStats::default()));
+        let io = PollIo::tcp(listener, &stats);
+        match &io {
+            PollIo::Tcp { listener, conns } => {
+                assert!(listener.is_none(), "unusable listener is abandoned, not kept blocking");
+                assert!(conns.is_empty());
+            }
+            PollIo::Channel(_) => panic!("tcp() builds a Tcp source"),
+        }
+        assert_eq!(stats.lock().io_errors, 1, "the degradation is counted");
+    }
+
+    #[test]
+    fn worker_with_degraded_listener_stays_alive_and_times_ops_out() {
+        // A worker whose listener was abandoned at setup keeps running:
+        // the submitted op can never receive acks, so it fails with
+        // TimedOut at its deadline — and the worker then exits cleanly
+        // when the job sender drops, instead of having panicked.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        epoll::close_fd(listener.as_raw_fd());
+        let (worker, job_tx, stats) = one_session_worker(listener, 50_000);
+        assert_eq!(stats.lock().io_errors, 1);
+        let handle = std::thread::spawn(move || worker.run());
+        let (reply, rx) = unbounded();
+        job_tx
+            .send(Job {
+                slot: (RegisterId(0), 0),
+                op: Op::Write(lucky_types::Value::from_u64(1)),
+                reply,
+                notify: None,
+            })
+            .unwrap();
+        let result = rx.recv_timeout(Duration::from_secs(5)).expect("worker still answers");
+        assert_eq!(result.unwrap_err(), NetError::TimedOut);
+        drop(job_tx);
+        handle.join().expect("worker exits cleanly, no panic");
+    }
 }

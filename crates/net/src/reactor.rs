@@ -1,0 +1,144 @@
+//! The epoll reactor worker: [`Driver::Reactor`]'s engine.
+//!
+//! A [`ReactorWorker`] wraps the *same* [`PolledWorker`] state machine
+//! the polled driver runs — sessions, job queues, frame decoding,
+//! settle logic are all shared — and swaps the readiness source: where
+//! the polled loop sleeps up to `POLL_TICK` and re-polls, the reactor
+//! blocks in `epoll_wait` with
+//! [`ClientSession::next_wake`](lucky_core::runtime::ClientSession::next_wake)
+//! folded into the timeout, so
+//!
+//! * an idle worker costs **zero** CPU (no tick, no park loop — it
+//!   sleeps in the kernel until a job, a byte, or a timer), and
+//! * a ready worker wakes in microseconds instead of up to one tick.
+//!
+//! Registered interests:
+//!
+//! | token | fd | wakes the loop when |
+//! |---|---|---|
+//! | `TOKEN_WAKE` | eventfd | a job is submitted / senders drop |
+//! | `TOKEN_LISTENER` | the slot's listener | the router connects |
+//! | `TOKEN_CONN + i` | accepted conn `i` | protocol bytes arrive |
+//!
+//! Job submission wakes the eventfd via [`JobPort`](crate::store): the
+//! store's handles send on the job channel *then* write the eventfd.
+//!
+//! Every failure path degrades rather than dies: if no epoll instance
+//! or eventfd can be had (or the listener cannot register), the worker
+//! falls back to the portable polled loop; a connection that fails to
+//! register is dropped alone. Each degradation counts one
+//! [`NetStats::io_errors`](crate::NetStats::io_errors).
+
+use crate::polled::PolledWorker;
+use epoll::{Epoll, Events, WakeFd};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Token of the job-submission eventfd.
+const TOKEN_WAKE: u64 = 0;
+/// Token of the worker's loopback listener.
+const TOKEN_LISTENER: u64 = 1;
+/// Base token of accepted connections: conn slab index `i` registers as
+/// `TOKEN_CONN + i`.
+const TOKEN_CONN: u64 = 2;
+
+/// One shard worker driven by epoll. Construct with the shared
+/// [`PolledWorker`] state plus the wake eventfd the store's
+/// [`JobPort`](crate::store)s write, then call [`ReactorWorker::run`]
+/// on a dedicated thread.
+pub(crate) struct ReactorWorker {
+    pub(crate) worker: PolledWorker,
+    pub(crate) wake: Arc<WakeFd>,
+    /// Shared with `NetStore::stats()`: counts every `epoll_wait`
+    /// return, pinning the idle-burns-nothing property in tests.
+    pub(crate) wakeups: Arc<AtomicU64>,
+}
+
+impl ReactorWorker {
+    /// Run until the job senders drop and every session drains. Any
+    /// reactor-setup failure degrades to the polled loop (counted in
+    /// `io_errors`) — same protocol behaviour, worse latency.
+    pub(crate) fn run(mut self) {
+        let mut epoll = match self.setup() {
+            Ok(epoll) => epoll,
+            Err(()) => {
+                self.worker.stats.lock().io_errors += 1;
+                return self.worker.run();
+            }
+        };
+        let mut events = Events::new();
+        let mut jobs_open = true;
+        loop {
+            self.worker.drain_jobs(&mut jobs_open);
+            self.worker.fire_due_wakes();
+            self.worker.advance();
+            if !jobs_open && self.worker.all_idle() {
+                return;
+            }
+            // Sleep in the kernel until IO, a job, or the next session
+            // timer. No timer and nothing due → block indefinitely: the
+            // eventfd wakes us for jobs, the sockets for bytes.
+            let timeout = self.worker.next_wake_delay();
+            if let Err(_e) = epoll.wait(&mut events, timeout) {
+                self.worker.stats.lock().io_errors += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            for event in events.iter() {
+                match event.token {
+                    TOKEN_WAKE => self.wake.drain(),
+                    TOKEN_LISTENER => self.accept_and_register(&epoll),
+                    token => {
+                        let i = (token - TOKEN_CONN) as usize;
+                        self.worker.read_conn(i);
+                        // A dropped conn's fd closed with it, which
+                        // deregistered it from the epoll set; the slab
+                        // hole is reused (and re-registered) by the
+                        // next accept.
+                    }
+                }
+            }
+        }
+    }
+
+    /// Build the epoll set: wake eventfd + listener. `Err(())` means no
+    /// reactor is possible here and the caller falls back.
+    fn setup(&mut self) -> Result<Epoll, ()> {
+        let epoll = Epoll::new().map_err(|_| ())?;
+        epoll.add(self.wake.as_ref(), TOKEN_WAKE).map_err(|_| ())?;
+        // A degraded PollIo (listener lost at setup, None here) already
+        // counted its io_error; the reactor still runs for jobs + timers
+        // so queued ops fail by deadline instead of hanging forever.
+        if let Some(listener) = self.worker.listener() {
+            epoll.add(listener, TOKEN_LISTENER).map_err(|_| ())?;
+        }
+        Ok(epoll)
+    }
+
+    /// Accept whatever the router connected and register each new
+    /// connection; one that fails to register is dropped alone.
+    fn accept_and_register(&mut self, epoll: &Epoll) {
+        for i in self.worker.accept_new() {
+            let Some(stream) = self.worker.conn_stream(i) else { continue };
+            if epoll.add(stream, TOKEN_CONN + i as u64).is_err() {
+                self.worker.stats.lock().io_errors += 1;
+                self.worker.drop_conn(i);
+                continue;
+            }
+            // Bytes may have raced ahead of the registration: drain once
+            // now, since level-triggered epoll only reports what arrives
+            // while registered... (it reports existing readiness too,
+            // but a read here costs nothing and simplifies reasoning).
+            self.worker.read_conn(i);
+        }
+    }
+}
+
+impl std::fmt::Debug for ReactorWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorWorker")
+            .field("wakeups", &self.wakeups.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}

@@ -148,6 +148,17 @@ pub struct NetStats {
     /// servers have written or replayed. Zero without a durable backend.
     /// Rolled up at `stats()` time, like [`NetStats::recoveries`].
     pub log_bytes: u64,
+    /// Socket-setup failures absorbed without killing a worker thread: a
+    /// connection (or listener) that could not be made nonblocking and
+    /// was dropped, or an epoll registration/wait that failed and made a
+    /// reactor degrade. Each one costs at most the affected connection;
+    /// the worker and its other sessions keep running.
+    pub io_errors: u64,
+    /// Times a reactor worker returned from `epoll_wait` (for any
+    /// reason: IO readiness, job-submission wake, or timer timeout).
+    /// Zero for non-reactor drivers. An *idle* reactor adds nothing
+    /// here — the no-busy-wait property `tests/reactor.rs` pins.
+    pub reactor_wakeups: u64,
     /// Traffic broken down by the register each protocol message names.
     pub per_register: BTreeMap<RegisterId, RegisterStats>,
     /// Traffic broken down by destination server.

@@ -20,10 +20,13 @@ use crate::cluster::{
     assert_one_fault_per_server, spawn_server_thread, ClientDriver, HandleError, NetConfig,
     NetError, NetOutcome, ServerCtl,
 };
+use crate::future::{NotifyGuard, OpFuture, OpNotify};
 use crate::polled::{append_history, Driver, Job, PollIo, PolledSlot, PolledWorker};
+use crate::reactor::ReactorWorker;
 use crate::router::{spawn_router, Envelope, NetStats, RouterConfig, SlotMap};
 use crate::tcp::{build_fabric, TcpFabric, Transport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use epoll::WakeFd;
 use lucky_core::runtime::ServerCore;
 use lucky_core::{ProtocolConfig, SessionConfig, Setup, StoreConfig};
 use lucky_log::{DurableBackend, LogCounters};
@@ -33,6 +36,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -205,9 +209,16 @@ impl NetStoreBuilder {
         let server_count = self.setup.server_count();
         let mut slots: SlotMap = SlotMap::new();
         let session_cfg = SessionConfig::with_deadline(self.cfg.op_deadline().as_micros() as u64);
-        let polled = self.driver == Driver::Polled;
-        // Under the polled driver + TCP, client traffic lands on the
-        // worker's own socket: client processes get no channel inbox.
+        assert!(
+            !(self.driver == Driver::Reactor && self.transport != Transport::Tcp),
+            "Driver::Reactor requires Transport::Tcp (epoll needs sockets to watch)"
+        );
+        // The polled and reactor drivers share the session-multiplexing
+        // worker (and thus all placement); the reactor only swaps the
+        // readiness source.
+        let polled = matches!(self.driver, Driver::Polled | Driver::Reactor);
+        // Under the polled/reactor driver + TCP, client traffic lands on
+        // the worker's own socket: client processes get no channel inbox.
         let channel_clients = !(polled && self.transport == Transport::Tcp);
         let mut shard_drivers: Vec<BTreeMap<(RegisterId, u32), ClientDriver>> =
             (0..shard_count).map(|_| BTreeMap::new()).collect();
@@ -349,19 +360,21 @@ impl NetStoreBuilder {
         // Shard workers: each owns its registers' client cores and a
         // shared history it appends completed operations to. Threaded
         // workers block per job; polled workers multiplex their
-        // sessions on one nonblocking loop.
+        // sessions on one nonblocking loop; reactor workers do the same
+        // but sleep in `epoll_wait` (with an eventfd in their `JobPort`s
+        // so submissions can interrupt the sleep).
         let epoch = Instant::now();
         let history = Arc::new(Mutex::new(History::new()));
+        let wakeups = Arc::new(AtomicU64::new(0));
         let mut workers = Vec::new();
-        let mut worker_txs = Vec::new();
+        let mut worker_txs: Vec<JobPort> = Vec::new();
         if polled {
             let worker_parts =
                 shard_sessions.into_iter().zip(shard_inboxes).zip(shard_pids).enumerate();
             for (w, ((sessions, inboxes), by_pid)) in worker_parts {
                 let (tx, rx) = unbounded::<Job>();
-                worker_txs.push(tx);
                 let io = match worker_listeners[w].take() {
-                    Some(listener) => PollIo::tcp(listener),
+                    Some(listener) => PollIo::tcp(listener, &stats),
                     None => PollIo::Channel(inboxes),
                 };
                 let worker = PolledWorker {
@@ -374,17 +387,37 @@ impl NetStoreBuilder {
                     stats: Arc::clone(&stats),
                     epoch,
                 };
-                workers.push(
-                    std::thread::Builder::new()
+                // The reactor needs a working eventfd to be woken for
+                // job submissions; without one (exotic platform, fd
+                // exhaustion) the worker degrades to the polled loop.
+                let wake = match self.driver {
+                    Driver::Reactor => match WakeFd::new() {
+                        Ok(wake) => Some(Arc::new(wake)),
+                        Err(_) => {
+                            stats.lock().io_errors += 1;
+                            None
+                        }
+                    },
+                    _ => None,
+                };
+                worker_txs.push(JobPort { tx, wake: wake.clone() });
+                let thread = match wake {
+                    Some(wake) => {
+                        let reactor = ReactorWorker { worker, wake, wakeups: Arc::clone(&wakeups) };
+                        std::thread::Builder::new()
+                            .name(format!("lucky-store-reactor-{w}"))
+                            .spawn(move || reactor.run())
+                    }
+                    None => std::thread::Builder::new()
                         .name(format!("lucky-store-polled-{w}"))
-                        .spawn(move || worker.run())
-                        .expect("spawn polled worker"),
-                );
+                        .spawn(move || worker.run()),
+                };
+                workers.push(thread.expect("spawn shard worker"));
             }
         } else {
             for (w, drivers) in shard_drivers.into_iter().enumerate() {
                 let (tx, rx) = unbounded::<Job>();
-                worker_txs.push(tx);
+                worker_txs.push(JobPort { tx, wake: None });
                 let history = Arc::clone(&history);
                 workers.push(
                     std::thread::Builder::new()
@@ -423,6 +456,41 @@ impl NetStoreBuilder {
             setup: self.setup,
             batch: self.batch,
             durable_dir: self.durable_dir,
+            wakeups,
+        }
+    }
+}
+
+/// A shard worker's job-submission endpoint: the job channel plus — for
+/// a reactor worker — the eventfd that interrupts its `epoll_wait`.
+/// Cloned into every register handle whose cores the worker hosts.
+#[derive(Clone)]
+pub(crate) struct JobPort {
+    tx: Sender<Job>,
+    wake: Option<Arc<WakeFd>>,
+}
+
+impl JobPort {
+    /// Send a job, then wake the reactor (the order matters: the worker
+    /// must find the job when the wakeup drains).
+    fn send(&self, job: Job) {
+        // A send failure means the store shut down; the dropped reply
+        // sender (and notify guard, for futures) surfaces it.
+        let _ = self.tx.send(job);
+        if let Some(wake) = &self.wake {
+            wake.wake();
+        }
+    }
+}
+
+impl Drop for JobPort {
+    fn drop(&mut self) {
+        // The reactor detects "no more jobs can ever arrive" by the job
+        // channel disconnecting — which it only observes when awake.
+        // Each dropping port fires the eventfd so the *last* drop (the
+        // disconnect) always interrupts a blocked `epoll_wait`.
+        if let Some(wake) = &self.wake {
+            wake.wake();
         }
     }
 }
@@ -464,8 +532,18 @@ fn run_worker(
         let result = driver.run_op(job.op.clone());
         let completed_at = Time(epoch.elapsed().as_micros() as u64);
         let completion = result.as_ref().ok().map(|out| (completed_at, out));
-        append_history(&history, driver.reg(), driver.id(), job.op, invoked_at, completion);
+        append_history(
+            &history,
+            driver.reg(),
+            driver.id(),
+            job.op,
+            invoked_at,
+            completion,
+            driver.op_traffic(),
+        );
         let _ = job.reply.send(result);
+        // `job.notify` (if the op came from the futures API) drops here,
+        // waking the future after the reply is observable.
     }
 }
 
@@ -512,6 +590,13 @@ impl OpTicket {
     pub fn is_done(&mut self) -> bool {
         self.poll();
         self.settled.is_some()
+    }
+
+    /// The settled result, if any, without blocking — [`crate::OpFuture`]'s
+    /// poll body. Returns the cached result again once settled (fused).
+    pub(crate) fn try_settled(&mut self) -> Option<Result<NetOutcome, NetError>> {
+        self.poll();
+        self.settled.clone()
     }
 
     /// Wait up to `timeout` for the operation to settle.
@@ -564,9 +649,9 @@ impl OpTicket {
 pub struct NetRegisterHandle {
     reg: RegisterId,
     readers: usize,
-    /// One job sender per client core: index 0 is the writer, `j + 1`
+    /// One job port per client core: index 0 is the writer, `j + 1`
     /// reader `j`. Cores may live on different shard workers.
-    slots: Vec<Sender<Job>>,
+    slots: Vec<JobPort>,
 }
 
 impl fmt::Debug for NetRegisterHandle {
@@ -593,8 +678,22 @@ impl NetRegisterHandle {
         let (reply, rx) = unbounded();
         // A send failure means the store shut down; the dropped reply
         // sender surfaces as `Disconnected` from `wait`.
-        let _ = self.slots[slot as usize].send(Job { slot: (self.reg, slot), op, reply });
+        self.slots[slot as usize].send(Job { slot: (self.reg, slot), op, reply, notify: None });
         OpTicket::new(rx)
+    }
+
+    /// Like [`NetRegisterHandle::submit`], wiring a wake channel through
+    /// the job so an [`OpFuture`] learns when its ticket settles.
+    fn submit_future(&self, slot: u32, op: Op) -> OpFuture {
+        let (reply, rx) = unbounded();
+        let notify = OpNotify::new();
+        self.slots[slot as usize].send(Job {
+            slot: (self.reg, slot),
+            op,
+            reply,
+            notify: Some(NotifyGuard::new(Arc::clone(&notify))),
+        });
+        OpFuture::new(OpTicket::new(rx), notify)
     }
 
     /// Submit `WRITE(v)` and return a ticket to wait on. Writes on the
@@ -618,6 +717,57 @@ impl NetRegisterHandle {
             self.reg
         );
         self.submit(j as u32 + 1, Op::Read)
+    }
+
+    /// Submit `WRITE(v)` and return a [`Future`](std::future::Future) of
+    /// its outcome. The op is in flight from this call (submission does
+    /// not wait for a poll); `.await` it from any executor —
+    /// [`block_on`](crate::exec::block_on) and
+    /// [`Executor`](crate::exec::Executor) ship with this crate, and
+    /// [`run_all`](crate::exec::run_all) holds thousands in flight from
+    /// one thread. Dropping the future abandons the wait, never the op.
+    pub fn write_future(&self, v: Value) -> OpFuture {
+        self.submit_future(WRITER_SLOT, Op::Write(v))
+    }
+
+    /// Submit `READ()` on reader `j` as a [`Future`](std::future::Future);
+    /// see [`NetRegisterHandle::write_future`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is outside `0..reader_count()`.
+    pub fn read_future(&self, j: u16) -> OpFuture {
+        assert!(
+            (j as usize) < self.readers,
+            "reader {j} outside 0..{} for register {}",
+            self.readers,
+            self.reg
+        );
+        self.submit_future(j as u32 + 1, Op::Read)
+    }
+
+    /// `WRITE(v)` as an `async fn`: sugar for
+    /// [`NetRegisterHandle::write_future`]`.await`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the store shut down or the operation stalled.
+    pub async fn write_async(&self, v: Value) -> Result<NetOutcome, NetError> {
+        self.write_future(v).await
+    }
+
+    /// `READ()` on reader `j` as an `async fn`: sugar for
+    /// [`NetRegisterHandle::read_future`]`.await`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the store shut down or the operation stalled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is outside `0..reader_count()`.
+    pub async fn read_async(&self, j: u16) -> Result<NetOutcome, NetError> {
+        self.read_future(j).await
     }
 
     /// `WRITE(v)`, blocking until it completes.
@@ -673,6 +823,9 @@ pub struct NetStore {
     setup: Setup,
     batch: BatchConfig,
     durable_dir: Option<PathBuf>,
+    /// `epoll_wait` returns across every reactor worker (stays zero for
+    /// the other drivers); rolled into [`NetStats`] by `stats()`.
+    wakeups: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for NetStore {
@@ -758,6 +911,7 @@ impl NetStore {
         let mut s = self.stats.lock().clone();
         s.recoveries = self.counters.recoveries();
         s.log_bytes = self.counters.log_bytes();
+        s.reactor_wakeups = self.wakeups.load(Ordering::Relaxed);
         s
     }
 

@@ -1,0 +1,185 @@
+//! The epoll reactor driver, end to end.
+//!
+//! Pins the three properties `Driver::Reactor` exists for:
+//!
+//! * **Concurrency** — one reactor thread sustains ≥ 5,000 concurrent
+//!   in-flight sessions over real TCP sockets, checker-clean, with every
+//!   completed `OpRecord` carrying real (nonzero) per-op `msgs`/`bytes`
+//!   attribution;
+//! * **Generality** — the same reactor drives all three protocol
+//!   variants interchangeably with the other drivers;
+//! * **Idleness** — a reactor with no IO and no timers due sleeps in
+//!   `epoll_wait` and burns no CPU (its wakeup counter stops moving).
+//!
+//! The futures client API rides the same stores: `write_async` /
+//! `read_async` awaited through the crate's std-only executor.
+#![cfg(target_os = "linux")]
+
+use lucky_atomic::core::Setup;
+use lucky_atomic::net::exec::{block_on, run_all, Executor};
+use lucky_atomic::net::{Driver, NetConfig, NetStore, Transport};
+use lucky_atomic::types::{Params, RegisterId, TwoRoundParams, Value};
+use std::time::Duration;
+
+fn cfg(timer_millis: u64, seed: u64) -> NetConfig {
+    NetConfig {
+        min_latency: Duration::from_micros(50),
+        max_latency: Duration::from_micros(200),
+        seed,
+        timer: Duration::from_millis(timer_millis),
+    }
+}
+
+fn reactor_store(setup: impl Into<Setup>, registers: usize, shards: usize, seed: u64) -> NetStore {
+    // A generous timer keeps the derived op deadline far above the
+    // burst's drain time, so no session under load falsely times out.
+    NetStore::builder(setup, cfg(40, seed))
+        .registers(registers)
+        .shards(shards)
+        .transport(Transport::Tcp)
+        .driver(Driver::Reactor)
+        .build()
+}
+
+/// The acceptance run: 2,500 registers — writer + reader each, so 5,000
+/// client sessions — multiplexed on ONE reactor thread, every operation
+/// submitted before any is waited on.
+#[test]
+fn one_reactor_thread_sustains_5000_in_flight_sessions() {
+    const REGISTERS: usize = 2_500;
+    let mut store = reactor_store(Params::new(1, 0, 1, 0).unwrap(), REGISTERS, 1, 7);
+    let handles: Vec<_> =
+        RegisterId::all(REGISTERS).map(|reg| store.register(reg).expect("fresh handle")).collect();
+    // 5,000 in-flight sessions: every register's write AND read are
+    // submitted (and therefore begun by the worker) before anything is
+    // waited on.
+    let mut tickets = Vec::with_capacity(2 * REGISTERS);
+    for h in &handles {
+        tickets.push(h.invoke_write(Value::from_u64(1 + h.id().0 as u64)));
+        tickets.push(h.invoke_read(0));
+    }
+    for t in tickets {
+        t.wait().expect("every multiplexed operation completes");
+    }
+    // Per-op traffic attribution is real: every completed record moved
+    // actual wire messages and bytes (the polled/reactor append path
+    // used to hardcode zeros here).
+    let history = store.history();
+    assert_eq!(history.ops.len(), 2 * REGISTERS);
+    for rec in &history.ops {
+        assert!(rec.completed_at.is_some(), "op {:?} completed", rec.id);
+        assert!(rec.msgs > 0, "op {:?} attributes its wire messages", rec.id);
+        assert!(rec.bytes > 0, "op {:?} attributes its wire bytes", rec.id);
+    }
+    store.check_atomicity().expect("5,000-session burst stays linearizable per register");
+    let stats = store.stats();
+    assert!(stats.reactor_wakeups > 0, "the reactor actually ran");
+    assert_eq!(stats.io_errors, 0, "no degradation under the happy path");
+    store.shutdown();
+}
+
+/// All three protocol variants run on the reactor, a few hundred
+/// concurrent sessions across a handful of reactor threads each.
+#[test]
+fn all_three_variants_run_on_the_reactor() {
+    let setups: Vec<Setup> = vec![
+        Setup::Atomic(Params::new(2, 1, 1, 0).unwrap()),
+        Setup::TwoRound(TwoRoundParams::new(2, 1, 1).unwrap()),
+        Setup::Regular(Params::trading_reads(2, 1).unwrap()),
+    ];
+    for (i, setup) in setups.into_iter().enumerate() {
+        const REGISTERS: usize = 300;
+        let mut store = reactor_store(setup, REGISTERS, 3, 20 + i as u64);
+        let handles: Vec<_> = RegisterId::all(REGISTERS)
+            .map(|reg| store.register(reg).expect("fresh handle"))
+            .collect();
+        let mut tickets = Vec::new();
+        for h in &handles {
+            tickets.push(h.invoke_write(Value::from_u64(10 + h.id().0 as u64)));
+            tickets.push(h.invoke_read(0));
+        }
+        for t in tickets {
+            t.wait().expect("operation completes");
+        }
+        match setup {
+            Setup::Regular(_) => store.check_regularity().expect("regularity holds"),
+            _ => store.check_atomicity().expect("atomicity holds"),
+        }
+        store.shutdown();
+    }
+}
+
+/// An idle reactor burns no CPU: once every session has settled, the
+/// worker blocks in `epoll_wait` with no timeout — so its wakeup counter
+/// must not move while the store sits idle.
+#[test]
+fn idle_reactors_do_not_wake_up() {
+    let mut store = reactor_store(Params::new(1, 0, 1, 0).unwrap(), 4, 2, 31);
+    let h = store.register(RegisterId(0)).unwrap();
+    h.write(Value::from_u64(5)).expect("warm-up write completes");
+    assert_eq!(h.read(0).unwrap().value.as_u64(), Some(5));
+    // Let any tail work (late acks crossing the sockets) drain fully.
+    std::thread::sleep(Duration::from_millis(100));
+    let before = store.stats().reactor_wakeups;
+    std::thread::sleep(Duration::from_millis(400));
+    let after = store.stats().reactor_wakeups;
+    assert_eq!(
+        before, after,
+        "an idle reactor must sleep in epoll_wait, not tick ({before} -> {after} wakeups)"
+    );
+    // And it is not dead: the next operation completes normally.
+    assert_eq!(h.read(0).unwrap().value.as_u64(), Some(5));
+    store.shutdown();
+}
+
+/// The futures API over the reactor: `block_on` one op, then hold a
+/// thousand `async` ops in flight from a single caller thread via the
+/// std-only executor.
+#[test]
+fn futures_api_drives_the_reactor_store() {
+    const REGISTERS: usize = 500;
+    let mut store = reactor_store(Params::new(1, 0, 1, 0).unwrap(), REGISTERS, 2, 43);
+    let handles: Vec<_> =
+        RegisterId::all(REGISTERS).map(|reg| store.register(reg).expect("fresh handle")).collect();
+
+    // One op, simplest executor.
+    let out = block_on(handles[0].write_async(Value::from_u64(1))).expect("write completes");
+    assert!(out.rounds >= 1);
+
+    // A write-then-read chain per register — 500 tasks, 1,000 ops —
+    // multiplexed on this one thread by `run_all`.
+    let futs: Vec<_> = handles
+        .iter()
+        .map(|h| {
+            let v = 100 + h.id().0 as u64;
+            let write = h.write_future(Value::from_u64(v));
+            let read = h.read_future(0);
+            async move {
+                write.await.expect("write completes");
+                let r = read.await.expect("read completes");
+                (v, r.value.as_u64())
+            }
+        })
+        .collect();
+    for (v, read) in run_all(futs) {
+        // Write and read were concurrent (both submitted up front), so
+        // the read saw the initial or the new value; the checker is the
+        // real oracle.
+        assert!(read.is_none() || read == Some(v), "read {read:?}, wrote {v}");
+    }
+    store.check_atomicity().expect("async workload stays linearizable");
+    store.shutdown();
+
+    // Dropping a future abandons the wait, not the op: nothing hangs,
+    // and an explicit Executor drives leftovers fine.
+    let mut store = reactor_store(Params::new(1, 0, 1, 0).unwrap(), 1, 1, 44);
+    let h = store.register(RegisterId(0)).unwrap();
+    drop(h.write_future(Value::from_u64(9)));
+    let mut exec = Executor::new();
+    let read = h.read_future(0);
+    exec.spawn(async move {
+        read.await.expect("read completes");
+    });
+    exec.run();
+    store.shutdown();
+}

@@ -81,6 +81,58 @@ fn polled_driver_times_out_under_the_channel_transport_too() {
     store.shutdown();
 }
 
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_driver_times_out_without_a_quorum() {
+    let mut store = NetStore::builder(params(), stall_cfg())
+        .driver(Driver::Reactor)
+        .transport(Transport::Tcp)
+        .crashed(0)
+        .crashed(1)
+        .build();
+    let h = store.register(RegisterId(0)).unwrap();
+    assert_eq!(h.write(Value::from_u64(1)).unwrap_err(), NetError::TimedOut);
+    let history = store.history();
+    assert_eq!(history.ops.len(), 1);
+    assert!(history.ops[0].completed_at.is_none());
+    store.shutdown();
+}
+
+#[test]
+fn deadline_failures_are_never_reported_as_driver_busy() {
+    // The polled driver used to fold `SessionError::Busy` (a driver
+    // invariant violation — two ops begun on one session) into
+    // `NetError::TimedOut` (a protocol deadline). The two are distinct
+    // errors now, each with its own identity and message; a genuine
+    // deadline failure must surface as `TimedOut` under every driver
+    // (the surrounding tests drive that path per driver), and `Busy`
+    // stays unrepresentable through the public API because every driver
+    // serializes operations per session before calling `begin`.
+    assert_ne!(NetError::TimedOut, NetError::DriverBusy);
+    assert_eq!(NetError::TimedOut.to_string(), "operation did not complete within the deadline");
+    assert_eq!(
+        NetError::DriverBusy.to_string(),
+        "driver invariant violation: an operation was already in flight"
+    );
+    // Queued ops on one session are fine (serialized, never Busy): two
+    // concurrent writes on a healthy register both complete.
+    let cfg = NetConfig {
+        min_latency: Duration::from_micros(50),
+        max_latency: Duration::from_micros(200),
+        seed: 3,
+        timer: Duration::from_millis(5),
+    };
+    for driver in [Driver::Threaded, Driver::Polled] {
+        let mut store = NetStore::builder(params(), cfg.clone()).driver(driver).build();
+        let h = store.register(RegisterId(0)).unwrap();
+        let tickets: Vec<_> = (1..=2).map(|i| h.invoke_write(Value::from_u64(i))).collect();
+        for t in tickets {
+            t.wait().unwrap_or_else(|e| panic!("queued write completes under {driver:?}: {e}"));
+        }
+        store.shutdown();
+    }
+}
+
 #[test]
 fn ticket_polling_observes_a_completed_op_without_blocking() {
     // Failure-free store: submit, then poll until done.
