@@ -58,15 +58,11 @@ pub fn mean(xs: &[u64]) -> f64 {
     xs.iter().sum::<u64>() as f64 / xs.len() as f64
 }
 
-/// p-th percentile (0–100) by nearest-rank on a sorted copy.
+/// p-th percentile (0–100) by nearest-rank. The algorithm lives in
+/// [`lucky_trace::nearest_rank`] (the tracing crate pins it with tests);
+/// this re-export keeps the historical bench call sites working.
 pub fn percentile(xs: &[u64], p: usize) -> u64 {
-    if xs.is_empty() {
-        return 0;
-    }
-    let mut sorted = xs.to_vec();
-    sorted.sort_unstable();
-    let rank = (p * sorted.len()).div_ceil(100).clamp(1, sorted.len());
-    sorted[rank - 1]
+    lucky_trace::nearest_rank(xs, p)
 }
 
 /// Fraction of `hits` in `total` as a percentage string.

@@ -332,6 +332,33 @@ pub fn assert_regular(history: &History) -> Result<(), Violations> {
     check_regularity(history).map_err(Violations)
 }
 
+/// Like [`assert_atomic_per_register`], but a failed verdict also dumps
+/// `tracer`'s flight recorder — so the violation report arrives with the
+/// recent event log that produced it.
+///
+/// # Errors
+///
+/// See [`check_atomicity_per_register`].
+pub fn assert_atomic_per_register_traced(
+    history: &History,
+    tracer: &lucky_trace::Tracer,
+) -> Result<(), Violations> {
+    assert_atomic_per_register(history).inspect_err(|v| tracer.note_check_failed(&v.to_string()))
+}
+
+/// Like [`assert_regular_per_register`], but a failed verdict also dumps
+/// `tracer`'s flight recorder.
+///
+/// # Errors
+///
+/// See [`check_regularity_per_register`].
+pub fn assert_regular_per_register_traced(
+    history: &History,
+    tracer: &lucky_trace::Tracer,
+) -> Result<(), Violations> {
+    assert_regular_per_register(history).inspect_err(|v| tracer.note_check_failed(&v.to_string()))
+}
+
 /// The ids of the operations blamed by each violation — handy in tests.
 pub fn violating_ops(violations: &[Violation]) -> Vec<OpId> {
     violations.iter().filter_map(Violation::op).collect()
@@ -404,6 +431,21 @@ mod tests {
         assert!(matches!(v[0], Violation::PhantomValue { .. }));
         // Safeness also requires no-creation.
         assert!(check_safeness(&history).is_err());
+    }
+
+    #[test]
+    fn traced_verdicts_dump_the_flight_recorder() {
+        use lucky_trace::{TraceConfig, Tracer};
+        let tracer = Tracer::new(TraceConfig::enabled());
+        let clean = h(vec![w(0, 1, 0, Some(10)), r(1, 0, Some(1), 20, 30)]);
+        assert!(assert_atomic_per_register_traced(&clean, &tracer).is_ok());
+        assert!(tracer.last_dump().is_none(), "a clean verdict dumps nothing");
+        let dirty = h(vec![w(0, 1, 0, Some(10)), r(1, 0, Some(99), 20, 30)]);
+        assert!(assert_atomic_per_register_traced(&dirty, &tracer).is_err());
+        let dump = tracer.last_dump().expect("a failed verdict dumps");
+        assert!(dump.contains("checker verdict failed"));
+        assert!(assert_regular_per_register_traced(&dirty, &tracer).is_err());
+        assert_eq!(tracer.report().dumps, 2);
     }
 
     #[test]

@@ -73,6 +73,7 @@
 
 use crate::runtime::adapters::ClientCore;
 use lucky_sim::{Effects, TimerId};
+use lucky_trace::OpSpan;
 use lucky_types::{Message, Op, OpKind, ProcessId, RegisterId, Time, Value};
 use std::collections::VecDeque;
 use std::fmt;
@@ -169,6 +170,9 @@ pub struct SessionOutcome {
     pub invoked_at: Time,
     /// Session time at completion.
     pub completed_at: Time,
+    /// The operation's phase timeline (invoke → round transitions →
+    /// settle), timestamped in session time.
+    pub span: OpSpan,
 }
 
 impl SessionOutcome {
@@ -185,6 +189,12 @@ impl SessionOutcome {
 }
 
 /// Where the session's operation lifecycle currently stands.
+///
+/// `Done` is much larger than its siblings (the outcome carries the
+/// value and the op's span), but there is exactly one `SessionStatus`
+/// per long-lived session and it lives inline in the session struct —
+/// boxing it would buy nothing except an allocation per completed op.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum SessionStatus {
     /// No operation in flight; [`ClientSession::begin`] may start one.
@@ -225,6 +235,10 @@ pub struct ClientSession<C: ClientCore = Box<dyn ClientCore>> {
     timers: Vec<(TimerId, Time)>,
     outputs: VecDeque<Output>,
     status: SessionStatus,
+    /// Phase timeline of the in-flight (or last) operation. Plain
+    /// `Copy` data, so the session stays hashable and cheap to clone
+    /// for the model checker.
+    span: OpSpan,
 }
 
 impl<C: ClientCore> ClientSession<C> {
@@ -242,6 +256,7 @@ impl<C: ClientCore> ClientSession<C> {
             timers: Vec::new(),
             outputs: VecDeque::new(),
             status: SessionStatus::Idle,
+            span: OpSpan::default(),
         }
     }
 
@@ -290,6 +305,14 @@ impl<C: ClientCore> ClientSession<C> {
         &self.core
     }
 
+    /// The phase timeline of the in-flight (or last) operation. A
+    /// completed op's span also rides on its [`SessionOutcome`]; this
+    /// accessor serves the failure path, where
+    /// [`ClientSession::take_failure`] returns only the error.
+    pub fn span(&self) -> &OpSpan {
+        &self.span
+    }
+
     /// Start an operation at session time `now`.
     ///
     /// A previous `Done`/`Failed` status is discarded (take outcomes
@@ -311,6 +334,7 @@ impl<C: ClientCore> ClientSession<C> {
         self.deadline = self.config.deadline_micros.map(|d| now + d);
         self.timers.clear();
         self.status = SessionStatus::Pending;
+        self.span = OpSpan::begin(now.0);
         let mut eff = Effects::new();
         self.core.invoke(op, &mut eff);
         self.absorb(eff, now);
@@ -331,6 +355,7 @@ impl<C: ClientCore> ClientSession<C> {
                 if now >= deadline {
                     self.timers.clear();
                     self.deadline = None;
+                    self.span.deadline(now.0);
                     self.status = SessionStatus::Failed(SessionError::DeadlineExceeded);
                     return self.status.clone();
                 }
@@ -413,6 +438,13 @@ impl<C: ClientCore> ClientSession<C> {
     /// and promote a completion into `Done`.
     fn absorb(&mut self, eff: Effects<Message>, now: Time) {
         let (sends, timers, completion) = eff.into_parts();
+        if !sends.is_empty() && self.is_pending() {
+            // The first batch is the invoke broadcast; every later one
+            // is a new round starting (the span timestamps the
+            // transition — the core's completion still owns the
+            // authoritative round count).
+            self.span.note_send_batch(now.0);
+        }
         for (to, msg) in sends {
             self.outputs.push_back(match msg {
                 Message::Batch(parts) => Output::Batch(to, parts),
@@ -432,6 +464,7 @@ impl<C: ClientCore> ClientSession<C> {
             }
             self.timers.clear();
             self.deadline = None;
+            self.span.settle(now.0);
             let op = self.op.as_ref().expect("pending implies an op");
             self.status = SessionStatus::Done(SessionOutcome {
                 reg: self.reg,
@@ -441,6 +474,7 @@ impl<C: ClientCore> ClientSession<C> {
                 fast: c.fast,
                 invoked_at: self.invoked_at,
                 completed_at: now,
+                span: self.span,
             });
         }
     }
@@ -634,6 +668,53 @@ mod tests {
         s.handle(Input::Wake, due);
         assert!(s.take_outcome().is_some());
         assert_eq!(s.next_wake(), None, "completion already cleared the timers");
+    }
+
+    #[test]
+    fn spans_timestamp_the_phase_transitions() {
+        use lucky_trace::SpanPhase;
+        // Fast write: the span is invoke → settle, at the right times.
+        let mut s = writer_session(SessionConfig::default());
+        s.begin(Op::Write(Value::from_u64(7)), Time(100)).unwrap();
+        drain(&mut s);
+        let due = s.next_wake().unwrap();
+        s.handle(Input::Deliver(ProcessId::Server(ServerId(0)), pw_ack()), Time(110));
+        s.handle(Input::Deliver(ProcessId::Server(ServerId(1)), pw_ack()), Time(120));
+        s.handle(Input::Wake, due);
+        let outcome = s.take_outcome().unwrap();
+        let phases: Vec<SpanPhase> = outcome.span.marks().iter().map(|m| m.phase).collect();
+        assert_eq!(phases, vec![SpanPhase::Invoke, SpanPhase::Settle]);
+        assert_eq!(outcome.span.invoked_at(), Some(100));
+        assert_eq!(outcome.span.ended_at(), Some(due.0));
+
+        // Slow write (fast path disabled): the W-round broadcast after
+        // the round-1 timer marks round 2 in the span.
+        use crate::config::ProtocolConfig;
+        let setup = Setup::Atomic(params());
+        let mut s = ClientSession::new(
+            ProcessId::Writer,
+            RegisterId::DEFAULT,
+            setup.make_writer(RegisterId::DEFAULT, ProtocolConfig::slow_only(100)),
+            SessionConfig::default(),
+        );
+        s.begin(Op::Write(Value::from_u64(1)), Time(0)).unwrap();
+        drain(&mut s);
+        let due = s.next_wake().unwrap();
+        s.handle(Input::Deliver(ProcessId::Server(ServerId(0)), pw_ack()), Time(10));
+        s.handle(Input::Deliver(ProcessId::Server(ServerId(1)), pw_ack()), Time(20));
+        s.handle(Input::Wake, due);
+        let phases: Vec<SpanPhase> = s.span().marks().iter().map(|m| m.phase).collect();
+        assert_eq!(phases, vec![SpanPhase::Invoke, SpanPhase::Round(2)]);
+        assert_eq!(s.span().marks()[1].at, due.0, "round 2 starts at the timer expiry");
+
+        // Deadline failure: the span's terminal mark is Deadline.
+        let mut s = writer_session(SessionConfig::with_deadline(1_000));
+        s.begin(Op::Write(Value::from_u64(1)), Time(0)).unwrap();
+        drain(&mut s);
+        s.handle(Input::Wake, Time(1_000));
+        assert_eq!(s.take_failure(), Some(SessionError::DeadlineExceeded));
+        assert_eq!(s.span().marks().last().unwrap().phase, SpanPhase::Deadline);
+        assert_eq!(s.span().ended_at(), Some(1_000));
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct StoreConfig {
     /// replaying those logs. `None` (the default) keeps servers purely
     /// in-memory — a restarted server comes back amnesiac.
     pub durable_dir: Option<PathBuf>,
+    /// Tracing configuration (disabled by default): when enabled, the
+    /// store keeps per-op latency histograms, lucky/slow fast-path
+    /// counters and a bounded flight recorder, all surfaced through
+    /// [`SimStore::trace`].
+    pub trace: lucky_trace::TraceConfig,
 }
 
 impl From<ClusterConfig> for StoreConfig {
@@ -86,6 +91,7 @@ impl From<ClusterConfig> for StoreConfig {
             batch: BatchConfig::disabled(),
             op_deadline_micros: None,
             durable_dir: None,
+            trace: lucky_trace::TraceConfig::disabled(),
         }
     }
 }
@@ -165,6 +171,14 @@ impl StoreConfig {
         self
     }
 
+    /// Enable (or reconfigure) op tracing (chainable). See
+    /// [`StoreConfig::trace`].
+    #[must_use]
+    pub fn with_trace(mut self, trace: lucky_trace::TraceConfig) -> StoreConfig {
+        self.trace = trace;
+        self
+    }
+
     /// Persist every server's per-register state under `dir` (chainable):
     /// state survives server crashes and is replayed on restart. See
     /// [`StoreConfig::durable_dir`].
@@ -199,6 +213,9 @@ pub struct SimStore {
     /// Durability counters shared by every server's backend across all
     /// incarnations (always present; stays zero without a durable dir).
     counters: Arc<LogCounters>,
+    /// Op tracer shared with the world (always present; a disabled
+    /// tracer records nothing and costs one relaxed load per hook).
+    tracer: Arc<lucky_trace::Tracer>,
 }
 
 /// Build server `i`'s core: a durable mux over `<dir>/s<i>/` when the
@@ -232,6 +249,7 @@ impl SimStore {
             batch,
             op_deadline_micros,
             durable_dir,
+            trace,
         } = cfg;
         assert!(registers >= 1, "a store serves at least one register");
         assert!(
@@ -240,6 +258,8 @@ impl SimStore {
         );
         let mut world = World::new(cluster.net.clone(), cluster.seed);
         world.set_batch(batch);
+        let tracer = Arc::new(lucky_trace::Tracer::new(trace));
+        world.set_tracer(Arc::clone(&tracer));
         let protocol = cluster.protocol;
         let session = SessionConfig { deadline_micros: op_deadline_micros };
         let setup = cluster.setup;
@@ -266,7 +286,16 @@ impl SimStore {
                 Box::new(ServerAutomaton(server_core(setup, batch, durable, s.0))),
             );
         }
-        SimStore { setup, world, registers, readers_per_register, batch, durable_dir, counters }
+        SimStore {
+            setup,
+            world,
+            registers,
+            readers_per_register,
+            batch,
+            durable_dir,
+            counters,
+            tracer,
+        }
     }
 
     /// The protocol setup this store runs.
@@ -475,7 +504,7 @@ impl SimStore {
     ///
     /// Returns the violations found, across all registers.
     pub fn check_atomicity(&self) -> Result<(), Violations> {
-        lucky_checker::assert_atomic_per_register(self.history())
+        lucky_checker::assert_atomic_per_register_traced(self.history(), &self.tracer)
     }
 
     /// Check every register's sub-history against the regularity
@@ -485,7 +514,28 @@ impl SimStore {
     ///
     /// Returns the violations found, across all registers.
     pub fn check_regularity(&self) -> Result<(), Violations> {
-        lucky_checker::assert_regular_per_register(self.history())
+        lucky_checker::assert_regular_per_register_traced(self.history(), &self.tracer)
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// The shared op tracer (for wiring into external sinks).
+    pub fn tracer(&self) -> &Arc<lucky_trace::Tracer> {
+        &self.tracer
+    }
+
+    /// A rollup of everything the tracer has seen: lucky/slow op counts,
+    /// per-phase latency histograms (including the durable-log persist
+    /// histogram), recent flight-recorder events and the last dump.
+    /// Meaningful only when the store was built
+    /// [`StoreConfig::with_trace`]-enabled; a disabled store reports all
+    /// zeros.
+    pub fn trace(&self) -> lucky_trace::TraceReport {
+        let mut report = self.tracer.report();
+        report.persist_latency = self.counters.persist_latency();
+        report
     }
 }
 
@@ -670,6 +720,53 @@ mod tests {
     fn out_of_namespace_register_is_rejected() {
         let mut store = StoreConfig::synchronous(params()).registers(2).build_sim();
         store.register(RegisterId(2));
+    }
+
+    #[test]
+    fn trace_report_counts_lucky_ops_on_a_quiet_run() {
+        let mut store = StoreConfig::synchronous(params())
+            .registers(2)
+            .with_trace(lucky_trace::TraceConfig::enabled())
+            .build_sim();
+        for reg in RegisterId::all(2) {
+            store.register(reg).write(Value::from_u64(40 + reg.0 as u64));
+            store.register(reg).read(0);
+        }
+        let report = store.trace();
+        assert_eq!(report.fast_writes + report.slow_writes, 2);
+        assert_eq!(report.fast_reads + report.slow_reads, 2);
+        // Synchronous, contention-free: every read takes the fast path.
+        assert_eq!(report.slow_reads, 0);
+        assert!((report.lucky_read_ratio() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(report.read_latency.count(), 2);
+        assert_eq!(report.timeouts, 0);
+        assert!(!report.recent.is_empty(), "flight recorder saw the ops");
+        // The rollup renders and serializes without panicking.
+        assert!(report.render_text().contains("reads"));
+        assert!(report.to_json().contains("\"fast_reads\""));
+    }
+
+    #[test]
+    fn disabled_trace_reports_all_zeros() {
+        let mut store = StoreConfig::synchronous(params()).build_sim();
+        store.register(RegisterId(0)).write(Value::from_u64(1));
+        store.register(RegisterId(0)).read(0);
+        let report = store.trace();
+        assert_eq!(report.fast_reads + report.slow_reads, 0);
+        assert_eq!(report.read_latency.count(), 0);
+        assert!(report.recent.is_empty());
+    }
+
+    #[test]
+    fn traced_store_rolls_in_the_persist_histogram() {
+        let dir = lucky_log::TempDir::new("simstore-trace-persist");
+        let mut store = StoreConfig::synchronous(params())
+            .durable(dir.path())
+            .with_trace(lucky_trace::TraceConfig::enabled())
+            .build_sim();
+        store.register(RegisterId(0)).write(Value::from_u64(7));
+        let report = store.trace();
+        assert!(report.persist_latency.count() > 0, "durable appends were timed");
     }
 
     #[test]

@@ -321,6 +321,10 @@ pub struct LogCounters {
     /// Bytes of committed log data: everything replayed on open plus
     /// everything appended since.
     pub log_bytes: AtomicU64,
+    /// Latency distribution of non-elided [`ServerBackend::persist`]
+    /// appends, microseconds — rolled into `TraceReport::persist_latency`
+    /// by the runtimes.
+    pub persist_latency: lucky_trace::Histogram,
 }
 
 impl LogCounters {
@@ -332,6 +336,11 @@ impl LogCounters {
     /// Current committed-byte count.
     pub fn log_bytes(&self) -> u64 {
         self.log_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the persist-latency distribution.
+    pub fn persist_latency(&self) -> lucky_trace::HistogramSnapshot {
+        self.persist_latency.snapshot()
     }
 }
 
@@ -457,9 +466,11 @@ impl ServerBackend for DurableBackend {
         if self.last.get(&reg).is_some_and(|prev| prev == snapshot) {
             return;
         }
+        let start = std::time::Instant::now();
         let (log, _) = self.log_for(reg);
         let written = log.append(snapshot).expect("durable backend: appending a state snapshot");
         self.counters.log_bytes.fetch_add(written, Ordering::Relaxed);
+        self.counters.persist_latency.record(start.elapsed().as_micros() as u64);
         self.last.insert(reg, snapshot.to_vec());
     }
 
@@ -643,6 +654,7 @@ mod tests {
         b.persist(reg, b"state-2");
         let counters = b.counters();
         assert_eq!(counters.recoveries(), 0, "a fresh log is not a recovery");
+        assert_eq!(counters.persist_latency().count(), 2, "only real appends are timed");
         let bytes_before = counters.log_bytes();
         assert!(bytes_before > 0);
         drop(b);

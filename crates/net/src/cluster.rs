@@ -110,6 +110,27 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+impl NetError {
+    /// The tracing classification of this failure.
+    pub(crate) fn fail_reason(self) -> lucky_trace::FailReason {
+        match self {
+            NetError::TimedOut => lucky_trace::FailReason::Deadline,
+            NetError::DriverBusy => lucky_trace::FailReason::Busy,
+            NetError::Disconnected => lucky_trace::FailReason::Disconnected,
+        }
+    }
+}
+
+/// Map a client process to its tracing identity. `reg` disambiguates
+/// readers, whose global ids do not name their register.
+pub(crate) fn trace_actor(client: ProcessId, reg: RegisterId) -> lucky_trace::Actor {
+    match client {
+        ProcessId::Writer | ProcessId::WriterOf(_) => lucky_trace::Actor::Writer { reg: reg.0 },
+        ProcessId::Reader(r) => lucky_trace::Actor::Reader { reg: reg.0, id: r.0 },
+        ProcessId::Server(s) => lucky_trace::Actor::Server { id: s.0 },
+    }
+}
+
 /// How session failures surface to blocking/future callers. The polled,
 /// reactor and threaded drivers all use this one mapping, so the
 /// deadline-vs-busy distinction cannot silently diverge again.
@@ -335,6 +356,11 @@ impl ClientDriver {
     /// The client process this driver's session drives.
     pub(crate) fn id(&self) -> ProcessId {
         self.session.id()
+    }
+
+    /// The last operation's phase marks, for the tracer.
+    pub(crate) fn span(&self) -> &lucky_trace::OpSpan {
+        self.session.span()
     }
 
     fn now(&self) -> Time {

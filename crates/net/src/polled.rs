@@ -35,7 +35,7 @@
 //! the shard's sessions then fail per-operation (deadline) rather than
 //! stranding every session the worker multiplexes.
 
-use crate::cluster::{NetError, NetOutcome};
+use crate::cluster::{trace_actor, NetError, NetOutcome};
 use crate::future::NotifyGuard;
 use crate::router::{Envelope, NetStats};
 use crossbeam::channel::{Receiver, Sender};
@@ -147,11 +147,16 @@ impl PollIo {
     /// kept blocking — a blocking `accept` would wedge the whole shard
     /// worker, whereas a worker without a listener merely lets its
     /// sessions fail per-operation.
-    pub(crate) fn tcp(listener: TcpListener, stats: &Arc<Mutex<NetStats>>) -> PollIo {
+    pub(crate) fn tcp(
+        listener: TcpListener,
+        stats: &Arc<Mutex<NetStats>>,
+        tracer: &lucky_trace::Tracer,
+    ) -> PollIo {
         let listener = match listener.set_nonblocking(true) {
             Ok(()) => Some(listener),
             Err(_) => {
                 stats.lock().io_errors += 1;
+                tracer.note_io_error(0, "worker listener cannot be made nonblocking; abandoned");
                 discard_broken(listener);
                 None
             }
@@ -178,6 +183,7 @@ pub(crate) struct PolledWorker {
     pub(crate) history: Arc<Mutex<History>>,
     pub(crate) stats: Arc<Mutex<NetStats>>,
     pub(crate) epoch: Instant,
+    pub(crate) tracer: Arc<lucky_trace::Tracer>,
 }
 
 impl PolledWorker {
@@ -317,6 +323,10 @@ impl PolledWorker {
                 Ok((stream, _)) => {
                     if stream.set_nonblocking(true).is_err() {
                         self.stats.lock().io_errors += 1;
+                        self.tracer.note_io_error(
+                            self.epoch.elapsed().as_micros() as u64,
+                            "accepted connection cannot be made nonblocking; dropped",
+                        );
                         discard_broken(stream);
                         continue;
                     }
@@ -458,6 +468,14 @@ impl PolledWorker {
             if let Some(outcome) = slot.session.take_outcome() {
                 let Some(cur) = slot.current.take() else { continue };
                 let net = NetOutcome::from_session(outcome, &cur.op, cur.start.elapsed());
+                self.tracer.record_settle(
+                    trace_actor(slot.session.id(), slot.session.reg()),
+                    matches!(cur.op, Op::Write(_)),
+                    net.rounds,
+                    net.fast,
+                    cur.start.elapsed().as_micros() as u64,
+                    slot.session.span(),
+                );
                 append_history(
                     &self.history,
                     slot.session.reg(),
@@ -473,6 +491,13 @@ impl PolledWorker {
                 drop(cur.notify);
             } else if let Some(err) = slot.session.take_failure() {
                 let Some(cur) = slot.current.take() else { continue };
+                let err: NetError = err.into();
+                self.tracer.record_failure(
+                    trace_actor(slot.session.id(), slot.session.reg()),
+                    matches!(cur.op, Op::Write(_)),
+                    err.fail_reason(),
+                    slot.session.span(),
+                );
                 append_history(
                     &self.history,
                     slot.session.reg(),
@@ -482,7 +507,7 @@ impl PolledWorker {
                     None,
                     (cur.msgs, cur.bytes),
                 );
-                let _ = cur.reply.send(Err(err.into()));
+                let _ = cur.reply.send(Err(err));
                 drop(cur.notify);
             }
         }
@@ -598,15 +623,17 @@ mod tests {
         // nowhere by design (advance() ignores router send errors).
         let (router_tx, _router_rx) = unbounded::<Envelope>();
         let stats = Arc::new(Mutex::new(NetStats::default()));
+        let tracer = Arc::new(lucky_trace::Tracer::new(lucky_trace::TraceConfig::disabled()));
         let worker = PolledWorker {
             sessions,
             by_pid,
             jobs: job_rx,
             router: router_tx,
-            io: PollIo::tcp(listener, &stats),
+            io: PollIo::tcp(listener, &stats, &tracer),
             history: Arc::new(Mutex::new(History::new())),
             stats: Arc::clone(&stats),
             epoch: Instant::now(),
+            tracer,
         };
         (worker, job_tx, stats)
     }
@@ -619,7 +646,8 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         epoll::close_fd(listener.as_raw_fd());
         let stats = Arc::new(Mutex::new(NetStats::default()));
-        let io = PollIo::tcp(listener, &stats);
+        let tracer = lucky_trace::Tracer::new(lucky_trace::TraceConfig::disabled());
+        let io = PollIo::tcp(listener, &stats, &tracer);
         match &io {
             PollIo::Tcp { listener, conns } => {
                 assert!(listener.is_none(), "unusable listener is abandoned, not kept blocking");

@@ -165,7 +165,48 @@ pub struct NetStats {
     pub per_server: BTreeMap<ServerId, ServerStats>,
 }
 
+/// One line per [`NetStats`] rollup: the headline counters every smoke
+/// example used to hand-format its own way. Conditional sections
+/// (errors, durability, reactor) appear only when nonzero, so a quiet
+/// channel-transport run prints short and an eventful one prints all of
+/// it.
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} wire msgs ({} parts, {:.2} parts/msg), {} payload B",
+            self.messages,
+            self.parts,
+            self.msgs_per_batch(),
+            self.bytes
+        )?;
+        if self.wire_bytes > 0 {
+            write!(f, " / {} framed B", self.wire_bytes)?;
+        }
+        if self.decode_errors + self.dropped + self.io_errors > 0 {
+            write!(
+                f,
+                ", {} decode errs / {} dropped / {} io errs",
+                self.decode_errors, self.dropped, self.io_errors
+            )?;
+        }
+        if self.recoveries + self.log_bytes > 0 {
+            write!(f, ", {} log replays / {} log B", self.recoveries, self.log_bytes)?;
+        }
+        if self.reactor_wakeups > 0 {
+            write!(f, ", {} epoll wakeups", self.reactor_wakeups)?;
+        }
+        Ok(())
+    }
+}
+
 impl NetStats {
+    /// The one-line rollup [`NetStats`]'s `Display` renders, as an owned
+    /// string — for callers composing it into wider report lines.
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+
     /// The traffic counters for register `reg` (zero if never routed).
     pub fn register(&self, reg: RegisterId) -> RegisterStats {
         self.per_register.get(&reg).copied().unwrap_or_default()

@@ -58,6 +58,7 @@ pub struct NetStoreBuilder {
     byzantine: BTreeMap<u16, Box<dyn ServerCore>>,
     crashed: Vec<u16>,
     durable_dir: Option<PathBuf>,
+    trace: lucky_trace::TraceConfig,
 }
 
 impl fmt::Debug for NetStoreBuilder {
@@ -178,6 +179,16 @@ impl NetStoreBuilder {
     #[must_use]
     pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
         self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Op tracing policy (default disabled — a disabled tracer costs one
+    /// relaxed atomic load per hook on the hot path). Enabled, every
+    /// worker records per-op spans, lucky/slow classification and
+    /// latency histograms, all surfaced through [`NetStore::trace`].
+    #[must_use]
+    pub fn trace(mut self, trace: lucky_trace::TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -325,6 +336,7 @@ impl NetStoreBuilder {
         // Router thread — and, under TCP, the socket fabric between the
         // router and the destination slots (servers + shard workers).
         let stats = Arc::new(Mutex::new(NetStats::default()));
+        let tracer = Arc::new(lucky_trace::Tracer::new(self.trace));
         let (fabric, sinks) = match self.transport {
             Transport::Channel => (None, None),
             Transport::Tcp => {
@@ -374,7 +386,7 @@ impl NetStoreBuilder {
             for (w, ((sessions, inboxes), by_pid)) in worker_parts {
                 let (tx, rx) = unbounded::<Job>();
                 let io = match worker_listeners[w].take() {
-                    Some(listener) => PollIo::tcp(listener, &stats),
+                    Some(listener) => PollIo::tcp(listener, &stats, &tracer),
                     None => PollIo::Channel(inboxes),
                 };
                 let worker = PolledWorker {
@@ -386,6 +398,7 @@ impl NetStoreBuilder {
                     history: Arc::clone(&history),
                     stats: Arc::clone(&stats),
                     epoch,
+                    tracer: Arc::clone(&tracer),
                 };
                 // The reactor needs a working eventfd to be woken for
                 // job submissions; without one (exotic platform, fd
@@ -395,6 +408,10 @@ impl NetStoreBuilder {
                         Ok(wake) => Some(Arc::new(wake)),
                         Err(_) => {
                             stats.lock().io_errors += 1;
+                            tracer.note_io_error(
+                                0,
+                                "reactor eventfd unavailable; degrading to the polled loop",
+                            );
                             None
                         }
                     },
@@ -419,10 +436,11 @@ impl NetStoreBuilder {
                 let (tx, rx) = unbounded::<Job>();
                 worker_txs.push(JobPort { tx, wake: None });
                 let history = Arc::clone(&history);
+                let tracer = Arc::clone(&tracer);
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("lucky-store-shard-{w}"))
-                        .spawn(move || run_worker(drivers, rx, history, epoch))
+                        .spawn(move || run_worker(drivers, rx, history, epoch, tracer))
                         .expect("spawn shard worker"),
                 );
             }
@@ -457,6 +475,7 @@ impl NetStoreBuilder {
             batch: self.batch,
             durable_dir: self.durable_dir,
             wakeups,
+            tracer,
         }
     }
 }
@@ -521,6 +540,7 @@ fn run_worker(
     jobs: Receiver<Job>,
     history: Arc<Mutex<History>>,
     epoch: Instant,
+    tracer: Arc<lucky_trace::Tracer>,
 ) {
     while let Ok(job) = jobs.recv() {
         let Some(driver) = drivers.get_mut(&job.slot) else {
@@ -532,6 +552,21 @@ fn run_worker(
         let result = driver.run_op(job.op.clone());
         let completed_at = Time(epoch.elapsed().as_micros() as u64);
         let completion = result.as_ref().ok().map(|out| (completed_at, out));
+        if tracer.is_enabled() {
+            let actor = crate::cluster::trace_actor(driver.id(), driver.reg());
+            let write = matches!(job.op, Op::Write(_));
+            match &result {
+                Ok(out) => tracer.record_settle(
+                    actor,
+                    write,
+                    out.rounds,
+                    out.fast,
+                    out.elapsed.as_micros() as u64,
+                    driver.span(),
+                ),
+                Err(err) => tracer.record_failure(actor, write, err.fail_reason(), driver.span()),
+            }
+        }
         append_history(
             &history,
             driver.reg(),
@@ -826,6 +861,9 @@ pub struct NetStore {
     /// `epoll_wait` returns across every reactor worker (stays zero for
     /// the other drivers); rolled into [`NetStats`] by `stats()`.
     wakeups: Arc<AtomicU64>,
+    /// Op tracer shared by every shard worker (disabled unless the
+    /// builder enabled it); surfaced through [`NetStore::trace`].
+    tracer: Arc<lucky_trace::Tracer>,
 }
 
 impl fmt::Debug for NetStore {
@@ -857,6 +895,7 @@ impl NetStore {
             byzantine: BTreeMap::new(),
             crashed: Vec::new(),
             durable_dir: None,
+            trace: lucky_trace::TraceConfig::disabled(),
         }
     }
 
@@ -872,6 +911,7 @@ impl NetStore {
             .readers_per_register(cfg.readers_per_register)
             .protocol(cfg.cluster.protocol)
             .batch(cfg.batch)
+            .trace(cfg.trace)
             .build()
     }
 
@@ -980,7 +1020,7 @@ impl NetStore {
     ///
     /// Returns the violations found, across all registers.
     pub fn check_atomicity(&self) -> Result<(), lucky_checker::Violations> {
-        lucky_checker::assert_atomic_per_register(&self.history())
+        lucky_checker::assert_atomic_per_register_traced(&self.history(), &self.tracer)
     }
 
     /// Check every register's sub-history against the regularity
@@ -990,7 +1030,24 @@ impl NetStore {
     ///
     /// Returns the violations found, across all registers.
     pub fn check_regularity(&self) -> Result<(), lucky_checker::Violations> {
-        lucky_checker::assert_regular_per_register(&self.history())
+        lucky_checker::assert_regular_per_register_traced(&self.history(), &self.tracer)
+    }
+
+    /// The shared op tracer (for wiring into external sinks).
+    pub fn tracer(&self) -> &Arc<lucky_trace::Tracer> {
+        &self.tracer
+    }
+
+    /// A rollup of everything the tracer has seen: lucky/slow op counts
+    /// per kind, latency histograms (including the durable-log persist
+    /// histogram), recent flight-recorder events and the last dump.
+    /// Meaningful only for a store built with an enabled
+    /// [`NetStoreBuilder::trace`] policy; a disabled store reports all
+    /// zeros.
+    pub fn trace(&self) -> lucky_trace::TraceReport {
+        let mut report = self.tracer.report();
+        report.persist_latency = self.counters.persist_latency();
+        report
     }
 
     /// The loopback address server `s` listens on, when the store runs

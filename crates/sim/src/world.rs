@@ -7,6 +7,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a run helper stopped before the requested condition.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,6 +115,9 @@ pub struct World<M> {
     steps: u64,
     trace: Option<Vec<TraceEntry>>,
     batch: BatchConfig,
+    /// Shared trace rollup (deliveries, settles, failures); `None`
+    /// keeps the engine free of any tracing cost.
+    tracer: Option<Arc<lucky_trace::Tracer>>,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -148,6 +152,7 @@ impl<M: Payload> World<M> {
             steps: 0,
             trace: None,
             batch: BatchConfig::disabled(),
+            tracer: None,
         }
     }
 
@@ -177,6 +182,32 @@ impl<M: Payload> World<M> {
     /// The recorded trace (empty if tracing was never enabled).
     pub fn trace(&self) -> &[TraceEntry] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Report deliveries, op settles and op failures to `tracer` (its
+    /// flight recorder and luck counters). Unlike [`World::enable_trace`]
+    /// this is bounded: the tracer keeps a ring, not the whole run.
+    pub fn set_tracer(&mut self, tracer: Arc<lucky_trace::Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Map a process to its trace actor, resolving a client's register
+    /// through its pending operation (readers are globally numbered, so
+    /// the id alone does not name the register).
+    fn tracer_actor(&self, p: ProcessId) -> lucky_trace::Actor {
+        use lucky_trace::Actor;
+        let client_reg = |p: &ProcessId| {
+            self.pending
+                .get(p)
+                .and_then(|op| self.op_index.get(op))
+                .map_or(0, |&i| self.history.ops[i].reg.index() as u32)
+        };
+        match p {
+            ProcessId::Writer => Actor::Writer { reg: 0 },
+            ProcessId::WriterOf(reg) => Actor::Writer { reg: reg.index() as u32 },
+            ProcessId::Reader(r) => Actor::Reader { reg: client_reg(&p), id: r.0 },
+            ProcessId::Server(s) => Actor::Server { id: s.0 },
+        }
     }
 
     /// Install a process. Replaces any previous automaton at this id
@@ -482,6 +513,15 @@ impl<M: Payload> World<M> {
                         label: msg.label(),
                     });
                 }
+                if let Some(tracer) = &self.tracer {
+                    if tracer.is_enabled() {
+                        tracer.record_delivery(
+                            self.now.0,
+                            self.tracer_actor(from),
+                            self.tracer_actor(proc_id),
+                        );
+                    }
+                }
                 let entry = self.procs.get_mut(&proc_id).expect("checked above");
                 entry.automaton.on_message(now, from, msg, &mut eff);
             }
@@ -637,6 +677,7 @@ impl<M: Payload> World<M> {
             self.schedule(at, from, EventKind::Timer { id });
         }
         if let Some(Completion { value, rounds, fast }) = completion {
+            let actor = self.tracer_actor(from);
             let op = self
                 .pending
                 .remove(&from)
@@ -647,13 +688,29 @@ impl<M: Payload> World<M> {
             rec.result = value;
             rec.rounds = rounds;
             rec.fast = fast;
+            if let Some(tracer) = &self.tracer {
+                let write = matches!(rec.op, Op::Write(_));
+                let mut span = lucky_trace::OpSpan::begin(rec.invoked_at.0);
+                span.settle(self.now.0);
+                let latency = self.now.0.saturating_sub(rec.invoked_at.0);
+                tracer.record_settle(actor, write, rounds, fast, latency, &span);
+            }
         }
         if failed {
+            let actor = self.tracer_actor(from);
             let op = self
                 .pending
                 .remove(&from)
                 .unwrap_or_else(|| panic!("{from} failed with no pending operation"));
             self.failed_ops.insert(op, self.now);
+            if let Some(tracer) = &self.tracer {
+                let idx = self.op_index[&op];
+                let rec = &self.history.ops[idx];
+                let write = matches!(rec.op, Op::Write(_));
+                let mut span = lucky_trace::OpSpan::begin(rec.invoked_at.0);
+                span.deadline(self.now.0);
+                tracer.record_failure(actor, write, lucky_trace::FailReason::Deadline, &span);
+            }
         }
     }
 }

@@ -1,0 +1,246 @@
+//! Fixed-bucket log₂ latency histograms.
+//!
+//! 64 buckets cover the full `u64` range: bucket 0 holds the value 0 and
+//! bucket `i` holds `[2^(i-1), 2^i)` (the last bucket absorbs everything
+//! above). Recording is branch-light — a `leading_zeros`, a clamp and
+//! one relaxed `fetch_add` — and lock-free, so many worker threads can
+//! share one histogram. Percentiles are read from an immutable
+//! [`HistogramSnapshot`], which is also the merge unit for rolling
+//! per-shard histograms into a store-wide report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets; covers the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index recording `value`: 0 for 0, else
+/// `bits(value)` clamped to the last bucket.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `idx` can hold — the value percentile
+/// readouts report, so "p99 ≤ X" claims hold exactly.
+pub fn bucket_ceiling(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        _ if idx >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << idx) - 1,
+    }
+}
+
+/// A lock-free, mergeable log₂ histogram.
+pub struct Histogram {
+    cells: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { cells: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        write!(f, "Histogram(count={}, p50≤{}, p99≤{})", snap.count(), snap.p50(), snap.p99())
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample. Lock-free; safe from any thread.
+    pub fn record(&self, value: u64) {
+        self.cells[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An immutable copy of the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot { counts: std::array::from_fn(|i| self.cells[i].load(Ordering::Relaxed)) }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// An immutable bucket-count snapshot: the merge and percentile unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`]).
+    pub counts: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { counts: [0; BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold `other`'s counts into this snapshot (per-shard rollup).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+    }
+
+    /// Nearest-rank permille readout (`p` in 0–1000; p99 is `990`),
+    /// reported as the containing bucket's **ceiling** so the claim
+    /// "p ≤ returned value" holds exactly. 0 for an empty snapshot.
+    pub fn permille(&self, p: u32) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p as u128 * total as u128).div_ceil(1000) as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_ceiling(idx);
+            }
+        }
+        bucket_ceiling(BUCKETS - 1)
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.permille(500)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.permille(900)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.permille(990)
+    }
+
+    /// 99.9th-percentile upper bound.
+    pub fn p999(&self) -> u64 {
+        self.permille(999)
+    }
+}
+
+/// Exact p-th percentile (0–100) of raw samples by nearest-rank on a
+/// sorted copy — the single home of the logic the bench crate and the
+/// bench bins used to each reimplement. Prefer [`Histogram`] when the
+/// sample stream is unbounded; this is for small recorded vectors.
+pub fn nearest_rank(xs: &[u64], p: usize) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = (p * sorted.len()).div_ceil(100).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every bucket's ceiling maps back into that bucket.
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_ceiling(idx)), idx, "ceiling of bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn percentiles_upper_bound_the_samples() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 5_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        // p50 of {10,20,30,40,5000}: nearest rank 3 → 30, bucket ceiling 31.
+        assert_eq!(s.p50(), 31);
+        assert!(s.p99() >= 5_000);
+        assert_eq!(HistogramSnapshot::default().p99(), 0);
+    }
+
+    #[test]
+    fn merge_is_concatenation() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        let both = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 7, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+        assert_eq!(merged.count(), 6);
+    }
+
+    #[test]
+    fn nearest_rank_matches_bench_pins() {
+        // The exact cases `lucky_bench::percentile` always pinned.
+        assert_eq!(nearest_rank(&[5, 1, 9, 3], 50), 3);
+        assert_eq!(nearest_rank(&[5, 1, 9, 3], 100), 9);
+        assert_eq!(nearest_rank(&[], 50), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        /// The histogram's bucketed percentile upper-bounds the exact
+        /// nearest-rank percentile of the same samples, and merging two
+        /// histograms is sample concatenation.
+        #[test]
+        fn bucketed_percentile_bounds_exact(
+            xs in proptest::collection::vec(0u64..1 << 48, 1..64),
+            ys in proptest::collection::vec(0u64..1 << 48, 0..64),
+            p in 1usize..100,
+        ) {
+            let h = Histogram::new();
+            for &v in &xs { h.record(v); }
+            let exact = nearest_rank(&xs, p);
+            let bucketed = h.snapshot().permille((p * 10) as u32);
+            prop_assert!(bucketed >= exact, "p{p}: bucket {bucketed} < exact {exact}");
+            // The upper bound is tight: at most one power of two above.
+            prop_assert!(bucketed <= exact.saturating_mul(2).max(1));
+
+            let g = Histogram::new();
+            let all = Histogram::new();
+            for &v in &ys { g.record(v); }
+            for &v in xs.iter().chain(ys.iter()) { all.record(v); }
+            let mut merged = h.snapshot();
+            merged.merge(&g.snapshot());
+            prop_assert_eq!(merged, all.snapshot());
+        }
+    }
+}

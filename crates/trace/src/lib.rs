@@ -1,0 +1,39 @@
+//! # lucky-trace
+//!
+//! Dependency-free tracing and metrics for the lucky-atomic runtimes:
+//!
+//! * [`OpSpan`] — a fixed-capacity per-operation phase timeline (invoke →
+//!   round transitions → settle/deadline) that lives *inside* the sans-io
+//!   `ClientSession`. It is plain `Copy` data (no allocation, no `Arc`),
+//!   so sessions stay hashable for the model checker and cloning one
+//!   costs a memcpy.
+//! * [`Histogram`] — 64 log₂ buckets of lock-free `AtomicU64` cells with
+//!   mergeable [`HistogramSnapshot`]s and nearest-rank
+//!   p50/p90/p99/p999 readouts. Recording is a couple of ALU ops plus
+//!   one relaxed `fetch_add`; snapshots are taken off the hot path.
+//! * [`FlightRecorder`] — a bounded ring of recent [`TraceEvent`]s,
+//!   rendered automatically on op timeouts, I/O errors and failed
+//!   checker verdicts so a red test comes with a replayable event log.
+//! * [`Tracer`] — the per-store rollup point the runtimes talk to, and
+//!   [`TraceReport`] — its stable text/JSON rendering, exposed as
+//!   `SimStore::trace()` / `NetStore::trace()`.
+//!
+//! Tracing is **off by default** ([`TraceConfig::disabled`]): every
+//! `Tracer` entry point is gated on a single relaxed atomic load, so a
+//! disabled tracer costs ~nothing on the zero-copy hot path (asserted by
+//! the `trace_overhead` bench gate row).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod recorder;
+mod report;
+mod span;
+mod tracer;
+
+pub use hist::{bucket_ceiling, bucket_of, nearest_rank, Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{Actor, EventKind, FailReason, FlightRecorder, TraceEvent};
+pub use report::TraceReport;
+pub use span::{OpSpan, SpanMark, SpanPhase, SPAN_MARKS};
+pub use tracer::{TraceConfig, Tracer};

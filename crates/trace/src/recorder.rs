@@ -1,0 +1,249 @@
+//! The flight recorder: a bounded ring of recent trace events.
+//!
+//! Every store keeps one; the tracer appends span events, deliveries
+//! and error markers to it and renders the whole ring on an op timeout,
+//! an I/O error or a failed checker verdict — the crash-dump that makes
+//! a red explore/test run replayable instead of a bare assertion.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Who an event happened to. `lucky-trace` sits below `lucky-types`, so
+/// this is its own tiny process naming, mirroring `ProcessId` plus the
+/// register dimension for clients.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Actor {
+    /// Register `reg`'s writer.
+    Writer {
+        /// Register index.
+        reg: u32,
+    },
+    /// Reader `id` of register `reg`.
+    Reader {
+        /// Register index.
+        reg: u32,
+        /// Reader index within the register.
+        id: u16,
+    },
+    /// Server `id` (servers are shared across registers).
+    Server {
+        /// Server index.
+        id: u16,
+    },
+    /// The store itself (checker verdicts, I/O plumbing).
+    Store,
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Actor::Writer { reg } => write!(f, "w@{reg}"),
+            Actor::Reader { reg, id } => write!(f, "r{id}@{reg}"),
+            Actor::Server { id } => write!(f, "s{id}"),
+            Actor::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// Why an operation failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailReason {
+    /// The per-operation deadline passed (the runtime's op timeout).
+    Deadline,
+    /// An operation was begun on a session that already had one.
+    Busy,
+    /// The runtime shut down mid-operation.
+    Disconnected,
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::Deadline => write!(f, "deadline exceeded"),
+            FailReason::Busy => write!(f, "driver busy"),
+            FailReason::Disconnected => write!(f, "disconnected"),
+        }
+    }
+}
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An operation began (`write` distinguishes WRITE from READ).
+    Invoke {
+        /// `true` for a WRITE, `false` for a READ.
+        write: bool,
+    },
+    /// Round `n` of the pending operation started.
+    Round {
+        /// 1-based round number.
+        n: u16,
+    },
+    /// The operation completed.
+    Settle {
+        /// Communication round-trips used.
+        rounds: u32,
+        /// `true` iff the op took the fast path ("lucky").
+        fast: bool,
+        /// Measured latency in microseconds.
+        latency_micros: u64,
+    },
+    /// The operation failed.
+    OpFailed {
+        /// Why.
+        reason: FailReason,
+    },
+    /// A message from `from` was delivered to this actor (sim runs).
+    Deliver {
+        /// The sending actor.
+        from: Actor,
+    },
+    /// A socket-level error was absorbed (the worker kept running).
+    IoError,
+    /// A checker verdict failed over this store's history.
+    CheckFailed,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Invoke { write: true } => write!(f, "invoke WRITE"),
+            EventKind::Invoke { write: false } => write!(f, "invoke READ"),
+            EventKind::Round { n } => write!(f, "round-{n} start"),
+            EventKind::Settle { rounds, fast, latency_micros } => {
+                let path = if *fast { "lucky" } else { "slow" };
+                write!(f, "settle {path} rounds={rounds} latency={latency_micros}µs")
+            }
+            EventKind::OpFailed { reason } => write!(f, "FAILED: {reason}"),
+            EventKind::Deliver { from } => write!(f, "deliver from {from}"),
+            EventKind::IoError => write!(f, "io error"),
+            EventKind::CheckFailed => write!(f, "checker verdict FAILED"),
+        }
+    }
+}
+
+/// One timestamped event in the ring.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Microseconds on the owning runtime's clock.
+    pub at_micros: u64,
+    /// Who it happened to.
+    pub actor: Actor,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}µs] {:<6} {}", self.at_micros, self.actor.to_string(), self.kind)
+    }
+}
+
+/// A bounded ring buffer of recent [`TraceEvent`]s.
+///
+/// One coarse mutex guards the ring: events are only recorded when
+/// tracing is enabled, and renders happen on failures, so the lock is
+/// never on the disabled hot path.
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `cap` events (`cap == 0` records
+    /// nothing).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder { cap, ring: Mutex::new(VecDeque::with_capacity(cap.min(1024))) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TraceEvent>> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one event, evicting the oldest past capacity.
+    pub fn record(&self, event: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut ring = self.lock();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.lock().iter().copied().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Render the ring as a dump: a `reason` header followed by one
+    /// line per event, oldest first.
+    pub fn render(&self, reason: &str) -> String {
+        let events = self.snapshot();
+        let mut out = String::with_capacity(64 + events.len() * 48);
+        out.push_str("=== flight recorder dump: ");
+        out.push_str(reason);
+        out.push_str(" ===\n");
+        if events.is_empty() {
+            out.push_str("(no events retained — was tracing enabled?)\n");
+        }
+        for e in &events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent { at_micros: at, actor: Actor::Writer { reg: 0 }, kind: EventKind::IoError }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let r = FlightRecorder::new(3);
+        for at in 0..5 {
+            r.record(ev(at));
+        }
+        let kept: Vec<u64> = r.snapshot().iter().map(|e| e.at_micros).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let r = FlightRecorder::new(0);
+        r.record(ev(1));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn render_includes_reason_and_events() {
+        let r = FlightRecorder::new(8);
+        r.record(TraceEvent {
+            at_micros: 42,
+            actor: Actor::Reader { reg: 3, id: 1 },
+            kind: EventKind::Invoke { write: false },
+        });
+        let dump = r.render("op timeout");
+        assert!(dump.contains("op timeout"));
+        assert!(dump.contains("r1@3"));
+        assert!(dump.contains("invoke READ"));
+    }
+}

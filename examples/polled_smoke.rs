@@ -93,25 +93,13 @@ fn main() {
          ({ROUNDS} writes + {} reads) over loopback TCP\n",
         ROUNDS * READERS_PER_REGISTER as u64
     );
-    println!(
-        "{:<20} {:>5} {:>10} {:>12} {:>10} {:>9}",
-        "variant", "ops", "wire msgs", "framed B", "B/op", "parts/msg"
-    );
     for (name, setup) in setups {
         let (stats, ops) = run(setup);
         assert_eq!(ops, ROUNDS * (REGISTERS as u64) * (1 + READERS_PER_REGISTER as u64));
         assert!(stats.wire_bytes > 0, "{name}: traffic crossed the sockets");
         assert_eq!(stats.decode_errors, 0, "{name}: honest frames all decode");
         assert_eq!(stats.dropped, 0, "{name}: nothing lost on an honest run");
-        println!(
-            "{:<20} {:>5} {:>10} {:>12} {:>10.1} {:>9.2}",
-            name,
-            ops,
-            stats.messages,
-            stats.wire_bytes,
-            stats.wire_bytes as f64 / ops as f64,
-            stats.msgs_per_batch()
-        );
+        println!("{name:<20} {ops:>5} ops: {stats}");
     }
     println!("\nall three variants checker-clean on the polled driver over real sockets");
 }

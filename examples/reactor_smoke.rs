@@ -92,13 +92,10 @@ fn main() {
     store.shutdown();
 
     println!(
-        "{} ops in {:.1} ms ({:.0} ops/s), {} wire msgs / {} framed bytes, {} epoll wakeups",
+        "{} ops in {:.1} ms ({:.0} ops/s): {stats}",
         2 * REGISTERS,
         elapsed.as_secs_f64() * 1e3,
         (2 * REGISTERS) as f64 / elapsed.as_secs_f64(),
-        stats.messages,
-        stats.wire_bytes,
-        stats.reactor_wakeups,
     );
     println!("\nreactor checker-clean: futures burst on epoll, real per-op accounting");
 }

@@ -89,7 +89,7 @@ fn run_sim(name: &str, setup: Setup) -> (u64, u64) {
 
 /// The same schedule over real loopback sockets: the crash severs the
 /// server's router sink, the restart re-binds its listener.
-fn run_tcp(name: &str, setup: Setup) -> (u64, u64) {
+fn run_tcp(name: &str, setup: Setup) -> lucky_atomic::net::NetStats {
     let dir = TempDir::new("recovery-smoke-tcp");
     let cfg = NetConfig {
         min_latency: Duration::from_micros(100),
@@ -130,7 +130,7 @@ fn run_tcp(name: &str, setup: Setup) -> (u64, u64) {
     assert!(stats.recoveries > 0, "{name}: the restarted server replayed at least one log");
     assert!(stats.log_bytes > 0, "{name}: committed state was persisted");
     store.shutdown();
-    (stats.recoveries, stats.log_bytes)
+    stats
 }
 
 fn main() {
@@ -138,12 +138,11 @@ fn main() {
         "recovery smoke: {REGISTERS} registers, durable servers, mid-run crash + restart of \
          server 0, then t more crashes so the recovered server is quorum-critical\n"
     );
-    println!("{:<20} {:<8} {:>10} {:>10}", "variant", "runtime", "recoveries", "log B");
     for (name, setup) in variants() {
         let (rec, bytes) = run_sim(name, setup);
-        println!("{name:<20} {:<8} {rec:>10} {bytes:>10}", "sim");
-        let (rec, bytes) = run_tcp(name, setup);
-        println!("{name:<20} {:<8} {rec:>10} {bytes:>10}", "tcp");
+        println!("{name:<20} sim: {rec} log replays / {bytes} log B");
+        let stats = run_tcp(name, setup);
+        println!("{name:<20} tcp: {stats}");
     }
     println!("\nall three variants checker-clean across crash-restart on both runtimes");
 }

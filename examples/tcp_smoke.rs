@@ -86,10 +86,6 @@ fn main() {
          batching max_msgs=16\n",
         ROUNDS * READERS_PER_REGISTER as u64
     );
-    println!(
-        "{:<20} {:>5} {:>10} {:>12} {:>12} {:>10} {:>9}",
-        "variant", "ops", "wire msgs", "payload B", "framed B", "B/op", "parts/msg"
-    );
     for (name, setup) in setups {
         let (stats, ops) = run(setup);
 
@@ -110,16 +106,7 @@ fn main() {
         assert_eq!(stats.dropped, 0, "{name}: nothing lost on an honest run");
         assert!(stats.msgs_per_batch() > 1.0, "{name}: batching engaged");
 
-        println!(
-            "{:<20} {:>5} {:>10} {:>12} {:>12} {:>10.1} {:>9.2}",
-            name,
-            ops,
-            stats.messages,
-            stats.bytes,
-            stats.wire_bytes,
-            stats.wire_bytes as f64 / ops as f64,
-            stats.msgs_per_batch()
-        );
+        println!("{name:<20} {ops:>5} ops: {stats}");
     }
     println!("\nall three variants checker-clean over real sockets; byte audit within bounds");
 }

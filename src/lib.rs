@@ -19,7 +19,9 @@
 //! * [`log`] — the append-only durable per-register backend servers
 //!   persist to, with crash-recovery-on-open;
 //! * [`net`] — a thread-based real-time runtime for the same cores,
-//!   over in-process channels or real loopback TCP sockets.
+//!   over in-process channels or real loopback TCP sockets;
+//! * [`trace`] — per-op span tracing, log₂ latency histograms and the
+//!   flight recorder behind `SimStore::trace()` / `NetStore::trace()`.
 //!
 //! ## Quickstart
 //!
@@ -52,5 +54,6 @@ pub use lucky_explore as explore;
 pub use lucky_log as log;
 pub use lucky_net as net;
 pub use lucky_sim as sim;
+pub use lucky_trace as trace;
 pub use lucky_types as types;
 pub use lucky_wire as wire;

@@ -198,6 +198,68 @@ fn concurrent_tcp_workloads_stay_checker_clean_under_all_drivers() {
     }
 }
 
+/// One luck-pinned stream entry: outcome fields *plus* the round count
+/// and fast/slow classification the tracer reports.
+type LuckOutcome = (RegisterId, OpKind, Option<u64>, u32, bool);
+
+/// Sequential workload with a timer generous enough (20ms) that no op
+/// ever straddles the round-1 deadline: the rounds/fast classification
+/// is then fully determined by the variant, so it must be identical
+/// across drivers — not just the values read.
+fn run_luck_pinned(setup: Setup, driver: Driver) -> Vec<LuckOutcome> {
+    const LUCK_ROUNDS: u64 = 2;
+    let mut store = NetStore::builder(setup, net_cfg(20))
+        .registers(REGISTERS)
+        .readers_per_register(READERS_PER_REGISTER)
+        .shards(3)
+        .transport(Transport::Tcp)
+        .driver(driver)
+        .build();
+    let handles: Vec<_> =
+        RegisterId::all(REGISTERS).map(|reg| store.register(reg).expect("fresh handle")).collect();
+    let mut stream = Vec::new();
+    for round in 0..LUCK_ROUNDS {
+        for h in &handles {
+            let out = h.write(Value::from_u64(value_for(h.id(), round))).expect("write completes");
+            stream.push((out.reg, out.kind, out.value.as_u64(), out.rounds, out.fast));
+            for j in 0..READERS_PER_REGISTER as u16 {
+                let out = h.read(j).expect("read completes");
+                stream.push((out.reg, out.kind, out.value.as_u64(), out.rounds, out.fast));
+            }
+        }
+    }
+    store.shutdown();
+    stream
+}
+
+#[test]
+fn round_counts_and_luck_classification_are_identical_across_drivers() {
+    for setup in setups() {
+        let threaded = run_luck_pinned(setup, Driver::Threaded);
+        let polled = run_luck_pinned(setup, Driver::Polled);
+        assert_eq!(
+            threaded, polled,
+            "threaded and polled drivers classified luck differently ({setup:?})"
+        );
+        if cfg!(target_os = "linux") {
+            let reactor = run_luck_pinned(setup, Driver::Reactor);
+            assert_eq!(threaded, reactor, "reactor classified luck differently ({setup:?})");
+        }
+        // Synchrony without contention: every op resolves in the
+        // variant's canonical round count.
+        for (reg, kind, _, rounds, fast) in &threaded {
+            match setup {
+                Setup::TwoRound(_) if *kind == OpKind::Write => {
+                    assert_eq!((*rounds, *fast), (2, false), "{setup:?} {reg} {kind:?}");
+                }
+                _ => {
+                    assert_eq!((*rounds, *fast), (1, true), "{setup:?} {reg} {kind:?}");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn per_op_traffic_attribution_is_real_under_every_driver() {
     // Every driver records real per-op msgs/bytes in the history — the
