@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the consistent-hash routing lookup —
+//! the extra work every sharded-store operation pays before it touches
+//! a quorum. The lookup is a hash plus a binary search over
+//! `groups × vnodes` ring stations, so it should stay in the tens of
+//! nanoseconds even at 64 groups; the gate tracks that.
+//!
+//! `ring` sweeps the group count on pure ring lookups; `pinned` measures
+//! the override path a migrated register takes (a map probe in front of
+//! the ring).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lucky_types::{GroupId, Placement, RegisterId};
+
+const GROUP_SWEEP: [usize; 3] = [4, 16, 64];
+
+fn bench_ring_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_route/ring");
+    for groups in GROUP_SWEEP {
+        let placement = Placement::new(groups);
+        group.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, _| {
+            let mut reg = 0u32;
+            b.iter(|| {
+                reg = reg.wrapping_add(0x9E37); // stride across the keyspace
+                black_box(placement.group_of(RegisterId(reg)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pinned_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_route/pinned");
+    // A store that has done some migrating: 256 pinned registers.
+    let mut placement = Placement::new(16);
+    for i in 0..256u32 {
+        placement.pin(RegisterId(i), GroupId((i % 16) as u16));
+    }
+    group.bench_function("hit", |b| {
+        let mut reg = 0u32;
+        b.iter(|| {
+            reg = (reg + 1) % 256; // always pinned
+            black_box(placement.group_of(RegisterId(reg)))
+        });
+    });
+    group.bench_function("miss", |b| {
+        let mut reg = 0u32;
+        b.iter(|| {
+            reg = 256 + (reg + 1) % 100_000; // never pinned
+            black_box(placement.group_of(RegisterId(reg)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_lookup, bench_pinned_lookup);
+criterion_main!(benches);

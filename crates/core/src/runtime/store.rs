@@ -80,6 +80,21 @@ pub struct StoreConfig {
     /// counters and a bounded flight recorder, all surfaced through
     /// [`SimStore::trace`].
     pub trace: lucky_trace::TraceConfig,
+    /// Number of independent server **groups** the register namespace is
+    /// consistent-hashed across (1, the default, is the classic
+    /// single-quorum store). A single-group config builds directly via
+    /// [`StoreConfig::build_sim`] / `lucky-net`'s `NetStore`; a
+    /// multi-group config is consumed by `lucky-shard`'s sharded stores,
+    /// which build one engine — server set, router slot-space, stats and
+    /// checker partition — *per group*, with [`StoreConfig::registers`]
+    /// acting as each group's materialization quota.
+    pub groups: usize,
+    /// Per-group protocol setup overrides, keyed by group index: a group
+    /// listed here runs its own quorum parameters (S, B and the timers
+    /// derived from them) instead of the cluster-wide `cluster.setup`.
+    /// Resolved through [`StoreConfig::setup_for`]; consumed by
+    /// `lucky-shard`.
+    pub group_setups: Vec<(u16, Setup)>,
 }
 
 impl From<ClusterConfig> for StoreConfig {
@@ -92,6 +107,8 @@ impl From<ClusterConfig> for StoreConfig {
             op_deadline_micros: None,
             durable_dir: None,
             trace: lucky_trace::TraceConfig::disabled(),
+            groups: 1,
+            group_setups: Vec::new(),
         }
     }
 }
@@ -188,7 +205,51 @@ impl StoreConfig {
         self
     }
 
+    /// Shard the register namespace across `n` independent server groups
+    /// (chainable). See [`StoreConfig::groups`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a store serves at least one group.
+    #[must_use]
+    pub fn groups(mut self, n: usize) -> StoreConfig {
+        assert!(n >= 1, "a store serves at least one server group");
+        self.groups = n;
+        self
+    }
+
+    /// Give group `g` its own protocol setup — quorum shape, Byzantine
+    /// budget and derived timers — instead of the cluster-wide one
+    /// (chainable). Accepts a [`Setup`] directly or anything converting
+    /// into one (`Params`, `TwoRoundParams`). Re-setting a group
+    /// replaces its previous override.
+    #[must_use]
+    pub fn group_setup(mut self, g: u16, setup: impl Into<Setup>) -> StoreConfig {
+        let setup = setup.into();
+        match self.group_setups.iter_mut().find(|(i, _)| *i == g) {
+            Some((_, s)) => *s = setup,
+            None => self.group_setups.push((g, setup)),
+        }
+        self
+    }
+
+    /// The protocol setup group `g` runs: its override if present,
+    /// otherwise the cluster-wide `cluster.setup`.
+    pub fn setup_for(&self, g: lucky_types::GroupId) -> Setup {
+        self.group_setups
+            .iter()
+            .find(|(i, _)| *i == g.0)
+            .map(|(_, s)| *s)
+            .unwrap_or(self.cluster.setup)
+    }
+
     /// Build a simulated store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-group config: one `SimStore` is one group's
+    /// engine. Multi-group configs build through `lucky-shard`'s
+    /// `ShardSimStore`, which calls this once per group.
     pub fn build_sim(self) -> SimStore {
         SimStore::new(self)
     }
@@ -250,8 +311,15 @@ impl SimStore {
             op_deadline_micros,
             durable_dir,
             trace,
+            groups,
+            group_setups: _,
         } = cfg;
         assert!(registers >= 1, "a store serves at least one register");
+        assert!(
+            groups == 1,
+            "a SimStore is one group's engine; multi-group configs build \
+             through lucky-shard's ShardSimStore"
+        );
         assert!(
             registers * readers_per_register <= u16::MAX as usize,
             "reader namespace exceeds the ReaderId range"

@@ -159,6 +159,6 @@ pub use cluster::{
 };
 pub use future::OpFuture;
 pub use polled::Driver;
-pub use router::{NetStats, RegisterStats, ServerStats};
+pub use router::{GroupStats, NetStats, RegisterStats, ServerStats};
 pub use store::{NetRegisterHandle, NetStore, NetStoreBuilder, OpTicket};
 pub use tcp::Transport;

@@ -6,11 +6,15 @@
 //! the polled loop sleeps up to `POLL_TICK` and re-polls, the reactor
 //! blocks in `epoll_wait` with
 //! [`ClientSession::next_wake`](lucky_core::runtime::ClientSession::next_wake)
-//! folded into the timeout, so
+//! armed on a dedicated `timerfd`, so
 //!
 //! * an idle worker costs **zero** CPU (no tick, no park loop — it
 //!   sleeps in the kernel until a job, a byte, or a timer), and
-//! * a ready worker wakes in microseconds instead of up to one tick.
+//! * a ready worker wakes in microseconds instead of up to one tick,
+//!   and a *timer* wakes at nanosecond granularity instead of the
+//!   whole-millisecond rounding `epoll_wait`'s timeout argument
+//!   imposes (which used to cost ~0.5 ms/op on idle-sequential
+//!   workloads vs the polled driver's 500 µs tick).
 //!
 //! Registered interests:
 //!
@@ -18,6 +22,7 @@
 //! |---|---|---|
 //! | `TOKEN_WAKE` | eventfd | a job is submitted / senders drop |
 //! | `TOKEN_LISTENER` | the slot's listener | the router connects |
+//! | `TOKEN_TIMER` | timerfd | the next session timer is due |
 //! | `TOKEN_CONN + i` | accepted conn `i` | protocol bytes arrive |
 //!
 //! Job submission wakes the eventfd via [`JobPort`](crate::store): the
@@ -25,12 +30,14 @@
 //!
 //! Every failure path degrades rather than dies: if no epoll instance
 //! or eventfd can be had (or the listener cannot register), the worker
-//! falls back to the portable polled loop; a connection that fails to
-//! register is dropped alone. Each degradation counts one
+//! falls back to the portable polled loop; if no timerfd can be had
+//! (or arming one fails), the loop falls back to `epoll_wait`'s
+//! millisecond-rounded timeout; a connection that fails to register is
+//! dropped alone. Each degradation counts one
 //! [`NetStats::io_errors`](crate::NetStats::io_errors).
 
 use crate::polled::PolledWorker;
-use epoll::{Epoll, Events, WakeFd};
+use epoll::{Epoll, Events, TimerFd, WakeFd};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -38,9 +45,11 @@ use std::sync::Arc;
 const TOKEN_WAKE: u64 = 0;
 /// Token of the worker's loopback listener.
 const TOKEN_LISTENER: u64 = 1;
+/// Token of the session-deadline timerfd.
+const TOKEN_TIMER: u64 = 2;
 /// Base token of accepted connections: conn slab index `i` registers as
 /// `TOKEN_CONN + i`.
-const TOKEN_CONN: u64 = 2;
+const TOKEN_CONN: u64 = 3;
 
 /// One shard worker driven by epoll. Construct with the shared
 /// [`PolledWorker`] state plus the wake eventfd the store's
@@ -59,8 +68,8 @@ impl ReactorWorker {
     /// reactor-setup failure degrades to the polled loop (counted in
     /// `io_errors`) — same protocol behaviour, worse latency.
     pub(crate) fn run(mut self) {
-        let mut epoll = match self.setup() {
-            Ok(epoll) => epoll,
+        let (mut epoll, timer) = match self.setup() {
+            Ok(pair) => pair,
             Err(()) => {
                 self.worker.stats.lock().io_errors += 1;
                 return self.worker.run();
@@ -76,9 +85,28 @@ impl ReactorWorker {
                 return;
             }
             // Sleep in the kernel until IO, a job, or the next session
-            // timer. No timer and nothing due → block indefinitely: the
-            // eventfd wakes us for jobs, the sockets for bytes.
-            let timeout = self.worker.next_wake_delay();
+            // timer. The timer is a timerfd armed with the *exact*
+            // next-wake delay (re-armed every iteration — settime
+            // replaces the old setting and clears stale expiry), so the
+            // wait itself can block indefinitely at full precision. No
+            // timer fd (or a failed arm) falls back to epoll_wait's
+            // millisecond-rounded timeout; no deadline at all → block
+            // until the eventfd or a socket wakes us.
+            let delay = self.worker.next_wake_delay();
+            let timeout = match (&timer, delay) {
+                (Some(t), Some(d)) => {
+                    if t.arm(d).is_ok() {
+                        None
+                    } else {
+                        Some(d)
+                    }
+                }
+                (Some(t), None) => {
+                    let _ = t.disarm();
+                    None
+                }
+                (None, d) => d,
+            };
             if let Err(_e) = epoll.wait(&mut events, timeout) {
                 self.worker.stats.lock().io_errors += 1;
                 std::thread::sleep(std::time::Duration::from_millis(1));
@@ -89,6 +117,11 @@ impl ReactorWorker {
                 match event.token {
                     TOKEN_WAKE => self.wake.drain(),
                     TOKEN_LISTENER => self.accept_and_register(&epoll),
+                    TOKEN_TIMER => {
+                        if let Some(t) = &timer {
+                            t.drain();
+                        }
+                    }
                     token => {
                         let i = (token - TOKEN_CONN) as usize;
                         self.worker.read_conn(i);
@@ -102,9 +135,11 @@ impl ReactorWorker {
         }
     }
 
-    /// Build the epoll set: wake eventfd + listener. `Err(())` means no
-    /// reactor is possible here and the caller falls back.
-    fn setup(&mut self) -> Result<Epoll, ()> {
+    /// Build the epoll set: wake eventfd + listener + deadline timerfd.
+    /// `Err(())` means no reactor is possible here and the caller falls
+    /// back; a missing *timer* alone is not fatal (the loop degrades to
+    /// millisecond-rounded timeouts, counted as one io_error).
+    fn setup(&mut self) -> Result<(Epoll, Option<TimerFd>), ()> {
         let epoll = Epoll::new().map_err(|_| ())?;
         epoll.add(self.wake.as_ref(), TOKEN_WAKE).map_err(|_| ())?;
         // A degraded PollIo (listener lost at setup, None here) already
@@ -113,7 +148,11 @@ impl ReactorWorker {
         if let Some(listener) = self.worker.listener() {
             epoll.add(listener, TOKEN_LISTENER).map_err(|_| ())?;
         }
-        Ok(epoll)
+        let timer = TimerFd::new().ok().and_then(|t| epoll.add(&t, TOKEN_TIMER).ok().map(|()| t));
+        if timer.is_none() {
+            self.worker.stats.lock().io_errors += 1;
+        }
+        Ok((epoll, timer))
     }
 
     /// Accept whatever the router connected and register each new

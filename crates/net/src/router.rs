@@ -95,6 +95,23 @@ impl ServerStats {
     }
 }
 
+/// Rollup for one server group of a sharded store (one entry of
+/// [`NetStats::per_group`]). Filled by `lucky-shard`'s stats
+/// aggregation — a single-group [`NetStore`](crate::NetStore) leaves
+/// the map empty.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct GroupStats {
+    /// Completed operations served by the group.
+    pub ops: u64,
+    /// Framed bytes the group's router staged for its sockets.
+    pub wire_bytes: u64,
+    /// Register logs replayed by the group's restarted durable servers.
+    pub recoveries: u64,
+    /// The group's lucky-read ratio from its `TraceReport` (`NaN`-free:
+    /// 0.0 when the group traced no reads or tracing is disabled).
+    pub lucky_ratio: f64,
+}
+
 /// Counters the router maintains; readable via `NetCluster::stats` /
 /// `NetStore::stats`.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -159,10 +176,21 @@ pub struct NetStats {
     /// Zero for non-reactor drivers. An *idle* reactor adds nothing
     /// here — the no-busy-wait property `tests/reactor.rs` pins.
     pub reactor_wakeups: u64,
+    /// Frame buffers the TCP encode path had to **allocate** because no
+    /// recycled buffer was free: the router pops a spent buffer per
+    /// outgoing frame and returns it after the socket write, so in
+    /// steady state this counter stops growing (at most the in-flight
+    /// high-water mark of buffers ever exist). Zero under the channel
+    /// transport, which stages no frames.
+    pub frame_allocs: u64,
     /// Traffic broken down by the register each protocol message names.
     pub per_register: BTreeMap<RegisterId, RegisterStats>,
     /// Traffic broken down by destination server.
     pub per_server: BTreeMap<ServerId, ServerStats>,
+    /// Rollup per server group of a sharded store: empty for a plain
+    /// single-group store, filled by `lucky-shard`'s stats aggregation
+    /// (which also sums every scalar field above across its groups).
+    pub per_group: BTreeMap<lucky_types::GroupId, GroupStats>,
 }
 
 /// One line per [`NetStats`] rollup: the headline counters every smoke
@@ -196,6 +224,16 @@ impl std::fmt::Display for NetStats {
         if self.reactor_wakeups > 0 {
             write!(f, ", {} epoll wakeups", self.reactor_wakeups)?;
         }
+        for (g, per) in &self.per_group {
+            write!(
+                f,
+                "\n  {g}: {} ops, {} wire B, {} replays, luck {:.0}%",
+                per.ops,
+                per.wire_bytes,
+                per.recoveries,
+                per.lucky_ratio * 100.0
+            )?;
+        }
         Ok(())
     }
 }
@@ -215,6 +253,12 @@ impl NetStats {
     /// The traffic counters for server `s` (zero if never routed).
     pub fn server(&self, s: ServerId) -> ServerStats {
         self.per_server.get(&s).copied().unwrap_or_default()
+    }
+
+    /// The rollup for group `g` of a sharded store (zero for a plain
+    /// store, whose per-group map is empty).
+    pub fn group(&self, g: lucky_types::GroupId) -> GroupStats {
+        self.per_group.get(&g).copied().unwrap_or_default()
     }
 
     /// Mean parts per wire message (1.0 when batching is disabled).
@@ -328,15 +372,35 @@ pub(crate) fn spawn_router(
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
         .name(name.into())
-        .spawn(move || Router { rx, inboxes, cfg, stats }.run())
+        .spawn(move || {
+            Router {
+                rx,
+                inboxes,
+                cfg,
+                stats,
+                encoder: lucky_wire::PacketEncoder::new(),
+                spare_frames: Vec::new(),
+            }
+            .run()
+        })
         .expect("spawn router thread")
 }
+
+/// Most spent frame buffers the router keeps for reuse; a delivery
+/// burst beyond this frees the excess instead of hoarding it.
+const FRAME_POOL_CAP: usize = 64;
 
 struct Router {
     rx: Receiver<Envelope>,
     inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Message)>>,
     cfg: RouterConfig,
     stats: Arc<Mutex<NetStats>>,
+    /// Recycled payload scratch for the TCP encode path.
+    encoder: lucky_wire::PacketEncoder,
+    /// Spent frame buffers: popped in `launch_one`, returned by
+    /// `deliver` after the socket write. Steady state allocates nothing
+    /// per frame ([`NetStats::frame_allocs`] stops growing).
+    spare_frames: Vec<Vec<u8>>,
 }
 
 impl Router {
@@ -587,17 +651,23 @@ impl Router {
             .1
             .as_server()
             .filter(|&server| parts.iter().all(|(_, to, _)| to.as_server() == Some(server)));
+        let mut fresh_frame = false;
         let load = if self.cfg.sinks.is_none() {
             Some(Load::Parts(parts))
         } else {
             // TCP: stage the wire message as the real frame it will
             // cross the socket as. Every part of one wire message is
             // bound for the same slot (that is what the staging buffer
-            // coalesces on), so the first recipient names it.
-            self.cfg.slots.get(&parts[0].1).copied().map(|slot| Load::Frame {
-                slot,
-                bytes: lucky_wire::encode_packet(&group_runs(parts)),
-                parts: total_parts,
+            // coalesces on), so the first recipient names it. The frame
+            // buffer is recycled from a previous delivery when one is
+            // free; otherwise it is a counted fresh allocation.
+            self.cfg.slots.get(&parts[0].1).copied().map(|slot| {
+                let mut bytes = self.spare_frames.pop().unwrap_or_else(|| {
+                    fresh_frame = true;
+                    Vec::new()
+                });
+                self.encoder.encode_into(&group_runs(parts), &mut bytes);
+                Load::Frame { slot, bytes, parts: total_parts }
             })
         };
         {
@@ -630,6 +700,9 @@ impl Router {
                 Some(Load::Parts(_)) => {}
                 // TCP with an unmapped destination: nothing to frame.
                 None => s.dropped += total_parts,
+            }
+            if fresh_frame {
+                s.frame_allocs += 1;
             }
         }
         let Some(load) = load else {
@@ -670,6 +743,11 @@ impl Router {
                 if !written {
                     // The wire message is lost, parts and all.
                     self.stats.lock().dropped += parts;
+                }
+                // Written or lost, the buffer itself is spent: recycle
+                // it for the next `launch_one`.
+                if self.spare_frames.len() < FRAME_POOL_CAP {
+                    self.spare_frames.push(bytes);
                 }
             }
         }

@@ -906,6 +906,11 @@ impl NetStore {
     /// from `net` (wall-clock latencies, not the simulator's synchrony
     /// bound, size it).
     pub fn from_config(cfg: StoreConfig, net: NetConfig) -> NetStore {
+        assert!(
+            cfg.groups == 1,
+            "a NetStore is one group's engine; multi-group configs build through \
+             lucky-shard's ShardNetStore"
+        );
         NetStore::builder(cfg.cluster.setup, net)
             .registers(cfg.registers)
             .readers_per_register(cfg.readers_per_register)
@@ -1122,6 +1127,35 @@ mod tests {
         let stats = store.stats();
         assert!(stats.per_register.len() >= 8, "per-register stats recorded");
         assert!(stats.register(RegisterId(0)).messages > 0);
+        store.shutdown();
+    }
+
+    #[test]
+    fn tcp_encode_path_reuses_frames_after_warmup() {
+        // Satellite of the sharding PR: the router used to build a fresh
+        // Vec per outgoing TCP frame. With the frame pool + PacketEncoder
+        // every steady-state encode reuses a recycled buffer, so
+        // `frame_allocs` (pool misses) must stop growing after warmup.
+        let params = Params::new(1, 0, 1, 0).unwrap();
+        let mut store =
+            NetStore::builder(params, fast_cfg()).registers(1).transport(Transport::Tcp).build();
+        let h = store.register(RegisterId(0)).unwrap();
+        for i in 0..8 {
+            h.write(Value::from_u64(i)).unwrap();
+            h.read(0).unwrap();
+        }
+        let warm = store.stats().frame_allocs;
+        assert!(warm > 0, "TCP ops must have encoded at least one frame");
+        for i in 0..32 {
+            h.write(Value::from_u64(100 + i)).unwrap();
+            h.read(0).unwrap();
+        }
+        let after = store.stats().frame_allocs;
+        assert_eq!(
+            after, warm,
+            "steady-state encodes must hit the frame pool, not allocate \
+             ({warm} allocs after warmup, {after} after 64 more ops)"
+        );
         store.shutdown();
     }
 

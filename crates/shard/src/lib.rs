@@ -1,0 +1,69 @@
+//! `lucky-shard` — consistent-hash server groups, a register namespace,
+//! and live register migration.
+//!
+//! The single-group stores (`lucky-core`'s `SimStore`, `lucky-net`'s
+//! `NetStore`) scale registers onto **one** quorum: every register
+//! shares the same `S = 2t + b + 1` servers, the same Byzantine budget,
+//! the same timers. This crate shards that namespace across independent
+//! **server groups**:
+//!
+//! * [`Placement`] (from `lucky-types`) — a consistent-hash ring mapping
+//!   every [`RegisterId`](lucky_types::RegisterId) to a [`GroupId`], with pin overrides for
+//!   migrated registers.
+//! * [`Namespace`] — existence, quotas, and the lazy binding of
+//!   namespace ids onto per-group backing slots. A million registers
+//!   cost a counter until touched; a dropped register's slot is retired
+//!   forever, so recreation starts from ⊥.
+//! * [`ShardSimStore`] — one deterministic [`SimStore`](lucky_core::SimStore)
+//!   per group: separate worlds, separate seeds, separate quorum
+//!   parameters ([`StoreConfig::group_setup`](lucky_core::StoreConfig)).
+//!   A crash or a forged value in one group cannot touch another by
+//!   construction, and [`check_atomicity`](ShardSimStore::check_atomicity)
+//!   partitions per group *and* per backing register.
+//! * [`ShardNetStore`] — the same composition over real OS resources
+//!   (one router + server threads + optional durable directory per
+//!   group), with thread-safe `&self` ops.
+//! * **Live migration** — [`ShardSimStore::migrate`] /
+//!   [`ShardNetStore::migrate`] move a register between groups through
+//!   the `Active → Draining → Transferring → Rerouted` state machine
+//!   ([`MigrationPhase`]) without violating atomicity, even under
+//!   concurrent traffic; [`differential_migration_walk`] checks a
+//!   migrating store against a never-migrating twin on identical op
+//!   schedules.
+//!
+//! ```
+//! use lucky_core::StoreConfig;
+//! use lucky_shard::ShardSimStore;
+//! use lucky_types::{GroupId, Params, RegisterId, Value};
+//!
+//! // Four groups; group 3 tolerates a Byzantine server (S = 6), the
+//! // rest run lean crash-only quorums (S = 4).
+//! let cfg = StoreConfig::synchronous(Params::new(1, 0, 1, 0).unwrap())
+//!     .registers(16)
+//!     .groups(4)
+//!     .group_setup(3, Params::new(2, 1, 1, 0).unwrap());
+//! let mut store = ShardSimStore::new(cfg);
+//! store.bulk_create(1_000).unwrap(); // lazy: nothing materializes yet
+//!
+//! let reg = RegisterId(42);
+//! store.write(reg, Value::from_u64(7)).unwrap();
+//! let home = store.group_of(reg);
+//! let away = GroupId((home.0 + 1) % 4);
+//! store.migrate(reg, away).unwrap();
+//! assert_eq!(store.read(reg, 0).unwrap().value.as_u64(), Some(7));
+//! store.check_atomicity().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod migrate;
+mod namespace;
+mod net;
+mod sim;
+
+pub use lucky_types::{GroupId, Placement};
+pub use migrate::{MigrationPhase, MigrationReport};
+pub use namespace::{Binding, Namespace, NamespaceError};
+pub use net::{ShardNetError, ShardNetStore, ShardNetStoreBuilder};
+pub use sim::{differential_migration_walk, ShardSimStore, WalkReport};

@@ -1,0 +1,82 @@
+//! Live migration: moving a register between server groups without
+//! violating atomicity.
+//!
+//! Both engines (sim and net) drive the same four-phase state machine:
+//!
+//! ```text
+//!   Active ──► Draining ──► Transferring ──► Rerouted
+//!             (in-flight     (atomic READ      (placement pinned,
+//!              ops finish;    on the source,    fresh backing slot
+//!              new ops        WRITE onto the    serves all new ops)
+//!              blocked)       destination)
+//! ```
+//!
+//! Why this is linearizable: the drain phase ends with *no* operation in
+//! flight on the source, so the transfer READ — itself an atomic read of
+//! the source register — returns the value of the last linearized write.
+//! The transfer WRITE installs exactly that value as the destination's
+//! first write before any client operation reaches the new backing slot
+//! (re-routing happens after the write completes). The namespace-level
+//! history is therefore the source history, then the transfer pair, then
+//! the destination history — a sequential composition of per-group
+//! linearizable histories. Operations a crashing client abandoned
+//! mid-drain need not linearize (incomplete ops never must).
+
+use crate::namespace::Binding;
+use lucky_types::{RegisterId, Value};
+
+/// Where a migration is in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Normal service; no migration underway.
+    Active,
+    /// New operations are blocked; in-flight ones are finishing.
+    Draining,
+    /// The durable state is moving: atomic READ on the source, WRITE on
+    /// the destination (on durable stores the write persists through
+    /// `lucky-log` before it acks, so the transfer survives crashes).
+    Transferring,
+    /// The placement pin and route point at the destination; the old
+    /// backing slot is retired.
+    Rerouted,
+}
+
+impl std::fmt::Display for MigrationPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MigrationPhase::Active => "active",
+            MigrationPhase::Draining => "draining",
+            MigrationPhase::Transferring => "transferring",
+            MigrationPhase::Rerouted => "rerouted",
+        })
+    }
+}
+
+/// What one completed migration did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The namespace id that moved.
+    pub reg: RegisterId,
+    /// Binding before the move.
+    pub from: Binding,
+    /// Binding after the move (fresh backing slot).
+    pub to: Binding,
+    /// The value the transfer carried across.
+    pub carried: Value,
+    /// In-flight operations the drain phase waited out.
+    pub drained: u64,
+}
+
+impl std::fmt::Display for MigrationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "migrated {}: {} -> {} (drained {} in-flight op(s), carried {} B)",
+            self.reg,
+            self.from,
+            self.to,
+            self.drained,
+            self.carried.len(),
+        )
+    }
+}

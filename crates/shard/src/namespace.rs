@@ -1,0 +1,377 @@
+//! The register namespace: which registers exist, and which backing slot
+//! of which server group serves each.
+//!
+//! A [`Namespace`] separates two id spaces that single-group stores
+//! conflate:
+//!
+//! * **namespace ids** — the [`RegisterId`]s clients name. Cheap: a
+//!   million of them cost a counter plus a couple of (usually empty)
+//!   sets, because creation is *lazy* — no client core, server slot or
+//!   session exists until the register is first used.
+//! * **backing ids** — the [`RegisterId`]s inside one group's engine
+//!   (a `SimStore` or `NetStore` built with `registers = capacity`
+//!   slots). Allocated monotonically per group on first touch
+//!   ([`Namespace::bind`]) and **never reused**: a dropped register's
+//!   slot is retired, so drop-then-recreate trivially yields fresh
+//!   state instead of resurrecting the old timestamp history.
+//!
+//! Placement is a consistent-hash ring ([`Placement`]) so the group
+//! serving a register is a pure function of its id — until a live
+//! migration pins it elsewhere ([`Namespace::rebind`]).
+
+use lucky_types::{GroupId, Placement, RegisterId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a namespace operation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamespaceError {
+    /// `create_register` on an id that already exists.
+    AlreadyExists(RegisterId),
+    /// The register was never created (or was dropped).
+    UnknownRegister(RegisterId),
+    /// Creating one more register would exceed the namespace quota.
+    QuotaExceeded {
+        /// The configured live-register cap.
+        quota: usize,
+    },
+    /// The target group has materialized every backing slot it was
+    /// built with; no more registers can be homed there until the
+    /// store is rebuilt with a larger per-group capacity.
+    MaterializeExhausted {
+        /// The full group.
+        group: GroupId,
+        /// Its backing-slot capacity (`StoreConfig::registers`).
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for NamespaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NamespaceError::AlreadyExists(reg) => write!(f, "register {reg} already exists"),
+            NamespaceError::UnknownRegister(reg) => write!(f, "register {reg} does not exist"),
+            NamespaceError::QuotaExceeded { quota } => {
+                write!(f, "namespace quota of {quota} live registers reached")
+            }
+            NamespaceError::MaterializeExhausted { group, capacity } => {
+                write!(f, "group {group} has materialized all {capacity} backing slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NamespaceError {}
+
+/// Where a materialized register lives: which group, which backing slot
+/// inside that group's engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The server group serving the register.
+    pub group: GroupId,
+    /// The register id *inside* that group's store.
+    pub backing: RegisterId,
+}
+
+impl std::fmt::Display for Binding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.group, self.backing)
+    }
+}
+
+/// The namespace manager: existence, quotas, placement and lazy
+/// binding. Pure bookkeeping — it owns no engine; [`ShardSimStore`](crate::ShardSimStore)
+/// (crate::ShardSimStore) and [`ShardNetStore`](crate::ShardNetStore)
+/// consult it and drive their per-group stores accordingly.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    placement: Placement,
+    /// Ids `0..dense` exist unless tombstoned in `dense_dropped`. Bulk
+    /// creation extends this counter — O(1) memory for a million
+    /// registers.
+    dense: u32,
+    dense_dropped: BTreeSet<RegisterId>,
+    /// Ids `>= dense` created individually.
+    sparse: BTreeSet<RegisterId>,
+    bindings: BTreeMap<RegisterId, Binding>,
+    /// Per-group monotonic backing-slot allocator; never decremented.
+    next_backing: Vec<u32>,
+    group_capacity: usize,
+    register_quota: usize,
+}
+
+impl Namespace {
+    /// An empty namespace over `placement`'s groups. `group_capacity`
+    /// is each group's backing-slot budget (the `registers` its store
+    /// was built with); `register_quota` caps live namespace ids.
+    pub fn new(placement: Placement, group_capacity: usize, register_quota: usize) -> Namespace {
+        let groups = placement.group_count();
+        Namespace {
+            placement,
+            dense: 0,
+            dense_dropped: BTreeSet::new(),
+            sparse: BTreeSet::new(),
+            bindings: BTreeMap::new(),
+            next_backing: vec![0; groups],
+            group_capacity,
+            register_quota,
+        }
+    }
+
+    /// `true` iff `reg` currently exists.
+    pub fn exists(&self, reg: RegisterId) -> bool {
+        if reg.0 < self.dense {
+            !self.dense_dropped.contains(&reg)
+        } else {
+            self.sparse.contains(&reg)
+        }
+    }
+
+    /// Live registers.
+    pub fn len(&self) -> usize {
+        self.dense as usize - self.dense_dropped.len() + self.sparse.len()
+    }
+
+    /// `true` iff no register exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers bound to a backing slot (i.e. actually touched).
+    pub fn materialized(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Backing slots allocated in `group` so far (monotonic; retired
+    /// slots of dropped registers still count).
+    pub fn allocated_in(&self, group: GroupId) -> usize {
+        self.next_backing[group.index()] as usize
+    }
+
+    /// The placement table (ring + pins).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The group currently serving `reg` (pin override, else ring).
+    pub fn group_of(&self, reg: RegisterId) -> GroupId {
+        self.placement.group_of(reg)
+    }
+
+    /// Create registers `dense..n` in one step — O(1) memory, the heart
+    /// of the million-register scale smoke. No-op if `n` ids already
+    /// exist densely; previously dropped ids stay dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`NamespaceError::QuotaExceeded`] if the extension would pass the
+    /// register quota (nothing is created).
+    pub fn bulk_create(&mut self, n: u32) -> Result<(), NamespaceError> {
+        if n <= self.dense {
+            return Ok(());
+        }
+        let added = (n - self.dense) as usize;
+        if self.len() + added > self.register_quota {
+            return Err(NamespaceError::QuotaExceeded { quota: self.register_quota });
+        }
+        self.dense = n;
+        Ok(())
+    }
+
+    /// Create one register.
+    ///
+    /// # Errors
+    ///
+    /// [`NamespaceError::AlreadyExists`] or
+    /// [`NamespaceError::QuotaExceeded`].
+    pub fn create_register(&mut self, reg: RegisterId) -> Result<(), NamespaceError> {
+        if self.exists(reg) {
+            return Err(NamespaceError::AlreadyExists(reg));
+        }
+        if self.len() + 1 > self.register_quota {
+            return Err(NamespaceError::QuotaExceeded { quota: self.register_quota });
+        }
+        if reg.0 < self.dense {
+            self.dense_dropped.remove(&reg); // recreate a dropped dense id
+        } else if reg.0 == self.dense {
+            self.dense += 1; // contiguous append stays dense
+        } else {
+            self.sparse.insert(reg);
+        }
+        Ok(())
+    }
+
+    /// Drop one register: its binding (if any) is discarded and the
+    /// backing slot retired — a later recreate binds a *fresh* slot, so
+    /// no stale timestamp history can leak through.
+    ///
+    /// # Errors
+    ///
+    /// [`NamespaceError::UnknownRegister`].
+    pub fn drop_register(&mut self, reg: RegisterId) -> Result<(), NamespaceError> {
+        if !self.exists(reg) {
+            return Err(NamespaceError::UnknownRegister(reg));
+        }
+        self.bindings.remove(&reg);
+        self.placement.unpin(reg);
+        if reg.0 < self.dense {
+            self.dense_dropped.insert(reg);
+        } else {
+            self.sparse.remove(&reg);
+        }
+        Ok(())
+    }
+
+    /// The current binding, if `reg` has materialized.
+    pub fn binding(&self, reg: RegisterId) -> Option<Binding> {
+        self.bindings.get(&reg).copied()
+    }
+
+    /// Materialize `reg`: return its binding, allocating a backing slot
+    /// in its placement group on first touch.
+    ///
+    /// # Errors
+    ///
+    /// [`NamespaceError::UnknownRegister`] or
+    /// [`NamespaceError::MaterializeExhausted`].
+    pub fn bind(&mut self, reg: RegisterId) -> Result<Binding, NamespaceError> {
+        if !self.exists(reg) {
+            return Err(NamespaceError::UnknownRegister(reg));
+        }
+        if let Some(b) = self.bindings.get(&reg) {
+            return Ok(*b);
+        }
+        let group = self.placement.group_of(reg);
+        let binding = self.fresh_binding(group)?;
+        self.bindings.insert(reg, binding);
+        Ok(binding)
+    }
+
+    /// Re-home `reg` onto a fresh backing slot in `to`, pinning the
+    /// placement there. The migration engines call this between their
+    /// drain and re-route steps; the old slot is retired.
+    ///
+    /// # Errors
+    ///
+    /// [`NamespaceError::UnknownRegister`] or
+    /// [`NamespaceError::MaterializeExhausted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a group on the ring (same contract as
+    /// [`Placement::pin`]).
+    pub fn rebind(&mut self, reg: RegisterId, to: GroupId) -> Result<Binding, NamespaceError> {
+        if !self.exists(reg) {
+            return Err(NamespaceError::UnknownRegister(reg));
+        }
+        let binding = self.fresh_binding(to)?;
+        self.placement.pin(reg, to);
+        self.bindings.insert(reg, binding);
+        Ok(binding)
+    }
+
+    fn fresh_binding(&mut self, group: GroupId) -> Result<Binding, NamespaceError> {
+        let next = &mut self.next_backing[group.index()];
+        if *next as usize >= self.group_capacity {
+            return Err(NamespaceError::MaterializeExhausted {
+                group,
+                capacity: self.group_capacity,
+            });
+        }
+        let backing = RegisterId(*next);
+        *next += 1;
+        Ok(Binding { group, backing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(groups: usize, capacity: usize, quota: usize) -> Namespace {
+        Namespace::new(Placement::new(groups), capacity, quota)
+    }
+
+    #[test]
+    fn a_million_registers_cost_a_counter() {
+        let mut n = ns(4, 64, 2_000_000);
+        n.bulk_create(1_000_000).unwrap();
+        assert_eq!(n.len(), 1_000_000);
+        assert_eq!(n.materialized(), 0, "bulk creation must not materialize anything");
+        // Touching a handful binds only those.
+        for reg in [0u32, 314_159, 999_999] {
+            n.bind(RegisterId(reg)).unwrap();
+        }
+        assert_eq!(n.materialized(), 3);
+    }
+
+    #[test]
+    fn bind_is_stable_and_follows_placement() {
+        let mut n = ns(4, 64, 100);
+        n.bulk_create(10).unwrap();
+        let reg = RegisterId(7);
+        let b1 = n.bind(reg).unwrap();
+        let b2 = n.bind(reg).unwrap();
+        assert_eq!(b1, b2, "bind must be idempotent");
+        assert_eq!(b1.group, n.group_of(reg));
+    }
+
+    #[test]
+    fn drop_then_recreate_binds_a_fresh_slot() {
+        let mut n = ns(1, 64, 100);
+        n.create_register(RegisterId(0)).unwrap();
+        let before = n.bind(RegisterId(0)).unwrap();
+        n.drop_register(RegisterId(0)).unwrap();
+        assert!(!n.exists(RegisterId(0)));
+        assert_eq!(
+            n.bind(RegisterId(0)).unwrap_err(),
+            NamespaceError::UnknownRegister(RegisterId(0))
+        );
+        n.create_register(RegisterId(0)).unwrap();
+        let after = n.bind(RegisterId(0)).unwrap();
+        assert_ne!(before.backing, after.backing, "retired slots must never be reused");
+    }
+
+    #[test]
+    fn quotas_and_capacity_are_enforced() {
+        let mut n = ns(1, 2, 3);
+        n.bulk_create(3).unwrap();
+        assert_eq!(
+            n.create_register(RegisterId(3)).unwrap_err(),
+            NamespaceError::QuotaExceeded { quota: 3 }
+        );
+        assert_eq!(n.bulk_create(4).unwrap_err(), NamespaceError::QuotaExceeded { quota: 3 });
+        n.bind(RegisterId(0)).unwrap();
+        n.bind(RegisterId(1)).unwrap();
+        assert_eq!(
+            n.bind(RegisterId(2)).unwrap_err(),
+            NamespaceError::MaterializeExhausted { group: GroupId(0), capacity: 2 }
+        );
+    }
+
+    #[test]
+    fn rebind_pins_and_retires() {
+        let mut n = ns(2, 8, 100);
+        n.bulk_create(4).unwrap();
+        let reg = RegisterId(1);
+        let from = n.bind(reg).unwrap();
+        let to_group = GroupId((from.group.0 + 1) % 2);
+        let to = n.rebind(reg, to_group).unwrap();
+        assert_eq!(to.group, to_group);
+        assert_eq!(n.group_of(reg), to_group, "placement must follow the pin");
+        assert_eq!(n.binding(reg), Some(to));
+        // Dropping clears the pin so a recreate routes by the ring again.
+        n.drop_register(reg).unwrap();
+        n.create_register(reg).unwrap();
+        assert_eq!(n.group_of(reg), from.group);
+    }
+
+    #[test]
+    fn dropped_dense_ids_do_not_resurrect_via_bulk_create() {
+        let mut n = ns(1, 8, 100);
+        n.bulk_create(5).unwrap();
+        n.drop_register(RegisterId(2)).unwrap();
+        n.bulk_create(5).unwrap();
+        assert!(!n.exists(RegisterId(2)));
+        assert_eq!(n.len(), 4);
+    }
+}

@@ -11,6 +11,10 @@
 //!   optional timeout (the reactor folds session timers into it).
 //! * [`WakeFd`] — an `eventfd` used to wake a reactor blocked in
 //!   `epoll_wait` from another thread (job submission, shutdown).
+//! * [`TimerFd`] — a `CLOCK_MONOTONIC` `timerfd` registered as an epoll
+//!   interest: arming it with the exact next-deadline duration gives
+//!   the reactor **nanosecond-granular** timeouts where `epoll_wait`'s
+//!   own timeout argument rounds up to whole milliseconds.
 //! * [`close_fd`] — a fault-injection helper: tests in `forbid(unsafe)`
 //!   crates use it to sabotage a socket's descriptor and exercise the
 //!   graceful-degradation paths without any unsafe of their own.
@@ -24,9 +28,9 @@
 use std::time::Duration;
 
 #[cfg(target_os = "linux")]
-pub use imp::{close_fd, Epoll, WakeFd};
+pub use imp::{close_fd, Epoll, TimerFd, WakeFd};
 #[cfg(not(target_os = "linux"))]
-pub use stub::{close_fd, Epoll, WakeFd};
+pub use stub::{close_fd, Epoll, TimerFd, WakeFd};
 
 /// One readiness notification out of [`Epoll::wait`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -109,6 +113,24 @@ mod imp {
     const EPOLLRDHUP: u32 = 0x2000;
     const EFD_CLOEXEC: c_int = 0o2000000;
     const EFD_NONBLOCK: c_int = 0o4000;
+    const CLOCK_MONOTONIC: c_int = 1;
+    const TFD_CLOEXEC: c_int = 0o2000000;
+    const TFD_NONBLOCK: c_int = 0o4000;
+
+    /// Kernel ABI of one timerfd setting (two `struct timespec`s).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Itimerspec {
+        it_interval: Timespec,
+        it_value: Timespec,
+    }
 
     extern "C" {
         fn epoll_create1(flags: c_int) -> c_int;
@@ -120,6 +142,13 @@ mod imp {
             timeout: c_int,
         ) -> c_int;
         fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn timerfd_create(clockid: c_int, flags: c_int) -> c_int;
+        fn timerfd_settime(
+            fd: c_int,
+            flags: c_int,
+            new_value: *const Itimerspec,
+            old_value: *mut Itimerspec,
+        ) -> c_int;
         fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
         fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
         fn close(fd: c_int) -> c_int;
@@ -282,6 +311,95 @@ mod imp {
         }
     }
 
+    /// A one-shot `CLOCK_MONOTONIC` timerfd, registered with an
+    /// [`Epoll`] so its expiry wakes the reactor at **nanosecond**
+    /// granularity — where `epoll_wait`'s own timeout argument rounds up
+    /// to whole milliseconds (`timeout_ms`), the reactor arms this with
+    /// the exact next session deadline and waits indefinitely.
+    ///
+    /// `timerfd_settime` replaces any previous setting and clears the
+    /// expiration count, so re-arming every loop iteration never leaves
+    /// a stale readable state behind.
+    #[derive(Debug)]
+    pub struct TimerFd {
+        fd: RawFd,
+    }
+
+    impl TimerFd {
+        /// Create a nonblocking monotonic timerfd.
+        ///
+        /// # Errors
+        ///
+        /// The raw `timerfd_create` failure.
+        pub fn new() -> io::Result<TimerFd> {
+            // SAFETY: timerfd_create takes no pointers.
+            let fd = unsafe { timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(TimerFd { fd })
+        }
+
+        /// Arm as a one-shot timer firing `after` from now, replacing
+        /// any previous setting. A zero duration is clamped to one
+        /// nanosecond so the timer still fires (a zero `it_value`
+        /// would *disarm* instead).
+        ///
+        /// # Errors
+        ///
+        /// The raw `timerfd_settime` failure.
+        pub fn arm(&self, after: Duration) -> io::Result<()> {
+            let nanos = after.subsec_nanos() as i64;
+            let spec = Timespec {
+                tv_sec: after.as_secs().min(i64::MAX as u64) as i64,
+                tv_nsec: if after.is_zero() { 1 } else { nanos },
+            };
+            self.settime(spec)
+        }
+
+        /// Disarm: no expiry until the next [`TimerFd::arm`]. Also
+        /// clears any pending expiration count.
+        ///
+        /// # Errors
+        ///
+        /// The raw `timerfd_settime` failure.
+        pub fn disarm(&self) -> io::Result<()> {
+            self.settime(Timespec { tv_sec: 0, tv_nsec: 0 })
+        }
+
+        fn settime(&self, value: Timespec) -> io::Result<()> {
+            let spec =
+                Itimerspec { it_interval: Timespec { tv_sec: 0, tv_nsec: 0 }, it_value: value };
+            // SAFETY: `spec` outlives the call; the kernel copies it.
+            let rc = unsafe { timerfd_settime(self.fd, 0, &spec, std::ptr::null_mut()) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Consume the pending expiration count so a level-triggered
+        /// registration blocks again.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: `buf` is 8 valid, writable bytes.
+            unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+
+    impl AsRawFd for TimerFd {
+        fn as_raw_fd(&self) -> RawFd {
+            self.fd
+        }
+    }
+
+    impl Drop for TimerFd {
+        fn drop(&mut self) {
+            // SAFETY: `fd` is owned by this instance and closed once.
+            unsafe { close(self.fd) };
+        }
+    }
+
     /// Close a raw descriptor out from under its owner. **Fault
     /// injection only**: after this, the owner's next syscall on the
     /// descriptor fails with `EBADF` — which is exactly what the
@@ -349,6 +467,36 @@ mod stub {
     }
 
     impl AsRawFd for WakeFd {
+        fn as_raw_fd(&self) -> RawFd {
+            -1
+        }
+    }
+
+    /// Unsupported on this platform: every constructor fails.
+    #[derive(Debug)]
+    pub struct TimerFd {}
+
+    impl TimerFd {
+        /// Always fails with [`io::ErrorKind::Unsupported`].
+        pub fn new() -> io::Result<TimerFd> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn arm(&self, _after: Duration) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn disarm(&self) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn drain(&self) {}
+    }
+
+    impl AsRawFd for TimerFd {
         fn as_raw_fd(&self) -> RawFd {
             -1
         }
@@ -457,6 +605,42 @@ mod tests {
         ep.wait(&mut events, None).unwrap();
         assert_eq!(events.iter().next().unwrap().token, 9);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn timerfd_fires_at_sub_millisecond_granularity() {
+        let mut ep = Epoll::new().unwrap();
+        let timer = TimerFd::new().unwrap();
+        ep.add(&timer, 5).unwrap();
+        let mut events = Events::new();
+        // Unarmed: nothing fires.
+        ep.wait(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+        // Armed at 300µs: an indefinite wait returns well under the
+        // 1ms floor the epoll_wait timeout argument would impose.
+        let start = Instant::now();
+        timer.arm(Duration::from_micros(300)).unwrap();
+        ep.wait(&mut events, None).unwrap();
+        assert_eq!(events.iter().next().unwrap().token, 5);
+        assert!(start.elapsed() >= Duration::from_micros(300), "the timer actually waited");
+        // Drained: the level-triggered interest blocks again.
+        timer.drain();
+        ep.wait(&mut events, Some(Duration::from_millis(2))).unwrap();
+        assert!(events.is_empty(), "drained timer is not readable");
+        // Re-arming replaces the old setting and clears stale expiry.
+        timer.arm(Duration::from_micros(100)).unwrap();
+        std::thread::sleep(Duration::from_millis(2)); // expire, undrained
+        timer.arm(Duration::from_secs(3600)).unwrap();
+        ep.wait(&mut events, Some(Duration::from_millis(2))).unwrap();
+        assert!(events.is_empty(), "settime cleared the stale expiration");
+        // A zero-duration arm still fires (clamped to 1ns, not disarm).
+        timer.arm(Duration::ZERO).unwrap();
+        ep.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        // Disarm clears a pending expiry too.
+        timer.disarm().unwrap();
+        ep.wait(&mut events, Some(Duration::from_millis(2))).unwrap();
+        assert!(events.is_empty(), "disarmed timer is quiet");
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod history;
 mod id;
 mod msg;
 mod params;
+mod placement;
 mod time;
 mod value;
 
@@ -45,5 +46,6 @@ pub use msg::{
     WriteAckMsg, WriteMsg,
 };
 pub use params::{Params, ParamsError, TwoRoundParams};
+pub use placement::{GroupId, Placement};
 pub use time::Time;
 pub use value::{varint_len, ReadSeq, Seq, TsVal, Value};

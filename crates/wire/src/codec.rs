@@ -104,6 +104,15 @@ impl Writer {
         Writer { buf: Vec::with_capacity(cap) }
     }
 
+    /// A writer over a recycled buffer: clears `buf` and appends into
+    /// its existing allocation. The steady-state path behind
+    /// [`PacketEncoder`](crate::PacketEncoder) — encoding reuses the
+    /// capacity a previous encode grew.
+    pub fn from_buf(mut buf: Vec<u8>) -> Writer {
+        buf.clear();
+        Writer { buf }
+    }
+
     /// Append one raw byte.
     pub fn u8(&mut self, byte: u8) {
         self.buf.push(byte);

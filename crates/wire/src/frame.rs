@@ -48,19 +48,34 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 /// bounds its batches well below the cap, so oversize is a local logic
 /// error, not an I/O condition.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    encode_frame_into(payload, &mut out);
+    out
+}
+
+/// [`encode_frame`] into a caller-supplied buffer: `out` is cleared and
+/// receives the complete frame, reusing whatever capacity it already
+/// holds. The allocation-free half of the recycled encode path
+/// ([`PacketEncoder`](crate::PacketEncoder)).
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`], as
+/// [`encode_frame`] does.
+pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
     assert!(
         payload.len() <= MAX_FRAME_BYTES,
         "frame payload of {} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})",
         payload.len()
     );
-    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.clear();
+    out.reserve(FRAME_HEADER_BYTES + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(0); // flags, reserved
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
 }
 
 /// Validate the 12 header bytes and return the advertised payload

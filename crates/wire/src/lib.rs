@@ -77,9 +77,10 @@ mod varint;
 pub use codec::{Decode, DecodeError, Encode, Reader, Writer};
 pub use crc::{crc32, crc32_bytewise};
 pub use frame::{
-    decode_frame, encode_frame, FrameDecoder, FRAME_HEADER_BYTES, MAGIC, MAX_FRAME_BYTES, VERSION,
+    decode_frame, encode_frame, encode_frame_into, FrameDecoder, FRAME_HEADER_BYTES, MAGIC,
+    MAX_FRAME_BYTES, VERSION,
 };
 pub use msg::{
     decode_message, decode_message_shared, decode_packet, encode_message, encode_packet,
-    frame_message, unframe_message, PacketPart, MAX_BATCH_DEPTH, MAX_PARTS,
+    frame_message, unframe_message, PacketEncoder, PacketPart, MAX_BATCH_DEPTH, MAX_PARTS,
 };

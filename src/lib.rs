@@ -20,6 +20,8 @@
 //!   persist to, with crash-recovery-on-open;
 //! * [`net`] — a thread-based real-time runtime for the same cores,
 //!   over in-process channels or real loopback TCP sockets;
+//! * [`shard`] — consistent-hash server groups, a lazy register
+//!   namespace with quotas, and live register migration between groups;
 //! * [`trace`] — per-op span tracing, log₂ latency histograms and the
 //!   flight recorder behind `SimStore::trace()` / `NetStore::trace()`.
 //!
@@ -53,6 +55,7 @@ pub use lucky_core as core;
 pub use lucky_explore as explore;
 pub use lucky_log as log;
 pub use lucky_net as net;
+pub use lucky_shard as shard;
 pub use lucky_sim as sim;
 pub use lucky_trace as trace;
 pub use lucky_types as types;
